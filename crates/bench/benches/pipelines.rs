@@ -1,0 +1,57 @@
+//! Per-pipeline fit/detect micro-benchmarks — the criterion counterpart
+//! of Figure 7a on a single fixed signal (relative ordering between
+//! pipelines is the claim being tracked).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sintel_common::SintelRng;
+use sintel_datasets::synth::{inject, AnomalyKind, BaseSignal};
+use sintel_pipeline::hub;
+use sintel_timeseries::Signal;
+
+fn bench_signal(n: usize) -> Signal {
+    let mut rng = SintelRng::seed_from_u64(7);
+    let base = BaseSignal {
+        level: 10.0,
+        seasonal: vec![(2.0, 48.0, 0.2)],
+        noise: 0.3,
+        ..Default::default()
+    };
+    let mut values = base.render(n, &mut rng);
+    inject(&mut values, n / 2, n / 2 + 10, AnomalyKind::Spike, 6.0, &mut rng);
+    Signal::from_values("bench", values)
+}
+
+fn pipeline_benches(c: &mut Criterion) {
+    let signal = bench_signal(400);
+    let mut group = c.benchmark_group("pipeline_fit_detect");
+    group.sample_size(10);
+    for name in hub::available_pipelines() {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut pipeline = hub::build_pipeline(name).expect("hub pipeline");
+                let anomalies =
+                    pipeline.fit_detect(black_box(&signal), black_box(&signal)).unwrap();
+                black_box(anomalies)
+            });
+        });
+    }
+    group.finish();
+
+    // Detection latency alone (model already trained) — the "pipeline
+    // latency" bar of Figure 7a.
+    let mut group = c.benchmark_group("pipeline_latency");
+    group.sample_size(10);
+    for name in ["arima", "azure_anomaly_detection", "dense_autoencoder"] {
+        let mut pipeline = hub::build_pipeline(name).expect("hub pipeline");
+        pipeline.fit(&signal).expect("fit");
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(pipeline.detect(black_box(&signal)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benches);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **Figure 7b** — difference in runtime between stand-alone primitives
+//! and end-to-end pipelines (framework overhead).
+//!
+//! The paper reports the delta per pipeline (µ ± σ seconds over signals,
+//! and the average percentage increase), all small: ARIMA 0.58%, LSTM AE
+//! 0.75%, LSTM DT 2.5%, Dense AE 1.0%, TadGAN 0.2%. The heavier the
+//! modeling stage, the smaller the relative overhead.
+//!
+//! Run: `SINTEL_SCALE=0.06 cargo run -p sintel-bench --release --bin fig7b_overhead`
+
+use sintel_datasets::{load_all, DatasetConfig};
+use sintel_pipeline::hub;
+
+fn main() {
+    let scale = sintel_bench::scale_from_env(0.04);
+    let data = DatasetConfig { seed: 42, signal_scale: scale, length_scale: (scale * 2.5).clamp(0.12, 1.0) };
+    let datasets = load_all(&data);
+    let pipelines = ["arima", "lstm_autoencoder", "lstm_dynamic_threshold", "dense_autoencoder", "tadgan"];
+
+    eprintln!("Figure 7b: primitive profiling at scale {scale} …");
+    println!("Figure 7b: pipeline-vs-standalone primitive runtime (scale {scale})\n");
+    println!(
+        "{:<26} {:>16} {:>14} {:>12}",
+        "pipeline", "delta mean ± std", "avg % incr.", "signals"
+    );
+
+    for name in pipelines {
+        let template = hub::template_by_name(name).expect("hub pipeline");
+        let mut deltas = Vec::new(); // seconds per signal
+        let mut percents = Vec::new();
+        for dataset in &datasets {
+            for labeled in dataset.iter_signals() {
+                let Ok(mut pipeline) = template.build_default() else { continue };
+                if pipeline.fit_detect(&labeled.signal, &labeled.signal).is_err() {
+                    continue;
+                }
+                let prof = pipeline.profile();
+                let total = prof.total_time().as_secs_f64();
+                let standalone = prof.primitive_time().as_secs_f64();
+                deltas.push((total - standalone).max(0.0));
+                if standalone > 0.0 {
+                    percents.push(100.0 * (total - standalone).max(0.0) / standalone);
+                }
+            }
+        }
+        println!(
+            "{:<26} {:>7.4}s ± {:<6.4} {:>12.2}% {:>12}",
+            name,
+            sintel_common::mean(&deltas),
+            sintel_common::stddev(&deltas),
+            sintel_common::mean(&percents),
+            deltas.len(),
+        );
+    }
+    println!(
+        "\npaper shape: all deltas small (sub-3% average increase); running a\n\
+         primitive inside a pipeline costs little beyond the primitive itself."
+    );
+}

@@ -1,0 +1,22 @@
+//! **Table 1** — comparison of anomaly detection software.
+//!
+//! The other systems' rows are the paper's published assessment; the
+//! Sintel column is computed from the capabilities this repository
+//! actually implements (see `sintel::features`).
+//!
+//! Run: `cargo run -p sintel-bench --bin table1_features`
+
+fn main() {
+    println!("Table 1: Comparison of anomaly detection software");
+    println!("(Y = attribute present, - = absent; Sintel column computed from this repo)\n");
+    print!("{}", sintel::features::render_table());
+    let sintel_col = sintel::features::sintel_features();
+    println!(
+        "\nSintel implements {}/{} compared capabilities.",
+        sintel::features::ALL_CAPABILITIES
+            .iter()
+            .filter(|&&c| sintel_col.has(c))
+            .count(),
+        sintel::features::ALL_CAPABILITIES.len()
+    );
+}

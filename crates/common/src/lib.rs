@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! # sintel-common
+//!
+//! Shared low-level utilities for the Sintel reproduction workspace:
+//! a deterministic random number generator with the distributions the
+//! framework needs (uniform, normal, choice, shuffle) and a handful of
+//! numeric helpers used across crates.
+//!
+//! Everything in the workspace that needs randomness goes through
+//! [`SintelRng`] so that experiments are reproducible from a single seed.
+
+pub mod numeric;
+pub mod rng;
+
+pub use numeric::{argmax, argmin, ewma, mean, median, quantile, stddev, variance};
+pub use rng::SintelRng;

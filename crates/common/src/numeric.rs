@@ -1,0 +1,189 @@
+//! Small numeric helpers shared across the workspace.
+//!
+//! These are deliberately simple slice-based functions: every crate in the
+//! workspace operates on `&[f64]` signals, error series, or score vectors,
+//! and these helpers keep the basic descriptive statistics in one place.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice so callers that divide
+/// by derived quantities do not have to special-case emptiness.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n - 1`); 0.0 for fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0)
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median via sorting a copy; 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`. 0.0 for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (v.len() as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` when empty.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first on ties); `None` when empty.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .min_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ia.cmp(ib)))
+        .map(|(i, _)| i)
+}
+
+/// Exponentially-weighted moving average with smoothing factor
+/// `alpha` in `(0, 1]`; larger alpha tracks the series more closely.
+pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = f64::NAN;
+    for &x in xs {
+        acc = if acc.is_nan() { x } else { alpha * x + (1.0 - alpha) * acc };
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // population variance 4.0 -> sample variance 32/7.
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((stddev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_midpoint() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let xs = [1.0, 5.0, 5.0, -2.0];
+        assert_eq!(argmax(&xs), Some(1));
+        assert_eq!(argmin(&xs), Some(3));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_identity() {
+        let xs = [3.0, 1.0, 4.0, 1.0];
+        assert_eq!(ewma(&xs, 1.0), xs.to_vec());
+    }
+
+    #[test]
+    fn ewma_smooths_towards_history() {
+        let xs = [0.0, 10.0];
+        let sm = ewma(&xs, 0.5);
+        assert_eq!(sm, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        ewma(&[1.0], 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let m = mean(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn prop_quantile_monotone(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-9);
+        }
+
+        #[test]
+        fn prop_ewma_preserves_length(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
+            alpha in 0.01f64..1.0,
+        ) {
+            prop_assert_eq!(ewma(&xs, alpha).len(), xs.len());
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic random number generation.
+//!
+//! [`SintelRng`] is a self-contained xoshiro256++ generator seeded through
+//! SplitMix64. Keeping the PRNG in-repo (rather than depending on an
+//! external generator whose stream may change between releases) makes every
+//! experiment bit-reproducible from a single seed recorded in the
+//! experiment logs, on every platform and forever.
+//!
+//! On top of the raw stream it provides the distributions the workspace
+//! needs: uniforms, normals (Box–Muller), categorical choice, Fisher–Yates
+//! shuffle and distinct-index sampling.
+
+/// Deterministic RNG used throughout the Sintel workspace (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct SintelRng {
+    state: [u64; 4],
+    /// Cached second sample from the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SintelRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Derive an independent child generator; used to give each signal /
+    /// model its own stream while staying reproducible from the root seed.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(s)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo, "uniform_range requires hi >= lo");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be positive.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // the small ranges used here and the stream stays deterministic.
+        let x = self.next_u64();
+        (((x as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(hi > lo, "int_range requires hi > lo");
+        let span = (hi - lo) as u64;
+        let x = self.next_u64();
+        lo + (((x as u128) * (span as u128)) >> 64) as i64
+    }
+
+    /// Bernoulli trial with probability `p` of returning `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample (Box–Muller transform).
+    pub fn normal_std(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let mut u1 = self.uniform();
+        if u1 < f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal_std()
+    }
+
+    /// Uniformly pick one element of a non-empty slice.
+    pub fn choice<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k <= n).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SintelRng::seed_from_u64(7);
+        let mut b = SintelRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SintelRng::seed_from_u64(1);
+        let mut b = SintelRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = SintelRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn index_in_bounds_and_covers_range() {
+        let mut rng = SintelRng::seed_from_u64(17);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn int_range_in_bounds() {
+        let mut rng = SintelRng::seed_from_u64(23);
+        for _ in 0..1_000 {
+            let v = rng.int_range(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SintelRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SintelRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = SintelRng::seed_from_u64(9);
+        let idx = rng.sample_indices(50, 10);
+        assert_eq!(idx.len(), 10);
+        let mut dedup = idx.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = SintelRng::seed_from_u64(42);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let a: Vec<u64> = (0..16).map(|_| c1.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| c2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SintelRng::seed_from_u64(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn index_of_zero_panics() {
+        SintelRng::seed_from_u64(0).index(0);
+    }
+}

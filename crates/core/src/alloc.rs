@@ -1,0 +1,82 @@
+//! Byte-exact heap tracking for the computational-performance benchmark
+//! (Figure 7a's memory column).
+//!
+//! Benchmark binaries install [`TrackingAllocator`] as their global
+//! allocator; the framework then reads [`current_bytes`] /
+//! [`peak_bytes`] around pipeline runs. When the tracker is not
+//! installed the counters simply stay at zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A `GlobalAlloc` wrapper around the system allocator that maintains
+/// current/peak live-byte counters.
+pub struct TrackingAllocator;
+
+// SAFETY: delegates directly to `System`, only adding atomic counter
+// updates around the calls.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let cur = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(cur, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                let cur =
+                    CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed)
+                        + (new_size - layout.size());
+                PEAK.fetch_max(cur, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Live heap bytes right now (0 unless the tracker is installed).
+pub fn current_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Peak live heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current level (call before the region of
+/// interest).
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The tracker is not installed in unit tests (no #[global_allocator]
+    // here), so the API must behave gracefully at zero.
+    #[test]
+    fn counters_without_installation() {
+        reset_peak();
+        assert_eq!(current_bytes(), 0);
+        assert_eq!(peak_bytes(), 0);
+        let _v: Vec<u8> = vec![0; 1024];
+        assert_eq!(current_bytes(), 0, "not installed -> no counting");
+    }
+}

@@ -1,0 +1,251 @@
+//! The standardized benchmarking suite (paper §3.4, Figure 4c).
+//!
+//! One call compares any set of hub pipelines on any set of datasets
+//! under identical conditions, reporting both **quality** (precision /
+//! recall / F1 under the segment-based metrics of §2.3, mean ± std
+//! across signals) and **computational performance** (training time,
+//! pipeline latency, peak memory, per-primitive profile).
+
+use std::time::Duration;
+
+use sintel_datasets::{DatasetConfig, DatasetId};
+use sintel_metrics::Scores;
+use sintel_pipeline::hub;
+use sintel_store::{Doc, SintelDb};
+use sintel_timeseries::Interval;
+
+use crate::sintel::score;
+use crate::{alloc, Result};
+
+/// Which evaluation metric scores the detections (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Overlapping segment (Algorithm 2) — the Table 3 metric.
+    Overlap,
+    /// Weighted segment (Algorithm 1).
+    Weighted,
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// Hub pipeline names to compare.
+    pub pipelines: Vec<String>,
+    /// Datasets to run on.
+    pub datasets: Vec<DatasetId>,
+    /// Dataset generation (seed + scale).
+    pub data: DatasetConfig,
+    /// Scoring metric.
+    pub metric: MetricKind,
+    /// Rank rows by this metric name when rendering (`"f1"` in Fig 4c).
+    pub rank: &'static str,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        Self {
+            pipelines: hub::available_pipelines().iter().map(|s| s.to_string()).collect(),
+            datasets: vec![DatasetId::Nab, DatasetId::Nasa, DatasetId::Yahoo],
+            data: DatasetConfig::small(),
+            metric: MetricKind::Overlap,
+            rank: "f1",
+        }
+    }
+}
+
+/// One pipeline × dataset result row.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRow {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Mean scores across the dataset's signals.
+    pub mean: Scores,
+    /// Standard deviation across signals.
+    pub std: Scores,
+    /// Signals evaluated.
+    pub signals: usize,
+    /// Signals whose run failed (excluded from the scores).
+    pub failures: usize,
+    /// Total training time over all signals.
+    pub train_time: Duration,
+    /// Total detection (latency) time over all signals.
+    pub detect_time: Duration,
+    /// Peak heap bytes observed during this row's runs (0 when the
+    /// tracking allocator is not installed).
+    pub peak_memory: usize,
+    /// Sum of per-primitive self time (standalone baseline, Fig 7b).
+    pub primitive_time: Duration,
+}
+
+impl BenchmarkRow {
+    /// Framework overhead vs standalone primitives (Figure 7b).
+    pub fn overhead_percent(&self) -> f64 {
+        let prim = self.primitive_time.as_secs_f64();
+        if prim <= 0.0 {
+            return 0.0;
+        }
+        let total = (self.train_time + self.detect_time).as_secs_f64();
+        100.0 * (total - prim).max(0.0) / prim
+    }
+}
+
+/// Run the benchmark: every pipeline against every dataset
+/// (`sintel.benchmark`, Figure 4c).
+///
+/// Unsupervised protocol, as in the paper: each pipeline is fitted on
+/// the signal itself (no labels are used) and detection runs over the
+/// same signal; scoring compares detections to the held-back ground
+/// truth.
+pub fn benchmark(cfg: &BenchmarkConfig) -> Result<Vec<BenchmarkRow>> {
+    let mut rows = Vec::new();
+    for dataset_id in &cfg.datasets {
+        let dataset = sintel_datasets::load(*dataset_id, &cfg.data);
+        for pipeline_name in &cfg.pipelines {
+            let template = hub::template_by_name(pipeline_name)?;
+            let mut per_signal = Vec::new();
+            let mut failures = 0usize;
+            let mut train_time = Duration::ZERO;
+            let mut detect_time = Duration::ZERO;
+            let mut primitive_time = Duration::ZERO;
+            alloc::reset_peak();
+
+            for labeled in dataset.iter_signals() {
+                let mut pipeline = match template.build_default() {
+                    Ok(p) => p,
+                    Err(_) => {
+                        failures += 1;
+                        continue;
+                    }
+                };
+                match pipeline.fit_detect(&labeled.signal, &labeled.signal) {
+                    Ok(anomalies) => {
+                        let pred: Vec<Interval> =
+                            anomalies.iter().map(|a| a.interval).collect();
+                        per_signal.push(score(&labeled.anomalies, &pred, cfg.metric));
+                        let prof = pipeline.profile();
+                        train_time += prof.fit_total;
+                        detect_time += prof.detect_total;
+                        primitive_time += prof.primitive_time();
+                    }
+                    Err(_) => failures += 1,
+                }
+            }
+            rows.push(BenchmarkRow {
+                pipeline: pipeline_name.clone(),
+                dataset: dataset.name.clone(),
+                mean: Scores::mean(&per_signal),
+                std: Scores::std(&per_signal),
+                signals: per_signal.len(),
+                failures,
+                train_time,
+                detect_time,
+                peak_memory: alloc::peak_bytes(),
+                primitive_time,
+            });
+        }
+    }
+    rows.sort_by(|a, b| {
+        a.dataset.cmp(&b.dataset).then(b.mean.f1.total_cmp(&a.mean.f1))
+    });
+    Ok(rows)
+}
+
+/// Persist benchmark rows into the knowledge base as experiments.
+pub fn persist_benchmark(db: &SintelDb, rows: &[BenchmarkRow]) {
+    for row in rows {
+        let exp = db.add_experiment(
+            &format!("benchmark/{}/{}", row.dataset, row.pipeline),
+            &row.dataset,
+            &row.pipeline,
+        );
+        let doc = Doc::obj()
+            .with("experiment_id", exp)
+            .with("f1", row.mean.f1)
+            .with("precision", row.mean.precision)
+            .with("recall", row.mean.recall)
+            .with("f1_std", row.std.f1)
+            .with("signals", row.signals)
+            .with("failures", row.failures)
+            .with("train_seconds", row.train_time.as_secs_f64())
+            .with("detect_seconds", row.detect_time.as_secs_f64())
+            .with("peak_memory_bytes", row.peak_memory);
+        db.raw().insert("benchmark_results", doc);
+    }
+}
+
+/// Render rows as a Table 3-style text table (mean ± std per dataset).
+pub fn render_table(rows: &[BenchmarkRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<8} {:>14} {:>16} {:>14} {:>8}\n",
+        "pipeline", "dataset", "F1", "precision", "recall", "signals"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<26} {:<8} {:>6.3} ± {:<5.2} {:>8.3} ± {:<5.2} {:>6.3} ± {:<5.2} {:>5}\n",
+            row.pipeline,
+            row.dataset,
+            row.mean.f1,
+            row.std.f1,
+            row.mean.precision,
+            row.std.precision,
+            row.mean.recall,
+            row.std.recall,
+            row.signals,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchmarkConfig {
+        BenchmarkConfig {
+            pipelines: vec!["arima".into(), "azure_anomaly_detection".into()],
+            datasets: vec![DatasetId::Nab],
+            data: DatasetConfig { seed: 42, signal_scale: 0.05, length_scale: 0.08 },
+            metric: MetricKind::Overlap,
+            rank: "f1",
+        }
+    }
+
+    #[test]
+    fn benchmark_produces_rows_with_scores() {
+        let rows = benchmark(&tiny_config()).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.dataset, "NAB");
+            assert!(row.signals > 0, "{row:?}");
+            assert!(row.mean.f1 >= 0.0 && row.mean.f1 <= 1.0);
+            assert!(row.train_time + row.detect_time > Duration::ZERO);
+        }
+        // Rows are ranked by F1 within a dataset.
+        assert!(rows[0].mean.f1 >= rows[1].mean.f1);
+    }
+
+    #[test]
+    fn render_table_contains_all_rows() {
+        let rows = benchmark(&tiny_config()).unwrap();
+        let table = render_table(&rows);
+        assert!(table.contains("arima"));
+        assert!(table.contains("azure_anomaly_detection"));
+        assert!(table.contains("F1"));
+    }
+
+    #[test]
+    fn persist_benchmark_writes_results() {
+        let rows = benchmark(&tiny_config()).unwrap();
+        let db = SintelDb::in_memory();
+        persist_benchmark(&db, &rows);
+        use sintel_store::Filter;
+        assert_eq!(db.raw().count("benchmark_results", &Filter::All), rows.len());
+        assert_eq!(
+            db.raw().count(sintel_store::schema::collections::EXPERIMENTS, &Filter::All),
+            rows.len()
+        );
+    }
+}

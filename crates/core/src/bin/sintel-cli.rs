@@ -1,0 +1,285 @@
+//! `sintel-cli` — the end-user command line (Table 1's "End User" row).
+//!
+//! ```text
+//! sintel-cli pipelines                          list the pipeline hub
+//! sintel-cli primitives                         list registered primitives
+//! sintel-cli datasets [--scale S]               dataset summary (Table 2)
+//! sintel-cli detect --signal F.csv --pipeline P [--train G.csv] [--labels L.csv]
+//! sintel-cli view --signal F.csv [--width N] [--height N]
+//! sintel-cli benchmark [--scale S] [--pipelines a,b] [--datasets NAB,YAHOO]
+//! ```
+//!
+//! Signals are `timestamp,value` CSV files (`sintel_timeseries::csvio`
+//! format); label files are `start,end` rows.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use sintel::benchmark::{benchmark, render_table, BenchmarkConfig, MetricKind};
+use sintel::Sintel;
+use sintel_datasets::{load_all, DatasetConfig, DatasetId};
+use sintel_timeseries::csvio;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "pipelines" => cmd_pipelines(),
+        "primitives" => cmd_primitives(),
+        "datasets" => cmd_datasets(&opts),
+        "detect" => cmd_detect(&opts),
+        "view" => cmd_view(&opts),
+        "benchmark" => cmd_benchmark(&opts),
+        "forecast" => cmd_forecast(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "sintel-cli — end-to-end time series anomaly detection
+
+USAGE:
+  sintel-cli pipelines
+  sintel-cli primitives
+  sintel-cli datasets  [--scale S]
+  sintel-cli detect    --signal FILE.csv --pipeline NAME
+                       [--train FILE.csv] [--labels FILE.csv]
+  sintel-cli view      --signal FILE.csv [--width N] [--height N]
+  sintel-cli benchmark [--scale S] [--pipelines a,b,c] [--datasets NAB,NASA,YAHOO]
+  sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
+                       [--horizon N]";
+
+/// Parse `--key value` flags into a map.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{flag}'"));
+        };
+        let value =
+            iter.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+        opts.insert(key.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn cmd_pipelines() -> Result<(), String> {
+    println!("pipeline hub (paper Table 3):");
+    for name in sintel_pipeline::hub::available_pipelines() {
+        println!("  {name}");
+    }
+    println!("extensions:");
+    for name in sintel_pipeline::hub::EXTENSION_PIPELINES {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+fn cmd_primitives() -> Result<(), String> {
+    println!("{:<26} {:<15} description", "primitive", "engine");
+    for name in sintel_primitives::available_primitives() {
+        let prim = sintel_primitives::build_primitive(name).map_err(|e| e.to_string())?;
+        let meta = prim.meta();
+        println!("{:<26} {:<15} {}", meta.name, meta.engine.to_string(), meta.description);
+    }
+    Ok(())
+}
+
+fn cmd_datasets(opts: &HashMap<String, String>) -> Result<(), String> {
+    let scale: f64 = opts.get("scale").map_or(Ok(1.0), |s| {
+        s.parse().map_err(|_| format!("bad --scale '{s}'"))
+    })?;
+    let cfg = DatasetConfig { seed: 42, signal_scale: scale, length_scale: scale };
+    println!("{:<10} {:>10} {:>13} {:>20}", "dataset", "signals", "anomalies", "avg length");
+    for ds in load_all(&cfg) {
+        println!(
+            "{:<10} {:>10} {:>13} {:>20}",
+            ds.name,
+            ds.num_signals(),
+            ds.num_anomalies(),
+            ds.avg_signal_length()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_detect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let signal_path = opts.get("signal").ok_or("--signal is required")?;
+    let pipeline = opts.get("pipeline").ok_or("--pipeline is required")?;
+    let signal = csvio::read_signal_csv("signal", Path::new(signal_path))
+        .map_err(|e| e.to_string())?;
+    let train = match opts.get("train") {
+        Some(path) => {
+            csvio::read_signal_csv("train", Path::new(path)).map_err(|e| e.to_string())?
+        }
+        None => signal.clone(),
+    };
+
+    let mut sintel = Sintel::new(pipeline).map_err(|e| e.to_string())?;
+    sintel.fit(&train).map_err(|e| e.to_string())?;
+    let anomalies = sintel.detect(&signal).map_err(|e| e.to_string())?;
+    println!("detected {} anomalies:", anomalies.len());
+    println!("{:>12} {:>12} {:>9}", "start", "end", "severity");
+    for a in &anomalies {
+        println!("{:>12} {:>12} {:>9.3}", a.interval.start, a.interval.end, a.score);
+    }
+
+    if let Some(labels_path) = opts.get("labels") {
+        let truth =
+            csvio::read_labels_csv(Path::new(labels_path)).map_err(|e| e.to_string())?;
+        let pred: Vec<_> = anomalies.iter().map(|a| a.interval).collect();
+        let scores = sintel_metrics::overlapping_segment(&truth, &pred).scores();
+        println!(
+            "\nvs {} labelled anomalies: F1 {:.3} precision {:.3} recall {:.3}",
+            truth.len(),
+            scores.f1,
+            scores.precision,
+            scores.recall
+        );
+    }
+    Ok(())
+}
+
+fn cmd_view(opts: &HashMap<String, String>) -> Result<(), String> {
+    let signal_path = opts.get("signal").ok_or("--signal is required")?;
+    let parse_dim = |key: &str, default: usize| -> Result<usize, String> {
+        opts.get(key).map_or(Ok(default), |s| {
+            s.parse().map_err(|_| format!("bad --{key} '{s}'"))
+        })
+    };
+    let width = parse_dim("width", 100)?;
+    let height = parse_dim("height", 14)?;
+    let signal = csvio::read_signal_csv("signal", Path::new(signal_path))
+        .map_err(|e| e.to_string())?;
+    print!("{}", sintel_hil::viz::render(&signal, &[], width, height));
+    Ok(())
+}
+
+fn cmd_forecast(opts: &HashMap<String, String>) -> Result<(), String> {
+    use sintel::forecast::{ForecastModel, Forecaster};
+    let signal_path = opts.get("signal").ok_or("--signal is required")?;
+    let model = match opts.get("model") {
+        Some(name) => {
+            ForecastModel::parse(name).ok_or_else(|| format!("unknown model '{name}'"))?
+        }
+        None => ForecastModel::Arima,
+    };
+    let horizon: usize = opts.get("horizon").map_or(Ok(24), |s| {
+        s.parse().map_err(|_| format!("bad --horizon '{s}'"))
+    })?;
+    let signal = csvio::read_signal_csv("signal", Path::new(signal_path))
+        .map_err(|e| e.to_string())?;
+    let mut forecaster = Forecaster::new(model);
+    forecaster.fit(&signal).map_err(|e| e.to_string())?;
+    let fc = forecaster.forecast(horizon).map_err(|e| e.to_string())?;
+    println!("{:>12} {:>14}", "timestamp", "forecast");
+    for (t, v) in fc.timestamps().iter().zip(fc.values()) {
+        println!("{t:>12} {v:>14.4}");
+    }
+    // Honest accuracy estimate from a backtest on the recent history.
+    let holdout = (horizon).min(signal.len() / 4).max(8);
+    if let Ok((mae, smape)) = sintel::forecast::Forecaster::backtest(model, &signal, holdout) {
+        println!("
+backtest on the last {holdout} samples: MAE {mae:.4}, SMAPE {smape:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_benchmark(opts: &HashMap<String, String>) -> Result<(), String> {
+    let scale: f64 = opts.get("scale").map_or(Ok(0.03), |s| {
+        s.parse().map_err(|_| format!("bad --scale '{s}'"))
+    })?;
+    let pipelines: Vec<String> = match opts.get("pipelines") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => sintel_pipeline::hub::available_pipelines()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let datasets: Vec<DatasetId> = match opts.get("datasets") {
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                DatasetId::parse(s.trim()).ok_or_else(|| format!("unknown dataset '{s}'"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![DatasetId::Nab, DatasetId::Nasa, DatasetId::Yahoo],
+    };
+    let cfg = BenchmarkConfig {
+        pipelines,
+        datasets,
+        data: DatasetConfig {
+            seed: 42,
+            signal_scale: scale,
+            length_scale: (scale * 2.5).clamp(0.1, 1.0),
+        },
+        metric: MetricKind::Overlap,
+        rank: "f1",
+    };
+    let rows = benchmark(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", render_table(&rows));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Result<HashMap<String, String>, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_flags_happy_path() {
+        let opts = flags(&["--signal", "a.csv", "--pipeline", "arima"]).unwrap();
+        assert_eq!(opts.get("signal").map(String::as_str), Some("a.csv"));
+        assert_eq!(opts.get("pipeline").map(String::as_str), Some("arima"));
+    }
+
+    #[test]
+    fn parse_flags_rejects_positional_and_dangling() {
+        assert!(flags(&["positional"]).is_err());
+        assert!(flags(&["--scale"]).is_err());
+    }
+
+    #[test]
+    fn commands_work_without_io() {
+        assert!(cmd_pipelines().is_ok());
+        assert!(cmd_primitives().is_ok());
+        let mut opts = HashMap::new();
+        opts.insert("scale".to_string(), "0.02".to_string());
+        assert!(cmd_datasets(&opts).is_ok());
+    }
+
+    #[test]
+    fn detect_requires_signal_flag() {
+        let err = cmd_detect(&HashMap::new()).unwrap_err();
+        assert!(err.contains("--signal"));
+        let mut opts = HashMap::new();
+        opts.insert("signal".to_string(), "/nonexistent.csv".to_string());
+        opts.insert("pipeline".to_string(), "arima".to_string());
+        assert!(cmd_detect(&opts).is_err());
+    }
+}

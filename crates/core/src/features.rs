@@ -1,0 +1,258 @@
+//! The system capability matrix of Table 1.
+//!
+//! The table compares ten anomaly detection systems along user types,
+//! engine coverage, modularity, components, APIs and HIL support. The
+//! entries for the *other* systems are the paper's published assessment
+//! (static data); Sintel's own column is **computed from this
+//! repository** — each capability maps to the module that provides it —
+//! so the table stays honest as the codebase evolves.
+
+/// The capabilities compared in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Usable by end users who just want detections.
+    EndUser,
+    /// Usable by system builders adding their own workflows.
+    SystemBuilder,
+    /// Usable by ML researchers creating new pipelines.
+    MlResearcher,
+    /// Has a preprocessing engine.
+    Preprocessing,
+    /// Has a modeling engine.
+    Modeling,
+    /// Has a postprocessing engine.
+    Postprocessing,
+    /// Pipelines can reuse primitives.
+    Modular,
+    /// Custom evaluation mechanisms.
+    Evaluation,
+    /// Out-of-the-box benchmarking framework.
+    Benchmark,
+    /// Integrated results database.
+    Database,
+    /// Language-specific API.
+    LanguageApi,
+    /// RESTful API.
+    RestApi,
+    /// Human-in-the-loop component.
+    HumanInTheLoop,
+}
+
+/// All capabilities in Table 1's row order.
+pub const ALL_CAPABILITIES: &[Capability] = &[
+    Capability::EndUser,
+    Capability::SystemBuilder,
+    Capability::MlResearcher,
+    Capability::Preprocessing,
+    Capability::Modeling,
+    Capability::Postprocessing,
+    Capability::Modular,
+    Capability::Evaluation,
+    Capability::Benchmark,
+    Capability::Database,
+    Capability::LanguageApi,
+    Capability::RestApi,
+    Capability::HumanInTheLoop,
+];
+
+impl Capability {
+    /// Display label (Table 1 row name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Capability::EndUser => "End User",
+            Capability::SystemBuilder => "System Builder",
+            Capability::MlResearcher => "ML Researcher",
+            Capability::Preprocessing => "Preprocessing",
+            Capability::Modeling => "Modeling",
+            Capability::Postprocessing => "Postprocessing",
+            Capability::Modular => "Modular",
+            Capability::Evaluation => "Evaluation",
+            Capability::Benchmark => "Benchmark",
+            Capability::Database => "Database",
+            Capability::LanguageApi => "lang. specific API",
+            Capability::RestApi => "RESTful API",
+            Capability::HumanInTheLoop => "HIL",
+        }
+    }
+}
+
+/// One system's column.
+#[derive(Debug, Clone)]
+pub struct SystemFeatures {
+    /// System name.
+    pub name: &'static str,
+    /// The capabilities it has.
+    pub capabilities: Vec<Capability>,
+}
+
+impl SystemFeatures {
+    /// Whether the system has a capability.
+    pub fn has(&self, c: Capability) -> bool {
+        self.capabilities.contains(&c)
+    }
+}
+
+/// Sintel's column, derived from what this repository actually provides.
+pub fn sintel_features() -> SystemFeatures {
+    use Capability::*;
+    let mut capabilities = vec![
+        // fit/detect one-liners (crate::Sintel)
+        EndUser,
+        // custom templates (sintel_pipeline::Template)
+        SystemBuilder,
+        LanguageApi,
+        // evaluation metrics (sintel-metrics)
+        Evaluation,
+        // benchmark suite (crate::benchmark)
+        Benchmark,
+        // knowledge base (sintel-store)
+        Database,
+        // REST layer (crate::api)
+        RestApi,
+        // annotations + feedback (sintel-hil)
+        HumanInTheLoop,
+    ];
+    // New primitives slot into existing pipelines: the registry proves
+    // primitive-level modularity, and covering all three engines proves
+    // the engine split.
+    let prims = sintel_primitives::available_primitives();
+    if prims.len() > sintel_pipeline::hub::available_pipelines().len() {
+        capabilities.push(Modular);
+        capabilities.push(MlResearcher);
+    }
+    let engines: std::collections::HashSet<_> = prims
+        .iter()
+        .map(|n| sintel_primitives::build_primitive(n).expect("registered").meta().engine)
+        .collect();
+    if engines.len() == 3 {
+        capabilities.extend([Preprocessing, Modeling, Postprocessing]);
+    }
+    SystemFeatures { name: "Sintel", capabilities }
+}
+
+/// The full Table 1 matrix (published assessments + computed Sintel).
+pub fn feature_matrix() -> Vec<SystemFeatures> {
+    use Capability::*;
+    let mut systems = vec![
+        SystemFeatures {
+            name: "MS Azure",
+            capabilities: vec![EndUser, SystemBuilder, Modeling, LanguageApi, RestApi],
+        },
+        SystemFeatures {
+            name: "ADTK",
+            capabilities: vec![
+                EndUser, Preprocessing, Modeling, Postprocessing, Modular, Evaluation,
+                LanguageApi,
+            ],
+        },
+        SystemFeatures {
+            name: "Luminaire",
+            capabilities: vec![EndUser, Preprocessing, Modeling, Modular, LanguageApi],
+        },
+        SystemFeatures {
+            name: "TODS",
+            capabilities: vec![
+                EndUser, Preprocessing, Modeling, Postprocessing, Modular, Benchmark,
+                LanguageApi,
+            ],
+        },
+        SystemFeatures {
+            name: "Telemanom",
+            capabilities: vec![EndUser, Modeling, Evaluation, LanguageApi],
+        },
+        SystemFeatures {
+            name: "NAB",
+            capabilities: vec![
+                EndUser, MlResearcher, Modeling, Postprocessing, Benchmark, Database,
+                LanguageApi,
+            ],
+        },
+        SystemFeatures {
+            name: "EGADS",
+            capabilities: vec![EndUser, Modeling, Postprocessing, LanguageApi],
+        },
+        SystemFeatures {
+            name: "Stumpy",
+            capabilities: vec![EndUser, Preprocessing, Postprocessing, Modular, LanguageApi],
+        },
+        SystemFeatures {
+            name: "GluonTS",
+            capabilities: vec![
+                MlResearcher, Preprocessing, Modeling, Modular, Benchmark, LanguageApi,
+            ],
+        },
+    ];
+    systems.push(sintel_features());
+    systems
+}
+
+/// Render the matrix as a Table 1-style text table.
+pub fn render_table() -> String {
+    let systems = feature_matrix();
+    let mut out = String::new();
+    out.push_str(&format!("{:<20}", "attribute"));
+    for s in &systems {
+        out.push_str(&format!("{:>10}", s.name));
+    }
+    out.push('\n');
+    for &cap in ALL_CAPABILITIES {
+        out.push_str(&format!("{:<20}", cap.label()));
+        for s in &systems {
+            out.push_str(&format!("{:>10}", if s.has(cap) { "Y" } else { "-" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sintel_column_is_complete() {
+        // Table 1's headline: Sintel is the only system ticking every box.
+        let sintel = sintel_features();
+        for &cap in ALL_CAPABILITIES {
+            assert!(sintel.has(cap), "Sintel missing {:?}", cap);
+        }
+    }
+
+    #[test]
+    fn no_other_system_is_complete() {
+        for system in feature_matrix() {
+            if system.name == "Sintel" {
+                continue;
+            }
+            let count = ALL_CAPABILITIES.iter().filter(|&&c| system.has(c)).count();
+            assert!(
+                count < ALL_CAPABILITIES.len(),
+                "{} should not be complete",
+                system.name
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_matches_published_sample() {
+        // Spot-check a few published entries.
+        let matrix = feature_matrix();
+        let get = |name: &str| matrix.iter().find(|s| s.name == name).unwrap();
+        assert!(get("MS Azure").has(Capability::RestApi));
+        assert!(!get("MS Azure").has(Capability::HumanInTheLoop));
+        assert!(get("NAB").has(Capability::Benchmark));
+        assert!(!get("Telemanom").has(Capability::Modular));
+        assert!(get("GluonTS").has(Capability::MlResearcher));
+        assert!(!get("Stumpy").has(Capability::Modeling));
+    }
+
+    #[test]
+    fn render_contains_all_systems_and_rows() {
+        let table = render_table();
+        for s in feature_matrix() {
+            assert!(table.contains(s.name), "{}", s.name);
+        }
+        assert!(table.contains("HIL"));
+        assert_eq!(table.lines().count(), ALL_CAPABILITIES.len() + 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! The `Sintel` orchestrator — the user-facing API of Figure 4a.
+
+use sintel_metrics::{overlapping_segment, weighted_segment, Scores};
+use sintel_pipeline::{hub, Pipeline, PipelineProfile, Template};
+use sintel_store::SintelDb;
+use sintel_timeseries::{Interval, ScoredInterval, Signal};
+
+use crate::benchmark::MetricKind;
+use crate::tune::{self, TuneReport, TuneSetting};
+use crate::Result;
+
+/// The end-to-end framework handle.
+///
+/// ```
+/// use sintel::Sintel;
+/// use sintel_datasets::load_signal;
+///
+/// let train = load_signal("S-2-train").unwrap();
+/// let new_data = load_signal("S-2-new").unwrap();
+///
+/// let mut sintel = Sintel::new("arima").unwrap();
+/// sintel.fit(&train.signal).unwrap();
+/// let anomalies = sintel.detect(&new_data.signal).unwrap();
+/// assert!(!anomalies.is_empty());
+/// ```
+pub struct Sintel {
+    template: Template,
+    pipeline: Pipeline,
+    db: Option<SintelDb>,
+    signalrun_counter: u64,
+}
+
+impl Sintel {
+    /// Create from a hub pipeline name (Figure 4a:
+    /// `Sintel(pipeline="lstm_dynamic_threshold")`).
+    pub fn new(pipeline: &str) -> Result<Self> {
+        let template = hub::template_by_name(pipeline)?;
+        let pipeline = template.build_default()?;
+        Ok(Self { template, pipeline, db: None, signalrun_counter: 0 })
+    }
+
+    /// Create from a custom template (the "system builder" path).
+    pub fn from_template(template: Template) -> Result<Self> {
+        let pipeline = template.build_default()?;
+        Ok(Self { template, pipeline, db: None, signalrun_counter: 0 })
+    }
+
+    /// Attach a knowledge base: every subsequent detection run persists
+    /// its events (§3.5).
+    pub fn with_db(mut self, db: SintelDb) -> Self {
+        self.db = Some(db);
+        self
+    }
+
+    /// The active pipeline's name.
+    pub fn pipeline_name(&self) -> &str {
+        self.pipeline.name()
+    }
+
+    /// Borrow the attached knowledge base, if any.
+    pub fn db(&self) -> Option<&SintelDb> {
+        self.db.as_ref()
+    }
+
+    /// Profiling data of the last fit/detect run.
+    pub fn profile(&self) -> &PipelineProfile {
+        self.pipeline.profile()
+    }
+
+    /// Train the pipeline (`sintel.fit(train_data)`).
+    pub fn fit(&mut self, data: &Signal) -> Result<()> {
+        self.pipeline.fit(data)?;
+        Ok(())
+    }
+
+    /// Detect anomalies (`sintel.detect(new_data)`), persisting events to
+    /// the knowledge base when attached.
+    pub fn detect(&mut self, data: &Signal) -> Result<Vec<ScoredInterval>> {
+        let anomalies = self.pipeline.detect(data)?;
+        if let Some(db) = &self.db {
+            self.signalrun_counter += 1;
+            let run = db.add_signalrun(self.signalrun_counter, data.name(), "done");
+            for a in &anomalies {
+                db.add_event(run, data.name(), a.interval.start, a.interval.end, a.score);
+            }
+        }
+        Ok(anomalies)
+    }
+
+    /// Fit on `train`, detect on `test`.
+    pub fn fit_detect(&mut self, train: &Signal, test: &Signal) -> Result<Vec<ScoredInterval>> {
+        self.fit(train)?;
+        self.detect(test)
+    }
+
+    /// Detect and score against ground truth with the chosen metric.
+    pub fn evaluate(
+        &mut self,
+        data: &Signal,
+        ground_truth: &[Interval],
+        metric: MetricKind,
+    ) -> Result<Scores> {
+        let detected = self.detect(data)?;
+        let pred: Vec<Interval> = detected.iter().map(|d| d.interval).collect();
+        Ok(score(ground_truth, &pred, metric))
+    }
+
+    /// AutoML (Figure 4b): search the template's joint hyperparameter
+    /// space and adopt the best configuration found. Returns the tuning
+    /// report; the orchestrator keeps the improved pipeline.
+    pub fn tune(
+        &mut self,
+        data: &Signal,
+        setting: TuneSetting,
+        budget: usize,
+    ) -> Result<TuneReport> {
+        let report = tune::tune_template(&self.template, data, &setting, budget)?;
+        self.pipeline = self.template.build(&report.best_lambda)?;
+        self.pipeline.fit(data)?;
+        Ok(report)
+    }
+}
+
+/// Score predictions against ground truth with the given metric.
+pub fn score(truth: &[Interval], pred: &[Interval], metric: MetricKind) -> Scores {
+    if truth.is_empty() && pred.is_empty() {
+        return Scores::perfect();
+    }
+    match metric {
+        MetricKind::Overlap => overlapping_segment(truth, pred).scores(),
+        MetricKind::Weighted => weighted_segment(truth, pred).scores(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SintelError;
+    use sintel_datasets::load_signal;
+
+    #[test]
+    fn figure_4a_workflow_end_to_end() {
+        // load -> pick pipeline -> fit -> detect, exactly Figure 4a.
+        let train = load_signal("S-2-train").unwrap();
+        let new_data = load_signal("S-2-new").unwrap();
+        let mut sintel = Sintel::new("arima").unwrap();
+        sintel.fit(&train.signal).unwrap();
+        let anomalies = sintel.detect(&new_data.signal).unwrap();
+        assert!(!anomalies.is_empty(), "S-2 anomalies not detected");
+        // Quality against the demo ground truth.
+        let pred: Vec<Interval> = anomalies.iter().map(|a| a.interval).collect();
+        let s = score(&new_data.anomalies, &pred, MetricKind::Overlap);
+        assert!(s.recall > 0.3, "recall {:?}", s);
+    }
+
+    #[test]
+    fn unknown_pipeline_name() {
+        assert!(matches!(Sintel::new("prophet"), Err(SintelError::Pipeline(_))));
+    }
+
+    #[test]
+    fn detection_persists_events_to_db() {
+        let train = load_signal("S-2-train").unwrap();
+        let new_data = load_signal("S-2-new").unwrap();
+        let mut sintel =
+            Sintel::new("arima").unwrap().with_db(SintelDb::in_memory());
+        sintel.fit(&train.signal).unwrap();
+        let anomalies = sintel.detect(&new_data.signal).unwrap();
+        let events = sintel.db().unwrap().events_for_signal("S-2");
+        assert_eq!(events.len(), anomalies.len());
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn evaluate_returns_scores() {
+        let full = load_signal("S-2").unwrap();
+        let mut sintel = Sintel::new("arima").unwrap();
+        sintel.fit(&full.signal).unwrap();
+        let s = sintel
+            .evaluate(&full.signal, &full.anomalies, MetricKind::Overlap)
+            .unwrap();
+        assert!(s.f1 > 0.0, "{s:?}");
+        let sw = sintel
+            .evaluate(&full.signal, &full.anomalies, MetricKind::Weighted)
+            .unwrap();
+        assert!(sw.accuracy >= 0.0);
+    }
+
+    #[test]
+    fn score_empty_sets_is_perfect() {
+        let s = score(&[], &[], MetricKind::Overlap);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn custom_template_path() {
+        use sintel_pipeline::{StepSpec, Template};
+        use sintel_primitives::HyperValue;
+        let template = Template {
+            name: "custom_zscore".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                // The paper's customisation example: swap the scaler.
+                StepSpec::plain("StandardScaler"),
+                StepSpec::with("arima", &[("p", HyperValue::Int(3))]),
+                StepSpec::plain("regression_errors"),
+                StepSpec::plain("find_anomalies"),
+            ],
+        };
+        let full = load_signal("S-2").unwrap();
+        let mut sintel = Sintel::from_template(template).unwrap();
+        sintel.fit(&full.signal).unwrap();
+        assert_eq!(sintel.pipeline_name(), "custom_zscore");
+        let anomalies = sintel.detect(&full.signal).unwrap();
+        assert!(!anomalies.is_empty());
+    }
+}

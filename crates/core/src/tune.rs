@@ -1,0 +1,237 @@
+//! AutoML bridge: template hyperparameter spaces → the GP tuner
+//! (paper §3.3, Figure 5).
+//!
+//! Two settings, as in the paper:
+//!
+//! * **Supervised** — ground-truth anomalies exist; the objective is the
+//!   detection F1 (overlapping segment) of the *whole* pipeline.
+//! * **Unsupervised** — no labels; the objective scores how well the
+//!   modeling sub-pipeline reproduces the signal (negative mean error),
+//!   so only the signal-fit is optimised.
+
+use sintel_metrics::overlapping_segment;
+use sintel_pipeline::{ParamId, Template};
+use sintel_primitives::{HyperRange, HyperSpec, HyperValue};
+use sintel_timeseries::{Interval, Signal};
+use sintel_tuner::{DimSpec, DimValue, GpTuner, Space, Tuner};
+
+use crate::{Result, SintelError};
+
+/// Which objective drives the search (Figure 5's two conditions).
+#[derive(Debug, Clone)]
+pub enum TuneSetting {
+    /// Maximise detection F1 against known anomalies.
+    Supervised {
+        /// Ground-truth anomalies of the tuning signal.
+        ground_truth: Vec<Interval>,
+    },
+    /// Maximise signal reproduction (negative mean error).
+    Unsupervised,
+}
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Score of the default configuration (evaluated first).
+    pub default_score: f64,
+    /// Best score found.
+    pub best_score: f64,
+    /// The winning configuration λ*.
+    pub best_lambda: Vec<(ParamId, HyperValue)>,
+    /// Every `(score)` in evaluation order (for convergence plots).
+    pub history: Vec<f64>,
+    /// Names of the parameters that changed from their defaults in λ*.
+    pub changed_params: Vec<ParamId>,
+}
+
+/// Convert a primitive hyperparameter spec into a tuner dimension.
+fn to_dim(spec: &HyperSpec) -> DimSpec {
+    match &spec.range {
+        HyperRange::Int { lo, hi } => DimSpec::Int { lo: *lo, hi: *hi },
+        HyperRange::Float { lo, hi, log } => DimSpec::Float { lo: *lo, hi: *hi, log: *log },
+        HyperRange::Choice(opts) => DimSpec::Choice(opts.len()),
+        HyperRange::Flag => DimSpec::Flag,
+    }
+}
+
+/// Convert a decoded tuner value back into a hyperparameter value.
+fn to_hyper(spec: &HyperSpec, value: &DimValue) -> HyperValue {
+    match (value, &spec.range) {
+        (DimValue::F(v), _) => HyperValue::Float(*v),
+        (DimValue::I(v), _) => HyperValue::Int(*v),
+        (DimValue::B(v), _) => HyperValue::Flag(*v),
+        (DimValue::Idx(i), HyperRange::Choice(opts)) => {
+            HyperValue::Text(opts[(*i).min(opts.len() - 1)].clone())
+        }
+        (DimValue::Idx(i), _) => HyperValue::Int(*i as i64),
+    }
+}
+
+/// Evaluate one configuration of the template against the objective.
+fn evaluate_lambda(
+    template: &Template,
+    lambda: &[(ParamId, HyperValue)],
+    data: &Signal,
+    setting: &TuneSetting,
+) -> f64 {
+    let Ok(mut pipeline) = template.build(lambda) else {
+        return f64::NEG_INFINITY;
+    };
+    if pipeline.fit(data).is_err() {
+        return f64::NEG_INFINITY;
+    }
+    match setting {
+        TuneSetting::Supervised { ground_truth } => match pipeline.detect(data) {
+            Ok(anomalies) => {
+                let pred: Vec<Interval> = anomalies.iter().map(|a| a.interval).collect();
+                overlapping_segment(ground_truth, &pred).scores().f1
+            }
+            Err(_) => f64::NEG_INFINITY,
+        },
+        TuneSetting::Unsupervised => match pipeline.errors(data) {
+            // Smaller mean error = the expected signal matches better.
+            Ok((errors, _)) => -sintel_common::mean(&errors),
+            Err(_) => f64::NEG_INFINITY,
+        },
+    }
+}
+
+/// Search the template's joint tunable space with the GP tuner.
+///
+/// The default configuration is always evaluated first (it is both the
+/// warm-start observation and the baseline `default_score`); the best
+/// configuration over `budget` further evaluations wins.
+pub fn tune_template(
+    template: &Template,
+    data: &Signal,
+    setting: &TuneSetting,
+    budget: usize,
+) -> Result<TuneReport> {
+    let space_specs = template.hyperparameter_space()?;
+    if space_specs.is_empty() {
+        return Err(SintelError::Tuning("template has no tunable hyperparameters".into()));
+    }
+    let space = Space::new(space_specs.iter().map(|(_, s)| to_dim(s)).collect());
+    let decode = |unit: &[f64]| -> Vec<(ParamId, HyperValue)> {
+        space
+            .decode(unit)
+            .iter()
+            .zip(&space_specs)
+            .map(|(dv, (pid, spec))| (pid.clone(), to_hyper(spec, dv)))
+            .collect()
+    };
+
+    // Baseline: default configuration.
+    let default_score = evaluate_lambda(template, &[], data, setting);
+
+    let mut tuner = GpTuner::new(space.clone(), 0xA1);
+    let mut history = vec![default_score];
+    let mut best_score = default_score;
+    let mut best_lambda: Vec<(ParamId, HyperValue)> = Vec::new();
+
+    for _ in 0..budget {
+        let unit = tuner.propose()?;
+        let lambda = decode(&unit);
+        let score = evaluate_lambda(template, &lambda, data, setting);
+        history.push(score);
+        // NEG_INFINITY (failed builds) recorded as a strong penalty so
+        // the GP steers away without destroying its numerics.
+        tuner.record(unit, if score.is_finite() { score } else { -1e6 });
+        if score > best_score {
+            best_score = score;
+            best_lambda = lambda;
+        }
+    }
+
+    let changed_params = best_lambda.iter().map(|(pid, _)| pid.clone()).collect();
+    Ok(TuneReport { default_score, best_score, best_lambda, history, changed_params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintel_pipeline::StepSpec;
+
+    fn arima_template() -> Template {
+        Template {
+            name: "tune_arima".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                StepSpec::plain("MinMaxScaler"),
+                StepSpec::with("arima", &[("q", HyperValue::Int(0))]),
+                StepSpec::plain("regression_errors"),
+                StepSpec::plain("find_anomalies"),
+            ],
+        }
+    }
+
+    fn spiky_signal() -> (Signal, Vec<Interval>) {
+        let n = 500;
+        let mut vals: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 40.0).sin()).collect();
+        for v in &mut vals[250..260] {
+            *v += 5.0;
+        }
+        (Signal::from_values("tune", vals), vec![Interval::new(250, 259).unwrap()])
+    }
+
+    #[test]
+    fn supervised_tuning_never_worse_than_default() {
+        let (signal, truth) = spiky_signal();
+        let report = tune_template(
+            &arima_template(),
+            &signal,
+            &TuneSetting::Supervised { ground_truth: truth },
+            8,
+        )
+        .unwrap();
+        assert!(report.best_score >= report.default_score);
+        assert_eq!(report.history.len(), 9);
+        assert!(report.best_score > 0.0, "{report:?}");
+    }
+
+    #[test]
+    fn unsupervised_tuning_optimises_signal_fit() {
+        let (signal, _) = spiky_signal();
+        let report =
+            tune_template(&arima_template(), &signal, &TuneSetting::Unsupervised, 6).unwrap();
+        assert!(report.best_score >= report.default_score);
+        // Unsupervised objective is a negative error: finite and <= 0.
+        assert!(report.best_score <= 0.0 && report.best_score.is_finite());
+    }
+
+    #[test]
+    fn dim_roundtrip_covers_all_kinds() {
+        let specs = [
+            HyperSpec::int("a", 1, 5, 2),
+            HyperSpec::float("b", 0.0, 1.0, 0.5),
+            HyperSpec::log_float("c", 1e-4, 1e-1, 1e-2),
+            HyperSpec::choice("d", &["x", "y", "z"], "x"),
+        ];
+        let space = Space::new(specs.iter().map(to_dim).collect());
+        let decoded = space.decode(&[0.5, 0.5, 0.5, 0.9]);
+        assert_eq!(to_hyper(&specs[0], &decoded[0]), HyperValue::Int(3));
+        assert!(matches!(to_hyper(&specs[1], &decoded[1]), HyperValue::Float(_)));
+        assert!(matches!(to_hyper(&specs[2], &decoded[2]), HyperValue::Float(_)));
+        assert_eq!(to_hyper(&specs[3], &decoded[3]), HyperValue::Text("z".into()));
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        // A template whose every hyperparameter is overridden has nothing
+        // to tune.
+        let template = Template {
+            name: "fixed".into(),
+            steps: vec![StepSpec::with(
+                "fixed_threshold",
+                &[("k", HyperValue::Float(3.0))],
+            )],
+        };
+        let (signal, _) = spiky_signal();
+        assert!(matches!(
+            tune_template(&template, &signal, &TuneSetting::Unsupervised, 3),
+            Err(SintelError::Tuning(_))
+        ));
+    }
+}

@@ -1,0 +1,211 @@
+//! Corpus-level machinery shared by the three dataset generators:
+//! configuration/scaling, exact length and anomaly budgeting, and the
+//! [`Dataset`]/[`Subset`] containers.
+
+use sintel_common::SintelRng;
+
+use crate::synth::LabeledSignal;
+
+/// Identifies one of the paper's three corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Numenta Anomaly Benchmark (45 signals / 94 anomalies).
+    Nab,
+    /// NASA MSL + SMAP spacecraft telemetry (80 / 103).
+    Nasa,
+    /// Yahoo S5 webscope production traffic (367 / 2152).
+    Yahoo,
+}
+
+impl DatasetId {
+    /// Parse from the names used in the benchmark API (Figure 4c).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "NAB" => Some(Self::Nab),
+            "NASA" => Some(Self::Nasa),
+            "YAHOO" | "YAHOO S5" | "YAHOOS5" => Some(Self::Yahoo),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Nab => "NAB",
+            Self::Nasa => "NASA",
+            Self::Yahoo => "YAHOO",
+        }
+    }
+}
+
+/// Generation configuration: seed plus CI-friendly scaling knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Root seed; every signal derives a forked stream from it.
+    pub seed: u64,
+    /// Fraction of the published signal count to generate (0 < s <= 1).
+    pub signal_scale: f64,
+    /// Fraction of the published signal length to generate (0 < s <= 1).
+    pub length_scale: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self { seed: 42, signal_scale: 1.0, length_scale: 1.0 }
+    }
+}
+
+impl DatasetConfig {
+    /// A configuration small enough for unit tests and CI smoke runs.
+    pub fn small() -> Self {
+        Self { seed: 42, signal_scale: 0.1, length_scale: 0.1 }
+    }
+
+    /// Read scaling from the `SINTEL_SCALE` environment variable
+    /// (applied to both signal count and length), defaulting to `default_scale`.
+    pub fn from_env(default_scale: f64) -> Self {
+        let scale = std::env::var("SINTEL_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(default_scale)
+            .clamp(0.001, 1.0);
+        Self { seed: 42, signal_scale: scale, length_scale: scale }
+    }
+}
+
+/// A named group of signals within a corpus (e.g. Yahoo `A4`, NAB
+/// `realTraffic`, NASA `MSL`).
+#[derive(Debug, Clone)]
+pub struct Subset {
+    /// Subset name.
+    pub name: String,
+    /// Labelled signals in the subset.
+    pub signals: Vec<LabeledSignal>,
+}
+
+/// A full corpus: a named list of subsets.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Corpus name (`NAB`, `NASA`, `YAHOO`).
+    pub name: String,
+    /// Member subsets.
+    pub subsets: Vec<Subset>,
+}
+
+impl Dataset {
+    /// Iterate all signals across subsets.
+    pub fn iter_signals(&self) -> impl Iterator<Item = &LabeledSignal> {
+        self.subsets.iter().flat_map(|s| s.signals.iter())
+    }
+
+    /// Total number of signals.
+    pub fn num_signals(&self) -> usize {
+        self.subsets.iter().map(|s| s.signals.len()).sum()
+    }
+
+    /// Total number of labelled anomalies.
+    pub fn num_anomalies(&self) -> usize {
+        self.iter_signals().map(|ls| ls.anomalies.len()).sum()
+    }
+
+    /// Average signal length (rounded), as reported in Table 2.
+    pub fn avg_signal_length(&self) -> usize {
+        let n = self.num_signals();
+        if n == 0 {
+            return 0;
+        }
+        let total: usize = self.iter_signals().map(|ls| ls.signal.len()).sum();
+        (total as f64 / n as f64).round() as usize
+    }
+}
+
+/// Scale a published count by `scale`, keeping at least 1.
+pub fn scaled_count(published: usize, scale: f64) -> usize {
+    ((published as f64 * scale).round() as usize).max(1)
+}
+
+/// Produce `count` signal lengths with mean exactly `avg` (after scaling),
+/// jittered ±25% around the mean. The exact-mean property is what lets the
+/// Table 2 binary print the paper's numbers verbatim at scale 1.
+pub fn budget_lengths(count: usize, avg: usize, rng: &mut SintelRng) -> Vec<usize> {
+    assert!(count > 0 && avg > 0);
+    let target_total = count * avg;
+    let mut lengths: Vec<i64> =
+        (0..count).map(|_| (avg as f64 * rng.uniform_range(0.75, 1.25)).round() as i64).collect();
+    let mut drift = target_total as i64 - lengths.iter().sum::<i64>();
+    // Spread the rounding/jitter drift one step at a time.
+    let mut i = 0usize;
+    while drift != 0 {
+        let delta = drift.signum();
+        let cand = lengths[i % count] + delta;
+        if cand >= (avg as i64 / 2).max(16) {
+            lengths[i % count] = cand;
+            drift -= delta;
+        }
+        i += 1;
+    }
+    lengths.into_iter().map(|l| l as usize).collect()
+}
+
+/// Distribute `total` anomalies over `count` signals: an even floor plus
+/// randomly assigned remainders, so per-signal counts differ but the sum
+/// is exact.
+pub fn budget_anomalies(count: usize, total: usize, rng: &mut SintelRng) -> Vec<usize> {
+    assert!(count > 0);
+    let base = total / count;
+    let mut counts = vec![base; count];
+    let extras = total - base * count;
+    for idx in rng.sample_indices(count, extras) {
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_id_parse() {
+        assert_eq!(DatasetId::parse("nab"), Some(DatasetId::Nab));
+        assert_eq!(DatasetId::parse("NASA"), Some(DatasetId::Nasa));
+        assert_eq!(DatasetId::parse("yahoo"), Some(DatasetId::Yahoo));
+        assert_eq!(DatasetId::parse("???"), None);
+        assert_eq!(DatasetId::Yahoo.name(), "YAHOO");
+    }
+
+    #[test]
+    fn budget_lengths_exact_mean() {
+        let mut rng = SintelRng::seed_from_u64(1);
+        for (count, avg) in [(45usize, 6088usize), (80, 8686), (367, 1561), (3, 100)] {
+            let lens = budget_lengths(count, avg, &mut rng);
+            assert_eq!(lens.len(), count);
+            assert_eq!(lens.iter().sum::<usize>(), count * avg);
+            assert!(lens.iter().all(|&l| l >= 16));
+        }
+    }
+
+    #[test]
+    fn budget_anomalies_exact_total() {
+        let mut rng = SintelRng::seed_from_u64(2);
+        for (count, total) in [(45usize, 94usize), (80, 103), (367, 2152), (10, 3)] {
+            let counts = budget_anomalies(count, total, &mut rng);
+            assert_eq!(counts.iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn scaled_count_floor_one() {
+        assert_eq!(scaled_count(45, 1.0), 45);
+        assert_eq!(scaled_count(45, 0.1), 5);
+        assert_eq!(scaled_count(3, 0.01), 1);
+    }
+
+    #[test]
+    fn config_from_env_clamps() {
+        // No env var set in tests -> default.
+        std::env::remove_var("SINTEL_SCALE");
+        let cfg = DatasetConfig::from_env(0.25);
+        assert_eq!(cfg.signal_scale, 0.25);
+    }
+}

@@ -1,0 +1,116 @@
+//! Named demo signals mirroring the paper's quickstart (Figure 4a),
+//! where the user calls `load_signal('S-1-train')` / `load_signal('S-1-new')`.
+//!
+//! `S-1` is a SMAP-flavoured telemetry channel with two labelled
+//! anomalies in its evaluation half; `S-2` is a NAB-flavoured server
+//! metric. The `-train` suffix returns the anomaly-free first half and
+//! `-new` the second half containing the labelled events.
+
+use sintel_common::SintelRng;
+use sintel_timeseries::Interval;
+
+use crate::synth::{inject, labeled_signal, AnomalyKind, BaseSignal, LabeledSignal};
+
+fn build(name: &str) -> Option<LabeledSignal> {
+    match name {
+        "S-1" => {
+            let mut rng = SintelRng::seed_from_u64(0x51);
+            let base = BaseSignal {
+                level: 0.2,
+                seasonal: vec![(0.8, 96.0, 0.3), (0.15, 960.0, 1.1)],
+                noise: 0.04,
+                ..Default::default()
+            };
+            let n = 4000;
+            let mut values = base.render(n, &mut rng);
+            // Two anomalies in the second half: a contextual amplitude
+            // change and a stuck sensor.
+            let windows = [(2600usize, 2680usize), (3400, 3460)];
+            inject(&mut values, 2600, 2680, AnomalyKind::AmplitudeChange, 4.0, &mut rng);
+            inject(&mut values, 3400, 3460, AnomalyKind::Flatline, 1.0, &mut rng);
+            Some(labeled_signal("S-1", values, 1_222_819_200, 60, &windows))
+        }
+        "S-2" => {
+            let mut rng = SintelRng::seed_from_u64(0x52);
+            let base = BaseSignal {
+                level: 55.0,
+                seasonal: vec![(12.0, 288.0, 0.0)],
+                noise: 1.5,
+                walk: 0.02,
+                ..Default::default()
+            };
+            let n = 4000;
+            let mut values = base.render(n, &mut rng);
+            let windows = [(2200usize, 2230usize), (3100, 3102), (3700, 3780)];
+            inject(&mut values, 2200, 2230, AnomalyKind::LevelShift, 6.0, &mut rng);
+            inject(&mut values, 3100, 3102, AnomalyKind::Spike, 9.0, &mut rng);
+            inject(&mut values, 3700, 3780, AnomalyKind::Dip, 5.0, &mut rng);
+            Some(labeled_signal("S-2", values, 1_400_000_000, 300, &windows))
+        }
+        _ => None,
+    }
+}
+
+/// Load a named demo signal, mirroring `sintel.data.load_signal`.
+///
+/// Supported names: `S-1`, `S-2`, plus `-train` (first, anomaly-free
+/// half) and `-new` (second half, containing the labelled anomalies)
+/// suffixes. Returns the signal together with its ground-truth labels
+/// (empty for `-train` slices).
+pub fn load_signal(name: &str) -> Option<LabeledSignal> {
+    if let Some(base_name) = name.strip_suffix("-train") {
+        let full = build(base_name)?;
+        let (train, _) = full.signal.split(0.5).expect("fraction in range");
+        return Some(LabeledSignal { signal: train, anomalies: Vec::new() });
+    }
+    if let Some(base_name) = name.strip_suffix("-new") {
+        let full = build(base_name)?;
+        let (_, new) = full.signal.split(0.5).expect("fraction in range");
+        let cut = new.start().expect("non-empty");
+        let anomalies: Vec<Interval> =
+            full.anomalies.into_iter().filter(|a| a.start >= cut).collect();
+        return Some(LabeledSignal { signal: new, anomalies });
+    }
+    build(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s1_loads_with_two_anomalies() {
+        let ls = load_signal("S-1").unwrap();
+        assert_eq!(ls.anomalies.len(), 2);
+        assert_eq!(ls.signal.len(), 4000);
+    }
+
+    #[test]
+    fn train_new_split_partitions_signal() {
+        let full = load_signal("S-1").unwrap();
+        let train = load_signal("S-1-train").unwrap();
+        let new = load_signal("S-1-new").unwrap();
+        assert_eq!(train.signal.len() + new.signal.len(), full.signal.len());
+        assert!(train.anomalies.is_empty());
+        assert_eq!(new.anomalies.len(), 2);
+    }
+
+    #[test]
+    fn s2_has_three_anomalies() {
+        let ls = load_signal("S-2").unwrap();
+        assert_eq!(ls.anomalies.len(), 3);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(load_signal("S-404").is_none());
+        assert!(load_signal("S-404-train").is_none());
+    }
+
+    #[test]
+    fn demo_signals_deterministic() {
+        let a = load_signal("S-1").unwrap();
+        let b = load_signal("S-1").unwrap();
+        assert_eq!(a.signal, b.signal);
+    }
+}

@@ -1,0 +1,156 @@
+//! Synthetic Numenta Anomaly Benchmark (NAB)-style corpus.
+//!
+//! NAB is a collection of 45 mostly real-world streaming signals (AWS
+//! server metrics, ad-exchange rates, traffic sensors, tweet volumes…)
+//! with 94 labelled anomalies, sampled every 5 minutes, average length
+//! 6088. The generator reproduces that structure with one signal family
+//! per published subset.
+
+use sintel_common::SintelRng;
+
+use crate::corpus::{
+    budget_anomalies, budget_lengths, scaled_count, Dataset, DatasetConfig, Subset,
+};
+use crate::synth::{inject, labeled_signal, plan_windows, AnomalyKind, BaseSignal};
+
+const STEP: i64 = 300; // 5-minute sampling
+const AVG_LEN: usize = 6088;
+const DAY: f64 = 288.0; // steps per day at 5-minute sampling
+
+/// `(subset name, #signals, #anomalies)` — counts sum to 45 / 94.
+const SUBSETS: &[(&str, usize, usize)] = &[
+    ("artificialWithAnomaly", 6, 12),
+    ("realAWSCloudwatch", 10, 21),
+    ("realAdExchange", 5, 10),
+    ("realKnownCause", 7, 15),
+    ("realTraffic", 7, 15),
+    ("realTweets", 10, 21),
+];
+
+fn style(subset: &str, rng: &mut SintelRng) -> BaseSignal {
+    match subset {
+        "artificialWithAnomaly" => BaseSignal {
+            level: rng.uniform_range(20.0, 80.0),
+            seasonal: vec![(rng.uniform_range(5.0, 15.0), DAY, rng.uniform_range(0.0, 6.0))],
+            noise: rng.uniform_range(0.2, 0.8),
+            ..Default::default()
+        },
+        "realAWSCloudwatch" => BaseSignal {
+            level: rng.uniform_range(30.0, 70.0),
+            seasonal: vec![
+                (rng.uniform_range(3.0, 10.0), DAY, rng.uniform_range(0.0, 6.0)),
+                (rng.uniform_range(1.0, 3.0), DAY / 4.0, rng.uniform_range(0.0, 6.0)),
+            ],
+            noise: rng.uniform_range(1.0, 3.0),
+            walk: rng.uniform_range(0.0, 0.05),
+            ..Default::default()
+        },
+        "realAdExchange" => BaseSignal {
+            level: rng.uniform_range(0.5, 2.0),
+            seasonal: vec![(rng.uniform_range(0.1, 0.4), DAY, rng.uniform_range(0.0, 6.0))],
+            noise: rng.uniform_range(0.1, 0.3),
+            ..Default::default()
+        },
+        "realKnownCause" => BaseSignal {
+            level: rng.uniform_range(10.0, 50.0),
+            seasonal: vec![(rng.uniform_range(2.0, 8.0), DAY, rng.uniform_range(0.0, 6.0))],
+            noise: rng.uniform_range(0.5, 2.0),
+            steps: Some((DAY * 2.0, rng.uniform_range(1.0, 4.0))),
+            ..Default::default()
+        },
+        "realTraffic" => BaseSignal {
+            level: rng.uniform_range(40.0, 80.0),
+            seasonal: vec![
+                (rng.uniform_range(10.0, 25.0), DAY, rng.uniform_range(0.0, 6.0)),
+                (rng.uniform_range(3.0, 8.0), DAY * 7.0, rng.uniform_range(0.0, 6.0)),
+            ],
+            noise: rng.uniform_range(2.0, 5.0),
+            ..Default::default()
+        },
+        // realTweets: bursty, positive count-like series.
+        _ => BaseSignal {
+            level: rng.uniform_range(5.0, 30.0),
+            seasonal: vec![(rng.uniform_range(2.0, 6.0), DAY, rng.uniform_range(0.0, 6.0))],
+            noise: rng.uniform_range(1.5, 4.0),
+            walk: rng.uniform_range(0.0, 0.03),
+            ..Default::default()
+        },
+    }
+}
+
+const KINDS: &[AnomalyKind] = &[
+    AnomalyKind::Spike,
+    AnomalyKind::Dip,
+    AnomalyKind::LevelShift,
+    AnomalyKind::Flatline,
+    AnomalyKind::AmplitudeChange,
+];
+
+/// Generate the NAB-style corpus.
+pub fn generate(config: &DatasetConfig) -> Dataset {
+    let mut rng = SintelRng::seed_from_u64(config.seed ^ 0x004E_4142); // "NAB"
+    let avg_len = ((AVG_LEN as f64 * config.length_scale).round() as usize).max(64);
+
+    let mut subsets = Vec::with_capacity(SUBSETS.len());
+    for &(name, n_signals, n_anoms) in SUBSETS {
+        let count = scaled_count(n_signals, config.signal_scale);
+        let total_anoms = scaled_count(n_anoms, config.signal_scale);
+        let lengths = budget_lengths(count, avg_len, &mut rng);
+        let anoms = budget_anomalies(count, total_anoms, &mut rng);
+
+        let mut signals = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut srng = rng.fork(i as u64);
+            let base = style(name, &mut srng);
+            let mut values = base.render(lengths[i], &mut srng);
+            let windows = plan_windows(
+                lengths[i],
+                anoms[i],
+                (10, 120),
+                lengths[i] / 20,
+                50,
+                &mut srng,
+            );
+            for &(s, e) in &windows {
+                let kind = *srng.choice(KINDS);
+                let mag = srng.uniform_range(4.0, 8.0);
+                inject(&mut values, s, e, kind, mag, &mut srng);
+            }
+            let sig_name = format!("NAB/{name}/{name}_{i}");
+            signals.push(labeled_signal(&sig_name, values, 1_400_000_000, STEP, &windows));
+        }
+        subsets.push(Subset { name: name.to_string(), signals });
+    }
+    Dataset { name: "NAB".to_string(), subsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_counts() {
+        let ds = generate(&DatasetConfig::default());
+        assert_eq!(ds.num_signals(), 45);
+        assert_eq!(ds.num_anomalies(), 94);
+        assert_eq!(ds.avg_signal_length(), 6088);
+        assert_eq!(ds.subsets.len(), 6);
+    }
+
+    #[test]
+    fn five_minute_sampling() {
+        let ds = generate(&DatasetConfig::small());
+        let s = &ds.subsets[0].signals[0].signal;
+        assert_eq!(s.median_step(), 300);
+    }
+
+    #[test]
+    fn anomalies_are_disjoint_per_signal() {
+        let ds = generate(&DatasetConfig::small());
+        for ls in ds.iter_signals() {
+            for w in ls.anomalies.windows(2) {
+                assert!(w[0].end < w[1].start);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Synthetic NASA spacecraft-telemetry corpus (MSL + SMAP).
+//!
+//! The Hundman et al. telemetry dataset contains 80 anonymised channels
+//! (27 from the Mars Science Laboratory, 53 from the SMAP satellite) with
+//! 103 expert-labelled anomalies, average length 8686. Channels are
+//! typically quantized, piecewise-constant command/state values mixed
+//! with slow orbital periodicities — anomalies are often *contextual*
+//! (unusual-but-in-range patterns), which is exactly the challenge (C2)
+//! the paper's collaborators raised.
+
+use sintel_common::SintelRng;
+
+use crate::corpus::{
+    budget_anomalies, budget_lengths, scaled_count, Dataset, DatasetConfig, Subset,
+};
+use crate::synth::{inject, labeled_signal, plan_windows, AnomalyKind, BaseSignal};
+
+const STEP: i64 = 60; // 1-minute telemetry
+const AVG_LEN: usize = 8686;
+const ORBIT: f64 = 96.0; // ~96-minute low-orbit period in steps
+
+/// `(subset, #signals, #anomalies)` — MSL 27/36, SMAP 53/67.
+const SUBSETS: &[(&str, usize, usize)] = &[("MSL", 27, 36), ("SMAP", 53, 67)];
+
+fn style(rng: &mut SintelRng) -> BaseSignal {
+    // Three telemetry archetypes: command/state channels, orbital
+    // periodic channels, and slow continuous sensors.
+    match rng.index(3) {
+        0 => BaseSignal {
+            level: rng.uniform_range(-1.0, 1.0),
+            noise: rng.uniform_range(0.005, 0.03),
+            quantize: rng.uniform_range(0.05, 0.2),
+            steps: Some((ORBIT * rng.uniform_range(2.0, 8.0), rng.uniform_range(0.5, 1.5))),
+            ..Default::default()
+        },
+        1 => BaseSignal {
+            level: rng.uniform_range(-0.5, 0.5),
+            seasonal: vec![
+                (rng.uniform_range(0.3, 1.0), ORBIT, rng.uniform_range(0.0, 6.0)),
+                (rng.uniform_range(0.05, 0.2), ORBIT * 15.0, rng.uniform_range(0.0, 6.0)),
+            ],
+            noise: rng.uniform_range(0.01, 0.05),
+            ..Default::default()
+        },
+        _ => BaseSignal {
+            level: rng.uniform_range(-0.2, 0.2),
+            trend: rng.uniform_range(-1e-5, 1e-5),
+            seasonal: vec![(rng.uniform_range(0.1, 0.4), ORBIT * 4.0, rng.uniform_range(0.0, 6.0))],
+            noise: rng.uniform_range(0.02, 0.08),
+            walk: rng.uniform_range(0.0, 0.002),
+            ..Default::default()
+        },
+    }
+}
+
+/// Telemetry anomalies skew contextual: pattern changes, stuck sensors,
+/// unusual excursions that stay near the normal range.
+const KINDS: &[AnomalyKind] = &[
+    AnomalyKind::AmplitudeChange,
+    AnomalyKind::FrequencyShift,
+    AnomalyKind::Flatline,
+    AnomalyKind::LevelShift,
+    AnomalyKind::Spike,
+    AnomalyKind::Dip,
+];
+
+/// Generate the NASA-style corpus.
+pub fn generate(config: &DatasetConfig) -> Dataset {
+    let mut rng = SintelRng::seed_from_u64(config.seed ^ 0x4E41_5341); // "NASA"
+    let avg_len = ((AVG_LEN as f64 * config.length_scale).round() as usize).max(64);
+
+    let mut subsets = Vec::with_capacity(SUBSETS.len());
+    for &(name, n_signals, n_anoms) in SUBSETS {
+        let count = scaled_count(n_signals, config.signal_scale);
+        let total_anoms = scaled_count(n_anoms, config.signal_scale);
+        let lengths = budget_lengths(count, avg_len, &mut rng);
+        let anoms = budget_anomalies(count, total_anoms, &mut rng);
+
+        let mut signals = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut srng = rng.fork(i as u64);
+            let base = style(&mut srng);
+            let mut values = base.render(lengths[i], &mut srng);
+            // Spacecraft anomalies last minutes to hours: longer windows.
+            let max_dur = (lengths[i] / 12).clamp(40, 500);
+            let windows = plan_windows(
+                lengths[i],
+                anoms[i],
+                (30.min(max_dur), max_dur),
+                lengths[i] / 20,
+                100,
+                &mut srng,
+            );
+            for &(s, e) in &windows {
+                let kind = *srng.choice(KINDS);
+                // Contextual anomalies are subtler than NAB spikes.
+                let mag = srng.uniform_range(2.5, 6.0);
+                inject(&mut values, s, e, kind, mag, &mut srng);
+            }
+            let sig_name = format!("NASA/{name}/{}-{}", if name == "MSL" { "M" } else { "S" }, i);
+            signals.push(labeled_signal(&sig_name, values, 1_300_000_000, STEP, &windows));
+        }
+        subsets.push(Subset { name: name.to_string(), signals });
+    }
+    Dataset { name: "NASA".to_string(), subsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_counts() {
+        let ds = generate(&DatasetConfig::default());
+        assert_eq!(ds.num_signals(), 80);
+        assert_eq!(ds.num_anomalies(), 103);
+        assert_eq!(ds.avg_signal_length(), 8686);
+        assert_eq!(ds.subsets[0].name, "MSL");
+        assert_eq!(ds.subsets[0].signals.len(), 27);
+        assert_eq!(ds.subsets[1].name, "SMAP");
+        assert_eq!(ds.subsets[1].signals.len(), 53);
+    }
+
+    #[test]
+    fn one_minute_sampling() {
+        let ds = generate(&DatasetConfig::small());
+        assert_eq!(ds.subsets[0].signals[0].signal.median_step(), 60);
+    }
+
+    #[test]
+    fn anomaly_windows_are_long_contextual_events() {
+        let ds = generate(&DatasetConfig::default());
+        // At full scale windows span at least 30 samples (30 minutes).
+        for ls in ds.iter_signals() {
+            for a in &ls.anomalies {
+                assert!(a.duration() >= 29 * 60, "{:?}", a);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Synthetic Yahoo S5 ("Webscope") corpus.
+//!
+//! Yahoo S5 has four benchmarks: A1 is real production-traffic telemetry
+//! (67 signals), A2–A4 are synthetic (100 signals each) with increasingly
+//! adversarial structure — A3/A4 are dominated by point outliers, and A4
+//! additionally contains *change points* (86% of its signals, per the
+//! paper's §5 investigation) that are not labelled as anomalies but shift
+//! the data distribution and depress unsupervised F1. Totals: 367
+//! signals, 2152 anomalies, hourly sampling, average length 1561.
+
+use sintel_common::SintelRng;
+
+use crate::corpus::{
+    budget_anomalies, budget_lengths, scaled_count, Dataset, DatasetConfig, Subset,
+};
+use crate::synth::{
+    inject, inject_change_point, labeled_signal, plan_windows, AnomalyKind, BaseSignal,
+};
+
+const STEP: i64 = 3600; // hourly
+const AVG_LEN: usize = 1561;
+const DAY: f64 = 24.0;
+
+/// `(subset, #signals, #anomalies)` — sums to 367 / 2152.
+const SUBSETS: &[(&str, usize, usize)] = &[
+    ("A1", 67, 179),
+    ("A2", 100, 200),
+    ("A3", 100, 939),
+    ("A4", 100, 834),
+];
+
+/// Fraction of A4 signals carrying an unlabelled change point (§5: 86%).
+pub const A4_CHANGE_POINT_FRACTION: f64 = 0.86;
+
+fn style(subset: &str, rng: &mut SintelRng) -> BaseSignal {
+    match subset {
+        // Real production traffic: strong daily cycle, weekly modulation,
+        // mild trend and heteroscedastic-looking noise.
+        "A1" => BaseSignal {
+            level: rng.uniform_range(100.0, 1000.0),
+            trend: rng.uniform_range(-0.05, 0.05),
+            seasonal: vec![
+                (rng.uniform_range(20.0, 200.0), DAY, rng.uniform_range(0.0, 6.0)),
+                (rng.uniform_range(5.0, 50.0), DAY * 7.0, rng.uniform_range(0.0, 6.0)),
+            ],
+            noise: rng.uniform_range(5.0, 30.0),
+            walk: rng.uniform_range(0.0, 1.0),
+            ..Default::default()
+        },
+        // A2: clean synthetic seasonality + trend.
+        "A2" => BaseSignal {
+            level: rng.uniform_range(-10.0, 10.0),
+            trend: rng.uniform_range(-0.02, 0.02),
+            seasonal: vec![(rng.uniform_range(2.0, 10.0), DAY, rng.uniform_range(0.0, 6.0))],
+            noise: rng.uniform_range(0.2, 1.0),
+            ..Default::default()
+        },
+        // A3/A4: synthetic with multiple seasonalities.
+        _ => BaseSignal {
+            level: rng.uniform_range(-5.0, 5.0),
+            trend: rng.uniform_range(-0.01, 0.01),
+            seasonal: vec![
+                (rng.uniform_range(1.0, 6.0), DAY, rng.uniform_range(0.0, 6.0)),
+                (rng.uniform_range(0.5, 2.0), DAY / 2.0, rng.uniform_range(0.0, 6.0)),
+            ],
+            noise: rng.uniform_range(0.2, 0.8),
+            ..Default::default()
+        },
+    }
+}
+
+fn kinds_for(subset: &str) -> &'static [AnomalyKind] {
+    match subset {
+        "A1" => &[
+            AnomalyKind::Spike,
+            AnomalyKind::Dip,
+            AnomalyKind::LevelShift,
+            AnomalyKind::AmplitudeChange,
+        ],
+        "A2" => &[AnomalyKind::Spike, AnomalyKind::Dip],
+        // A3/A4 are dominated by point outliers.
+        _ => &[AnomalyKind::Spike, AnomalyKind::Dip],
+    }
+}
+
+fn duration_range(subset: &str) -> (usize, usize) {
+    match subset {
+        "A1" => (1, 16),
+        "A2" => (1, 6),
+        _ => (1, 3), // near-point outliers
+    }
+}
+
+/// Generate the Yahoo S5-style corpus.
+pub fn generate(config: &DatasetConfig) -> Dataset {
+    let mut rng = SintelRng::seed_from_u64(config.seed ^ 0x59_4148_4F4F); // "YAHOO"
+    let avg_len = ((AVG_LEN as f64 * config.length_scale).round() as usize).max(64);
+
+    let mut subsets = Vec::with_capacity(SUBSETS.len());
+    for &(name, n_signals, n_anoms) in SUBSETS {
+        let count = scaled_count(n_signals, config.signal_scale);
+        let total_anoms = scaled_count(n_anoms, config.signal_scale);
+        let lengths = budget_lengths(count, avg_len, &mut rng);
+        let anoms = budget_anomalies(count, total_anoms, &mut rng);
+
+        let mut signals = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut srng = rng.fork(i as u64);
+            let base = style(name, &mut srng);
+            let mut values = base.render(lengths[i], &mut srng);
+            let windows = plan_windows(
+                lengths[i],
+                anoms[i],
+                duration_range(name),
+                8,
+                3,
+                &mut srng,
+            );
+            for &(s, e) in &windows {
+                let kind = *srng.choice(kinds_for(name));
+                let mag = srng.uniform_range(5.0, 10.0);
+                inject(&mut values, s, e, kind, mag, &mut srng);
+            }
+            // Unlabelled distribution shift for most A4 signals.
+            if name == "A4" && srng.chance(A4_CHANGE_POINT_FRACTION) {
+                let at = lengths[i] / 4 + srng.index(lengths[i] / 2);
+                inject_change_point(&mut values, at, &mut srng);
+            }
+            let sig_name = format!("YAHOO/{name}/{name}_{}", i + 1);
+            signals.push(labeled_signal(&sig_name, values, 1_420_000_000, STEP, &windows));
+        }
+        subsets.push(Subset { name: name.to_string(), signals });
+    }
+    Dataset { name: "YAHOO".to_string(), subsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_counts() {
+        let ds = generate(&DatasetConfig::default());
+        assert_eq!(ds.num_signals(), 367);
+        assert_eq!(ds.num_anomalies(), 2152);
+        assert_eq!(ds.avg_signal_length(), 1561);
+        let names: Vec<&str> = ds.subsets.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["A1", "A2", "A3", "A4"]);
+    }
+
+    #[test]
+    fn a3_anomalies_are_short() {
+        let ds = generate(&DatasetConfig::default());
+        let a3 = &ds.subsets[2];
+        for ls in &a3.signals {
+            for a in &ls.anomalies {
+                assert!(a.duration() <= 2 * STEP, "{a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hourly_sampling() {
+        let ds = generate(&DatasetConfig::small());
+        assert_eq!(ds.subsets[0].signals[0].signal.median_step(), 3600);
+    }
+
+    #[test]
+    fn a4_has_more_anomalies_per_signal_than_a1() {
+        let ds = generate(&DatasetConfig::default());
+        let per = |s: &crate::corpus::Subset| {
+            s.signals.iter().map(|l| l.anomalies.len()).sum::<usize>() as f64
+                / s.signals.len() as f64
+        };
+        assert!(per(&ds.subsets[3]) > per(&ds.subsets[0]));
+    }
+}

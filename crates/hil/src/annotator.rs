@@ -1,0 +1,130 @@
+//! Annotators: the interface experts (or their simulations) implement.
+
+use sintel_common::SintelRng;
+use sintel_timeseries::Interval;
+
+use crate::event::{AnnotationAction, Event};
+
+/// Something that can review events — a UI-bound human in production, a
+/// scripted expert in the evaluation experiments.
+pub trait Annotator {
+    /// Review one proposed event and decide an action.
+    fn review(&mut self, event: &Event) -> AnnotationAction;
+
+    /// Optionally point out one anomaly the detector missed (given the
+    /// current set of known event intervals on the signal).
+    fn report_missed(&mut self, signal: &str, known: &[Interval]) -> Option<Interval>;
+}
+
+/// A scripted expert that knows the ground truth, with configurable
+/// reliability — the paper's own feedback experiment simulates human
+/// actions the same way (§4, "simulating human actions").
+#[derive(Debug, Clone)]
+pub struct SimulatedExpert {
+    /// Ground-truth anomalies per signal: `(signal name, intervals)`.
+    truth: Vec<(String, Vec<Interval>)>,
+    /// Probability of answering correctly (1.0 = oracle).
+    reliability: f64,
+    rng: SintelRng,
+}
+
+impl SimulatedExpert {
+    /// Create an expert with ground truth and a reliability in `[0, 1]`.
+    pub fn new(truth: Vec<(String, Vec<Interval>)>, reliability: f64, seed: u64) -> Self {
+        Self { truth, reliability: reliability.clamp(0.0, 1.0), rng: SintelRng::seed_from_u64(seed) }
+    }
+
+    fn truth_for(&self, signal: &str) -> &[Interval] {
+        self.truth
+            .iter()
+            .find(|(name, _)| name == signal)
+            .map(|(_, ivs)| ivs.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+impl Annotator for SimulatedExpert {
+    fn review(&mut self, event: &Event) -> AnnotationAction {
+        let is_true_anomaly =
+            self.truth_for(&event.signal).iter().any(|t| t.overlaps(&event.interval));
+        let answer_correctly = self.rng.chance(self.reliability);
+        let verdict = is_true_anomaly == answer_correctly;
+        if verdict {
+            AnnotationAction::Confirm
+        } else {
+            AnnotationAction::Remove
+        }
+    }
+
+    fn report_missed(&mut self, signal: &str, known: &[Interval]) -> Option<Interval> {
+        if !self.rng.chance(self.reliability) {
+            return None; // the expert does not always spot misses
+        }
+        let truth: Vec<Interval> = self.truth_for(signal).to_vec();
+        truth.into_iter().find(|t| !known.iter().any(|k| k.overlaps(t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventStatus;
+
+    fn event(signal: &str, start: i64, end: i64) -> Event {
+        Event {
+            id: 0,
+            signal: signal.to_string(),
+            interval: Interval::new(start, end).unwrap(),
+            severity: 0.5,
+            status: EventStatus::Unreviewed,
+        }
+    }
+
+    fn oracle() -> SimulatedExpert {
+        SimulatedExpert::new(
+            vec![("S-1".into(), vec![Interval::new(100, 200).unwrap()])],
+            1.0,
+            1,
+        )
+    }
+
+    #[test]
+    fn oracle_confirms_true_anomalies() {
+        let mut expert = oracle();
+        assert_eq!(expert.review(&event("S-1", 150, 160)), AnnotationAction::Confirm);
+        assert_eq!(expert.review(&event("S-1", 500, 600)), AnnotationAction::Remove);
+        // Unknown signal: nothing there is anomalous.
+        assert_eq!(expert.review(&event("S-9", 150, 160)), AnnotationAction::Remove);
+    }
+
+    #[test]
+    fn oracle_reports_missed_anomalies_once_known() {
+        let mut expert = oracle();
+        let missed = expert.report_missed("S-1", &[]).unwrap();
+        assert_eq!(missed, Interval::new(100, 200).unwrap());
+        // Already-known anomalies are not re-reported.
+        assert!(expert.report_missed("S-1", &[missed]).is_none());
+        assert!(expert.report_missed("S-2", &[]).is_none());
+    }
+
+    #[test]
+    fn unreliable_expert_makes_mistakes() {
+        let truth = vec![("S-1".to_string(), vec![Interval::new(0, 10).unwrap()])];
+        let mut expert = SimulatedExpert::new(truth, 0.5, 3);
+        let ev = event("S-1", 0, 10);
+        let confirms = (0..200)
+            .filter(|_| expert.review(&ev) == AnnotationAction::Confirm)
+            .count();
+        // A coin-flip expert confirms a true anomaly about half the time.
+        assert!((60..140).contains(&confirms), "{confirms}");
+    }
+
+    #[test]
+    fn zero_reliability_expert_is_always_wrong() {
+        let truth = vec![("S-1".to_string(), vec![Interval::new(0, 10).unwrap()])];
+        let mut expert = SimulatedExpert::new(truth, 0.0, 7);
+        assert_eq!(expert.review(&event("S-1", 0, 10)), AnnotationAction::Remove);
+        assert_eq!(expert.review(&event("S-1", 50, 60)), AnnotationAction::Confirm);
+        assert!(expert.report_missed("S-1", &[]).is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! The review queue: which event should the expert look at next?
+//!
+//! The paper's related work (§6) surveys active anomaly discovery —
+//! Pelleg & Moore surface detected anomalies for classification, Das et
+//! al. surface *the most outlying* points for expert review. This module
+//! provides both orderings plus FIFO, pluggable into the feedback loop:
+//! a monitoring UI pops from exactly such a queue.
+
+use sintel_timeseries::ScoredInterval;
+
+/// How the queue orders pending events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReviewStrategy {
+    /// Most severe first — triage order; what operators see by default.
+    #[default]
+    SeverityFirst,
+    /// Closest to the median severity first — the *uncertain* middle of
+    /// the distribution, where one label moves the decision boundary
+    /// most (active learning).
+    UncertaintyFirst,
+    /// Detection order.
+    Fifo,
+}
+
+/// A queue of events awaiting expert review.
+#[derive(Debug, Clone)]
+pub struct ReviewQueue {
+    /// Remaining events, ordered so that `pop()` from the *back* yields
+    /// the next event to review.
+    events: Vec<ScoredInterval>,
+    strategy: ReviewStrategy,
+}
+
+impl ReviewQueue {
+    /// Build a queue from proposals under a strategy.
+    pub fn new(proposals: &[ScoredInterval], strategy: ReviewStrategy) -> Self {
+        let mut events = proposals.to_vec();
+        match strategy {
+            ReviewStrategy::SeverityFirst => {
+                // Ascending, so pop() returns the most severe.
+                events.sort_by(|a, b| a.score.total_cmp(&b.score));
+            }
+            ReviewStrategy::UncertaintyFirst => {
+                let median =
+                    sintel_common::median(&events.iter().map(|e| e.score).collect::<Vec<_>>());
+                // Farthest-from-median at the front of the Vec, so pop()
+                // returns the most uncertain (closest to the median).
+                events.sort_by(|a, b| {
+                    (b.score - median).abs().total_cmp(&(a.score - median).abs())
+                });
+            }
+            ReviewStrategy::Fifo => {
+                events.reverse(); // pop() returns the earliest detection
+            }
+        }
+        Self { events, strategy }
+    }
+
+    /// Strategy in force.
+    pub fn strategy(&self) -> ReviewStrategy {
+        self.strategy
+    }
+
+    /// Next event to review, if any.
+    pub fn pop(&mut self) -> Option<ScoredInterval> {
+        self.events.pop()
+    }
+
+    /// Events still pending.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proposals() -> Vec<ScoredInterval> {
+        [(0, 0.2), (10, 0.9), (20, 0.5), (30, 0.1), (40, 0.7)]
+            .iter()
+            .map(|&(s, score)| ScoredInterval::new(s, s + 5, score).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn severity_first_pops_descending() {
+        let mut q = ReviewQueue::new(&proposals(), ReviewStrategy::SeverityFirst);
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.score).collect();
+        assert_eq!(order, vec![0.9, 0.7, 0.5, 0.2, 0.1]);
+    }
+
+    #[test]
+    fn uncertainty_first_pops_median_outwards() {
+        let mut q = ReviewQueue::new(&proposals(), ReviewStrategy::UncertaintyFirst);
+        // Median severity is 0.5 -> 0.5 first, extremes last.
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.score).collect();
+        assert_eq!(order[0], 0.5);
+        let last = order[4];
+        assert!(last == 0.9 || last == 0.1, "{order:?}");
+    }
+
+    #[test]
+    fn fifo_preserves_detection_order() {
+        let mut q = ReviewQueue::new(&proposals(), ReviewStrategy::Fifo);
+        let starts: Vec<i64> =
+            std::iter::from_fn(|| q.pop()).map(|e| e.interval.start).collect();
+        assert_eq!(starts, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = ReviewQueue::new(&[], ReviewStrategy::SeverityFirst);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        assert_eq!(q.strategy(), ReviewStrategy::SeverityFirst);
+    }
+}

@@ -1,0 +1,132 @@
+//! ASCII signal visualisation — the terminal stand-in for the MTV
+//! visual-analytics web application (paper §3.6).
+//!
+//! Supports the operations the paper calls out: rendering a signal with
+//! its flagged anomalies, and a *multi-aggregation view* that shows the
+//! same signal at several aggregation levels so reviewers can see why an
+//! interval was flagged.
+
+use sintel_timeseries::{time_segments_aggregate, Aggregation, Interval, Signal};
+
+/// Render a signal as an ASCII chart of `width x height` characters,
+/// marking samples inside `anomalies` with `#` columns underneath.
+pub fn render(signal: &Signal, anomalies: &[Interval], width: usize, height: usize) -> String {
+    let width = width.clamp(8, 400);
+    let height = height.clamp(3, 60);
+    if signal.is_empty() {
+        return "(empty signal)\n".to_string();
+    }
+    // Downsample to one value per column.
+    let step = ((signal.end().expect("non-empty") - signal.start().expect("non-empty"))
+        / width as i64)
+        .max(1);
+    let ds = time_segments_aggregate(signal, step, Aggregation::Mean)
+        .expect("positive interval");
+    let cols = ds.len().min(width);
+    let values = &ds.values()[..cols];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+
+    let mut grid = vec![vec![' '; cols]; height];
+    for (c, &v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            continue;
+        }
+        let row = ((1.0 - (v - lo) / span) * (height as f64 - 1.0)).round() as usize;
+        grid[row.min(height - 1)][c] = '*';
+    }
+    // Anomaly strip.
+    let mut strip = vec![' '; cols];
+    for (c, &t) in ds.timestamps().iter().take(cols).enumerate() {
+        let bin = Interval { start: t, end: t + step - 1 };
+        if anomalies.iter().any(|a| a.overlaps(&bin)) {
+            strip[c] = '#';
+        }
+    }
+
+    let mut out = String::with_capacity((cols + 10) * (height + 2));
+    out.push_str(&format!("{} [{:.3}, {:.3}]\n", signal.name(), lo, hi));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(strip);
+    out.push('\n');
+    out
+}
+
+/// Multi-aggregation view: the signal rendered at several aggregation
+/// levels (each level coarsens the time bins by the given factor).
+pub fn multi_aggregation_view(
+    signal: &Signal,
+    anomalies: &[Interval],
+    levels: &[i64],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    let base = signal.median_step().max(1);
+    for &level in levels {
+        let interval = base * level.max(1);
+        let agg = time_segments_aggregate(signal, interval, Aggregation::Mean)
+            .expect("positive interval");
+        out.push_str(&format!("-- aggregation x{level} (bin = {interval}) --\n"));
+        out.push_str(&render(&agg, anomalies, width, height));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_signal() -> Signal {
+        let vals: Vec<f64> =
+            (0..400).map(|t| (std::f64::consts::TAU * t as f64 / 50.0).sin()).collect();
+        Signal::from_values("demo", vals)
+    }
+
+    #[test]
+    fn render_has_expected_dimensions() {
+        let s = demo_signal();
+        let out = render(&s, &[], 80, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        // header + height rows + anomaly strip
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].starts_with("demo"));
+        assert!(lines[1].starts_with('|'));
+        assert!(lines[11].starts_with('+'));
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn anomaly_strip_marks_intervals() {
+        let s = demo_signal();
+        let anoms = [Interval::new(100, 150).unwrap()];
+        let out = render(&s, &anoms, 80, 8);
+        let strip = out.lines().last().unwrap();
+        assert!(strip.contains('#'));
+        // Roughly a quarter of the strip, not the whole thing.
+        let marked = strip.chars().filter(|&c| c == '#').count();
+        assert!(marked < 40, "{marked}");
+    }
+
+    #[test]
+    fn empty_signal_renders_placeholder() {
+        let s = Signal::univariate("empty", vec![], vec![]).unwrap();
+        assert_eq!(render(&s, &[], 40, 5), "(empty signal)\n");
+    }
+
+    #[test]
+    fn multi_view_contains_each_level() {
+        let s = demo_signal();
+        let out = multi_aggregation_view(&s, &[], &[1, 4, 16], 60, 6);
+        assert!(out.contains("aggregation x1"));
+        assert!(out.contains("aggregation x4"));
+        assert!(out.contains("aggregation x16"));
+    }
+}

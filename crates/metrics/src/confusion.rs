@@ -1,0 +1,205 @@
+//! Confusion-matrix accumulation and derived scores.
+
+/// A (possibly duration-weighted) confusion matrix.
+///
+/// For the overlapping-segment method the entries are event counts; for
+/// the weighted-segment method they are durations, which is why the fields
+/// are `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Confusion {
+    /// True positives (anomaly correctly flagged).
+    pub tp: f64,
+    /// False positives (normal time flagged anomalous).
+    pub fp: f64,
+    /// False negatives (anomaly missed).
+    pub fn_: f64,
+    /// True negatives (normal time correctly unflagged). Not defined for
+    /// the overlapping-segment method, which leaves it at zero.
+    pub tn: f64,
+}
+
+impl Confusion {
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.tp / denom
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.tp / denom
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy `(tp + tn) / total`; 0 when undefined.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.tp + self.tn) / total
+        }
+    }
+
+    /// Bundle the derived scores.
+    pub fn scores(&self) -> Scores {
+        Scores {
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+            accuracy: self.accuracy(),
+        }
+    }
+
+    /// Element-wise sum (for aggregating over signals).
+    pub fn merge(&self, other: &Confusion) -> Confusion {
+        Confusion {
+            tp: self.tp + other.tp,
+            fp: self.fp + other.fp,
+            fn_: self.fn_ + other.fn_,
+            tn: self.tn + other.tn,
+        }
+    }
+}
+
+/// Derived classification scores.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scores {
+    /// Fraction of flagged time/events that were truly anomalous.
+    pub precision: f64,
+    /// Fraction of true anomalies that were flagged.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Fraction of time/events classified correctly.
+    pub accuracy: f64,
+}
+
+impl Scores {
+    /// A perfect score set (used when both truth and predictions are
+    /// empty: there was nothing to find, and nothing was flagged).
+    pub fn perfect() -> Self {
+        Scores { precision: 1.0, recall: 1.0, f1: 1.0, accuracy: 1.0 }
+    }
+
+    /// Mean of a slice of score sets (component-wise); zeros when empty.
+    pub fn mean(all: &[Scores]) -> Scores {
+        if all.is_empty() {
+            return Scores::default();
+        }
+        let n = all.len() as f64;
+        Scores {
+            precision: all.iter().map(|s| s.precision).sum::<f64>() / n,
+            recall: all.iter().map(|s| s.recall).sum::<f64>() / n,
+            f1: all.iter().map(|s| s.f1).sum::<f64>() / n,
+            accuracy: all.iter().map(|s| s.accuracy).sum::<f64>() / n,
+        }
+    }
+
+    /// Component-wise standard deviation of a slice of score sets.
+    pub fn std(all: &[Scores]) -> Scores {
+        if all.len() < 2 {
+            return Scores::default();
+        }
+        let m = Scores::mean(all);
+        let n = all.len() as f64 - 1.0;
+        let var = |f: fn(&Scores) -> f64, mu: f64| {
+            (all.iter().map(|s| (f(s) - mu) * (f(s) - mu)).sum::<f64>() / n).sqrt()
+        };
+        Scores {
+            precision: var(|s| s.precision, m.precision),
+            recall: var(|s| s.recall, m.recall),
+            f1: var(|s| s.f1, m.f1),
+            accuracy: var(|s| s.accuracy, m.accuracy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn derived_scores_known_values() {
+        let c = Confusion { tp: 8.0, fp: 2.0, fn_: 2.0, tn: 8.0 };
+        assert_eq!(c.precision(), 0.8);
+        assert_eq!(c.recall(), 0.8);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+        assert_eq!(c.accuracy(), 0.8);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = Confusion { tp: 1.0, fp: 2.0, fn_: 3.0, tn: 4.0 };
+        let b = Confusion { tp: 10.0, fp: 20.0, fn_: 30.0, tn: 40.0 };
+        let m = a.merge(&b);
+        assert_eq!(m, Confusion { tp: 11.0, fp: 22.0, fn_: 33.0, tn: 44.0 });
+    }
+
+    #[test]
+    fn mean_and_std_of_scores() {
+        let s1 = Scores { precision: 1.0, recall: 0.0, f1: 0.5, accuracy: 0.5 };
+        let s2 = Scores { precision: 0.0, recall: 1.0, f1: 0.5, accuracy: 0.5 };
+        let m = Scores::mean(&[s1, s2]);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        let sd = Scores::std(&[s1, s2]);
+        assert!((sd.precision - (0.5f64.powi(2) * 2.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sd.f1, 0.0);
+        assert_eq!(Scores::std(&[s1]).precision, 0.0);
+        assert_eq!(Scores::mean(&[]).f1, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scores_bounded(
+            tp in 0.0f64..1e6, fp in 0.0f64..1e6,
+            fn_ in 0.0f64..1e6, tn in 0.0f64..1e6,
+        ) {
+            let c = Confusion { tp, fp, fn_, tn };
+            let s = c.scores();
+            for v in [s.precision, s.recall, s.f1, s.accuracy] {
+                prop_assert!((0.0..=1.0).contains(&v), "{v}");
+            }
+        }
+
+        #[test]
+        fn prop_f1_between_p_and_r(
+            tp in 0.1f64..1e3, fp in 0.0f64..1e3, fn_ in 0.0f64..1e3,
+        ) {
+            let c = Confusion { tp, fp, fn_, tn: 0.0 };
+            let (p, r, f1) = (c.precision(), c.recall(), c.f1());
+            prop_assert!(f1 <= p.max(r) + 1e-12);
+            prop_assert!(f1 >= p.min(r) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # sintel-metrics
+//!
+//! Pipeline evaluation metrics specialised for time-series anomaly
+//! detection (paper §2.3).
+//!
+//! Classic sample-based precision/recall are misleading when data is
+//! irregularly sampled and anomalies have variable lengths. Sintel defines
+//! two segment-based evaluation methods, both implemented here:
+//!
+//! * **Weighted segment** ([`weighted_segment`], Algorithm 1) — partitions
+//!   the time axis by the edges of ground-truth and predicted intervals
+//!   and weights each partition's confusion-matrix contribution by its
+//!   duration. Strict; equivalent to sample-based scoring on regularly
+//!   sampled data.
+//! * **Overlapping segment** ([`overlapping_segment`], Algorithm 2) —
+//!   lenient, event-level scoring that rewards detecting *any part* of a
+//!   ground-truth anomaly, reflecting how monitoring teams actually triage
+//!   alarms (Hundman et al.).
+//!
+//! Plus the point-wise regression metrics ([`regression`]) used as
+//! unsupervised AutoML objectives (MAE, MSE, MAPE, …).
+
+pub mod confusion;
+pub mod regression;
+pub mod segment;
+
+pub use confusion::{Confusion, Scores};
+pub use regression::{mae, mape, mse, rmse, smape};
+pub use segment::{overlapping_segment, weighted_segment, weighted_segment_in_span};

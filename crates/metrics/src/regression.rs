@@ -1,0 +1,138 @@
+//! Point-wise regression metrics.
+//!
+//! In the *unsupervised* AutoML setting (§3.3, Figure 5) the tuner
+//! optimises how well the modeling sub-pipeline reproduces the signal,
+//! scored with one of these metrics; they are also used by tests to check
+//! model convergence.
+
+fn check(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "metric inputs must have equal length");
+    assert!(!a.is_empty(), "metric inputs must be non-empty");
+}
+
+/// Mean squared error.
+pub fn mse(truth: &[f64], pred: &[f64]) -> f64 {
+    check(truth, pred);
+    truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    mse(truth, pred).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    check(truth, pred);
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Mean absolute percentage error. Zero-valued truth samples are skipped
+/// (the conventional guard); returns 0 when every sample is zero.
+pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
+    check(truth, pred);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(pred) {
+        if *t != 0.0 {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Symmetric mean absolute percentage error in `[0, 2]`; both-zero pairs
+/// contribute zero error.
+pub fn smape(truth: &[f64], pred: &[f64]) -> f64 {
+    check(truth, pred);
+    let total: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| {
+            let denom = t.abs() + p.abs();
+            if denom == 0.0 {
+                0.0
+            } else {
+                2.0 * (t - p).abs() / denom
+            }
+        })
+        .sum();
+    total / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((mse(&t, &p) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&t, &p) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((mape(&t, &p) - (2.0 / 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let t = [1.5, -2.0, 3.25];
+        assert_eq!(mse(&t, &t), 0.0);
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(mape(&t, &t), 0.0);
+        assert_eq!(smape(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        assert_eq!(mape(&[0.0, 2.0], &[5.0, 2.0]), 0.0);
+        assert_eq!(mape(&[0.0, 0.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn smape_bounded_by_two() {
+        assert_eq!(smape(&[1.0], &[-1.0]), 2.0);
+        assert_eq!(smape(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_inputs_panic() {
+        mae(&[], &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_errors_nonnegative(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..100)
+        ) {
+            let (t, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            prop_assert!(mse(&t, &p) >= 0.0);
+            prop_assert!(mae(&t, &p) >= 0.0);
+            prop_assert!(mape(&t, &p) >= 0.0);
+            let s = smape(&t, &p);
+            prop_assert!((0.0..=2.0 + 1e-12).contains(&s));
+        }
+
+        #[test]
+        fn prop_rmse_ge_mae_relation(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..100)
+        ) {
+            // RMSE >= MAE for any data (Jensen).
+            let (t, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            prop_assert!(rmse(&t, &p) >= mae(&t, &p) - 1e-9);
+        }
+    }
+}

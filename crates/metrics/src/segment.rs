@@ -1,0 +1,265 @@
+//! The paper's two segment-based evaluation methods (§2.3).
+
+use sintel_timeseries::Interval;
+
+use crate::confusion::Confusion;
+
+/// **Algorithm 1 — Weighted Segment Evaluation.**
+///
+/// The union of ground-truth (`truth`) and predicted (`pred`) interval
+/// edges partitions time into segments. Each segment contributes its
+/// duration to exactly one confusion-matrix cell depending on whether it
+/// lies inside the truth set, the predicted set, both, or neither.
+///
+/// The evaluated span defaults to the hull of all edges; see
+/// [`weighted_segment_in_span`] to supply the full signal span so that
+/// normal time outside every interval is credited as true negatives.
+pub fn weighted_segment(truth: &[Interval], pred: &[Interval]) -> Confusion {
+    let mut edges: Vec<i64> = Vec::with_capacity(2 * (truth.len() + pred.len()));
+    collect_edges(truth, &mut edges);
+    collect_edges(pred, &mut edges);
+    if edges.is_empty() {
+        return Confusion::default();
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    weighted_over_edges(&edges, truth, pred)
+}
+
+/// [`weighted_segment`] evaluated over an explicit signal span
+/// `[span_start, span_end]`, so time outside every interval counts as
+/// true negative (needed for meaningful accuracy).
+pub fn weighted_segment_in_span(
+    truth: &[Interval],
+    pred: &[Interval],
+    span_start: i64,
+    span_end: i64,
+) -> Confusion {
+    let mut edges: Vec<i64> = Vec::with_capacity(2 * (truth.len() + pred.len()) + 2);
+    edges.push(span_start);
+    edges.push(span_end);
+    collect_edges(truth, &mut edges);
+    collect_edges(pred, &mut edges);
+    edges.sort_unstable();
+    edges.dedup();
+    edges.retain(|&e| e >= span_start && e <= span_end);
+    weighted_over_edges(&edges, truth, pred)
+}
+
+fn collect_edges(intervals: &[Interval], edges: &mut Vec<i64>) {
+    for iv in intervals {
+        edges.push(iv.start);
+        edges.push(iv.end);
+    }
+}
+
+fn weighted_over_edges(edges: &[i64], truth: &[Interval], pred: &[Interval]) -> Confusion {
+    let mut cm = Confusion::default();
+    // Walk consecutive edge pairs: each is one segment of the partition.
+    for w in edges.windows(2) {
+        let (s, e) = (w[0], w[1]);
+        let weight = (e - s) as f64;
+        if weight == 0.0 {
+            continue;
+        }
+        // A segment lies entirely inside or outside each interval because
+        // its endpoints are consecutive edges; test full containment.
+        let in_truth = truth.iter().any(|t| t.start <= s && e <= t.end);
+        let in_pred = pred.iter().any(|p| p.start <= s && e <= p.end);
+        match (in_truth, in_pred) {
+            (true, true) => cm.tp += weight,
+            (false, true) => cm.fp += weight,
+            (true, false) => cm.fn_ += weight,
+            (false, false) => cm.tn += weight,
+        }
+    }
+    cm
+}
+
+/// **Algorithm 2 — Overlapping Segment Evaluation.**
+///
+/// Event-level scoring: every ground-truth anomaly that overlaps at least
+/// one predicted interval is a true positive; unmatched ground-truth
+/// anomalies are false negatives; predicted intervals that overlap no
+/// ground-truth anomaly are false positives. True negatives are undefined
+/// at the event level and left at zero.
+pub fn overlapping_segment(truth: &[Interval], pred: &[Interval]) -> Confusion {
+    let mut cm = Confusion::default();
+    for t in truth {
+        if pred.iter().any(|p| p.overlaps(t)) {
+            cm.tp += 1.0;
+        } else {
+            cm.fn_ += 1.0;
+        }
+    }
+    for p in pred {
+        if !truth.iter().any(|t| t.overlaps(p)) {
+            cm.fp += 1.0;
+        }
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(s: i64, e: i64) -> Interval {
+        Interval::new(s, e).unwrap()
+    }
+
+    // ---- overlapping segment (Algorithm 2) ----
+
+    #[test]
+    fn overlap_exact_match() {
+        let cm = overlapping_segment(&[iv(10, 20)], &[iv(10, 20)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_), (1.0, 0.0, 0.0));
+        assert_eq!(cm.scores().f1, 1.0);
+    }
+
+    #[test]
+    fn overlap_partial_detection_counts() {
+        // Detecting any subset of the anomaly is rewarded.
+        let cm = overlapping_segment(&[iv(10, 100)], &[iv(95, 120)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_), (1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn overlap_false_positive_and_negative() {
+        let cm = overlapping_segment(&[iv(0, 10), iv(50, 60)], &[iv(5, 8), iv(100, 110)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_), (1.0, 1.0, 1.0));
+        assert_eq!(cm.precision(), 0.5);
+        assert_eq!(cm.recall(), 0.5);
+    }
+
+    #[test]
+    fn overlap_one_prediction_covers_two_truths() {
+        // A single broad alarm that covers two distinct anomalies yields
+        // two true positives and no false positive.
+        let cm = overlapping_segment(&[iv(0, 10), iv(20, 30)], &[iv(0, 30)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_), (2.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn overlap_empty_sets() {
+        let cm = overlapping_segment(&[], &[]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_), (0.0, 0.0, 0.0));
+        let cm = overlapping_segment(&[iv(0, 5)], &[]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_), (0.0, 0.0, 1.0));
+        let cm = overlapping_segment(&[], &[iv(0, 5)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_), (0.0, 1.0, 0.0));
+    }
+
+    // ---- weighted segment (Algorithm 1) ----
+
+    #[test]
+    fn weighted_exact_match() {
+        let cm = weighted_segment(&[iv(0, 10)], &[iv(0, 10)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (10.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn weighted_partial_overlap_durations() {
+        // truth [0,10], pred [5,15]:
+        // [0,5) fn, [5,10) tp, [10,15) fp — durations 5 each.
+        let cm = weighted_segment(&[iv(0, 10)], &[iv(5, 15)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (5.0, 5.0, 5.0, 0.0));
+        assert!((cm.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_gap_between_events_is_tn() {
+        // truth [0,10], pred [20,30]: gap [10,20] is a true negative.
+        let cm = weighted_segment(&[iv(0, 10)], &[iv(20, 30)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (0.0, 10.0, 10.0, 10.0));
+    }
+
+    #[test]
+    fn weighted_span_extends_tn() {
+        let cm = weighted_segment_in_span(&[iv(10, 20)], &[iv(10, 20)], 0, 100);
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (10.0, 0.0, 0.0, 90.0));
+        assert_eq!(cm.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn weighted_span_clips_outside_edges() {
+        // Prediction partially outside the evaluated span is clipped.
+        let cm = weighted_segment_in_span(&[], &[iv(-10, 10)], 0, 20);
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (0.0, 10.0, 0.0, 10.0));
+    }
+
+    #[test]
+    fn weighted_point_anomaly_contributes_nothing() {
+        // Zero-duration interval has no weight in this strict method.
+        let cm = weighted_segment(&[iv(5, 5)], &[iv(5, 5)]);
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn weighted_empty_sets() {
+        let cm = weighted_segment(&[], &[]);
+        assert_eq!(cm, Confusion::default());
+    }
+
+    #[test]
+    fn weighted_matches_sample_based_on_regular_grid() {
+        // On a unit grid, weighted segment == counting samples.
+        let truth = [iv(0, 4)]; // covers samples 0..4 (4 unit segments)
+        let pred = [iv(2, 6)];
+        let cm = weighted_segment_in_span(&truth, &pred, 0, 10);
+        // Sample-based with half-open unit cells: tp = |[2,4)| = 2,
+        // fn = |[0,2)| = 2, fp = |[4,6)| = 2, tn = |[6,10)| = 4.
+        assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (2.0, 2.0, 2.0, 4.0));
+    }
+
+    fn intervals_strategy() -> impl Strategy<Value = Vec<Interval>> {
+        proptest::collection::vec((0i64..500, 1i64..50), 0..12)
+            .prop_map(|v| v.into_iter().map(|(s, d)| iv(s, s + d)).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weighted_durations_partition_span(
+            truth in intervals_strategy(),
+            pred in intervals_strategy(),
+        ) {
+            let cm = weighted_segment_in_span(&truth, &pred, 0, 600);
+            let total = cm.tp + cm.fp + cm.fn_ + cm.tn;
+            prop_assert!((total - 600.0).abs() < 1e-9, "total {total}");
+        }
+
+        #[test]
+        fn prop_overlap_counts_bounded(
+            truth in intervals_strategy(),
+            pred in intervals_strategy(),
+        ) {
+            let cm = overlapping_segment(&truth, &pred);
+            prop_assert_eq!(cm.tp + cm.fn_, truth.len() as f64);
+            prop_assert!(cm.fp <= pred.len() as f64);
+        }
+
+        #[test]
+        fn prop_perfect_prediction_is_perfect(truth in intervals_strategy()) {
+            prop_assume!(!truth.is_empty());
+            let cm = overlapping_segment(&truth, &truth);
+            prop_assert_eq!(cm.scores().f1, 1.0);
+            let cmw = weighted_segment(&truth, &truth);
+            prop_assert_eq!(cmw.fp, 0.0);
+            prop_assert_eq!(cmw.fn_, 0.0);
+        }
+
+        #[test]
+        fn prop_more_predictions_never_reduce_recall(
+            truth in intervals_strategy(),
+            pred in intervals_strategy(),
+            extra in intervals_strategy(),
+        ) {
+            let r1 = overlapping_segment(&truth, &pred).recall();
+            let mut bigger = pred.clone();
+            bigger.extend(extra);
+            let r2 = overlapping_segment(&truth, &bigger).recall();
+            prop_assert!(r2 >= r1 - 1e-12);
+        }
+    }
+}

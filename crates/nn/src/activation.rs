@@ -1,0 +1,134 @@
+//! Element-wise activation functions and their derivatives.
+
+/// Supported activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Leaky ReLU with slope 0.01 (used by the TadGAN critics).
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Apply to a single value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = apply(x)`
+    /// (cheap for tanh/sigmoid) except for the piecewise-linear
+    /// activations where the output sign suffices.
+    #[inline]
+    pub fn deriv_from_output(&self, y: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::LeakyRelu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+
+    /// Apply in place to a buffer.
+    pub fn apply_vec(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn apply_known_values() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Linear.apply(-7.0), -7.0);
+        assert!((Activation::Tanh.apply(0.5) - 0.5f64.tanh()).abs() < 1e-15);
+        assert_eq!(Activation::LeakyRelu.apply(-1.0), -0.01);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [
+            Activation::Linear,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Relu,
+            Activation::LeakyRelu,
+        ] {
+            // Avoid the ReLU kink at 0.
+            for &x in &[-1.3, -0.4, 0.7, 2.1] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.deriv_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_vec_in_place() {
+        let mut v = [-1.0, 0.0, 2.0];
+        Activation::Relu.apply_vec(&mut v);
+        assert_eq!(v, [0.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! The Adam optimiser (Kingma & Ba, 2015).
+//!
+//! Each layer owns one [`Adam`] state per parameter buffer; after a batch
+//! has accumulated gradients, [`Adam::step`] applies the bias-corrected
+//! moment update in place and the caller zeroes the gradient buffer.
+
+/// Adam state for one flat parameter buffer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+}
+
+impl Adam {
+    /// Create state for a buffer of `n` parameters with the canonical
+    /// β₁ = 0.9, β₂ = 0.999.
+    pub fn new(n: usize) -> Self {
+        Self { m: vec![0.0; n], v: vec![0.0; n], t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// Apply one update: `params -= lr * m̂ / (sqrt(v̂) + ε)`.
+    ///
+    /// `grads` holds the (batch-accumulated) gradient for each parameter;
+    /// it is *not* cleared here so callers can inspect it.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64) {
+        assert_eq!(params.len(), self.m.len(), "adam: parameter count changed");
+        assert_eq!(grads.len(), self.m.len(), "adam: gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        // f(x) = (x - 3)^2, gradient 2(x - 3).
+        let mut x = vec![0.0];
+        let mut adam = Adam::new(1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g, 0.05);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // With bias correction the first step magnitude ≈ lr regardless
+        // of gradient scale.
+        let mut x = vec![0.0];
+        let mut adam = Adam::new(1);
+        adam.step(&mut x, &[1e6], 0.01);
+        assert!((x[0] + 0.01).abs() < 1e-6, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_noop() {
+        let mut x = vec![1.5];
+        let mut adam = Adam::new(1);
+        adam.step(&mut x, &[0.0], 0.1);
+        assert_eq!(x[0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count")]
+    fn mismatched_sizes_panic() {
+        Adam::new(2).step(&mut [0.0, 0.0], &[1.0], 0.1);
+    }
+}

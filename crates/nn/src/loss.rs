@@ -1,0 +1,76 @@
+//! Loss functions used by the training loops.
+
+/// Mean-squared-error loss and its gradient for one sample:
+/// returns `(loss, dLoss/dPred)` where loss = `mean((p - t)^2)`.
+pub fn mse_loss(pred: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(pred.len(), target.len(), "mse: length mismatch");
+    assert!(!pred.is_empty(), "mse: empty input");
+    let n = pred.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = Vec::with_capacity(pred.len());
+    for (p, t) in pred.iter().zip(target) {
+        let d = p - t;
+        loss += d * d;
+        grad.push(2.0 * d / n);
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on a sigmoid output `p ∈ (0, 1)`:
+/// returns `(loss, dLoss/dp)` for scalar prediction/target.
+pub fn bce_loss(p: f64, target: f64) -> (f64, f64) {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    let loss = -(target * p.ln() + (1.0 - target) * (1.0 - p).ln());
+    let grad = (p - target) / (p * (1.0 - p));
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known() {
+        let (l, g) = mse_loss(&[1.0, 3.0], &[1.0, 1.0]);
+        assert_eq!(l, 2.0);
+        assert_eq!(g, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn mse_zero_at_target() {
+        let (l, g) = mse_loss(&[0.5], &[0.5]);
+        assert_eq!(l, 0.0);
+        assert_eq!(g, vec![0.0]);
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let pred = [0.3, -0.8, 1.2];
+        let target = [0.0, 0.0, 1.0];
+        let (_, grad) = mse_loss(&pred, &target);
+        let eps = 1e-6;
+        for i in 0..pred.len() {
+            let mut p = pred;
+            p[i] += eps;
+            let (lp, _) = mse_loss(&p, &target);
+            p[i] -= 2.0 * eps;
+            let (lm, _) = mse_loss(&p, &target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bce_extremes_and_gradient() {
+        let (l, _) = bce_loss(0.999, 1.0);
+        assert!(l < 0.01);
+        let (l, _) = bce_loss(0.001, 1.0);
+        assert!(l > 5.0);
+        // Finite-difference gradient check away from the clamp.
+        let eps = 1e-7;
+        let (_, g) = bce_loss(0.3, 1.0);
+        let (lp, _) = bce_loss(0.3 + eps, 1.0);
+        let (lm, _) = bce_loss(0.3 - eps, 1.0);
+        assert!(((lp - lm) / (2.0 * eps) - g).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,356 @@
+//! LSTM layer with full backpropagation through time.
+//!
+//! Gate layout follows the classic formulation:
+//!
+//! ```text
+//! z_t = W · [x_t ; h_{t-1} ; 1]          (4H rows: i, f, g, o)
+//! i = σ(z_i)   f = σ(z_f)   g = tanh(z_g)   o = σ(z_o)
+//! c_t = f ⊙ c_{t-1} + i ⊙ g
+//! h_t = o ⊙ tanh(c_t)
+//! ```
+//!
+//! The backward pass is hand-derived and validated against numerical
+//! gradients in the test suite — the single most important test in this
+//! crate, since every deep pipeline trains through it.
+
+use sintel_common::SintelRng;
+
+use crate::activation::sigmoid;
+use crate::adam::Adam;
+
+/// An LSTM layer mapping an input sequence to a hidden-state sequence.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden: usize,
+    /// Weights, row-major `(4H x (I + H + 1))`; the final column is the bias.
+    w: Vec<f64>,
+    gw: Vec<f64>,
+    adam: Adam,
+}
+
+/// Saved activations from a forward pass, needed for BPTT.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    /// Inputs per step.
+    xs: Vec<Vec<f64>>,
+    /// Gate activations per step: `[i, f, g, o]` each of length H.
+    gates: Vec<Vec<f64>>,
+    /// Cell states per step.
+    cs: Vec<Vec<f64>>,
+    /// Hidden states per step.
+    hs: Vec<Vec<f64>>,
+}
+
+impl LstmCache {
+    /// Hidden state sequence (one vector per time step).
+    pub fn hidden_states(&self) -> &[Vec<f64>] {
+        &self.hs
+    }
+
+    /// Final hidden state (panics on empty sequences).
+    pub fn last_hidden(&self) -> &[f64] {
+        self.hs.last().expect("non-empty sequence")
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.hs.len()
+    }
+
+    /// True for zero-length sequences.
+    pub fn is_empty(&self) -> bool {
+        self.hs.is_empty()
+    }
+}
+
+impl Lstm {
+    /// Create with Xavier-uniform weights (forget-gate bias +1 for
+    /// healthy gradient flow early in training).
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut SintelRng) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "lstm dims must be positive");
+        let cols = input_dim + hidden + 1;
+        let rows = 4 * hidden;
+        let bound = (6.0 / (input_dim + 2 * hidden) as f64).sqrt();
+        let mut w: Vec<f64> =
+            (0..rows * cols).map(|_| rng.uniform_range(-bound, bound)).collect();
+        // Forget-gate bias (+1): rows H..2H, last column.
+        for r in hidden..2 * hidden {
+            w[r * cols + cols - 1] = 1.0;
+        }
+        Self { input_dim, hidden, gw: vec![0.0; rows * cols], w, adam: Adam::new(rows * cols) }
+    }
+
+    /// Hidden size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input size.
+    pub fn input_size(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Run the layer over a sequence, returning the cache for BPTT.
+    pub fn forward(&self, xs: &[Vec<f64>]) -> LstmCache {
+        let h_dim = self.hidden;
+        let cols = self.input_dim + h_dim + 1;
+        let mut cache = LstmCache {
+            xs: xs.to_vec(),
+            gates: Vec::with_capacity(xs.len()),
+            cs: Vec::with_capacity(xs.len()),
+            hs: Vec::with_capacity(xs.len()),
+        };
+        let mut h_prev = vec![0.0; h_dim];
+        let mut c_prev = vec![0.0; h_dim];
+        for x in xs {
+            debug_assert_eq!(x.len(), self.input_dim, "lstm forward: input size");
+            let mut gates = vec![0.0; 4 * h_dim];
+            for (r, gate) in gates.iter_mut().enumerate() {
+                let row = &self.w[r * cols..(r + 1) * cols];
+                let mut z = row[cols - 1]; // bias
+                for (i, &xi) in x.iter().enumerate() {
+                    z += row[i] * xi;
+                }
+                for (j, &hj) in h_prev.iter().enumerate() {
+                    z += row[self.input_dim + j] * hj;
+                }
+                *gate = z;
+            }
+            let mut c = vec![0.0; h_dim];
+            let mut h = vec![0.0; h_dim];
+            for k in 0..h_dim {
+                let i_g = sigmoid(gates[k]);
+                let f_g = sigmoid(gates[h_dim + k]);
+                let g_g = gates[2 * h_dim + k].tanh();
+                let o_g = sigmoid(gates[3 * h_dim + k]);
+                gates[k] = i_g;
+                gates[h_dim + k] = f_g;
+                gates[2 * h_dim + k] = g_g;
+                gates[3 * h_dim + k] = o_g;
+                c[k] = f_g * c_prev[k] + i_g * g_g;
+                h[k] = o_g * c[k].tanh();
+            }
+            cache.gates.push(gates);
+            cache.cs.push(c.clone());
+            cache.hs.push(h.clone());
+            h_prev = h;
+            c_prev = c;
+        }
+        cache
+    }
+
+    /// BPTT: given `dh[t] = ∂L/∂h_t` for every step, accumulate weight
+    /// gradients and return `∂L/∂x_t` per step.
+    pub fn backward(&mut self, cache: &LstmCache, dh: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let t_len = cache.len();
+        assert_eq!(dh.len(), t_len, "lstm backward: dh length");
+        let h_dim = self.hidden;
+        let cols = self.input_dim + h_dim + 1;
+
+        let mut dxs = vec![vec![0.0; self.input_dim]; t_len];
+        let mut dh_next = vec![0.0; h_dim];
+        let mut dc_next = vec![0.0; h_dim];
+
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t];
+            let c = &cache.cs[t];
+            let c_prev: &[f64] = if t == 0 { &[] } else { &cache.cs[t - 1] };
+            let h_prev: &[f64] = if t == 0 { &[] } else { &cache.hs[t - 1] };
+            let x = &cache.xs[t];
+
+            let mut dgates = vec![0.0; 4 * h_dim]; // pre-activation grads
+            let mut dc_prev = vec![0.0; h_dim];
+            for k in 0..h_dim {
+                let i_g = gates[k];
+                let f_g = gates[h_dim + k];
+                let g_g = gates[2 * h_dim + k];
+                let o_g = gates[3 * h_dim + k];
+                let tanh_c = c[k].tanh();
+                let dht = dh[t][k] + dh_next[k];
+                let dc = dht * o_g * (1.0 - tanh_c * tanh_c) + dc_next[k];
+                let cp = if t == 0 { 0.0 } else { c_prev[k] };
+                // Pre-activation gate gradients.
+                dgates[k] = dc * g_g * i_g * (1.0 - i_g);
+                dgates[h_dim + k] = dc * cp * f_g * (1.0 - f_g);
+                dgates[2 * h_dim + k] = dc * i_g * (1.0 - g_g * g_g);
+                dgates[3 * h_dim + k] = dht * tanh_c * o_g * (1.0 - o_g);
+                dc_prev[k] = dc * f_g;
+            }
+
+            // Accumulate weight gradients and propagate to x and h_prev.
+            let mut dh_prev = vec![0.0; h_dim];
+            #[allow(clippy::needless_range_loop)] // r indexes both dgates and weight rows
+            for r in 0..4 * h_dim {
+                let dz = dgates[r];
+                if dz == 0.0 {
+                    continue;
+                }
+                let wrow = &self.w[r * cols..(r + 1) * cols];
+                let grow = &mut self.gw[r * cols..(r + 1) * cols];
+                for (i, &xi) in x.iter().enumerate() {
+                    grow[i] += dz * xi;
+                    dxs[t][i] += dz * wrow[i];
+                }
+                if t > 0 {
+                    for j in 0..h_dim {
+                        grow[self.input_dim + j] += dz * h_prev[j];
+                        dh_prev[j] += dz * wrow[self.input_dim + j];
+                    }
+                } else {
+                    // h_prev is zero; only dh flows nowhere further.
+                    for j in 0..h_dim {
+                        dh_prev[j] += dz * wrow[self.input_dim + j];
+                    }
+                }
+                grow[cols - 1] += dz;
+            }
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+        dxs
+    }
+
+    /// Apply an Adam update scaled by `1/batch` and clear gradients.
+    pub fn step(&mut self, lr: f64, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f64;
+        if scale != 1.0 {
+            self.gw.iter_mut().for_each(|g| *g *= scale);
+        }
+        self.adam.step(&mut self.w, &self.gw, lr);
+        self.zero_grad();
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SintelRng {
+        SintelRng::seed_from_u64(11)
+    }
+
+    fn seq(vals: &[f64]) -> Vec<Vec<f64>> {
+        vals.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let lstm = Lstm::new(2, 5, &mut rng());
+        let xs = vec![vec![0.1, 0.2], vec![-0.1, 0.4], vec![0.0, 0.0]];
+        let cache = lstm.forward(&xs);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.last_hidden().len(), 5);
+        assert!(!cache.is_empty());
+        assert!(cache.hidden_states().iter().all(|h| h.iter().all(|v| v.abs() <= 1.0)));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let lstm = Lstm::new(1, 3, &mut rng());
+        let cache = lstm.forward(&[]);
+        assert!(cache.is_empty());
+    }
+
+    /// The critical test: BPTT gradients match finite differences on both
+    /// weights and inputs, for a loss that reads *every* hidden state.
+    #[test]
+    fn gradient_check_full_bptt() {
+        let mut lstm = Lstm::new(2, 3, &mut rng());
+        let xs = vec![vec![0.5, -0.3], vec![0.1, 0.8], vec![-0.6, 0.2], vec![0.3, 0.3]];
+        // Loss = 0.5 * sum over t, k of h[t][k]^2  ->  dh = h.
+        let loss = |lstm: &Lstm| -> f64 {
+            let c = lstm.forward(&xs);
+            c.hidden_states().iter().flatten().map(|h| 0.5 * h * h).sum()
+        };
+        let cache = lstm.forward(&xs);
+        let dh: Vec<Vec<f64>> = cache.hidden_states().to_vec();
+        let dxs = lstm.backward(&cache, &dh);
+
+        let eps = 1e-6;
+        // Sample a spread of weight indices (including biases).
+        let cols = 2 + 3 + 1;
+        let probe: Vec<usize> =
+            vec![0, 3, cols - 1, 3 * cols + 2, 6 * cols + 4, 11 * cols + cols - 1];
+        for idx in probe {
+            let mut plus = lstm.clone();
+            plus.w[idx] += eps;
+            let mut minus = lstm.clone();
+            minus.w[idx] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            let analytic = lstm.gw[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "w[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Input gradients.
+        for t in 0..xs.len() {
+            for i in 0..2 {
+                let mut xp = xs.clone();
+                xp[t][i] += eps;
+                let mut xm = xs.clone();
+                xm[t][i] -= eps;
+                let lp: f64 = {
+                    let c = lstm.forward(&xp);
+                    c.hidden_states().iter().flatten().map(|h| 0.5 * h * h).sum()
+                };
+                let lm: f64 = {
+                    let c = lstm.forward(&xm);
+                    c.hidden_states().iter().flatten().map(|h| 0.5 * h * h).sum()
+                };
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - dxs[t][i]).abs() < 1e-6 * (1.0 + numeric.abs()),
+                    "x[{t}][{i}]: numeric {numeric} vs analytic {}",
+                    dxs[t][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_to_remember_first_input() {
+        // Task: output at the last step should equal the *first* input —
+        // requires carrying information across the sequence.
+        let mut lstm = Lstm::new(1, 8, &mut rng());
+        let mut head = crate::dense::Dense::new(8, 1, crate::Activation::Linear, &mut rng());
+        let mut data_rng = SintelRng::seed_from_u64(99);
+        let seq_len = 6;
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..300 {
+            let mut batch_loss = 0.0;
+            let batch = 8;
+            for _ in 0..batch {
+                let first = data_rng.uniform_range(-1.0, 1.0);
+                let mut vals = vec![first];
+                for _ in 1..seq_len {
+                    vals.push(data_rng.uniform_range(-0.2, 0.2));
+                }
+                let xs = seq(&vals);
+                let cache = lstm.forward(&xs);
+                let y = head.forward(cache.last_hidden());
+                let err = y[0] - first;
+                batch_loss += 0.5 * err * err;
+                let dlast = head.backward(cache.last_hidden(), &y, &[err]);
+                let mut dh = vec![vec![0.0; 8]; seq_len];
+                dh[seq_len - 1] = dlast;
+                lstm.backward(&cache, &dh);
+            }
+            lstm.step(0.01, batch);
+            head.step(0.01, batch);
+            final_loss = batch_loss / batch as f64;
+        }
+        assert!(final_loss < 0.01, "loss = {final_loss}");
+    }
+}

@@ -1,0 +1,194 @@
+//! The LSTM AE model (Malhotra et al. [34]): a sequence-to-sequence
+//! autoencoder. The encoder compresses the window into its final hidden
+//! state; the decoder, fed that state at every step (RepeatVector style),
+//! reconstructs the window. Reconstruction error feeds the dynamic
+//! threshold downstream.
+
+use sintel_common::SintelRng;
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::lstm::Lstm;
+use crate::models::{unflatten, TrainConfig};
+use crate::{NnError, Result};
+
+/// Sequence-to-sequence LSTM autoencoder.
+#[derive(Debug, Clone)]
+pub struct LstmAutoencoder {
+    enc: Lstm,
+    dec: Lstm,
+    head: Dense,
+    window: usize,
+    channels: usize,
+}
+
+impl LstmAutoencoder {
+    /// Build with the given window length, channel count and hidden size
+    /// (the hidden state doubles as the latent code).
+    pub fn new(window: usize, channels: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SintelRng::seed_from_u64(seed);
+        Self {
+            enc: Lstm::new(channels, hidden, &mut rng),
+            dec: Lstm::new(hidden, hidden, &mut rng),
+            head: Dense::new(hidden, channels, Activation::Linear, &mut rng),
+            window,
+            channels,
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.enc.param_count() + self.dec.param_count() + self.head.param_count()
+    }
+
+    fn check_window(&self, w: &[f64]) -> Result<()> {
+        if w.len() != self.window * self.channels {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} values", self.window * self.channels),
+                got: format!("{}", w.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reconstruct a window; returns the flattened reconstruction.
+    pub fn reconstruct(&self, window: &[f64]) -> Result<Vec<f64>> {
+        self.check_window(window)?;
+        let xs = unflatten(window, self.channels);
+        let enc_cache = self.enc.forward(&xs);
+        let code = enc_cache.last_hidden().to_vec();
+        let dec_inputs = vec![code; xs.len()];
+        let dec_cache = self.dec.forward(&dec_inputs);
+        let mut out = Vec::with_capacity(window.len());
+        for h in dec_cache.hidden_states() {
+            out.extend(self.head.forward(h));
+        }
+        Ok(out)
+    }
+
+    /// Train on windows (reconstruction target = input); returns mean
+    /// loss per epoch.
+    pub fn fit(&mut self, windows: &[Vec<f64>], cfg: &TrainConfig) -> Result<Vec<f64>> {
+        if windows.is_empty() {
+            return Err(NnError::InsufficientData { needed: 1, got: 0 });
+        }
+        for w in windows {
+            self.check_window(w)?;
+        }
+        let hidden = self.enc.hidden_size();
+        let mut rng = SintelRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..windows.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+        for _ in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(cfg.batch_size) {
+                for &idx in chunk {
+                    let xs = unflatten(&windows[idx], self.channels);
+                    let t_len = xs.len();
+                    let enc_cache = self.enc.forward(&xs);
+                    let code = enc_cache.last_hidden().to_vec();
+                    let dec_inputs = vec![code; t_len];
+                    let dec_cache = self.dec.forward(&dec_inputs);
+
+                    // Per-step reconstruction + gradient through the head.
+                    let mut dh_dec = vec![vec![0.0; hidden]; t_len];
+                    for t in 0..t_len {
+                        let h = &dec_cache.hidden_states()[t];
+                        let y = self.head.forward(h);
+                        let mut dy = Vec::with_capacity(self.channels);
+                        for c in 0..self.channels {
+                            let err = y[c] - xs[t][c];
+                            epoch_loss += err * err;
+                            dy.push(2.0 * err / t_len as f64);
+                        }
+                        dh_dec[t] = self.head.backward(h, &y, &dy);
+                    }
+                    // Through the decoder; its input at every step is the
+                    // code, so the code's gradient is the sum over steps.
+                    let dxs_dec = self.dec.backward(&dec_cache, &dh_dec);
+                    let mut dcode = vec![0.0; hidden];
+                    for dx in &dxs_dec {
+                        for (k, v) in dx.iter().enumerate() {
+                            dcode[k] += v;
+                        }
+                    }
+                    // Through the encoder (gradient only at the last step).
+                    let mut dh_enc = vec![vec![0.0; hidden]; t_len];
+                    dh_enc[t_len - 1] = dcode;
+                    self.enc.backward(&enc_cache, &dh_enc);
+                }
+                self.enc.step(cfg.learning_rate, chunk.len());
+                self.dec.step(cfg.learning_rate, chunk.len());
+                self.head.step(cfg.learning_rate, chunk.len());
+            }
+            epoch_losses.push(epoch_loss / (windows.len() * self.window) as f64);
+        }
+        Ok(epoch_losses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconstruction_improves_with_training() {
+        // Two distinct window shapes drawn from a sine.
+        let n = 240;
+        let series: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 20.0).sin()).collect();
+        let window = 10;
+        let windows: Vec<Vec<f64>> =
+            (0..n - window).map(|s| series[s..s + window].to_vec()).collect();
+        let mut model = LstmAutoencoder::new(window, 1, 8, 5);
+        let losses = model.fit(&windows, &TrainConfig::fast_test()).unwrap();
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss did not halve: first {} last {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+        let rec = model.reconstruct(&windows[3]).unwrap();
+        assert_eq!(rec.len(), window);
+        let err: f64 = rec
+            .iter()
+            .zip(&windows[3])
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / window as f64;
+        assert!(err < 0.4, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn anomalous_window_reconstructs_worse_than_normal() {
+        let n = 300;
+        let series: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 24.0).sin()).collect();
+        let window = 12;
+        let windows: Vec<Vec<f64>> =
+            (0..n - window).map(|s| series[s..s + window].to_vec()).collect();
+        let mut model = LstmAutoencoder::new(window, 1, 10, 6);
+        model
+            .fit(&windows, &TrainConfig { epochs: 25, ..TrainConfig::fast_test() })
+            .unwrap();
+        let normal = &windows[7];
+        let mut weird = normal.clone();
+        for v in weird.iter_mut().take(6) {
+            *v += 3.0; // inject a level shift the AE never saw
+        }
+        let err = |w: &Vec<f64>| {
+            let r = model.reconstruct(w).unwrap();
+            r.iter().zip(w).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        };
+        assert!(err(&weird) > 2.0 * err(normal), "weird {} normal {}", err(&weird), err(normal));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut model = LstmAutoencoder::new(8, 1, 4, 0);
+        assert!(model.reconstruct(&[0.0; 5]).is_err());
+        assert!(model.fit(&[], &TrainConfig::fast_test()).is_err());
+    }
+}

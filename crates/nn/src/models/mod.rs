@@ -1,0 +1,68 @@
+//! The deep architectures of the paper's pipeline hub.
+//!
+//! All models consume *flattened windows* — `window_size * channels`
+//! values per sample, time-major (`[t0c0, t0c1, t1c0, …]`) — exactly what
+//! [`sintel_timeseries::rolling_windows`] produces, so the pipeline layer
+//! can hand data straight through.
+
+mod dense_autoencoder;
+mod lstm_autoencoder;
+mod lstm_regressor;
+mod tadgan;
+
+pub use dense_autoencoder::DenseAutoencoder;
+pub use lstm_autoencoder::LstmAutoencoder;
+pub use lstm_regressor::LstmRegressor;
+pub use tadgan::TadGan;
+
+/// Shared training-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training windows.
+    pub epochs: usize,
+    /// Mini-batch size (gradients averaged per batch).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Seed for shuffling and any model-internal sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, learning_rate: 0.005, seed: 0 }
+    }
+}
+
+impl TrainConfig {
+    /// A fast configuration for unit tests.
+    pub fn fast_test() -> Self {
+        Self { epochs: 15, batch_size: 16, learning_rate: 0.01, seed: 0 }
+    }
+}
+
+/// Split a flat window back into per-step channel vectors.
+pub(crate) fn unflatten(window: &[f64], channels: usize) -> Vec<Vec<f64>> {
+    debug_assert_eq!(window.len() % channels, 0, "window not divisible by channels");
+    window.chunks(channels).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unflatten_shapes() {
+        let w = [1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        let steps = unflatten(&w, 2);
+        assert_eq!(steps, vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]);
+        let uni = unflatten(&w, 1);
+        assert_eq!(uni.len(), 6);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = TrainConfig::default();
+        assert!(c.epochs > 0 && c.batch_size > 0 && c.learning_rate > 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The AD pipeline hub (paper §3.2): the named, verified end-to-end
+//! pipelines of the evaluation. Users pick one by name
+//! (`Sintel(pipeline="lstm_dynamic_threshold")`, Figure 4a), or define
+//! their own [`Template`].
+
+use sintel_primitives::HyperValue;
+
+use crate::template::{StepSpec, Template};
+use crate::{Pipeline, PipelineError, Result};
+
+/// Pipeline names available in the hub, in the paper's Table 3 order.
+pub const PIPELINE_NAMES: &[&str] = &[
+    "lstm_dynamic_threshold",
+    "dense_autoencoder",
+    "lstm_autoencoder",
+    "tadgan",
+    "arima",
+    "azure_anomaly_detection",
+];
+
+/// Extension pipelines beyond the paper's six (kept out of
+/// [`available_pipelines`] so the benchmark defaults match Table 3):
+/// `matrix_profile` (the Stumpy comparator of Table 1), `holt_winters`
+/// (the HWDS forecaster of reference [37]), and
+/// `arima_shift_robust` — `arima` with the §5 change-point /
+/// decomposition preprocessing in front, used by the A4 discussion
+/// experiment.
+pub const EXTENSION_PIPELINES: &[&str] =
+    &["matrix_profile", "holt_winters", "arima_shift_robust"];
+
+/// Common preprocessing front (Figure 2a left): aggregate → impute →
+/// scale to `[-1, 1]`.
+fn preprocessing() -> Vec<StepSpec> {
+    vec![
+        StepSpec::plain("time_segments_aggregate"),
+        StepSpec::plain("SimpleImputer"),
+        StepSpec::plain("MinMaxScaler"),
+    ]
+}
+
+/// Retrieve a hub template by name.
+pub fn template_by_name(name: &str) -> Result<Template> {
+    let mut steps = preprocessing();
+    match name {
+        "lstm_dynamic_threshold" => {
+            steps.push(StepSpec::with(
+                "rolling_window_sequences",
+                &[("window_size", HyperValue::Int(50)), ("targets", HyperValue::Flag(true))],
+            ));
+            steps.push(StepSpec::plain("lstm_regressor"));
+            steps.push(StepSpec::plain("regression_errors"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        "arima" => {
+            steps.push(StepSpec::plain("arima"));
+            steps.push(StepSpec::plain("regression_errors"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        "lstm_autoencoder" => {
+            steps.push(StepSpec::with(
+                "rolling_window_sequences",
+                &[
+                    ("window_size", HyperValue::Int(40)),
+                    ("targets", HyperValue::Flag(false)),
+                    ("step", HyperValue::Int(2)),
+                ],
+            ));
+            steps.push(StepSpec::plain("lstm_autoencoder"));
+            steps.push(StepSpec::plain("reconstruction_errors"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        "dense_autoencoder" => {
+            steps.push(StepSpec::with(
+                "rolling_window_sequences",
+                &[
+                    ("window_size", HyperValue::Int(40)),
+                    ("targets", HyperValue::Flag(false)),
+                    ("step", HyperValue::Int(2)),
+                ],
+            ));
+            steps.push(StepSpec::plain("dense_autoencoder"));
+            steps.push(StepSpec::plain("reconstruction_errors"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        "tadgan" => {
+            steps.push(StepSpec::with(
+                "rolling_window_sequences",
+                &[
+                    ("window_size", HyperValue::Int(40)),
+                    ("targets", HyperValue::Flag(false)),
+                    ("step", HyperValue::Int(2)),
+                ],
+            ));
+            steps.push(StepSpec::plain("tadgan"));
+            steps.push(StepSpec::plain("reconstruction_errors"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        "azure_anomaly_detection" => {
+            steps.push(StepSpec::plain("azure_anomaly_service"));
+            // The service is threshold-based and aggressive: a low fixed
+            // threshold reproduces its high-recall / low-precision
+            // behaviour (Table 3).
+            steps.push(StepSpec::with("fixed_threshold", &[("k", HyperValue::Float(0.5))]));
+        }
+        "matrix_profile" => {
+            steps.push(StepSpec::plain("matrix_profile"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        "holt_winters" => {
+            steps.push(StepSpec::plain("holt_winters"));
+            steps.push(StepSpec::plain("regression_errors"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        "arima_shift_robust" => {
+            // §5 remedy: eliminate distribution shifts before modeling.
+            steps.push(StepSpec::plain("remove_level_shifts"));
+            steps.push(StepSpec::plain("arima"));
+            steps.push(StepSpec::plain("regression_errors"));
+            steps.push(StepSpec::plain("find_anomalies"));
+        }
+        other => return Err(PipelineError::UnknownPipeline(other.to_string())),
+    }
+    Ok(Template { name: name.to_string(), steps })
+}
+
+/// Build a hub pipeline by name with default hyperparameters.
+pub fn build_pipeline(name: &str) -> Result<Pipeline> {
+    template_by_name(name)?.build_default()
+}
+
+/// Names of the pipelines in the hub.
+pub fn available_pipelines() -> &'static [&'static str] {
+    PIPELINE_NAMES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_pipelines_build() {
+        for name in EXTENSION_PIPELINES {
+            let t = template_by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            t.build_default().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_hub_templates_build() {
+        for name in available_pipelines() {
+            let t = template_by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let p = t.build_default().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.name(), *name);
+            assert!(!p.is_fitted());
+        }
+    }
+
+    #[test]
+    fn unknown_pipeline_rejected() {
+        assert!(matches!(
+            template_by_name("prophet"),
+            Err(PipelineError::UnknownPipeline(_))
+        ));
+    }
+
+    #[test]
+    fn hub_pipelines_have_three_engines() {
+        use sintel_primitives::{build_primitive, Engine};
+        for name in available_pipelines() {
+            let t = template_by_name(name).unwrap();
+            let engines: Vec<Engine> = t
+                .steps
+                .iter()
+                .map(|s| build_primitive(&s.primitive).unwrap().meta().engine)
+                .collect();
+            assert!(engines.contains(&Engine::Preprocessing), "{name}");
+            assert!(engines.contains(&Engine::Modeling), "{name}");
+            assert!(engines.contains(&Engine::Postprocessing), "{name}");
+        }
+    }
+
+    #[test]
+    fn joint_space_is_nonempty_for_all() {
+        for name in available_pipelines() {
+            let t = template_by_name(name).unwrap();
+            let space = t.hyperparameter_space().unwrap();
+            assert!(!space.is_empty(), "{name} has an empty tunable space");
+            // Every pipeline must expose postprocessing knobs (the paper
+            // reports 15% of tuning changes landing there).
+            assert!(
+                space.iter().any(|(p, _)| p.step >= t.steps.len() - 1
+                    || space.iter().any(|(q, _)| q.step > p.step)),
+                "{name}"
+            );
+        }
+    }
+}

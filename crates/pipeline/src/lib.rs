@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # sintel-pipeline
+//!
+//! Templates, pipelines and the pipeline hub (paper §2.2 and §3.2).
+//!
+//! * A [`Template`] is ⟨V, E, Λ⟩: an ordered list of primitive steps
+//!   (the edges are the implicit context data-flow) together with the
+//!   *joint hyperparameter space* Λ collected from the primitives'
+//!   declarations.
+//! * A [`Pipeline`] is a configured template ⟨V, E, λ⟩ — concrete
+//!   primitive instances with fixed hyperparameters — exposing the
+//!   `fit` / `detect` lifecycle of Figure 4a.
+//! * The [`hub`] stores the named end-to-end anomaly detection pipelines
+//!   of the evaluation: `lstm_dynamic_threshold`, `arima`,
+//!   `lstm_autoencoder`, `dense_autoencoder`, `tadgan` and
+//!   `azure_anomaly_detection`.
+//!
+//! Execution is instrumented per primitive ([`profile::StepProfile`]),
+//! which powers the computational-performance benchmark (Figure 7a) and
+//! the primitive-overhead experiment (Figure 7b).
+
+pub mod hub;
+pub mod pipeline;
+pub mod profile;
+pub mod template;
+
+pub use hub::{available_pipelines, build_pipeline, template_by_name};
+pub use pipeline::Pipeline;
+pub use profile::{PipelineProfile, StepProfile};
+pub use template::{ParamId, StepSpec, Template};
+
+/// Errors produced at the pipeline layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Unknown pipeline/template name.
+    UnknownPipeline(String),
+    /// A primitive failed.
+    Step {
+        /// Name of the failing primitive.
+        step: String,
+        /// Underlying error message.
+        source: String,
+    },
+    /// The pipeline was used before `fit`.
+    NotFitted(String),
+    /// Structural problem in a template (unknown primitive, bad override).
+    BadTemplate(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::UnknownPipeline(n) => write!(f, "unknown pipeline '{n}'"),
+            PipelineError::Step { step, source } => {
+                write!(f, "primitive '{step}' failed: {source}")
+            }
+            PipelineError::NotFitted(n) => write!(f, "pipeline '{n}' is not fitted"),
+            PipelineError::BadTemplate(m) => write!(f, "bad template: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, PipelineError>;

@@ -1,0 +1,256 @@
+//! The configured, executable pipeline ⟨V, E, λ⟩ with its fit / detect
+//! lifecycle.
+
+use std::time::Instant;
+
+use sintel_primitives::{Context, Primitive, Value};
+use sintel_timeseries::{ScoredInterval, Signal};
+
+use crate::profile::{PipelineProfile, StepProfile};
+use crate::{PipelineError, Result};
+
+/// An executable anomaly detection pipeline.
+///
+/// `fit(signal)` runs every primitive's `fit` then `produce` over the
+/// training signal (modeling primitives need their preprocessing outputs
+/// produced before they can fit, hence the interleaving). `detect(signal)`
+/// runs `produce` only and extracts the `anomalies` slot.
+pub struct Pipeline {
+    name: String,
+    steps: Vec<Box<dyn Primitive>>,
+    fitted: bool,
+    profile: PipelineProfile,
+}
+
+impl Pipeline {
+    /// Assemble from instantiated primitives (usually via
+    /// [`crate::Template::build`]).
+    pub fn new(name: &str, steps: Vec<Box<dyn Primitive>>) -> Self {
+        Self { name: name.to_string(), steps, fitted: false, profile: PipelineProfile::default() }
+    }
+
+    /// Pipeline name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `fit` has completed.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// Primitive names, pipeline order.
+    pub fn step_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.meta().name.as_str()).collect()
+    }
+
+    /// Profiling data of the most recent fit/detect run.
+    pub fn profile(&self) -> &PipelineProfile {
+        &self.profile
+    }
+
+    fn run(&mut self, signal: &Signal, do_fit: bool) -> Result<Context> {
+        let mut ctx = Context::from_signal(signal.clone());
+        if do_fit {
+            self.profile = PipelineProfile::default();
+        }
+        for step in &mut self.steps {
+            let meta_name = step.meta().name.clone();
+            let engine = step.meta().engine;
+            let mut fit_time = std::time::Duration::ZERO;
+            if do_fit {
+                let t0 = Instant::now();
+                step.fit(&ctx).map_err(|e| PipelineError::Step {
+                    step: meta_name.clone(),
+                    source: e.to_string(),
+                })?;
+                fit_time = t0.elapsed();
+            }
+            let t0 = Instant::now();
+            let outputs = step.produce(&ctx).map_err(|e| PipelineError::Step {
+                step: meta_name.clone(),
+                source: e.to_string(),
+            })?;
+            let produce_time = t0.elapsed();
+            for (slot, value) in outputs {
+                ctx.set(slot, value);
+            }
+            if do_fit {
+                self.profile.steps.push(StepProfile {
+                    primitive: meta_name,
+                    engine,
+                    fit_time,
+                    produce_time,
+                });
+            } else if let Some(rec) =
+                self.profile.steps.iter_mut().find(|s| s.primitive == meta_name)
+            {
+                rec.produce_time += produce_time;
+            }
+        }
+        Ok(ctx)
+    }
+
+    /// Train the pipeline end-to-end on a signal (Figure 4a:
+    /// `sintel.fit(train_data)`).
+    pub fn fit(&mut self, signal: &Signal) -> Result<()> {
+        let t0 = Instant::now();
+        self.run(signal, true)?;
+        self.profile.fit_total = t0.elapsed();
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Detect anomalies in (new) data (Figure 4a:
+    /// `sintel.detect(new_data)`). Returns scored intervals in timestamp
+    /// space.
+    pub fn detect(&mut self, signal: &Signal) -> Result<Vec<ScoredInterval>> {
+        if !self.fitted {
+            return Err(PipelineError::NotFitted(self.name.clone()));
+        }
+        let t0 = Instant::now();
+        let ctx = self.run(signal, false)?;
+        self.profile.detect_total = t0.elapsed();
+        match ctx.get("anomalies") {
+            Some(Value::Intervals(anoms)) => Ok(anoms.clone()),
+            _ => Err(PipelineError::Step {
+                step: self.name.clone(),
+                source: "pipeline produced no 'anomalies' slot".into(),
+            }),
+        }
+    }
+
+    /// Convenience: fit on `train` then detect on `test`.
+    pub fn fit_detect(
+        &mut self,
+        train: &Signal,
+        test: &Signal,
+    ) -> Result<Vec<ScoredInterval>> {
+        self.fit(train)?;
+        self.detect(test)
+    }
+
+    /// Run the pipeline *up to* (excluding) the postprocessing threshold
+    /// stage and return the error series and timestamps — the signal-fit
+    /// view the unsupervised tuner optimises (Figure 5, setting 1).
+    pub fn errors(&mut self, signal: &Signal) -> Result<(Vec<f64>, Vec<i64>)> {
+        if !self.fitted {
+            return Err(PipelineError::NotFitted(self.name.clone()));
+        }
+        let ctx = self.run(signal, false)?;
+        let errors = ctx
+            .series("errors")
+            .map_err(|e| PipelineError::Step { step: self.name.clone(), source: e.to_string() })?
+            .clone();
+        let ts = ctx
+            .timestamps("error_timestamps")
+            .map_err(|e| PipelineError::Step { step: self.name.clone(), source: e.to_string() })?
+            .clone();
+        Ok((errors, ts))
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("name", &self.name)
+            .field("steps", &self.step_names())
+            .field("fitted", &self.fitted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{StepSpec, Template};
+    use sintel_primitives::HyperValue;
+
+    /// A fast end-to-end template (ARIMA based) for executor tests.
+    fn fast_template() -> Template {
+        Template {
+            name: "test_arima".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                StepSpec::plain("MinMaxScaler"),
+                StepSpec::with("arima", &[("p", HyperValue::Int(3)), ("q", HyperValue::Int(0))]),
+                StepSpec::plain("regression_errors"),
+                StepSpec::plain("find_anomalies"),
+            ],
+        }
+    }
+
+    fn spiky_signal(n: usize) -> Signal {
+        let mut vals: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 40.0).sin()).collect();
+        for v in vals.iter_mut().skip(n / 2).take(6) {
+            *v += 5.0;
+        }
+        Signal::from_values("spiky", vals)
+    }
+
+    #[test]
+    fn fit_detect_finds_injected_spike() {
+        let mut pipeline = fast_template().build_default().unwrap();
+        let clean = Signal::from_values(
+            "clean",
+            (0..400).map(|t| (std::f64::consts::TAU * t as f64 / 40.0).sin()).collect(),
+        );
+        let test = spiky_signal(400);
+        let anomalies = pipeline.fit_detect(&clean, &test).unwrap();
+        assert!(!anomalies.is_empty(), "spike not detected");
+        // The detection covers the injected region (timestamps == indices).
+        assert!(
+            anomalies.iter().any(|a| a.interval.start >= 180 && a.interval.start <= 215),
+            "{anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn detect_before_fit_errors() {
+        let mut pipeline = fast_template().build_default().unwrap();
+        let s = spiky_signal(100);
+        assert!(matches!(pipeline.detect(&s), Err(PipelineError::NotFitted(_))));
+        assert!(matches!(pipeline.errors(&s), Err(PipelineError::NotFitted(_))));
+    }
+
+    #[test]
+    fn profile_populated_after_run() {
+        let mut pipeline = fast_template().build_default().unwrap();
+        let s = spiky_signal(400);
+        pipeline.fit(&s).unwrap();
+        pipeline.detect(&s).unwrap();
+        let prof = pipeline.profile();
+        assert_eq!(prof.steps.len(), 6);
+        assert!(prof.fit_total > std::time::Duration::ZERO);
+        assert!(prof.detect_total > std::time::Duration::ZERO);
+        assert!(prof.total_time() >= prof.primitive_time());
+    }
+
+    #[test]
+    fn errors_view_exposes_series() {
+        let mut pipeline = fast_template().build_default().unwrap();
+        let s = spiky_signal(400);
+        pipeline.fit(&s).unwrap();
+        let (errors, ts) = pipeline.errors(&s).unwrap();
+        assert_eq!(errors.len(), ts.len());
+        assert!(!errors.is_empty());
+    }
+
+    #[test]
+    fn step_names_in_order() {
+        let pipeline = fast_template().build_default().unwrap();
+        assert_eq!(
+            pipeline.step_names(),
+            vec![
+                "time_segments_aggregate",
+                "SimpleImputer",
+                "MinMaxScaler",
+                "arima",
+                "regression_errors",
+                "find_anomalies"
+            ]
+        );
+    }
+}

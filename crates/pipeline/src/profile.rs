@@ -1,0 +1,98 @@
+//! Per-primitive execution profiling (powers Figures 7a/7b).
+
+use std::time::Duration;
+
+use sintel_primitives::Engine;
+
+/// Timing record for one primitive within one pipeline run.
+#[derive(Debug, Clone)]
+pub struct StepProfile {
+    /// Primitive name.
+    pub primitive: String,
+    /// Engine category.
+    pub engine: Engine,
+    /// Time spent in `fit` (zero if the phase did not run).
+    pub fit_time: Duration,
+    /// Time spent in `produce`.
+    pub produce_time: Duration,
+}
+
+/// Profiling summary of a full pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineProfile {
+    /// Per-step records, pipeline order.
+    pub steps: Vec<StepProfile>,
+    /// Wall-clock time of the whole `fit` call (including framework
+    /// overhead between primitives).
+    pub fit_total: Duration,
+    /// Wall-clock time of the whole `detect` call.
+    pub detect_total: Duration,
+}
+
+impl PipelineProfile {
+    /// Sum of the primitives' own fit+produce time (the "standalone"
+    /// baseline of Figure 7b).
+    pub fn primitive_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.fit_time + s.produce_time).sum()
+    }
+
+    /// End-to-end wall-clock (fit + detect).
+    pub fn total_time(&self) -> Duration {
+        self.fit_total + self.detect_total
+    }
+
+    /// Framework overhead: end-to-end wall-clock minus the primitives'
+    /// own time (what Figure 7b reports as the delta).
+    pub fn overhead(&self) -> Duration {
+        self.total_time().saturating_sub(self.primitive_time())
+    }
+
+    /// Overhead as a percentage of the primitives' own time.
+    pub fn overhead_percent(&self) -> f64 {
+        let prim = self.primitive_time().as_secs_f64();
+        if prim <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.overhead().as_secs_f64() / prim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(fit_ms: u64, produce_ms: u64, totals: (u64, u64)) -> PipelineProfile {
+        PipelineProfile {
+            steps: vec![StepProfile {
+                primitive: "p".into(),
+                engine: Engine::Modeling,
+                fit_time: Duration::from_millis(fit_ms),
+                produce_time: Duration::from_millis(produce_ms),
+            }],
+            fit_total: Duration::from_millis(totals.0),
+            detect_total: Duration::from_millis(totals.1),
+        }
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let p = profile(100, 50, (120, 60));
+        assert_eq!(p.primitive_time(), Duration::from_millis(150));
+        assert_eq!(p.total_time(), Duration::from_millis(180));
+        assert_eq!(p.overhead(), Duration::from_millis(30));
+        assert!((p.overhead_percent() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_primitive_time_is_safe() {
+        let p = profile(0, 0, (0, 0));
+        assert_eq!(p.overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn overhead_never_negative() {
+        // Wall clock below primitive sum (clock skew) saturates at zero.
+        let p = profile(100, 100, (50, 50));
+        assert_eq!(p.overhead(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,192 @@
+//! Templates: ⟨V, E, Λ⟩ (paper §3.2).
+
+use sintel_primitives::{build_primitive, HyperSpec, HyperValue};
+
+use crate::pipeline::Pipeline;
+use crate::{PipelineError, Result};
+
+/// One step of a template: a primitive name plus fixed hyperparameter
+/// overrides applied at build time.
+#[derive(Debug, Clone)]
+pub struct StepSpec {
+    /// Registry name of the primitive.
+    pub primitive: String,
+    /// Fixed hyperparameter overrides `(name, value)`.
+    pub overrides: Vec<(String, HyperValue)>,
+}
+
+impl StepSpec {
+    /// A step with no overrides.
+    pub fn plain(primitive: &str) -> Self {
+        Self { primitive: primitive.to_string(), overrides: Vec::new() }
+    }
+
+    /// A step with overrides.
+    pub fn with(primitive: &str, overrides: &[(&str, HyperValue)]) -> Self {
+        Self {
+            primitive: primitive.to_string(),
+            overrides: overrides.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        }
+    }
+}
+
+/// Identifies one hyperparameter within a template's joint space Λ:
+/// `(step index, hyperparameter name)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParamId {
+    /// Step index within the template.
+    pub step: usize,
+    /// Hyperparameter name within the primitive.
+    pub name: String,
+}
+
+impl std::fmt::Display for ParamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step{}#{}", self.step, self.name)
+    }
+}
+
+/// A pipeline template: named, ordered primitive steps.
+///
+/// ```
+/// use sintel_pipeline::Template;
+///
+/// let template = Template::from_names(
+///     "my_detector",
+///     &["time_segments_aggregate", "SimpleImputer", "MinMaxScaler",
+///       "arima", "regression_errors", "find_anomalies"],
+/// );
+/// // The joint tunable hyperparameter space Λ is collected from the
+/// // primitives' declarations.
+/// assert!(!template.hyperparameter_space().unwrap().is_empty());
+/// let pipeline = template.build_default().unwrap();
+/// assert_eq!(pipeline.name(), "my_detector");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Template name (doubles as pipeline name when built).
+    pub name: String,
+    /// Ordered steps.
+    pub steps: Vec<StepSpec>,
+}
+
+impl Template {
+    /// Create a template from plain primitive names.
+    pub fn from_names(name: &str, primitives: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            steps: primitives.iter().map(|p| StepSpec::plain(p)).collect(),
+        }
+    }
+
+    /// The joint *tunable* hyperparameter space Λ: every tunable spec of
+    /// every step, addressed by [`ParamId`]. Fixed overrides and
+    /// `tunable = false` specs are excluded.
+    pub fn hyperparameter_space(&self) -> Result<Vec<(ParamId, HyperSpec)>> {
+        let mut space = Vec::new();
+        for (idx, step) in self.steps.iter().enumerate() {
+            let prim = build_primitive(&step.primitive)
+                .map_err(|e| PipelineError::BadTemplate(e.to_string()))?;
+            for spec in &prim.meta().hyperparams {
+                let overridden = step.overrides.iter().any(|(n, _)| n == &spec.name);
+                if spec.tunable && !overridden {
+                    space.push((
+                        ParamId { step: idx, name: spec.name.clone() },
+                        spec.clone(),
+                    ));
+                }
+            }
+        }
+        Ok(space)
+    }
+
+    /// Build the pipeline with the template's fixed overrides plus the
+    /// extra configuration λ (typically proposed by the tuner).
+    pub fn build(&self, lambda: &[(ParamId, HyperValue)]) -> Result<Pipeline> {
+        let mut steps = Vec::with_capacity(self.steps.len());
+        for (idx, spec) in self.steps.iter().enumerate() {
+            let mut prim = build_primitive(&spec.primitive)
+                .map_err(|e| PipelineError::BadTemplate(e.to_string()))?;
+            for (name, value) in &spec.overrides {
+                prim.set_hyperparam(name, value.clone()).map_err(|e| PipelineError::Step {
+                    step: spec.primitive.clone(),
+                    source: e.to_string(),
+                })?;
+            }
+            for (pid, value) in lambda {
+                if pid.step == idx {
+                    prim.set_hyperparam(&pid.name, value.clone()).map_err(|e| {
+                        PipelineError::Step {
+                            step: spec.primitive.clone(),
+                            source: e.to_string(),
+                        }
+                    })?;
+                }
+            }
+            steps.push(prim);
+        }
+        Ok(Pipeline::new(&self.name, steps))
+    }
+
+    /// Build with defaults only.
+    pub fn build_default(&self) -> Result<Pipeline> {
+        self.build(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_template() -> Template {
+        Template {
+            name: "demo".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                StepSpec::with("rolling_window_sequences", &[("window_size", HyperValue::Int(8))]),
+            ],
+        }
+    }
+
+    #[test]
+    fn space_excludes_fixed_and_overridden() {
+        let t = demo_template();
+        let space = t.hyperparameter_space().unwrap();
+        // window_size is overridden -> excluded; step is fixed -> excluded.
+        assert!(!space.iter().any(|(p, _)| p.name == "window_size"));
+        assert!(!space.iter().any(|(p, _)| p.name == "step"));
+        // method (tsa) and strategy (imputer) are tunable.
+        assert!(space.iter().any(|(p, _)| p.step == 0 && p.name == "method"));
+        assert!(space.iter().any(|(p, _)| p.step == 1 && p.name == "strategy"));
+    }
+
+    #[test]
+    fn build_applies_overrides_and_lambda() {
+        let t = demo_template();
+        let lambda = vec![(
+            ParamId { step: 1, name: "strategy".into() },
+            HyperValue::Text("zero".into()),
+        )];
+        assert!(t.build(&lambda).is_ok());
+        // Out-of-range lambda fails loudly.
+        let bad = vec![(
+            ParamId { step: 1, name: "strategy".into() },
+            HyperValue::Text("bogus".into()),
+        )];
+        assert!(matches!(t.build(&bad), Err(PipelineError::Step { .. })));
+    }
+
+    #[test]
+    fn unknown_primitive_in_template() {
+        let t = Template::from_names("broken", &["nonexistent_primitive"]);
+        assert!(matches!(t.build_default(), Err(PipelineError::BadTemplate(_))));
+        assert!(t.hyperparameter_space().is_err());
+    }
+
+    #[test]
+    fn param_id_display() {
+        let pid = ParamId { step: 2, name: "alpha".into() };
+        assert_eq!(pid.to_string(), "step2#alpha");
+    }
+}

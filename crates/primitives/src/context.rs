@@ -1,0 +1,169 @@
+//! The typed data context primitives read from and write to.
+
+use std::collections::HashMap;
+
+use sintel_timeseries::{ScoredInterval, Signal};
+
+use crate::{PrimitiveError, Result};
+
+/// A value flowing between primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A plain numeric series (errors, predictions, scores, targets…).
+    Series(Vec<f64>),
+    /// A timestamp vector aligned with some series.
+    Timestamps(Vec<i64>),
+    /// Sample indices (window origins, alignment offsets…).
+    Indices(Vec<usize>),
+    /// Flattened model windows.
+    Windows(Vec<Vec<f64>>),
+    /// Detected (scored) anomalous intervals.
+    Intervals(Vec<ScoredInterval>),
+    /// A full signal.
+    Signal(Signal),
+    /// A scalar.
+    Scalar(f64),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Series(_) => "Series",
+            Value::Timestamps(_) => "Timestamps",
+            Value::Indices(_) => "Indices",
+            Value::Windows(_) => "Windows",
+            Value::Intervals(_) => "Intervals",
+            Value::Signal(_) => "Signal",
+            Value::Scalar(_) => "Scalar",
+        }
+    }
+}
+
+/// Named slots shared along a pipeline execution.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    slots: HashMap<String, Value>,
+}
+
+macro_rules! typed_getter {
+    ($fn_name:ident, $variant:ident, $ty:ty, $expected:literal) => {
+        /// Typed accessor; errors if the slot is absent or has another type.
+        pub fn $fn_name(&self, slot: &str) -> Result<&$ty> {
+            match self.slots.get(slot) {
+                Some(Value::$variant(v)) => Ok(v),
+                other => Err(PrimitiveError::MissingInput {
+                    slot: slot.to_string(),
+                    expected: match other {
+                        Some(v) => format!(concat!($expected, ", found {}"), v.type_name()),
+                        None => $expected.to_string(),
+                    },
+                }),
+            }
+        }
+    };
+}
+
+impl Context {
+    /// Empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Context pre-seeded with a signal under the conventional
+    /// `"signal"` slot.
+    pub fn from_signal(signal: Signal) -> Self {
+        let mut ctx = Self::new();
+        ctx.set("signal", Value::Signal(signal));
+        ctx
+    }
+
+    /// Insert/overwrite a slot.
+    pub fn set(&mut self, slot: impl Into<String>, value: Value) {
+        self.slots.insert(slot.into(), value);
+    }
+
+    /// Raw access.
+    pub fn get(&self, slot: &str) -> Option<&Value> {
+        self.slots.get(slot)
+    }
+
+    /// Whether a slot exists.
+    pub fn contains(&self, slot: &str) -> bool {
+        self.slots.contains_key(slot)
+    }
+
+    /// Slot names currently populated (sorted, for stable debugging).
+    pub fn slot_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.slots.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    typed_getter!(series, Series, Vec<f64>, "Series");
+    typed_getter!(timestamps, Timestamps, Vec<i64>, "Timestamps");
+    typed_getter!(indices, Indices, Vec<usize>, "Indices");
+    typed_getter!(windows, Windows, Vec<Vec<f64>>, "Windows");
+    typed_getter!(intervals, Intervals, Vec<ScoredInterval>, "Intervals");
+    typed_getter!(signal, Signal, Signal, "Signal");
+
+    /// Scalar accessor.
+    pub fn scalar(&self, slot: &str) -> Result<f64> {
+        match self.slots.get(slot) {
+            Some(Value::Scalar(v)) => Ok(*v),
+            _ => Err(PrimitiveError::MissingInput {
+                slot: slot.to_string(),
+                expected: "Scalar".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut ctx = Context::new();
+        ctx.set("errors", Value::Series(vec![1.0, 2.0]));
+        assert_eq!(ctx.series("errors").unwrap(), &vec![1.0, 2.0]);
+        assert!(ctx.contains("errors"));
+        assert!(!ctx.contains("nope"));
+    }
+
+    #[test]
+    fn wrong_type_is_reported() {
+        let mut ctx = Context::new();
+        ctx.set("errors", Value::Timestamps(vec![1, 2]));
+        let err = ctx.series("errors").unwrap_err();
+        match err {
+            PrimitiveError::MissingInput { slot, expected } => {
+                assert_eq!(slot, "errors");
+                assert!(expected.contains("Series") && expected.contains("Timestamps"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_slot_is_reported() {
+        let ctx = Context::new();
+        assert!(ctx.timestamps("t").is_err());
+        assert!(ctx.scalar("s").is_err());
+    }
+
+    #[test]
+    fn from_signal_seeds_slot() {
+        let s = Signal::from_values("x", vec![1.0, 2.0]);
+        let ctx = Context::from_signal(s.clone());
+        assert_eq!(ctx.signal("signal").unwrap(), &s);
+    }
+
+    #[test]
+    fn slot_names_sorted() {
+        let mut ctx = Context::new();
+        ctx.set("b", Value::Scalar(1.0));
+        ctx.set("a", Value::Scalar(2.0));
+        assert_eq!(ctx.slot_names(), vec!["a", "b"]);
+    }
+}

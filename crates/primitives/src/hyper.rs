@@ -1,0 +1,215 @@
+//! Hyperparameter values, ranges and specs.
+//!
+//! Every primitive *declares* its tunable hyperparameters with a range
+//! annotation. The pipeline template collects these declarations into the
+//! joint space Λ (paper §3.2), which the AutoML tuner searches (§3.3).
+
+use crate::{PrimitiveError, Result};
+
+/// A concrete hyperparameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HyperValue {
+    /// Integer-valued hyperparameter.
+    Int(i64),
+    /// Real-valued hyperparameter.
+    Float(f64),
+    /// Categorical hyperparameter.
+    Text(String),
+    /// Boolean hyperparameter.
+    Flag(bool),
+}
+
+impl HyperValue {
+    /// Coerce to i64 (accepting floats with integral values).
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            HyperValue::Int(v) => Ok(*v),
+            HyperValue::Float(v) if v.fract() == 0.0 => Ok(*v as i64),
+            other => Err(PrimitiveError::BadHyperparameter(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    /// Coerce to f64 (accepting ints).
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            HyperValue::Float(v) => Ok(*v),
+            HyperValue::Int(v) => Ok(*v as f64),
+            other => {
+                Err(PrimitiveError::BadHyperparameter(format!("expected float, got {other:?}")))
+            }
+        }
+    }
+
+    /// Coerce to str.
+    pub fn as_text(&self) -> Result<&str> {
+        match self {
+            HyperValue::Text(v) => Ok(v),
+            other => {
+                Err(PrimitiveError::BadHyperparameter(format!("expected text, got {other:?}")))
+            }
+        }
+    }
+
+    /// Coerce to bool.
+    pub fn as_flag(&self) -> Result<bool> {
+        match self {
+            HyperValue::Flag(v) => Ok(*v),
+            other => {
+                Err(PrimitiveError::BadHyperparameter(format!("expected flag, got {other:?}")))
+            }
+        }
+    }
+}
+
+/// The declared search range of a hyperparameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HyperRange {
+    /// Integers in `[lo, hi]` inclusive.
+    Int {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// Reals in `[lo, hi]`; `log` requests log-uniform sampling.
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Sample log-uniformly when true.
+        log: bool,
+    },
+    /// One of a fixed set of strings.
+    Choice(Vec<String>),
+    /// Boolean.
+    Flag,
+}
+
+impl HyperRange {
+    /// Whether `value` lies within this range.
+    pub fn contains(&self, value: &HyperValue) -> bool {
+        match (self, value) {
+            (HyperRange::Int { lo, hi }, HyperValue::Int(v)) => lo <= v && v <= hi,
+            (HyperRange::Float { lo, hi, .. }, HyperValue::Float(v)) => {
+                *lo <= *v && *v <= *hi
+            }
+            (HyperRange::Float { lo, hi, .. }, HyperValue::Int(v)) => {
+                *lo <= *v as f64 && (*v as f64) <= *hi
+            }
+            (HyperRange::Choice(opts), HyperValue::Text(v)) => opts.iter().any(|o| o == v),
+            (HyperRange::Flag, HyperValue::Flag(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A declared hyperparameter: name, range and default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperSpec {
+    /// Hyperparameter name (unique within a primitive).
+    pub name: String,
+    /// Search range.
+    pub range: HyperRange,
+    /// Default value (must lie within `range`).
+    pub default: HyperValue,
+    /// Whether the AutoML tuner should search over it.
+    pub tunable: bool,
+}
+
+impl HyperSpec {
+    /// Integer spec helper.
+    pub fn int(name: &str, lo: i64, hi: i64, default: i64) -> Self {
+        Self {
+            name: name.to_string(),
+            range: HyperRange::Int { lo, hi },
+            default: HyperValue::Int(default),
+            tunable: true,
+        }
+    }
+
+    /// Float spec helper.
+    pub fn float(name: &str, lo: f64, hi: f64, default: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            range: HyperRange::Float { lo, hi, log: false },
+            default: HyperValue::Float(default),
+            tunable: true,
+        }
+    }
+
+    /// Log-scale float spec helper (learning rates etc.).
+    pub fn log_float(name: &str, lo: f64, hi: f64, default: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            range: HyperRange::Float { lo, hi, log: true },
+            default: HyperValue::Float(default),
+            tunable: true,
+        }
+    }
+
+    /// Categorical spec helper.
+    pub fn choice(name: &str, options: &[&str], default: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            range: HyperRange::Choice(options.iter().map(|s| s.to_string()).collect()),
+            default: HyperValue::Text(default.to_string()),
+            tunable: true,
+        }
+    }
+
+    /// Mark the spec as fixed (not searched by the tuner).
+    pub fn fixed(mut self) -> Self {
+        self.tunable = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(HyperValue::Int(3).as_int().unwrap(), 3);
+        assert_eq!(HyperValue::Float(3.0).as_int().unwrap(), 3);
+        assert!(HyperValue::Float(3.5).as_int().is_err());
+        assert_eq!(HyperValue::Int(2).as_float().unwrap(), 2.0);
+        assert_eq!(HyperValue::Text("a".into()).as_text().unwrap(), "a");
+        assert!(HyperValue::Flag(true).as_flag().unwrap());
+        assert!(HyperValue::Text("x".into()).as_flag().is_err());
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = HyperRange::Int { lo: 1, hi: 10 };
+        assert!(r.contains(&HyperValue::Int(5)));
+        assert!(!r.contains(&HyperValue::Int(11)));
+        assert!(!r.contains(&HyperValue::Float(5.0))); // strict typing for ints
+
+        let f = HyperRange::Float { lo: 0.0, hi: 1.0, log: false };
+        assert!(f.contains(&HyperValue::Float(0.5)));
+        assert!(f.contains(&HyperValue::Int(1))); // ints allowed in float ranges
+        assert!(!f.contains(&HyperValue::Float(1.5)));
+
+        let c = HyperRange::Choice(vec!["mean".into(), "median".into()]);
+        assert!(c.contains(&HyperValue::Text("mean".into())));
+        assert!(!c.contains(&HyperValue::Text("max".into())));
+
+        assert!(HyperRange::Flag.contains(&HyperValue::Flag(false)));
+    }
+
+    #[test]
+    fn spec_helpers_defaults_in_range() {
+        for spec in [
+            HyperSpec::int("n", 1, 10, 5),
+            HyperSpec::float("x", 0.0, 1.0, 0.3),
+            HyperSpec::log_float("lr", 1e-5, 1e-1, 1e-3),
+            HyperSpec::choice("agg", &["mean", "max"], "mean"),
+        ] {
+            assert!(spec.range.contains(&spec.default), "{}", spec.name);
+            assert!(spec.tunable);
+        }
+        assert!(!HyperSpec::int("k", 0, 1, 0).fixed().tunable);
+    }
+}

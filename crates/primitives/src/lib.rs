@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! # sintel-primitives
+//!
+//! The *primitive* abstraction of the paper (§2.2) and Sintel's primitive
+//! library.
+//!
+//! A primitive is a reusable software component with a single
+//! responsibility: it reads named inputs from a [`Context`], performs one
+//! operation, and writes named outputs back. Primitives carry metadata —
+//! name, description, engine category ([`Engine::Preprocessing`],
+//! [`Engine::Modeling`], [`Engine::Postprocessing`]) and declared,
+//! range-annotated hyperparameters — which is what lets the AutoML tuner
+//! (`sintel-tuner`) pull the joint hyperparameter space of a pipeline
+//! automatically (§3.3) and lets contributors add primitives without
+//! touching pipelines.
+//!
+//! The library covers the paper's Figure 2a stack end-to-end:
+//!
+//! * preprocessing — [`pre::TimeSegmentsAggregate`], [`pre::SimpleImputer`],
+//!   [`pre::MinMaxScaler`], [`pre::StandardScaler`],
+//!   [`pre::RollingWindowSequences`];
+//! * modeling — [`model::LstmRegressorPrimitive`], [`model::ArimaPrimitive`],
+//!   [`model::LstmAutoencoderPrimitive`], [`model::DenseAutoencoderPrimitive`],
+//!   [`model::TadGanPrimitive`], [`model::AzureAnomalyService`]
+//!   (spectral-residual stand-in for the MS Azure service);
+//! * postprocessing — [`post::RegressionErrors`],
+//!   [`post::ReconstructionErrors`], [`post::FindAnomalies`] (dynamic
+//!   threshold), [`post::FixedThresholdPrimitive`] (ablation baseline).
+
+pub mod context;
+pub mod ext;
+pub mod hyper;
+pub mod model;
+pub mod post;
+pub mod pre;
+pub mod primitive;
+pub mod registry;
+
+pub use context::{Context, Value};
+pub use hyper::{HyperRange, HyperSpec, HyperValue};
+pub use primitive::{Engine, Primitive, PrimitiveMeta};
+pub use registry::{available_primitives, build_primitive};
+
+/// Errors produced by primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimitiveError {
+    /// A required context slot is missing or has the wrong type.
+    MissingInput {
+        /// Context slot that was read.
+        slot: String,
+        /// Expected value type (and what was found, if anything).
+        expected: String,
+    },
+    /// Unknown hyperparameter name or out-of-range/ill-typed value.
+    BadHyperparameter(String),
+    /// `produce` was called before a required `fit`.
+    NotFitted(String),
+    /// The wrapped algorithm failed.
+    Algorithm(String),
+}
+
+impl std::fmt::Display for PrimitiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrimitiveError::MissingInput { slot, expected } => {
+                write!(f, "missing or ill-typed input '{slot}' (expected {expected})")
+            }
+            PrimitiveError::BadHyperparameter(m) => write!(f, "bad hyperparameter: {m}"),
+            PrimitiveError::NotFitted(name) => write!(f, "primitive '{name}' is not fitted"),
+            PrimitiveError::Algorithm(m) => write!(f, "algorithm failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PrimitiveError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, PrimitiveError>;

@@ -1,0 +1,130 @@
+//! The primitive registry: build primitives by name.
+//!
+//! Pipelines are declared as lists of primitive names (paper §3.2); the
+//! registry is how those names resolve to fresh instances. Contributors
+//! extend Sintel by adding a primitive here without touching any
+//! pipeline definition.
+
+use crate::ext::{
+    Detrend, HoltWintersPrimitive, MatrixProfilePrimitive, RemoveLevelShifts,
+};
+use crate::model::{
+    ArimaPrimitive, AzureAnomalyService, DenseAutoencoderPrimitive, LstmAutoencoderPrimitive,
+    LstmRegressorPrimitive, TadGanPrimitive,
+};
+use crate::post::{
+    FindAnomalies, FixedThresholdPrimitive, ReconstructionErrors, RegressionErrors,
+};
+use crate::pre::{
+    MinMaxScaler, RollingWindowSequences, SimpleImputer, StandardScaler, TimeSegmentsAggregate,
+};
+use crate::primitive::Primitive;
+use crate::{PrimitiveError, Result};
+
+/// All registered primitive names, grouped by pipeline order.
+pub const PRIMITIVE_NAMES: &[&str] = &[
+    // preprocessing
+    "time_segments_aggregate",
+    "SimpleImputer",
+    "MinMaxScaler",
+    "StandardScaler",
+    "detrend",
+    "remove_level_shifts",
+    "rolling_window_sequences",
+    // modeling
+    "lstm_regressor",
+    "arima",
+    "holt_winters",
+    "lstm_autoencoder",
+    "dense_autoencoder",
+    "tadgan",
+    "azure_anomaly_service",
+    "matrix_profile",
+    // postprocessing
+    "regression_errors",
+    "reconstruction_errors",
+    "find_anomalies",
+    "fixed_threshold",
+];
+
+/// Construct a fresh primitive by registry name.
+pub fn build_primitive(name: &str) -> Result<Box<dyn Primitive>> {
+    let prim: Box<dyn Primitive> = match name {
+        "time_segments_aggregate" => Box::new(TimeSegmentsAggregate::new()),
+        "SimpleImputer" => Box::new(SimpleImputer::new()),
+        "MinMaxScaler" => Box::new(MinMaxScaler::new()),
+        "StandardScaler" => Box::new(StandardScaler::new()),
+        "detrend" => Box::new(Detrend::new()),
+        "remove_level_shifts" => Box::new(RemoveLevelShifts::new()),
+        "rolling_window_sequences" => Box::new(RollingWindowSequences::new()),
+        "lstm_regressor" => Box::new(LstmRegressorPrimitive::new()),
+        "arima" => Box::new(ArimaPrimitive::new()),
+        "holt_winters" => Box::new(HoltWintersPrimitive::new()),
+        "lstm_autoencoder" => Box::new(LstmAutoencoderPrimitive::new()),
+        "dense_autoencoder" => Box::new(DenseAutoencoderPrimitive::new()),
+        "tadgan" => Box::new(TadGanPrimitive::new()),
+        "azure_anomaly_service" => Box::new(AzureAnomalyService::new()),
+        "matrix_profile" => Box::new(MatrixProfilePrimitive::new()),
+        "regression_errors" => Box::new(RegressionErrors::new()),
+        "reconstruction_errors" => Box::new(ReconstructionErrors::new()),
+        "find_anomalies" => Box::new(FindAnomalies::new()),
+        "fixed_threshold" => Box::new(FixedThresholdPrimitive::new()),
+        other => {
+            return Err(PrimitiveError::Algorithm(format!("unknown primitive '{other}'")))
+        }
+    };
+    Ok(prim)
+}
+
+/// List the registered primitive names.
+pub fn available_primitives() -> &'static [&'static str] {
+    PRIMITIVE_NAMES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        for name in available_primitives() {
+            let prim = build_primitive(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(&prim.meta().name, name, "meta name mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        assert!(build_primitive("flux_capacitor").is_err());
+    }
+
+    #[test]
+    fn metadata_engine_ordering_is_consistent() {
+        use crate::primitive::Engine;
+        // Preprocessing primitives come first in the registry list, then
+        // modeling, then postprocessing — mirrors pipeline order.
+        let engines: Vec<Engine> = available_primitives()
+            .iter()
+            .map(|n| build_primitive(n).unwrap().meta().engine)
+            .collect();
+        let first_model = engines.iter().position(|e| *e == Engine::Modeling).unwrap();
+        let first_post = engines.iter().position(|e| *e == Engine::Postprocessing).unwrap();
+        assert!(engines[..first_model].iter().all(|e| *e == Engine::Preprocessing));
+        assert!(first_model < first_post);
+        assert!(engines[first_post..].iter().all(|e| *e == Engine::Postprocessing));
+    }
+
+    #[test]
+    fn default_hyperparams_are_valid() {
+        for name in available_primitives() {
+            let prim = build_primitive(name).unwrap();
+            for spec in &prim.meta().hyperparams {
+                assert!(
+                    spec.range.contains(&spec.default),
+                    "{name}.{} default out of range",
+                    spec.name
+                );
+            }
+        }
+    }
+}

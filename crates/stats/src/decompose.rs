@@ -1,0 +1,269 @@
+//! Seasonal-trend decomposition (an STL-flavoured additive decomposition)
+//! and change-point detection.
+//!
+//! The paper's §5 ("Addressing distribution shifts") attributes the F1
+//! drop on Yahoo's A4 subset to unhandled change points (86% of A4
+//! signals contain one) and prescribes exactly these preprocessing
+//! techniques: *"feature shift-elimination techniques such as
+//! decomposition as well as segmenting signals using change point
+//! detection"*. This module provides both, and the `detrend`
+//! preprocessing primitive plugs them into any pipeline.
+
+use crate::{Result, StatsError};
+
+/// Additive decomposition `x = trend + seasonal + residual`.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Centred moving-average trend.
+    pub trend: Vec<f64>,
+    /// Periodic component (seasonal means of the detrended series).
+    pub seasonal: Vec<f64>,
+    /// What remains.
+    pub residual: Vec<f64>,
+}
+
+/// Decompose a series with a known seasonal `period` (in samples).
+///
+/// Classic two-pass procedure: (1) centred moving average of width
+/// `period` estimates the trend; (2) per-phase means of the detrended
+/// series estimate the seasonal component; (3) the rest is residual.
+pub fn decompose(values: &[f64], period: usize) -> Result<Decomposition> {
+    if period < 2 {
+        return Err(StatsError::InvalidParameter(format!("period must be >= 2, got {period}")));
+    }
+    if values.len() < 2 * period {
+        return Err(StatsError::InsufficientData { needed: 2 * period, got: values.len() });
+    }
+    let n = values.len();
+
+    // Centred moving average, shrinking the window at the edges.
+    let half = period / 2;
+    let mut trend = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        trend.push(sintel_common::mean(&values[lo..hi]));
+    }
+
+    // Seasonal means per phase, centred to sum to ~zero.
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_count = vec![0usize; period];
+    for i in 0..n {
+        phase_sum[i % period] += values[i] - trend[i];
+        phase_count[i % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_count)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+    let grand = sintel_common::mean(&phase_mean);
+    phase_mean.iter_mut().for_each(|m| *m -= grand);
+
+    let seasonal: Vec<f64> = (0..n).map(|i| phase_mean[i % period]).collect();
+    let residual: Vec<f64> =
+        (0..n).map(|i| values[i] - trend[i] - seasonal[i]).collect();
+    Ok(Decomposition { trend, seasonal, residual })
+}
+
+/// Estimate the dominant seasonal period from the autocorrelation peak
+/// in `[min_lag, max_lag]`; `None` when nothing is periodic enough.
+pub fn estimate_period(values: &[f64], min_lag: usize, max_lag: usize) -> Option<usize> {
+    let n = values.len();
+    if n < 3 * min_lag.max(2) || min_lag >= max_lag {
+        return None;
+    }
+    let mu = sintel_common::mean(values);
+    let var: f64 = values.iter().map(|v| (v - mu) * (v - mu)).sum();
+    if var <= 1e-12 {
+        return None;
+    }
+    let max_lag = max_lag.min(n / 2);
+    let mut best = (0usize, 0.0f64);
+    for lag in min_lag..=max_lag {
+        let mut acf = 0.0;
+        for i in lag..n {
+            acf += (values[i] - mu) * (values[i - lag] - mu);
+        }
+        acf /= var;
+        if acf > best.1 {
+            best = (lag, acf);
+        }
+    }
+    (best.1 > 0.3).then_some(best.0)
+}
+
+/// Offline change-point detection by binary segmentation over a
+/// piecewise-constant-mean cost (sum of squared deviations).
+///
+/// Splits recursively while the best split improves the cost by more
+/// than `penalty * variance_of_whole_series`, up to `max_points` change
+/// points. Returns sorted change-point indices.
+pub fn change_points(values: &[f64], penalty: f64, max_points: usize) -> Vec<usize> {
+    let n = values.len();
+    if n < 8 || max_points == 0 {
+        return Vec::new();
+    }
+    let scale = sintel_common::variance(values).max(1e-12) * n as f64;
+    let mut segments = vec![(0usize, n)];
+    let mut found: Vec<usize> = Vec::new();
+    while found.len() < max_points {
+        // Best split across all current segments.
+        let mut best: Option<(f64, usize, usize)> = None; // (gain, seg idx, split)
+        for (k, &(lo, hi)) in segments.iter().enumerate() {
+            if hi - lo < 8 {
+                continue;
+            }
+            if let Some((gain, split)) = best_split(&values[lo..hi]) {
+                let split = lo + split;
+                if best.as_ref().is_none_or(|b| gain > b.0) {
+                    best = Some((gain, k, split));
+                }
+            }
+        }
+        let Some((gain, k, split)) = best else { break };
+        if gain < penalty * scale {
+            break;
+        }
+        let (lo, hi) = segments[k];
+        segments[k] = (lo, split);
+        segments.push((split, hi));
+        found.push(split);
+    }
+    found.sort_unstable();
+    found
+}
+
+/// Best single split of a segment under the piecewise-mean cost; returns
+/// `(cost gain, split index)` with split in `[4, len-4]`.
+fn best_split(seg: &[f64]) -> Option<(f64, usize)> {
+    let n = seg.len();
+    if n < 8 {
+        return None;
+    }
+    // Prefix sums for O(1) segment costs.
+    let mut sum = vec![0.0; n + 1];
+    let mut sq = vec![0.0; n + 1];
+    for (i, &v) in seg.iter().enumerate() {
+        sum[i + 1] = sum[i] + v;
+        sq[i + 1] = sq[i] + v * v;
+    }
+    let cost = |lo: usize, hi: usize| -> f64 {
+        let len = (hi - lo) as f64;
+        let s = sum[hi] - sum[lo];
+        (sq[hi] - sq[lo]) - s * s / len
+    };
+    let total = cost(0, n);
+    let mut best: Option<(f64, usize)> = None;
+    for split in 4..=(n - 4) {
+        let gain = total - cost(0, split) - cost(split, n);
+        if best.is_none_or(|b| gain > b.0) {
+            best = Some((gain, split));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintel_common::SintelRng;
+
+    fn seasonal_series(n: usize, period: usize, trend_slope: f64, noise: f64) -> Vec<f64> {
+        let mut rng = SintelRng::seed_from_u64(5);
+        (0..n)
+            .map(|t| {
+                trend_slope * t as f64
+                    + 2.0 * (std::f64::consts::TAU * t as f64 / period as f64).sin()
+                    + rng.normal(0.0, noise)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decompose_recovers_components() {
+        let period = 24;
+        let values = seasonal_series(480, period, 0.01, 0.05);
+        let d = decompose(&values, period).unwrap();
+        // Residual variance is far below the signal variance.
+        assert!(
+            sintel_common::variance(&d.residual) < 0.1 * sintel_common::variance(&values),
+            "residual variance too large"
+        );
+        // Components re-add to the original exactly.
+        for (i, v) in values.iter().enumerate() {
+            assert!((d.trend[i] + d.seasonal[i] + d.residual[i] - v).abs() < 1e-9);
+        }
+        // Seasonal is periodic in the interior.
+        for i in period..(values.len() - 2 * period) {
+            assert!((d.seasonal[i] - d.seasonal[i + period]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decompose_validates_inputs() {
+        assert!(decompose(&[1.0; 10], 1).is_err());
+        assert!(decompose(&[1.0; 10], 8).is_err());
+    }
+
+    #[test]
+    fn estimate_period_finds_cycle() {
+        let values = seasonal_series(600, 48, 0.0, 0.1);
+        let p = estimate_period(&values, 8, 120).unwrap();
+        assert!((46..=50).contains(&p), "estimated {p}");
+    }
+
+    #[test]
+    fn estimate_period_rejects_noise() {
+        let mut rng = SintelRng::seed_from_u64(9);
+        let noise: Vec<f64> = (0..500).map(|_| rng.normal(0.0, 1.0)).collect();
+        assert_eq!(estimate_period(&noise, 8, 120), None);
+        assert_eq!(estimate_period(&[1.0; 100], 8, 20), None); // constant
+    }
+
+    #[test]
+    fn change_points_find_level_shift() {
+        let mut values = vec![0.0; 300];
+        for v in &mut values[120..] {
+            *v = 5.0;
+        }
+        let mut rng = SintelRng::seed_from_u64(2);
+        for v in &mut values {
+            *v += rng.normal(0.0, 0.2);
+        }
+        let cps = change_points(&values, 0.05, 4);
+        assert_eq!(cps.len(), 1, "{cps:?}");
+        assert!((115..=125).contains(&cps[0]), "{cps:?}");
+    }
+
+    #[test]
+    fn change_points_multiple_shifts() {
+        let mut values = Vec::new();
+        for (level, len) in [(0.0, 100), (4.0, 100), (-3.0, 100)] {
+            values.extend(std::iter::repeat_n(level, len));
+        }
+        let mut rng = SintelRng::seed_from_u64(3);
+        for v in &mut values {
+            *v += rng.normal(0.0, 0.3);
+        }
+        let cps = change_points(&values, 0.02, 5);
+        assert_eq!(cps.len(), 2, "{cps:?}");
+        assert!((95..=105).contains(&cps[0]));
+        assert!((195..=205).contains(&cps[1]));
+    }
+
+    #[test]
+    fn change_points_quiet_on_stationary_data() {
+        let mut rng = SintelRng::seed_from_u64(4);
+        let values: Vec<f64> = (0..400).map(|_| rng.normal(0.0, 1.0)).collect();
+        let cps = change_points(&values, 0.05, 5);
+        assert!(cps.is_empty(), "{cps:?}");
+    }
+
+    #[test]
+    fn change_points_edge_inputs() {
+        assert!(change_points(&[], 0.1, 3).is_empty());
+        assert!(change_points(&[1.0; 5], 0.1, 3).is_empty());
+        assert!(change_points(&[1.0; 100], 0.1, 0).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Iterative radix-2 Cooley–Tukey FFT over an in-repo complex type.
+//!
+//! Only what the spectral-residual detector needs: forward/inverse
+//! transforms of power-of-two length (callers zero-pad).
+
+/// A complex number (f64 re/im).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Magnitude.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex multiplication.
+    pub fn mul(&self, o: &Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    /// Complex addition.
+    pub fn add(&self, o: &Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Complex subtraction.
+    pub fn sub(&self, o: &Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+/// Round `n` up to the next power of two (min 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Danielson–Lanczos butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2].mul(&w);
+                buf[i + k] = u.add(&v);
+                buf[i + k + len / 2] = u.sub(&v);
+                w = w.mul(&wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for c in buf {
+            c.re *= scale;
+            c.im *= scale;
+        }
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+pub fn fft(values: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(values.len());
+    let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    buf.resize(n, Complex::default());
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Inverse FFT; input length must be a power of two.
+pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
+    let mut buf = spectrum.to_vec();
+    fft_in_place(&mut buf, true);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let spec = fft(&[1.0, 0.0, 0.0, 0.0]);
+        for c in &spec {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let spec = fft(&[2.0; 8]);
+        assert!((spec[0].abs() - 16.0).abs() < 1e-9);
+        for c in &spec[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_sine_peaks_at_frequency() {
+        let n = 64usize;
+        let k = 5usize;
+        let sig: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * k as f64 * t as f64 / n as f64).sin()).collect();
+        let spec = fft(&sig);
+        let mags: Vec<f64> = spec.iter().map(Complex::abs).collect();
+        let peak = sintel_common::argmax(&mags[..n / 2]).unwrap();
+        assert_eq!(peak, k);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let v = [1.0, -2.0, 3.5, 0.25, -1.0, 0.0, 2.0, 7.0];
+        let back = ifft(&fft(&v));
+        for (orig, rec) in v.iter().zip(&back) {
+            assert!((orig - rec.re).abs() < 1e-10);
+            assert!(rec.im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_padding_length() {
+        assert_eq!(fft(&[1.0, 2.0, 3.0]).len(), 4);
+        assert_eq!(fft(&[0.0; 17]).len(), 32);
+        assert_eq!(next_pow2(0), 1);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a.mul(&b), Complex::new(5.0, 5.0));
+        assert_eq!(a.add(&b), Complex::new(4.0, 1.0));
+        assert_eq!(a.sub(&b), Complex::new(-2.0, 3.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in proptest::collection::vec(-100.0f64..100.0, 1..128)) {
+            let spec = fft(&v);
+            let back = ifft(&spec);
+            for (i, orig) in v.iter().enumerate() {
+                prop_assert!((orig - back[i].re).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn prop_parseval(v in proptest::collection::vec(-10.0f64..10.0, 1..64)) {
+            // Energy in time domain == energy in frequency domain / N
+            // (zero padding does not change either side).
+            let spec = fft(&v);
+            let n = spec.len() as f64;
+            let time: f64 = v.iter().map(|x| x * x).sum();
+            let freq: f64 = spec.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / n;
+            prop_assert!((time - freq).abs() < 1e-6 * (1.0 + time));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Spectral-residual saliency — the algorithm behind the Microsoft Azure
+//! Anomaly Detector service (Ren et al., *Time-Series Anomaly Detection
+//! Service at Microsoft*, KDD 2019).
+//!
+//! The paper benchmarks a pipeline that calls the Azure SaaS; since a
+//! closed cloud service cannot be vendored, the reproduction implements
+//! the same published algorithm locally:
+//!
+//! 1. FFT of the series, log-amplitude spectrum `L`;
+//! 2. spectral residual `R = L - avg_filter(L)`;
+//! 3. inverse FFT of `exp(R + i·phase)` — the *saliency map*;
+//! 4. points whose saliency deviates from the local saliency average
+//!    beyond a threshold are anomalous.
+//!
+//! Matching Table 3's observation, the detector is tuned high-recall /
+//! low-precision: it fires on nearly every irregularity.
+
+use crate::fft::{fft, ifft, Complex};
+
+/// Compute the saliency map of a series (step 1–3 above).
+///
+/// `window` is the moving-average width used on the log spectrum
+/// (Ren et al. use q = 3) — must be >= 1.
+pub fn spectral_residual_saliency(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "filter window must be >= 1");
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let spec = fft(values);
+    let n = spec.len();
+    let eps = 1e-8;
+
+    // Log-amplitude and phase.
+    let amp: Vec<f64> = spec.iter().map(|c| c.abs().max(eps)).collect();
+    let log_amp: Vec<f64> = amp.iter().map(|a| a.ln()).collect();
+
+    // Moving average of the log spectrum.
+    let avg = moving_average(&log_amp, window);
+
+    // Residual spectrum, re-combined with the original phase.
+    let mut residual_spec = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = (log_amp[i] - avg[i]).exp();
+        // unit phase = spec / |spec|
+        let phase_re = spec[i].re / amp[i];
+        let phase_im = spec[i].im / amp[i];
+        residual_spec.push(Complex::new(r * phase_re, r * phase_im));
+    }
+    let saliency = ifft(&residual_spec);
+    saliency.iter().take(values.len()).map(Complex::abs).collect()
+}
+
+/// Anomaly scores in `[0, ∞)`: relative deviation of each saliency value
+/// from the trailing local average (Ren et al.'s detection rule). Values
+/// above ~`threshold` (typically 1–3) are anomalous.
+pub fn spectral_residual_scores(values: &[f64], window: usize, score_window: usize) -> Vec<f64> {
+    let sal = spectral_residual_saliency(values, window);
+    let n = sal.len();
+    let mut scores = vec![0.0; n];
+    if n == 0 {
+        return scores;
+    }
+    let w = score_window.max(1);
+    let mut sum = 0.0;
+    let mut buf: std::collections::VecDeque<f64> = std::collections::VecDeque::with_capacity(w);
+    for i in 0..n {
+        // Warm-up guard: with too little history the trailing average is
+        // meaningless and the saliency map's boundary artifacts dominate.
+        if buf.len() >= w.min(n / 2).max(1) {
+            let local_avg = sum / buf.len() as f64;
+            let denom = local_avg.max(1e-8);
+            scores[i] = (sal[i] - local_avg).max(0.0) / denom;
+        }
+        sum += sal[i];
+        buf.push_back(sal[i]);
+        if buf.len() > w {
+            sum -= buf.pop_front().expect("non-empty");
+        }
+    }
+    scores
+}
+
+fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    let half = window / 2;
+    let mut acc = 0.0;
+    let mut lo = 0usize;
+    let mut hi = 0usize; // exclusive
+    for i in 0..n {
+        let want_lo = i.saturating_sub(half);
+        let want_hi = (i + half + 1).min(n);
+        while hi < want_hi {
+            acc += xs[hi];
+            hi += 1;
+        }
+        while lo < want_lo {
+            acc -= xs[lo];
+            lo += 1;
+        }
+        out.push(acc / (hi - lo) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flat_is_identity() {
+        let v = [2.0; 10];
+        assert_eq!(moving_average(&v, 3), v.to_vec());
+    }
+
+    #[test]
+    fn moving_average_window_one() {
+        let v = [1.0, 5.0, 3.0];
+        // window 1 -> half 0 -> each point averages itself only.
+        assert_eq!(moving_average(&v, 1), v.to_vec());
+    }
+
+    #[test]
+    fn saliency_highlights_spike() {
+        // A smooth sine with one big spike: the spike should carry the
+        // highest saliency.
+        let n = 256;
+        let mut v: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 32.0).sin()).collect();
+        v[128] += 10.0;
+        let sal = spectral_residual_saliency(&v, 3);
+        let peak = sintel_common::argmax(&sal).unwrap();
+        assert!(
+            (peak as i64 - 128).abs() <= 2,
+            "saliency peak at {peak}, expected near 128"
+        );
+    }
+
+    #[test]
+    fn scores_flag_spike_not_baseline() {
+        let n = 256;
+        let mut v: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 32.0).sin()).collect();
+        v[200] += 8.0;
+        let scores = spectral_residual_scores(&v, 3, 21);
+        let peak = sintel_common::argmax(&scores).unwrap();
+        assert!((peak as i64 - 200).abs() <= 2, "peak {peak}");
+        assert!(scores[200].max(scores[199]).max(scores[201]) > 1.0);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(spectral_residual_saliency(&[], 3).is_empty());
+        assert!(spectral_residual_scores(&[], 3, 10).is_empty());
+    }
+
+    #[test]
+    fn constant_input_produces_finite_scores() {
+        let scores = spectral_residual_scores(&[5.0; 64], 3, 10);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        // Input length 100 pads to 128 internally but output is trimmed.
+        let v = vec![0.5; 100];
+        assert_eq!(spectral_residual_saliency(&v, 3).len(), 100);
+    }
+}

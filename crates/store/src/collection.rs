@@ -1,0 +1,258 @@
+//! Id-keyed document storage with secondary equality indexes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::doc::Doc;
+use crate::json::to_json;
+use crate::query::Filter;
+use crate::{Result, StoreError};
+
+/// A collection of documents. Every inserted document receives a
+/// monotonically increasing `_id`. Optional secondary indexes accelerate
+/// equality filters on a field.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    docs: BTreeMap<u64, Doc>,
+    next_id: u64,
+    /// field -> (serialised key -> ids)
+    indexes: HashMap<String, HashMap<String, Vec<u64>>>,
+}
+
+impl Default for Collection {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn index_key(value: &Doc) -> String {
+    to_json(value)
+}
+
+impl Collection {
+    /// Empty collection.
+    pub fn new() -> Self {
+        Self { docs: BTreeMap::new(), next_id: 1, indexes: HashMap::new() }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Insert a document; stamps and returns its `_id`.
+    pub fn insert(&mut self, mut doc: Doc) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        doc.set("_id", id);
+        self.index_doc(id, &doc);
+        self.docs.insert(id, doc);
+        id
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: u64) -> Option<&Doc> {
+        self.docs.get(&id)
+    }
+
+    /// Replace a document (keeps its `_id`).
+    pub fn update(&mut self, id: u64, mut doc: Doc) -> Result<()> {
+        if !self.docs.contains_key(&id) {
+            return Err(StoreError::NotFound(id));
+        }
+        let old = self.docs.remove(&id).expect("checked above");
+        self.unindex_doc(id, &old);
+        doc.set("_id", id);
+        self.index_doc(id, &doc);
+        self.docs.insert(id, doc);
+        Ok(())
+    }
+
+    /// Merge fields into an existing document.
+    pub fn patch(&mut self, id: u64, fields: &[(&str, Doc)]) -> Result<()> {
+        let mut doc = self.docs.get(&id).cloned().ok_or(StoreError::NotFound(id))?;
+        for (k, v) in fields {
+            doc.set(k, v.clone());
+        }
+        self.update(id, doc)
+    }
+
+    /// Delete by id.
+    pub fn delete(&mut self, id: u64) -> Result<()> {
+        let doc = self.docs.remove(&id).ok_or(StoreError::NotFound(id))?;
+        self.unindex_doc(id, &doc);
+        Ok(())
+    }
+
+    /// Create a secondary index on a (dotted) field; existing documents
+    /// are indexed immediately. Idempotent.
+    pub fn create_index(&mut self, field: &str) {
+        if self.indexes.contains_key(field) {
+            return;
+        }
+        let mut index: HashMap<String, Vec<u64>> = HashMap::new();
+        for (&id, doc) in &self.docs {
+            if let Some(v) = doc.path(field) {
+                index.entry(index_key(v)).or_default().push(id);
+            }
+        }
+        self.indexes.insert(field.to_string(), index);
+    }
+
+    /// Whether a field is indexed.
+    pub fn has_index(&self, field: &str) -> bool {
+        self.indexes.contains_key(field)
+    }
+
+    fn index_doc(&mut self, id: u64, doc: &Doc) {
+        for (field, index) in &mut self.indexes {
+            if let Some(v) = doc.path(field) {
+                index.entry(index_key(v)).or_default().push(id);
+            }
+        }
+    }
+
+    fn unindex_doc(&mut self, id: u64, doc: &Doc) {
+        for (field, index) in &mut self.indexes {
+            if let Some(v) = doc.path(field) {
+                if let Some(ids) = index.get_mut(&index_key(v)) {
+                    ids.retain(|&x| x != id);
+                }
+            }
+        }
+    }
+
+    /// Find documents matching a filter, in `_id` order. Routes through a
+    /// secondary index when the filter pins an indexed field by equality.
+    pub fn find(&self, filter: &Filter) -> Vec<&Doc> {
+        // Index fast path.
+        for (field, index) in &self.indexes {
+            if let Some(value) = filter.pinned_eq(field) {
+                let mut hits: Vec<&Doc> = index
+                    .get(&index_key(value))
+                    .map(|ids| {
+                        ids.iter().filter_map(|id| self.docs.get(id)).collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default();
+                hits.retain(|doc| filter.matches(doc));
+                hits.sort_by_key(|d| d.get("_id").and_then(Doc::as_i64).unwrap_or(0));
+                return hits;
+            }
+        }
+        self.docs.values().filter(|doc| filter.matches(doc)).collect()
+    }
+
+    /// First match, if any.
+    pub fn find_one(&self, filter: &Filter) -> Option<&Doc> {
+        self.find(filter).into_iter().next()
+    }
+
+    /// Count matches.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.find(filter).len()
+    }
+
+    /// Iterate all documents in `_id` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Doc)> {
+        self.docs.iter()
+    }
+
+    /// Restore a document with a known id (used when loading from disk).
+    pub(crate) fn restore(&mut self, id: u64, doc: Doc) {
+        self.next_id = self.next_id.max(id + 1);
+        self.index_doc(id, &doc);
+        self.docs.insert(id, doc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(signal: &str, score: f64) -> Doc {
+        Doc::obj().with("signal", signal).with("score", score)
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut c = Collection::new();
+        let a = c.insert(event("S-1", 0.5));
+        let b = c.insert(event("S-2", 0.9));
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(c.get(1).unwrap().get("signal").unwrap().as_str(), Some("S-1"));
+        assert_eq!(c.get(1).unwrap().get("_id").unwrap().as_i64(), Some(1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn update_patch_delete() {
+        let mut c = Collection::new();
+        let id = c.insert(event("S-1", 0.5));
+        c.patch(id, &[("score", Doc::F64(0.7))]).unwrap();
+        assert_eq!(c.get(id).unwrap().get("score").unwrap().as_f64(), Some(0.7));
+        assert_eq!(c.get(id).unwrap().get("signal").unwrap().as_str(), Some("S-1"));
+        c.update(id, event("S-9", 1.0)).unwrap();
+        assert_eq!(c.get(id).unwrap().get("signal").unwrap().as_str(), Some("S-9"));
+        c.delete(id).unwrap();
+        assert!(c.get(id).is_none());
+        assert_eq!(c.delete(id).unwrap_err(), StoreError::NotFound(id));
+        assert_eq!(c.update(id, event("x", 0.0)).unwrap_err(), StoreError::NotFound(id));
+    }
+
+    #[test]
+    fn find_with_filters() {
+        let mut c = Collection::new();
+        for i in 0..10 {
+            c.insert(event(if i % 2 == 0 { "S-1" } else { "S-2" }, i as f64 / 10.0));
+        }
+        assert_eq!(c.find(&Filter::eq("signal", "S-1")).len(), 5);
+        assert_eq!(c.count(&Filter::Gt("score".into(), Doc::F64(0.65))), 3);
+        assert_eq!(c.find(&Filter::All).len(), 10);
+        assert!(c.find_one(&Filter::eq("signal", "S-3")).is_none());
+    }
+
+    #[test]
+    fn index_agrees_with_scan() {
+        let mut c = Collection::new();
+        for i in 0..50 {
+            c.insert(event(&format!("S-{}", i % 5), i as f64));
+        }
+        let scan = c.find(&Filter::eq("signal", "S-3")).len();
+        c.create_index("signal");
+        assert!(c.has_index("signal"));
+        let indexed = c.find(&Filter::eq("signal", "S-3")).len();
+        assert_eq!(scan, indexed);
+        // Compound filter routed through the index still applies the rest.
+        let f = Filter::And(vec![
+            Filter::eq("signal", "S-3"),
+            Filter::Gt("score".into(), Doc::F64(20.0)),
+        ]);
+        let hits = c.find(&f);
+        assert!(hits.iter().all(|d| d.get("score").unwrap().as_f64().unwrap() > 20.0));
+    }
+
+    #[test]
+    fn index_maintained_across_mutations() {
+        let mut c = Collection::new();
+        c.create_index("signal");
+        let id = c.insert(event("S-1", 0.1));
+        assert_eq!(c.find(&Filter::eq("signal", "S-1")).len(), 1);
+        c.update(id, event("S-2", 0.2)).unwrap();
+        assert_eq!(c.find(&Filter::eq("signal", "S-1")).len(), 0);
+        assert_eq!(c.find(&Filter::eq("signal", "S-2")).len(), 1);
+        c.delete(id).unwrap();
+        assert_eq!(c.find(&Filter::eq("signal", "S-2")).len(), 0);
+    }
+
+    #[test]
+    fn restore_preserves_id_monotonicity() {
+        let mut c = Collection::new();
+        c.restore(17, event("S-1", 0.0));
+        let next = c.insert(event("S-2", 0.0));
+        assert_eq!(next, 18);
+    }
+}

@@ -1,0 +1,270 @@
+//! The database: named collections behind a lock, with atomic JSONL
+//! persistence.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::RwLock;
+
+use crate::collection::Collection;
+use crate::doc::Doc;
+use crate::json::{from_json, to_json};
+use crate::query::Filter;
+use crate::{Result, StoreError};
+
+fn io_err(e: impl std::fmt::Display) -> StoreError {
+    StoreError::Io(e.to_string())
+}
+
+/// An embedded multi-collection document database.
+///
+/// Thread-safe: reads take a shared lock, writes an exclusive one. When
+/// opened with a directory path, [`Database::save`] writes one
+/// `<collection>.jsonl` file per collection atomically (temp file +
+/// rename) and [`Database::open`] reloads them.
+///
+/// ```
+/// use sintel_store::{Database, Doc, Filter};
+///
+/// let db = Database::in_memory();
+/// db.insert("events", Doc::obj().with("signal", "S-1").with("severity", 0.9));
+/// let hits = db.find("events", &Filter::eq("signal", "S-1"));
+/// assert_eq!(hits.len(), 1);
+/// ```
+pub struct Database {
+    collections: RwLock<HashMap<String, Collection>>,
+    path: Option<PathBuf>,
+}
+
+impl Database {
+    /// Volatile in-memory database.
+    pub fn in_memory() -> Self {
+        Self { collections: RwLock::new(HashMap::new()), path: None }
+    }
+
+    /// Open (creating if needed) a database persisted under `dir`.
+    pub fn open(dir: &Path) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(io_err)?;
+        let mut collections = HashMap::new();
+        for entry in std::fs::read_dir(dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| StoreError::Io(format!("bad file name {path:?}")))?
+                .to_string();
+            let mut collection = Collection::new();
+            let file = std::fs::File::open(&path).map_err(io_err)?;
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(io_err)?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let doc = from_json(&line)?;
+                let id = doc
+                    .get("_id")
+                    .and_then(Doc::as_i64)
+                    .ok_or_else(|| StoreError::Schema("persisted doc lacks _id".into()))?;
+                collection.restore(id as u64, doc);
+            }
+            collections.insert(name, collection);
+        }
+        Ok(Self { collections: RwLock::new(collections), path: Some(dir.to_path_buf()) })
+    }
+
+    /// Persist every collection (no-op for in-memory databases).
+    pub fn save(&self) -> Result<()> {
+        let Some(dir) = &self.path else { return Ok(()) };
+        let collections = self.collections.read();
+        for (name, collection) in collections.iter() {
+            let final_path = dir.join(format!("{name}.jsonl"));
+            let tmp_path = dir.join(format!(".{name}.jsonl.tmp"));
+            {
+                let file = std::fs::File::create(&tmp_path).map_err(io_err)?;
+                let mut out = BufWriter::new(file);
+                for (_, doc) in collection.iter() {
+                    writeln!(out, "{}", to_json(doc)).map_err(io_err)?;
+                }
+                out.flush().map_err(io_err)?;
+            }
+            std::fs::rename(&tmp_path, &final_path).map_err(io_err)?;
+        }
+        Ok(())
+    }
+
+    /// Insert into a collection (created on first use); returns the id.
+    pub fn insert(&self, collection: &str, doc: Doc) -> u64 {
+        self.collections.write().entry(collection.to_string()).or_default().insert(doc)
+    }
+
+    /// Fetch one document by id (cloned out of the lock).
+    pub fn get(&self, collection: &str, id: u64) -> Option<Doc> {
+        self.collections.read().get(collection)?.get(id).cloned()
+    }
+
+    /// Find matching documents (cloned).
+    pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Doc> {
+        self.collections
+            .read()
+            .get(collection)
+            .map(|c| c.find(filter).into_iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// First match (cloned).
+    pub fn find_one(&self, collection: &str, filter: &Filter) -> Option<Doc> {
+        self.collections.read().get(collection)?.find_one(filter).cloned()
+    }
+
+    /// Count matches.
+    pub fn count(&self, collection: &str, filter: &Filter) -> usize {
+        self.collections.read().get(collection).map(|c| c.count(filter)).unwrap_or(0)
+    }
+
+    /// Replace a document.
+    pub fn update(&self, collection: &str, id: u64, doc: Doc) -> Result<()> {
+        self.collections
+            .write()
+            .get_mut(collection)
+            .ok_or(StoreError::NotFound(id))?
+            .update(id, doc)
+    }
+
+    /// Merge fields into a document.
+    pub fn patch(&self, collection: &str, id: u64, fields: &[(&str, Doc)]) -> Result<()> {
+        self.collections
+            .write()
+            .get_mut(collection)
+            .ok_or(StoreError::NotFound(id))?
+            .patch(id, fields)
+    }
+
+    /// Delete a document.
+    pub fn delete(&self, collection: &str, id: u64) -> Result<()> {
+        self.collections
+            .write()
+            .get_mut(collection)
+            .ok_or(StoreError::NotFound(id))?
+            .delete(id)
+    }
+
+    /// Create a secondary index on a collection field.
+    pub fn create_index(&self, collection: &str, field: &str) {
+        self.collections
+            .write()
+            .entry(collection.to_string())
+            .or_default()
+            .create_index(field);
+    }
+
+    /// Names of non-empty collections (sorted).
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sintel-db-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_crud() {
+        let db = Database::in_memory();
+        let id = db.insert("events", Doc::obj().with("signal", "S-1"));
+        assert_eq!(db.get("events", id).unwrap().get("signal").unwrap().as_str(), Some("S-1"));
+        db.patch("events", id, &[("status", Doc::from("confirmed"))]).unwrap();
+        assert_eq!(db.count("events", &Filter::eq("status", "confirmed")), 1);
+        db.delete("events", id).unwrap();
+        assert_eq!(db.count("events", &Filter::All), 0);
+        assert!(db.get("events", id).is_none());
+        assert!(db.find_one("missing", &Filter::All).is_none());
+    }
+
+    #[test]
+    fn save_and_reopen_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.insert("signals", Doc::obj().with("name", "S-1").with("len", 100i64));
+            db.insert("signals", Doc::obj().with("name", "S-2").with("len", 200i64));
+            db.insert("events", Doc::obj().with("signal", "S-1").with("score", 0.9));
+            db.save().unwrap();
+        }
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.count("signals", &Filter::All), 2);
+        assert_eq!(db.count("events", &Filter::All), 1);
+        let s2 = db.find_one("signals", &Filter::eq("name", "S-2")).unwrap();
+        assert_eq!(s2.get("len").unwrap().as_i64(), Some(200));
+        // Ids continue monotonically after reload.
+        let id = db.insert("signals", Doc::obj().with("name", "S-3"));
+        assert_eq!(id, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let dir = tmpdir("atomic");
+        let db = Database::open(&dir).unwrap();
+        db.insert("events", Doc::obj().with("a", 1i64));
+        db.save().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_inserts_are_serialised() {
+        let db = std::sync::Arc::new(Database::in_memory());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    db.insert("events", Doc::obj().with("thread", t as i64).with("i", i as i64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.count("events", &Filter::All), 400);
+        // Ids are unique.
+        let docs = db.find("events", &Filter::All);
+        let mut ids: Vec<i64> =
+            docs.iter().map(|d| d.get("_id").unwrap().as_i64().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+    }
+
+    #[test]
+    fn indexed_find_through_db() {
+        let db = Database::in_memory();
+        db.create_index("events", "signal");
+        for i in 0..30 {
+            db.insert("events", Doc::obj().with("signal", format!("S-{}", i % 3)));
+        }
+        assert_eq!(db.find("events", &Filter::eq("signal", "S-1")).len(), 10);
+    }
+}

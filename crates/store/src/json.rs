@@ -1,0 +1,364 @@
+//! In-repo JSON serializer/parser for [`Doc`] (no external dependency —
+//! the workspace's allowed-crate list has `serde` but no `serde_json`,
+//! and the store needs exact control over number round-tripping anyway).
+
+use std::collections::BTreeMap;
+
+use crate::doc::Doc;
+use crate::{Result, StoreError};
+
+/// Serialize a document to compact JSON.
+pub fn to_json(doc: &Doc) -> String {
+    let mut out = String::new();
+    write_doc(doc, &mut out);
+    out
+}
+
+fn write_doc(doc: &Doc, out: &mut String) {
+    match doc {
+        Doc::Null => out.push_str("null"),
+        Doc::Bool(true) => out.push_str("true"),
+        Doc::Bool(false) => out.push_str("false"),
+        Doc::I64(v) => out.push_str(&v.to_string()),
+        Doc::F64(v) => {
+            if v.is_finite() {
+                let s = format!("{v:?}"); // Debug prints a lossless float
+                out.push_str(&s);
+            } else {
+                // JSON has no NaN/Inf: encode as null (Mongo does the same
+                // on strict export).
+                out.push_str("null");
+            }
+        }
+        Doc::Str(s) => write_string(s, out),
+        Doc::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_doc(item, out);
+            }
+            out.push(']');
+        }
+        Doc::Obj(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_doc(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document.
+pub fn from_json(input: &str) -> Result<Doc> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let doc = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(StoreError::Parse { offset: pos, message: "trailing characters".into() });
+    }
+    Ok(doc)
+}
+
+fn err(pos: usize, message: &str) -> StoreError {
+    StoreError::Parse { offset: pos, message: message.to_string() }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Doc> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Doc::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Doc::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Doc::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Doc::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Doc) -> Result<Doc> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Doc> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| err(start, "invalid utf-8 in number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(err(start, "invalid number"));
+    }
+    if is_float {
+        text.parse::<f64>().map(Doc::F64).map_err(|_| err(start, "invalid float"))
+    } else {
+        // Large integers fall back to f64 (matching JS semantics).
+        text.parse::<i64>()
+            .map(Doc::I64)
+            .or_else(|_| text.parse::<f64>().map(Doc::F64))
+            .map_err(|_| err(start, "invalid integer"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid utf-8"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Doc> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Doc::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Doc::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Doc> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Doc::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Doc::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for doc in [
+            Doc::Null,
+            Doc::Bool(true),
+            Doc::Bool(false),
+            Doc::I64(-42),
+            Doc::I64(i64::MAX),
+            Doc::F64(3.25),
+            Doc::F64(-0.001),
+            Doc::Str("hello world".into()),
+        ] {
+            assert_eq!(from_json(&to_json(&doc)).unwrap(), doc, "{doc:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let doc = Doc::obj()
+            .with("signal", "S-1")
+            .with("events", vec![Doc::obj().with("start", 10i64).with("score", 0.93)])
+            .with("tags", vec!["confirmed", "seen before"])
+            .with("nested", Doc::obj().with("deep", Doc::from(vec![1i64, 2, 3])));
+        assert_eq!(from_json(&to_json(&doc)).unwrap(), doc);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let doc = Doc::Str("line1\nline2\t\"quoted\" \\slash\u{0001}".into());
+        let json = to_json(&doc);
+        assert!(json.contains("\\n") && json.contains("\\\"") && json.contains("\\u0001"));
+        assert_eq!(from_json(&json).unwrap(), doc);
+    }
+
+    #[test]
+    fn unicode_roundtrip() {
+        let doc = Doc::Str("télémétrie 信号 🚀".into());
+        assert_eq!(from_json(&to_json(&doc)).unwrap(), doc);
+        // Parse a \u escape directly.
+        assert_eq!(from_json(r#""A""#).unwrap(), Doc::Str("A".into()));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_json(&Doc::F64(f64::NAN)), "null");
+        assert_eq!(to_json(&Doc::F64(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn parse_whitespace_tolerant() {
+        let doc = from_json("  {\n\t\"a\" : [ 1 , 2.5 ] ,\"b\": null }  ").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(doc.get("b"), Some(&Doc::Null));
+    }
+
+    #[test]
+    fn parse_errors_reported_with_offset() {
+        for bad in ["{", "[1,", "\"unterminated", "{\"a\" 1}", "tru", "1.2.3", "", "[1] x"] {
+            let e = from_json(bad).unwrap_err();
+            assert!(matches!(e, StoreError::Parse { .. }), "{bad}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(from_json("[]").unwrap(), Doc::Arr(vec![]));
+        assert_eq!(from_json("{}").unwrap(), Doc::obj());
+        assert_eq!(to_json(&Doc::Arr(vec![])), "[]");
+        assert_eq!(to_json(&Doc::obj()), "{}");
+    }
+
+    fn doc_strategy() -> impl Strategy<Value = Doc> {
+        let leaf = prop_oneof![
+            Just(Doc::Null),
+            any::<bool>().prop_map(Doc::Bool),
+            any::<i64>().prop_map(Doc::I64),
+            (-1e15f64..1e15).prop_map(Doc::F64),
+            "[a-zA-Z0-9 _\\-\"\\\\\n\t]{0,20}".prop_map(Doc::Str),
+        ];
+        leaf.prop_recursive(3, 32, 6, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(Doc::Arr),
+                proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Doc::Obj),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(doc in doc_strategy()) {
+            let json = to_json(&doc);
+            let parsed = from_json(&json).unwrap();
+            prop_assert_eq!(parsed, doc);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # sintel-store
+//!
+//! The persistent knowledge base (paper §3.5) — an embedded document
+//! database standing in for the MongoDB instance the Python Sintel stack
+//! uses (see DESIGN.md §2).
+//!
+//! Layers, bottom-up:
+//!
+//! * [`doc::Doc`] — a JSON-like document value with an in-repo JSON
+//!   serializer/parser ([`json`]);
+//! * [`query::Filter`] — MongoDB-flavoured filters (eq/ne/gt/lt/in/
+//!   exists/and/or) evaluated against documents;
+//! * [`collection::Collection`] — id-keyed document storage with
+//!   secondary hash indexes used to accelerate equality filters;
+//! * [`db::Database`] — a named set of collections behind a
+//!   `parking_lot::RwLock`, with atomic JSONL persistence (write to a
+//!   temp file, rename) and reload-on-open;
+//! * [`schema`] — the Sintel entity schema of Figure 6 (datasets,
+//!   signals, templates, pipelines, experiments, signalruns, events,
+//!   annotations, users) as typed helpers over the generic layers.
+
+pub mod collection;
+pub mod db;
+pub mod doc;
+pub mod json;
+pub mod query;
+pub mod schema;
+
+pub use collection::Collection;
+pub use db::Database;
+pub use doc::Doc;
+pub use query::Filter;
+pub use schema::SintelDb;
+
+/// Errors produced by the document store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// JSON parsing failed.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Filesystem failure during persistence.
+    Io(String),
+    /// Document id not found.
+    NotFound(u64),
+    /// Schema-level validation failure.
+    Schema(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Parse { offset, message } => {
+                write!(f, "json parse error at byte {offset}: {message}")
+            }
+            StoreError::Io(m) => write!(f, "io error: {m}"),
+            StoreError::NotFound(id) => write!(f, "document {id} not found"),
+            StoreError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,277 @@
+//! The Sintel knowledge-base schema (paper Figure 6).
+//!
+//! Entities and relationships:
+//!
+//! ```text
+//! dataset 1—n signal
+//! template 1—n pipeline
+//! experiment n—1 dataset, n—1 pipeline      (a benchmark/detection run)
+//! signalrun  n—1 experiment, n—1 signal     (one signal through one run)
+//! event      n—1 signalrun                  (a detected anomaly)
+//! annotation n—1 event, n—1 user            (expert feedback)
+//! comment    n—1 event, n—1 user            (discussion panel)
+//! ```
+//!
+//! [`SintelDb`] wraps the generic [`Database`] with typed helpers so the
+//! core framework and the HIL subsystem store/retrieve these entities
+//! consistently.
+
+use std::path::Path;
+
+use crate::db::Database;
+use crate::doc::Doc;
+use crate::query::Filter;
+use crate::Result;
+
+/// Typed facade over the Sintel schema.
+pub struct SintelDb {
+    db: Database,
+}
+
+/// Collection names of the schema.
+pub mod collections {
+    /// Datasets (NAB, NASA, YAHOO…).
+    pub const DATASETS: &str = "datasets";
+    /// Signals, each belonging to a dataset.
+    pub const SIGNALS: &str = "signals";
+    /// Pipeline templates.
+    pub const TEMPLATES: &str = "templates";
+    /// Configured pipelines.
+    pub const PIPELINES: &str = "pipelines";
+    /// Experiments (detection / benchmark runs).
+    pub const EXPERIMENTS: &str = "experiments";
+    /// Per-signal runs within an experiment.
+    pub const SIGNALRUNS: &str = "signalruns";
+    /// Detected anomalous events.
+    pub const EVENTS: &str = "events";
+    /// Expert annotations on events.
+    pub const ANNOTATIONS: &str = "annotations";
+    /// Discussion comments on events.
+    pub const COMMENTS: &str = "comments";
+    /// Users (experts, operators).
+    pub const USERS: &str = "users";
+}
+
+impl SintelDb {
+    /// In-memory knowledge base.
+    pub fn in_memory() -> Self {
+        let s = Self { db: Database::in_memory() };
+        s.create_indexes();
+        s
+    }
+
+    /// Persistent knowledge base under `dir`.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let s = Self { db: Database::open(dir)? };
+        s.create_indexes();
+        Ok(s)
+    }
+
+    fn create_indexes(&self) {
+        self.db.create_index(collections::SIGNALS, "dataset");
+        self.db.create_index(collections::SIGNALRUNS, "experiment_id");
+        self.db.create_index(collections::EVENTS, "signalrun_id");
+        self.db.create_index(collections::EVENTS, "signal");
+        self.db.create_index(collections::ANNOTATIONS, "event_id");
+        self.db.create_index(collections::COMMENTS, "event_id");
+    }
+
+    /// Access the raw database (escape hatch).
+    pub fn raw(&self) -> &Database {
+        &self.db
+    }
+
+    /// Persist to disk (no-op when in-memory).
+    pub fn save(&self) -> Result<()> {
+        self.db.save()
+    }
+
+    // ---- typed inserts -------------------------------------------------
+
+    /// Register a dataset.
+    pub fn add_dataset(&self, name: &str, entity: &str) -> u64 {
+        self.db.insert(
+            collections::DATASETS,
+            Doc::obj().with("name", name).with("entity", entity),
+        )
+    }
+
+    /// Register a signal belonging to a dataset.
+    pub fn add_signal(&self, name: &str, dataset: &str, start: i64, stop: i64) -> u64 {
+        self.db.insert(
+            collections::SIGNALS,
+            Doc::obj()
+                .with("name", name)
+                .with("dataset", dataset)
+                .with("start_time", start)
+                .with("stop_time", stop),
+        )
+    }
+
+    /// Register a user.
+    pub fn add_user(&self, name: &str, role: &str) -> u64 {
+        self.db.insert(collections::USERS, Doc::obj().with("name", name).with("role", role))
+    }
+
+    /// Register a pipeline (name + json-ish spec).
+    pub fn add_pipeline(&self, name: &str, spec: Doc) -> u64 {
+        self.db.insert(
+            collections::PIPELINES,
+            Doc::obj().with("name", name).with("json", spec),
+        )
+    }
+
+    /// Register an experiment over a dataset with a pipeline.
+    pub fn add_experiment(&self, name: &str, dataset: &str, pipeline: &str) -> u64 {
+        self.db.insert(
+            collections::EXPERIMENTS,
+            Doc::obj().with("name", name).with("dataset", dataset).with("pipeline", pipeline),
+        )
+    }
+
+    /// Register one signal's run within an experiment.
+    pub fn add_signalrun(&self, experiment_id: u64, signal: &str, status: &str) -> u64 {
+        self.db.insert(
+            collections::SIGNALRUNS,
+            Doc::obj()
+                .with("experiment_id", experiment_id)
+                .with("signal", signal)
+                .with("status", status),
+        )
+    }
+
+    /// Record a detected event (anomaly interval + severity).
+    pub fn add_event(
+        &self,
+        signalrun_id: u64,
+        signal: &str,
+        start: i64,
+        stop: i64,
+        severity: f64,
+    ) -> u64 {
+        self.db.insert(
+            collections::EVENTS,
+            Doc::obj()
+                .with("signalrun_id", signalrun_id)
+                .with("signal", signal)
+                .with("start_time", start)
+                .with("stop_time", stop)
+                .with("severity", severity)
+                .with("status", "unreviewed")
+                .with("source", "ML"),
+        )
+    }
+
+    /// Record an expert annotation on an event.
+    pub fn add_annotation(&self, event_id: u64, user_id: u64, action: &str, tag: &str) -> u64 {
+        self.db.insert(
+            collections::ANNOTATIONS,
+            Doc::obj()
+                .with("event_id", event_id)
+                .with("user_id", user_id)
+                .with("action", action)
+                .with("tag", tag),
+        )
+    }
+
+    /// Record a discussion comment on an event.
+    pub fn add_comment(&self, event_id: u64, user_id: u64, text: &str) -> u64 {
+        self.db.insert(
+            collections::COMMENTS,
+            Doc::obj().with("event_id", event_id).with("user_id", user_id).with("text", text),
+        )
+    }
+
+    // ---- typed queries -------------------------------------------------
+
+    /// Events detected on a signal.
+    pub fn events_for_signal(&self, signal: &str) -> Vec<Doc> {
+        self.db.find(collections::EVENTS, &Filter::eq("signal", signal))
+    }
+
+    /// Events of a signalrun.
+    pub fn events_for_signalrun(&self, signalrun_id: u64) -> Vec<Doc> {
+        self.db.find(collections::EVENTS, &Filter::eq("signalrun_id", signalrun_id))
+    }
+
+    /// Annotations attached to an event.
+    pub fn annotations_for_event(&self, event_id: u64) -> Vec<Doc> {
+        self.db.find(collections::ANNOTATIONS, &Filter::eq("event_id", event_id))
+    }
+
+    /// Comments attached to an event.
+    pub fn comments_for_event(&self, event_id: u64) -> Vec<Doc> {
+        self.db.find(collections::COMMENTS, &Filter::eq("event_id", event_id))
+    }
+
+    /// Signals of a dataset.
+    pub fn signals_for_dataset(&self, dataset: &str) -> Vec<Doc> {
+        self.db.find(collections::SIGNALS, &Filter::eq("dataset", dataset))
+    }
+
+    /// Update an event's review status (`unreviewed`, `confirmed`,
+    /// `rejected`, `modified`, `created`…).
+    pub fn set_event_status(&self, event_id: u64, status: &str) -> Result<()> {
+        self.db.patch(collections::EVENTS, event_id, &[("status", Doc::from(status))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walk the whole Figure 6 graph: dataset -> signal -> experiment ->
+    /// signalrun -> event -> annotation/comment.
+    #[test]
+    fn full_schema_walk() {
+        let db = SintelDb::in_memory();
+        db.add_dataset("NASA", "spacecraft");
+        db.add_signal("S-1", "NASA", 0, 10_000);
+        db.add_signal("S-2", "NASA", 0, 10_000);
+        let user = db.add_user("alice", "satellite engineer");
+        db.add_pipeline("lstm_dynamic_threshold", Doc::obj().with("window", 50i64));
+        let exp = db.add_experiment("exp-1", "NASA", "lstm_dynamic_threshold");
+        let run = db.add_signalrun(exp, "S-1", "done");
+        let ev = db.add_event(run, "S-1", 100, 200, 0.9);
+        db.add_annotation(ev, user, "confirm", "anomaly");
+        db.add_comment(ev, user, "looks like a real thermal excursion");
+
+        assert_eq!(db.signals_for_dataset("NASA").len(), 2);
+        assert_eq!(db.events_for_signal("S-1").len(), 1);
+        assert_eq!(db.events_for_signalrun(run).len(), 1);
+        assert_eq!(db.annotations_for_event(ev).len(), 1);
+        assert_eq!(db.comments_for_event(ev).len(), 1);
+        assert!(db.events_for_signal("S-2").is_empty());
+    }
+
+    #[test]
+    fn event_status_lifecycle() {
+        let db = SintelDb::in_memory();
+        let run = db.add_signalrun(1, "S-1", "done");
+        let ev = db.add_event(run, "S-1", 0, 10, 0.5);
+        let doc = db.events_for_signal("S-1").pop().unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("unreviewed"));
+        db.set_event_status(ev, "confirmed").unwrap();
+        let doc = db.events_for_signal("S-1").pop().unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("confirmed"));
+    }
+
+    #[test]
+    fn persistence_of_knowledge_base() {
+        let dir = std::env::temp_dir().join(format!(
+            "sintel-kb-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = SintelDb::open(&dir).unwrap();
+            let run = db.add_signalrun(1, "S-1", "done");
+            db.add_event(run, "S-1", 5, 9, 0.4);
+            db.save().unwrap();
+        }
+        let db = SintelDb::open(&dir).unwrap();
+        assert_eq!(db.events_for_signal("S-1").len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

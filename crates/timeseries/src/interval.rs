@@ -1,0 +1,263 @@
+//! Interval algebra for variable-length anomalies.
+//!
+//! The paper represents an anomaly as a `(t_start, t_end)` pair with
+//! `t_start < t_end`; detected anomalies additionally carry a severity
+//! score. Both evaluation algorithms (§2.3) are defined purely in terms of
+//! overlap between such intervals, so the overlap/merge/clip operations
+//! here are the foundation of `sintel-metrics`.
+
+use crate::{Result, TimeSeriesError};
+
+/// A closed time interval `[start, end]` (timestamps, `start <= end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Start timestamp (inclusive).
+    pub start: i64,
+    /// End timestamp (inclusive).
+    pub end: i64,
+}
+
+impl Interval {
+    /// Construct, validating `start <= end`.
+    pub fn new(start: i64, end: i64) -> Result<Self> {
+        if end < start {
+            return Err(TimeSeriesError::InvalidInterval(format!(
+                "end {end} before start {start}"
+            )));
+        }
+        Ok(Self { start, end })
+    }
+
+    /// Duration in timestamp units (`end - start`).
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// True when the two closed intervals share at least one instant.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection of two intervals, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(Interval { start, end })
+    }
+
+    /// True when `t` lies within the closed interval.
+    pub fn contains(&self, t: i64) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Smallest interval covering both operands.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Clip to `[lo, hi]`, if anything remains.
+    pub fn clip(&self, lo: i64, hi: i64) -> Option<Interval> {
+        self.intersect(&Interval { start: lo, end: hi })
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+/// An interval tagged with an anomaly severity score (higher = more
+/// anomalous). This is what postprocessing primitives emit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredInterval {
+    /// The anomalous span.
+    pub interval: Interval,
+    /// Severity / likelihood score, higher is more anomalous.
+    pub score: f64,
+}
+
+impl ScoredInterval {
+    /// Construct from raw bounds and a score.
+    pub fn new(start: i64, end: i64, score: f64) -> Result<Self> {
+        Ok(Self { interval: Interval::new(start, end)?, score })
+    }
+
+    /// Strip the score.
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+}
+
+/// Merge overlapping or touching intervals into a disjoint, sorted set.
+///
+/// `gap` allows merging intervals whose distance is at most `gap`
+/// (use 0 to merge only overlapping/touching intervals).
+pub fn merge_overlapping(intervals: &[Interval], gap: i64) -> Vec<Interval> {
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = intervals.to_vec();
+    sorted.sort();
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut current = sorted[0];
+    for iv in &sorted[1..] {
+        if iv.start <= current.end.saturating_add(gap) {
+            current.end = current.end.max(iv.end);
+        } else {
+            out.push(current);
+            current = *iv;
+        }
+    }
+    out.push(current);
+    out
+}
+
+/// Merge scored intervals the same way, keeping the maximum score of the
+/// merged members.
+pub fn merge_scored(intervals: &[ScoredInterval], gap: i64) -> Vec<ScoredInterval> {
+    if intervals.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = intervals.to_vec();
+    sorted.sort_by_key(|a| a.interval);
+    let mut out: Vec<ScoredInterval> = Vec::with_capacity(sorted.len());
+    let mut current = sorted[0];
+    for si in &sorted[1..] {
+        if si.interval.start <= current.interval.end.saturating_add(gap) {
+            current.interval.end = current.interval.end.max(si.interval.end);
+            current.score = current.score.max(si.score);
+        } else {
+            out.push(current);
+            current = *si;
+        }
+    }
+    out.push(current);
+    out
+}
+
+/// Total covered duration of a (possibly overlapping) interval set.
+pub fn total_duration(intervals: &[Interval]) -> i64 {
+    merge_overlapping(intervals, 0).iter().map(Interval::duration).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_validation() {
+        assert!(Interval::new(5, 3).is_err());
+        let iv = Interval::new(3, 5).unwrap();
+        assert_eq!(iv.duration(), 2);
+        assert_eq!(iv.to_string(), "[3, 5]");
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = Interval::new(0, 10).unwrap();
+        assert!(a.overlaps(&Interval::new(5, 15).unwrap()));
+        assert!(a.overlaps(&Interval::new(10, 20).unwrap())); // touching counts
+        assert!(!a.overlaps(&Interval::new(11, 20).unwrap()));
+        assert!(a.overlaps(&Interval::new(-5, 0).unwrap()));
+        assert!(a.overlaps(&Interval::new(2, 3).unwrap())); // containment
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = Interval::new(0, 10).unwrap();
+        let b = Interval::new(5, 15).unwrap();
+        assert_eq!(a.intersect(&b), Some(Interval::new(5, 10).unwrap()));
+        assert_eq!(a.hull(&b), Interval::new(0, 15).unwrap());
+        assert_eq!(a.intersect(&Interval::new(20, 30).unwrap()), None);
+    }
+
+    #[test]
+    fn clip_behaviour() {
+        let a = Interval::new(0, 100).unwrap();
+        assert_eq!(a.clip(10, 20), Some(Interval::new(10, 20).unwrap()));
+        assert_eq!(a.clip(-10, 5), Some(Interval::new(0, 5).unwrap()));
+        assert_eq!(a.clip(200, 300), None);
+    }
+
+    #[test]
+    fn merge_overlapping_basic() {
+        let ivs = [
+            Interval::new(0, 5).unwrap(),
+            Interval::new(3, 8).unwrap(),
+            Interval::new(10, 12).unwrap(),
+        ];
+        let merged = merge_overlapping(&ivs, 0);
+        assert_eq!(merged, vec![Interval::new(0, 8).unwrap(), Interval::new(10, 12).unwrap()]);
+    }
+
+    #[test]
+    fn merge_with_gap() {
+        let ivs = [Interval::new(0, 5).unwrap(), Interval::new(7, 9).unwrap()];
+        assert_eq!(merge_overlapping(&ivs, 0).len(), 2);
+        assert_eq!(merge_overlapping(&ivs, 2).len(), 1);
+    }
+
+    #[test]
+    fn merge_scored_keeps_max_score() {
+        let sis = [
+            ScoredInterval::new(0, 5, 0.3).unwrap(),
+            ScoredInterval::new(4, 8, 0.9).unwrap(),
+        ];
+        let merged = merge_scored(&sis, 0);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].interval, Interval::new(0, 8).unwrap());
+        assert_eq!(merged[0].score, 0.9);
+    }
+
+    #[test]
+    fn total_duration_deduplicates() {
+        let ivs = [Interval::new(0, 10).unwrap(), Interval::new(5, 15).unwrap()];
+        assert_eq!(total_duration(&ivs), 15);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_overlapping(&[], 0).is_empty());
+        assert!(merge_scored(&[], 0).is_empty());
+        assert_eq!(total_duration(&[]), 0);
+    }
+
+    fn interval_strategy() -> impl Strategy<Value = Interval> {
+        (0i64..1000, 0i64..100)
+            .prop_map(|(s, d)| Interval::new(s, s + d).expect("valid by construction"))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merged_is_disjoint_and_sorted(
+            ivs in proptest::collection::vec(interval_strategy(), 0..40),
+            gap in 0i64..10,
+        ) {
+            let merged = merge_overlapping(&ivs, gap);
+            for w in merged.windows(2) {
+                prop_assert!(w[0].end + gap < w[1].start);
+            }
+        }
+
+        #[test]
+        fn prop_merge_preserves_coverage(
+            ivs in proptest::collection::vec(interval_strategy(), 1..40),
+        ) {
+            let merged = merge_overlapping(&ivs, 0);
+            // Every original instant is covered by some merged interval.
+            for iv in &ivs {
+                prop_assert!(merged.iter().any(|m| m.start <= iv.start && iv.end <= m.end));
+            }
+            // Total duration never grows.
+            prop_assert_eq!(total_duration(&merged), total_duration(&ivs));
+        }
+
+        #[test]
+        fn prop_overlap_symmetric(a in interval_strategy(), b in interval_strategy()) {
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+            prop_assert_eq!(a.intersect(&b).is_some(), a.overlaps(&b));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Equi-spaced aggregation — the `time_segments_aggregate` primitive's
+//! underlying algorithm (Figure 2a, first pipeline step).
+//!
+//! Real telemetry arrives irregularly sampled; every model in the hub
+//! expects an equi-spaced series. [`time_segments_aggregate`] partitions
+//! the time axis into fixed-width bins and aggregates samples per bin;
+//! empty bins become `NaN` so the imputation primitive downstream can fill
+//! them.
+
+use crate::{Result, Signal, TimeSeriesError};
+
+/// Aggregation function applied within each time bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Arithmetic mean of the samples in the bin.
+    Mean,
+    /// Median of the samples in the bin.
+    Median,
+    /// Maximum of the samples in the bin.
+    Max,
+    /// Minimum of the samples in the bin.
+    Min,
+    /// Last sample of the bin.
+    Last,
+}
+
+impl Aggregation {
+    /// Parse from the hyperparameter string used in pipeline specs.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "mean" => Ok(Self::Mean),
+            "median" => Ok(Self::Median),
+            "max" => Ok(Self::Max),
+            "min" => Ok(Self::Min),
+            "last" => Ok(Self::Last),
+            other => Err(TimeSeriesError::InvalidParameter(format!(
+                "unknown aggregation '{other}'"
+            ))),
+        }
+    }
+
+    fn apply(&self, values: &[f64]) -> f64 {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return f64::NAN;
+        }
+        match self {
+            Aggregation::Mean => sintel_common::mean(&finite),
+            Aggregation::Median => sintel_common::median(&finite),
+            Aggregation::Max => finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Min => finite.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Last => *finite.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregate `signal` into equi-spaced bins of width `interval`,
+/// producing `x = [x^1 … x^T]` with equal spacing between consecutive
+/// samples. Bins with no samples hold `NaN` on every channel.
+pub fn time_segments_aggregate(
+    signal: &Signal,
+    interval: i64,
+    agg: Aggregation,
+) -> Result<Signal> {
+    if interval <= 0 {
+        return Err(TimeSeriesError::InvalidParameter(format!(
+            "aggregation interval must be positive, got {interval}"
+        )));
+    }
+    if signal.is_empty() {
+        return Signal::multivariate(
+            signal.name(),
+            Vec::new(),
+            vec![Vec::new(); signal.num_channels()],
+        );
+    }
+    let start = signal.start().expect("non-empty");
+    let end = signal.end().expect("non-empty");
+    let n_bins = ((end - start) / interval + 1) as usize;
+
+    let mut timestamps = Vec::with_capacity(n_bins);
+    let mut channels: Vec<Vec<f64>> = vec![Vec::with_capacity(n_bins); signal.num_channels()];
+
+    let ts = signal.timestamps();
+    let mut lo = 0usize;
+    for b in 0..n_bins {
+        let bin_start = start + b as i64 * interval;
+        let bin_end = bin_start + interval; // exclusive
+        let hi = ts.partition_point(|&t| t < bin_end);
+        timestamps.push(bin_start);
+        for (c, out) in channels.iter_mut().enumerate() {
+            out.push(agg.apply(&signal.channel(c)[lo..hi]));
+        }
+        lo = hi;
+    }
+    Signal::multivariate(signal.name(), timestamps, channels)
+}
+
+/// Linearly interpolate `NaN` runs in-place; leading/trailing NaNs take
+/// the nearest finite value. A fully-NaN series becomes all zeros.
+pub fn interpolate_nans(values: &mut [f64]) {
+    let n = values.len();
+    let first_finite = values.iter().position(|v| v.is_finite());
+    let Some(first) = first_finite else {
+        values.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    };
+    // Fill the leading run.
+    let lead = values[first];
+    values[..first].iter_mut().for_each(|v| *v = lead);
+
+    let mut i = first;
+    while i < n {
+        if values[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        // NaN run [i, j); values[i-1] is finite.
+        let j = (i..n).find(|&k| values[k].is_finite());
+        match j {
+            Some(j) => {
+                let a = values[i - 1];
+                let b = values[j];
+                let run = (j - i + 1) as f64;
+                for (off, k) in (i..j).enumerate() {
+                    values[k] = a + (b - a) * (off as f64 + 1.0) / run;
+                }
+                i = j;
+            }
+            None => {
+                let tail = values[i - 1];
+                values[i..].iter_mut().for_each(|v| *v = tail);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn aggregation_parse_roundtrip() {
+        for (s, a) in [
+            ("mean", Aggregation::Mean),
+            ("median", Aggregation::Median),
+            ("max", Aggregation::Max),
+            ("min", Aggregation::Min),
+            ("last", Aggregation::Last),
+        ] {
+            assert_eq!(Aggregation::parse(s).unwrap(), a);
+        }
+        assert!(Aggregation::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn aggregate_regular_signal_mean() {
+        let s = Signal::univariate("s", vec![0, 1, 2, 3, 4, 5], vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0])
+            .unwrap();
+        let agg = time_segments_aggregate(&s, 2, Aggregation::Mean).unwrap();
+        assert_eq!(agg.timestamps(), &[0, 2, 4]);
+        assert_eq!(agg.values(), &[1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn aggregate_irregular_signal_leaves_nan_gaps() {
+        // No samples in bin [10, 20).
+        let s = Signal::univariate("s", vec![0, 5, 25], vec![1.0, 3.0, 7.0]).unwrap();
+        let agg = time_segments_aggregate(&s, 10, Aggregation::Mean).unwrap();
+        assert_eq!(agg.timestamps(), &[0, 10, 20]);
+        assert_eq!(agg.values()[0], 2.0);
+        assert!(agg.values()[1].is_nan());
+        assert_eq!(agg.values()[2], 7.0);
+    }
+
+    #[test]
+    fn aggregate_max_min_last() {
+        let s = Signal::univariate("s", vec![0, 1, 2, 3], vec![1.0, 4.0, 2.0, 3.0]).unwrap();
+        let mx = time_segments_aggregate(&s, 4, Aggregation::Max).unwrap();
+        assert_eq!(mx.values(), &[4.0]);
+        let mn = time_segments_aggregate(&s, 4, Aggregation::Min).unwrap();
+        assert_eq!(mn.values(), &[1.0]);
+        let last = time_segments_aggregate(&s, 4, Aggregation::Last).unwrap();
+        assert_eq!(last.values(), &[3.0]);
+    }
+
+    #[test]
+    fn aggregate_multichannel() {
+        let s = Signal::multivariate(
+            "s",
+            vec![0, 1, 2, 3],
+            vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]],
+        )
+        .unwrap();
+        let agg = time_segments_aggregate(&s, 2, Aggregation::Mean).unwrap();
+        assert_eq!(agg.channel(0), &[1.5, 3.5]);
+        assert_eq!(agg.channel(1), &[15.0, 35.0]);
+    }
+
+    #[test]
+    fn aggregate_rejects_bad_interval() {
+        let s = Signal::from_values("s", vec![1.0]);
+        assert!(time_segments_aggregate(&s, 0, Aggregation::Mean).is_err());
+    }
+
+    #[test]
+    fn aggregate_empty_signal() {
+        let s = Signal::univariate("s", vec![], vec![]).unwrap();
+        let agg = time_segments_aggregate(&s, 5, Aggregation::Mean).unwrap();
+        assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn interpolate_middle_run() {
+        let mut v = [1.0, f64::NAN, f64::NAN, 4.0];
+        interpolate_nans(&mut v);
+        assert_eq!(v, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn interpolate_leading_and_trailing() {
+        let mut v = [f64::NAN, 2.0, f64::NAN];
+        interpolate_nans(&mut v);
+        assert_eq!(v, [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn interpolate_all_nan_becomes_zero() {
+        let mut v = [f64::NAN, f64::NAN];
+        interpolate_nans(&mut v);
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_aggregate_output_equispaced(
+            n in 2usize..100,
+            interval in 1i64..20,
+        ) {
+            let ts: Vec<i64> = (0..n as i64).map(|i| i * 3).collect();
+            let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let s = Signal::univariate("s", ts, vals).unwrap();
+            let agg = time_segments_aggregate(&s, interval, Aggregation::Mean).unwrap();
+            for w in agg.timestamps().windows(2) {
+                prop_assert_eq!(w[1] - w[0], interval);
+            }
+        }
+
+        #[test]
+        fn prop_interpolate_removes_all_nans(
+            mut v in proptest::collection::vec(
+                proptest::option::of(-100f64..100.0).prop_map(|o| o.unwrap_or(f64::NAN)),
+                0..60,
+            )
+        ) {
+            interpolate_nans(&mut v);
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}

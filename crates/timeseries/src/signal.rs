@@ -1,0 +1,295 @@
+//! The [`Signal`] type — Sintel's `(timestamp, values)` input standard.
+
+use crate::{Result, TimeSeriesError};
+
+/// A univariate or multivariate time series.
+///
+/// Timestamps are `i64` (typically epoch seconds) and must be strictly
+/// increasing. Values are stored channel-major: `channels[c][t]` is channel
+/// `c` at sample `t`. Missing values are represented as `NaN` and handled
+/// by the imputation primitives.
+///
+/// ```
+/// use sintel_timeseries::Signal;
+///
+/// let signal = Signal::univariate("S-1", vec![0, 60, 120], vec![1.0, 2.0, 3.0]).unwrap();
+/// assert_eq!(signal.len(), 3);
+/// assert_eq!(signal.median_step(), 60);
+/// let (train, test) = signal.split(0.67).unwrap();
+/// assert_eq!(train.len() + test.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    name: String,
+    timestamps: Vec<i64>,
+    channels: Vec<Vec<f64>>,
+}
+
+impl Signal {
+    /// Build a univariate signal. Validates timestamp ordering and lengths.
+    pub fn univariate(
+        name: impl Into<String>,
+        timestamps: Vec<i64>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        Self::multivariate(name, timestamps, vec![values])
+    }
+
+    /// Build a multivariate signal (one `Vec<f64>` per channel).
+    pub fn multivariate(
+        name: impl Into<String>,
+        timestamps: Vec<i64>,
+        channels: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        if channels.is_empty() {
+            return Err(TimeSeriesError::InvalidSignal("at least one channel required".into()));
+        }
+        for (c, ch) in channels.iter().enumerate() {
+            if ch.len() != timestamps.len() {
+                return Err(TimeSeriesError::InvalidSignal(format!(
+                    "channel {c} has {} samples, expected {}",
+                    ch.len(),
+                    timestamps.len()
+                )));
+            }
+        }
+        if timestamps.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(TimeSeriesError::InvalidSignal(
+                "timestamps must be strictly increasing".into(),
+            ));
+        }
+        Ok(Self { name: name.into(), timestamps, channels })
+    }
+
+    /// Convenience constructor: values indexed `0..n` with unit spacing.
+    pub fn from_values(name: impl Into<String>, values: Vec<f64>) -> Self {
+        let timestamps = (0..values.len() as i64).collect();
+        Self { name: name.into(), timestamps, channels: vec![values] }
+    }
+
+    /// Signal identifier.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the signal (returns self for chaining).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when the signal holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Number of channels (m in the paper's notation).
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Borrow the timestamp vector.
+    pub fn timestamps(&self) -> &[i64] {
+        &self.timestamps
+    }
+
+    /// Borrow a channel's values.
+    pub fn channel(&self, c: usize) -> &[f64] {
+        &self.channels[c]
+    }
+
+    /// Borrow the primary (first) channel — the common univariate case.
+    pub fn values(&self) -> &[f64] {
+        &self.channels[0]
+    }
+
+    /// Mutable access to a channel (for in-place preprocessing).
+    pub fn channel_mut(&mut self, c: usize) -> &mut [f64] {
+        &mut self.channels[c]
+    }
+
+    /// First timestamp, if any.
+    pub fn start(&self) -> Option<i64> {
+        self.timestamps.first().copied()
+    }
+
+    /// Last timestamp, if any.
+    pub fn end(&self) -> Option<i64> {
+        self.timestamps.last().copied()
+    }
+
+    /// Median spacing between consecutive timestamps (0 for < 2 samples).
+    pub fn median_step(&self) -> i64 {
+        if self.timestamps.len() < 2 {
+            return 0;
+        }
+        let mut deltas: Vec<i64> =
+            self.timestamps.windows(2).map(|w| w[1] - w[0]).collect();
+        deltas.sort_unstable();
+        deltas[deltas.len() / 2]
+    }
+
+    /// Fraction of missing (`NaN`) samples across all channels.
+    pub fn missing_fraction(&self) -> f64 {
+        let total = self.len() * self.num_channels();
+        if total == 0 {
+            return 0.0;
+        }
+        let missing: usize =
+            self.channels.iter().map(|ch| ch.iter().filter(|v| v.is_nan()).count()).sum();
+        missing as f64 / total as f64
+    }
+
+    /// Sub-signal covering timestamps in `[from, to]` (inclusive).
+    pub fn slice_time(&self, from: i64, to: i64) -> Result<Signal> {
+        if to < from {
+            return Err(TimeSeriesError::InvalidInterval(format!("slice {from}..{to}")));
+        }
+        let lo = self.timestamps.partition_point(|&t| t < from);
+        let hi = self.timestamps.partition_point(|&t| t <= to);
+        self.slice_index(lo, hi)
+    }
+
+    /// Sub-signal of sample indices `[lo, hi)`.
+    pub fn slice_index(&self, lo: usize, hi: usize) -> Result<Signal> {
+        if lo > hi || hi > self.len() {
+            return Err(TimeSeriesError::InvalidParameter(format!(
+                "index slice {lo}..{hi} out of bounds for length {}",
+                self.len()
+            )));
+        }
+        Ok(Signal {
+            name: self.name.clone(),
+            timestamps: self.timestamps[lo..hi].to_vec(),
+            channels: self.channels.iter().map(|ch| ch[lo..hi].to_vec()).collect(),
+        })
+    }
+
+    /// Split at `fraction` (0..1) of the samples: `(train, test)`.
+    pub fn split(&self, fraction: f64) -> Result<(Signal, Signal)> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(TimeSeriesError::InvalidParameter(format!(
+                "split fraction {fraction} not in [0, 1]"
+            )));
+        }
+        let cut = (self.len() as f64 * fraction).round() as usize;
+        Ok((self.slice_index(0, cut)?, self.slice_index(cut, self.len())?))
+    }
+
+    /// Index of the first sample with timestamp >= `t`.
+    pub fn index_at(&self, t: i64) -> usize {
+        self.timestamps.partition_point(|&ts| ts < t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sig() -> Signal {
+        Signal::univariate("s", vec![0, 10, 20, 30, 40], vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn construct_and_accessors() {
+        let s = sig();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.num_channels(), 1);
+        assert_eq!(s.values()[2], 3.0);
+        assert_eq!(s.start(), Some(0));
+        assert_eq!(s.end(), Some(40));
+        assert_eq!(s.median_step(), 10);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rejects_unsorted_timestamps() {
+        let err = Signal::univariate("s", vec![0, 10, 5], vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::InvalidSignal(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_timestamps() {
+        assert!(Signal::univariate("s", vec![0, 10, 10], vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_channels() {
+        let err =
+            Signal::multivariate("s", vec![0, 1], vec![vec![1.0, 2.0], vec![1.0]]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::InvalidSignal(_)));
+    }
+
+    #[test]
+    fn rejects_zero_channels() {
+        assert!(Signal::multivariate("s", vec![0, 1], vec![]).is_err());
+    }
+
+    #[test]
+    fn slice_time_inclusive() {
+        let s = sig();
+        let sub = s.slice_time(10, 30).unwrap();
+        assert_eq!(sub.timestamps(), &[10, 20, 30]);
+        assert_eq!(sub.values(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_time_outside_range_is_empty() {
+        let s = sig();
+        assert!(s.slice_time(100, 200).unwrap().is_empty());
+    }
+
+    #[test]
+    fn split_train_test() {
+        let s = sig();
+        let (train, test) = s.split(0.6).unwrap();
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 2);
+        assert_eq!(test.timestamps()[0], 30);
+        assert!(s.split(1.5).is_err());
+    }
+
+    #[test]
+    fn missing_fraction_counts_nans() {
+        let s = Signal::univariate("s", vec![0, 1, 2, 3], vec![1.0, f64::NAN, 3.0, f64::NAN])
+            .unwrap();
+        assert_eq!(s.missing_fraction(), 0.5);
+    }
+
+    #[test]
+    fn from_values_unit_spacing() {
+        let s = Signal::from_values("s", vec![5.0, 6.0, 7.0]);
+        assert_eq!(s.timestamps(), &[0, 1, 2]);
+        assert_eq!(s.median_step(), 1);
+    }
+
+    #[test]
+    fn index_at_partition() {
+        let s = sig();
+        assert_eq!(s.index_at(0), 0);
+        assert_eq!(s.index_at(15), 2);
+        assert_eq!(s.index_at(41), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_partitions(len in 1usize..200, frac in 0.0f64..1.0) {
+            let s = Signal::from_values("s", vec![0.0; len]);
+            let (a, b) = s.split(frac).unwrap();
+            prop_assert_eq!(a.len() + b.len(), len);
+        }
+
+        #[test]
+        fn prop_slice_time_subset(len in 2usize..100, lo in 0i64..50, span in 0i64..100) {
+            let s = Signal::from_values("s", (0..len).map(|i| i as f64).collect());
+            let sub = s.slice_time(lo, lo + span).unwrap();
+            prop_assert!(sub.timestamps().iter().all(|&t| t >= lo && t <= lo + span));
+        }
+    }
+}

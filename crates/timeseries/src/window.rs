@@ -1,0 +1,224 @@
+//! Rolling-window extraction (`rolling_window_sequences` in Figure 2a).
+//!
+//! Prediction models (LSTM DT, ARIMA) consume `(window, next value)`
+//! pairs; reconstruction models (autoencoders, TadGAN) consume plain
+//! windows. [`WindowSet`] stores the windows flattened (channel-major per
+//! time step) together with the index/timestamp bookkeeping needed to map
+//! model errors back onto the original time axis.
+
+use crate::{Result, Signal, TimeSeriesError};
+
+/// A set of fixed-length windows extracted from one signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSet {
+    /// Flattened windows: `windows[w][t * channels + c]`.
+    pub windows: Vec<Vec<f64>>,
+    /// Regression target for each window (value right after the window,
+    /// first channel), when `with_targets` was requested.
+    pub targets: Vec<f64>,
+    /// Sample index (into the source signal) of the first element of each
+    /// window.
+    pub first_index: Vec<usize>,
+    /// Timestamp of the *target* position for prediction windows, or of
+    /// the window start for reconstruction windows.
+    pub index_timestamps: Vec<i64>,
+    /// Window length in time steps.
+    pub window_size: usize,
+    /// Number of channels per time step.
+    pub channels: usize,
+}
+
+impl WindowSet {
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no window was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+/// Extract rolling windows of `window_size` steps advancing by `step`.
+///
+/// With `with_targets`, each window is paired with the first-channel value
+/// immediately after it (so the last possible window ends at `len - 2`).
+pub fn rolling_windows(
+    signal: &Signal,
+    window_size: usize,
+    step: usize,
+    with_targets: bool,
+) -> Result<WindowSet> {
+    if window_size == 0 || step == 0 {
+        return Err(TimeSeriesError::InvalidParameter(
+            "window_size and step must be positive".into(),
+        ));
+    }
+    let n = signal.len();
+    let channels = signal.num_channels();
+    let needed = if with_targets { window_size + 1 } else { window_size };
+
+    let mut ws = WindowSet {
+        windows: Vec::new(),
+        targets: Vec::new(),
+        first_index: Vec::new(),
+        index_timestamps: Vec::new(),
+        window_size,
+        channels,
+    };
+    if n < needed {
+        return Ok(ws);
+    }
+
+    let mut start = 0usize;
+    while start + needed <= n {
+        let mut flat = Vec::with_capacity(window_size * channels);
+        for t in start..start + window_size {
+            for c in 0..channels {
+                flat.push(signal.channel(c)[t]);
+            }
+        }
+        ws.windows.push(flat);
+        ws.first_index.push(start);
+        if with_targets {
+            ws.targets.push(signal.values()[start + window_size]);
+            ws.index_timestamps.push(signal.timestamps()[start + window_size]);
+        } else {
+            ws.index_timestamps.push(signal.timestamps()[start]);
+        }
+        start += step;
+    }
+    Ok(ws)
+}
+
+/// Reassemble per-window reconstructions into a single series by averaging
+/// the values every window contributes at each time step (the unfolding
+/// used by reconstruction pipelines before computing errors).
+///
+/// `recons[w]` must hold `window_size` values (first channel); returns a
+/// vector aligned with the source signal of length `signal_len`.
+pub fn overlap_average(
+    recons: &[Vec<f64>],
+    first_index: &[usize],
+    window_size: usize,
+    signal_len: usize,
+) -> Vec<f64> {
+    let mut sum = vec![0.0; signal_len];
+    let mut count = vec![0u32; signal_len];
+    for (w, rec) in recons.iter().enumerate() {
+        let base = first_index[w];
+        for (t, &v) in rec.iter().enumerate().take(window_size) {
+            let idx = base + t;
+            if idx < signal_len {
+                sum[idx] += v;
+                count[idx] += 1;
+            }
+        }
+    }
+    sum.iter()
+        .zip(&count)
+        .map(|(&s, &c)| if c == 0 { f64::NAN } else { s / c as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sig(n: usize) -> Signal {
+        Signal::from_values("s", (0..n).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn windows_with_targets() {
+        let ws = rolling_windows(&sig(6), 3, 1, true).unwrap();
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws.windows[0], vec![0.0, 1.0, 2.0]);
+        assert_eq!(ws.targets, vec![3.0, 4.0, 5.0]);
+        assert_eq!(ws.first_index, vec![0, 1, 2]);
+        assert_eq!(ws.index_timestamps, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn windows_without_targets() {
+        let ws = rolling_windows(&sig(6), 3, 1, false).unwrap();
+        assert_eq!(ws.len(), 4);
+        assert!(ws.targets.is_empty());
+        assert_eq!(ws.index_timestamps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn window_step_skips() {
+        let ws = rolling_windows(&sig(10), 4, 3, false).unwrap();
+        assert_eq!(ws.first_index, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn too_short_signal_yields_empty() {
+        let ws = rolling_windows(&sig(3), 3, 1, true).unwrap();
+        assert!(ws.is_empty());
+        let ws2 = rolling_windows(&sig(2), 3, 1, false).unwrap();
+        assert!(ws2.is_empty());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(rolling_windows(&sig(5), 0, 1, false).is_err());
+        assert!(rolling_windows(&sig(5), 2, 0, false).is_err());
+    }
+
+    #[test]
+    fn multichannel_flattening_is_channel_minor() {
+        let s = Signal::multivariate(
+            "m",
+            vec![0, 1, 2],
+            vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]],
+        )
+        .unwrap();
+        let ws = rolling_windows(&s, 2, 1, false).unwrap();
+        assert_eq!(ws.windows[0], vec![1.0, 10.0, 2.0, 20.0]);
+        assert_eq!(ws.channels, 2);
+    }
+
+    #[test]
+    fn overlap_average_reconstructs_identity() {
+        let s = sig(5);
+        let ws = rolling_windows(&s, 2, 1, false).unwrap();
+        // Perfect reconstruction: each window returns its own input.
+        let recons: Vec<Vec<f64>> = ws.windows.clone();
+        let merged = overlap_average(&recons, &ws.first_index, 2, 5);
+        assert_eq!(merged, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn overlap_average_marks_uncovered_as_nan() {
+        let merged = overlap_average(&[vec![1.0, 1.0]], &[0], 2, 4);
+        assert_eq!(&merged[..2], &[1.0, 1.0]);
+        assert!(merged[2].is_nan() && merged[3].is_nan());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_window_count_formula(
+            n in 0usize..200,
+            w in 1usize..10,
+            step in 1usize..5,
+        ) {
+            let ws = rolling_windows(&sig(n), w, step, false).unwrap();
+            let expected = if n >= w { (n - w) / step + 1 } else { 0 };
+            prop_assert_eq!(ws.len(), expected);
+        }
+
+        #[test]
+        fn prop_targets_follow_windows(n in 2usize..100, w in 1usize..8) {
+            prop_assume!(n > w);
+            let ws = rolling_windows(&sig(n), w, 1, true).unwrap();
+            for (k, &fi) in ws.first_index.iter().enumerate() {
+                // Target is the sample right after the window.
+                prop_assert_eq!(ws.targets[k], (fi + w) as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! A small Gaussian-process regressor (RBF kernel) — the meta-model
+//! behind [`crate::GpTuner`], fitted with the Cholesky factorisation from
+//! `sintel-linalg`.
+
+use sintel_linalg::{cholesky, solve_lower, solve_upper, Matrix};
+
+use crate::{Result, TunerError};
+
+/// Gaussian process with an RBF kernel and homoskedastic noise.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    lengthscale: f64,
+    noise: f64,
+    xs: Vec<Vec<f64>>,
+    /// Cholesky factor of `K + noise*I`.
+    chol: Option<Matrix>,
+    /// `alpha = K^{-1} y` (with y mean-centred).
+    alpha: Vec<f64>,
+    y_mean: f64,
+}
+
+fn rbf(a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-0.5 * d2 / (lengthscale * lengthscale)).exp()
+}
+
+impl GaussianProcess {
+    /// Create an unfitted GP.
+    pub fn new(lengthscale: f64, noise: f64) -> Self {
+        Self {
+            lengthscale,
+            noise: noise.max(1e-10),
+            xs: Vec::new(),
+            chol: None,
+            alpha: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    /// Fit on observations (maximising callers should pass raw scores).
+    pub fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<()> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(TunerError::DimensionMismatch { expected: xs.len(), got: ys.len() });
+        }
+        let n = xs.len();
+        self.y_mean = ys.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = ys.iter().map(|y| y - self.y_mean).collect();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rbf(&xs[i], &xs[j], self.lengthscale);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += self.noise;
+        }
+        let l = cholesky(&k).map_err(|e| TunerError::Numerical(e.to_string()))?;
+        // alpha = K^{-1} y via two triangular solves.
+        let tmp = solve_lower(&l, &centred).map_err(|e| TunerError::Numerical(e.to_string()))?;
+        self.alpha =
+            solve_upper(&l.transpose(), &tmp).map_err(|e| TunerError::Numerical(e.to_string()))?;
+        self.chol = Some(l);
+        self.xs = xs.to_vec();
+        Ok(())
+    }
+
+    /// Predictive mean and standard deviation at `x`.
+    pub fn predict(&self, x: &[f64]) -> Result<(f64, f64)> {
+        let l = self.chol.as_ref().ok_or(TunerError::EmptySpace)?;
+        let kstar: Vec<f64> =
+            self.xs.iter().map(|xi| rbf(xi, x, self.lengthscale)).collect();
+        let mean = self.y_mean + sintel_linalg::dot(&kstar, &self.alpha);
+        let v = solve_lower(l, &kstar).map_err(|e| TunerError::Numerical(e.to_string()))?;
+        let var = (1.0 + self.noise - sintel_linalg::dot(&v, &v)).max(1e-12);
+        Ok((mean, var.sqrt()))
+    }
+}
+
+/// Standard normal CDF (Abramowitz–Stegun 7.1.26 via erf approximation).
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal PDF.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| < 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected improvement of predictive `(mean, std)` over `best` (for
+/// maximisation), with exploration margin `xi`.
+pub fn expected_improvement(mean: f64, std: f64, best: f64, xi: f64) -> f64 {
+    if std <= 1e-12 {
+        return (mean - best - xi).max(0.0);
+    }
+    let z = (mean - best - xi) / std;
+    (mean - best - xi) * norm_cdf(z) + std * norm_pdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // The A&S 7.1.26 approximation is accurate to ~1.5e-7.
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![0.0, 1.0, 0.0];
+        let mut gp = GaussianProcess::new(0.3, 1e-8);
+        gp.fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mean, std) = gp.predict(x).unwrap();
+            assert!((mean - y).abs() < 1e-3, "mean {mean} vs {y}");
+            assert!(std < 0.05, "std {std}");
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![0.1]];
+        let ys = vec![0.5, 0.6];
+        let mut gp = GaussianProcess::new(0.2, 1e-6);
+        gp.fit(&xs, &ys).unwrap();
+        let (_, std_near) = gp.predict(&[0.05]).unwrap();
+        let (_, std_far) = gp.predict(&[0.9]).unwrap();
+        assert!(std_far > std_near * 2.0, "near {std_near} far {std_far}");
+    }
+
+    #[test]
+    fn gp_prediction_before_fit_errors() {
+        let gp = GaussianProcess::new(0.2, 1e-6);
+        assert!(gp.predict(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn gp_mismatched_lengths_rejected() {
+        let mut gp = GaussianProcess::new(0.2, 1e-6);
+        assert!(gp.fit(&[vec![0.0]], &[1.0, 2.0]).is_err());
+        assert!(gp.fit(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn ei_properties() {
+        // Higher mean -> more EI; higher std -> more EI at equal mean.
+        let base = expected_improvement(0.5, 0.1, 0.6, 0.0);
+        let better_mean = expected_improvement(0.7, 0.1, 0.6, 0.0);
+        let more_std = expected_improvement(0.5, 0.3, 0.6, 0.0);
+        assert!(better_mean > base);
+        assert!(more_std > base);
+        // Deterministic below best: zero.
+        assert_eq!(expected_improvement(0.5, 0.0, 0.6, 0.0), 0.0);
+        assert!(expected_improvement(0.5, 0.2, 0.6, 0.0) >= 0.0);
+    }
+
+    #[test]
+    fn gp_handles_duplicate_points() {
+        // Duplicates make K singular without the noise jitter.
+        let xs = vec![vec![0.5], vec![0.5], vec![0.7]];
+        let ys = vec![1.0, 1.0, 0.0];
+        let mut gp = GaussianProcess::new(0.3, 1e-6);
+        gp.fit(&xs, &ys).unwrap();
+        let (mean, _) = gp.predict(&[0.5]).unwrap();
+        assert!((mean - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # sintel-tuner
+//!
+//! The AutoML hyperparameter-tuning substrate (paper §3.3) — an in-Rust
+//! equivalent of BTB's `GPTuner`.
+//!
+//! The tuner works over a [`Space`] of typed dimensions (float, log-float,
+//! integer, categorical, boolean), internally mapped to the unit cube.
+//! [`GpTuner`] fits a Gaussian-process meta-model (RBF kernel, Cholesky
+//! solve from `sintel-linalg`) over recorded `(λ, score)` evaluations and
+//! proposes the candidate maximising Expected Improvement;
+//! [`RandomTuner`] is the random-search baseline used in the ablation
+//! bench. The search loop is [`TuningSession`]: propose → evaluate →
+//! record until the budget runs out, keeping the best λ (Figure 5).
+
+pub mod gp;
+pub mod space;
+pub mod tuners;
+
+pub use gp::GaussianProcess;
+pub use space::{DimSpec, DimValue, Space};
+pub use tuners::{GpTuner, RandomTuner, Tuner, TuningSession};
+
+/// Errors produced by the tuning substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TunerError {
+    /// The search space has no dimensions.
+    EmptySpace,
+    /// A point had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Received dimensionality.
+        got: usize,
+    },
+    /// Numerical failure in the GP fit.
+    Numerical(String),
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::EmptySpace => write!(f, "search space is empty"),
+            TunerError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            TunerError::Numerical(m) => write!(f, "numerical failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, TunerError>;

@@ -1,0 +1,179 @@
+//! Typed search spaces mapped to the unit cube.
+
+use sintel_common::SintelRng;
+
+/// One dimension of a search space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimSpec {
+    /// Real-valued in `[lo, hi]`; `log` requests log-uniform scaling.
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Log-uniform when true (requires `lo > 0`).
+        log: bool,
+    },
+    /// Integer-valued in `[lo, hi]` inclusive.
+    Int {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// Categorical with `n` options.
+    Choice(usize),
+    /// Boolean.
+    Flag,
+}
+
+/// A decoded dimension value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DimValue {
+    /// Real value.
+    F(f64),
+    /// Integer value.
+    I(i64),
+    /// Categorical option index.
+    Idx(usize),
+    /// Boolean value.
+    B(bool),
+}
+
+/// An ordered, typed search space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Space {
+    /// The dimensions, in encoding order.
+    pub dims: Vec<DimSpec>,
+}
+
+impl Space {
+    /// Create from dimensions.
+    pub fn new(dims: Vec<DimSpec>) -> Self {
+        Self { dims }
+    }
+
+    /// Dimensionality of the unit-cube encoding.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True when there is nothing to search.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Uniform random unit-cube point.
+    pub fn sample_unit(&self, rng: &mut SintelRng) -> Vec<f64> {
+        (0..self.dims.len()).map(|_| rng.uniform()).collect()
+    }
+
+    /// Decode a unit-cube point into typed values.
+    pub fn decode(&self, unit: &[f64]) -> Vec<DimValue> {
+        assert_eq!(unit.len(), self.dims.len(), "decode: dimension mismatch");
+        self.dims
+            .iter()
+            .zip(unit)
+            .map(|(dim, &u)| {
+                let u = u.clamp(0.0, 1.0);
+                match dim {
+                    DimSpec::Float { lo, hi, log } => {
+                        if *log {
+                            debug_assert!(*lo > 0.0, "log scale requires positive bounds");
+                            let v = (lo.ln() + u * (hi.ln() - lo.ln())).exp();
+                            DimValue::F(v.clamp(*lo, *hi))
+                        } else {
+                            DimValue::F(lo + u * (hi - lo))
+                        }
+                    }
+                    DimSpec::Int { lo, hi } => {
+                        let span = (hi - lo + 1) as f64;
+                        let v = lo + (u * span).floor().min(span - 1.0) as i64;
+                        DimValue::I(v)
+                    }
+                    DimSpec::Choice(n) => {
+                        let idx = ((u * *n as f64).floor() as usize).min(n.saturating_sub(1));
+                        DimValue::Idx(idx)
+                    }
+                    DimSpec::Flag => DimValue::B(u >= 0.5),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn space() -> Space {
+        Space::new(vec![
+            DimSpec::Float { lo: -1.0, hi: 1.0, log: false },
+            DimSpec::Float { lo: 1e-4, hi: 1e-1, log: true },
+            DimSpec::Int { lo: 3, hi: 7 },
+            DimSpec::Choice(4),
+            DimSpec::Flag,
+        ])
+    }
+
+    #[test]
+    fn decode_endpoints() {
+        let s = space();
+        let lo = s.decode(&[0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(lo[0], DimValue::F(-1.0));
+        assert_eq!(lo[2], DimValue::I(3));
+        assert_eq!(lo[3], DimValue::Idx(0));
+        assert_eq!(lo[4], DimValue::B(false));
+        let hi = s.decode(&[1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(hi[0], DimValue::F(1.0));
+        assert_eq!(hi[2], DimValue::I(7));
+        assert_eq!(hi[3], DimValue::Idx(3));
+        assert_eq!(hi[4], DimValue::B(true));
+        if let DimValue::F(v) = hi[1] {
+            assert!((v - 0.1).abs() < 1e-12);
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn log_scale_midpoint_is_geometric_mean() {
+        let s = Space::new(vec![DimSpec::Float { lo: 1e-4, hi: 1.0, log: true }]);
+        let mid = s.decode(&[0.5]);
+        if let DimValue::F(v) = mid[0] {
+            assert!((v - 1e-2).abs() < 1e-10, "{v}");
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn sample_unit_dimension() {
+        let s = space();
+        let mut rng = SintelRng::seed_from_u64(1);
+        let u = s.sample_unit(&mut rng);
+        assert_eq!(u.len(), 5);
+        assert!(u.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_within_bounds(u in proptest::collection::vec(0.0f64..1.0, 5)) {
+            let s = space();
+            let vals = s.decode(&u);
+            match vals[0] { DimValue::F(v) => prop_assert!((-1.0..=1.0).contains(&v)), _ => prop_assert!(false) }
+            match vals[1] { DimValue::F(v) => prop_assert!((1e-4..=0.1 + 1e-12).contains(&v)), _ => prop_assert!(false) }
+            match vals[2] { DimValue::I(v) => prop_assert!((3..=7).contains(&v)), _ => prop_assert!(false) }
+            match vals[3] { DimValue::Idx(v) => prop_assert!(v < 4), _ => prop_assert!(false) }
+        }
+
+        #[test]
+        fn prop_int_decode_uniformish(u in 0.0f64..1.0) {
+            let s = Space::new(vec![DimSpec::Int { lo: 0, hi: 9 }]);
+            if let DimValue::I(v) = s.decode(&[u])[0] {
+                prop_assert_eq!(v, (u * 10.0).floor().min(9.0) as i64);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Tuner implementations and the budgeted search session.
+
+use sintel_common::SintelRng;
+
+use crate::gp::{expected_improvement, GaussianProcess};
+use crate::space::Space;
+use crate::{Result, TunerError};
+
+/// Common interface of hyperparameter tuners: propose a unit-cube point,
+/// record its observed score (higher is better), repeat.
+pub trait Tuner {
+    /// Propose the next candidate (unit-cube coordinates).
+    fn propose(&mut self) -> Result<Vec<f64>>;
+
+    /// Record the score observed for a candidate.
+    fn record(&mut self, point: Vec<f64>, score: f64);
+
+    /// Best `(point, score)` recorded so far.
+    fn best(&self) -> Option<(&[f64], f64)>;
+
+    /// Number of recorded evaluations.
+    fn num_observations(&self) -> usize;
+}
+
+/// Observation storage shared by the tuner implementations.
+#[derive(Debug, Clone, Default)]
+struct History {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+}
+
+impl History {
+    fn record(&mut self, x: Vec<f64>, y: f64) {
+        self.xs.push(x);
+        self.ys.push(y);
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        let idx = sintel_common::argmax(&self.ys)?;
+        Some((&self.xs[idx], self.ys[idx]))
+    }
+}
+
+/// Uniform random search — the baseline tuner.
+#[derive(Debug, Clone)]
+pub struct RandomTuner {
+    space: Space,
+    rng: SintelRng,
+    history: History,
+}
+
+impl RandomTuner {
+    /// Create for a space.
+    pub fn new(space: Space, seed: u64) -> Self {
+        Self { space, rng: SintelRng::seed_from_u64(seed), history: History::default() }
+    }
+}
+
+impl Tuner for RandomTuner {
+    fn propose(&mut self) -> Result<Vec<f64>> {
+        if self.space.is_empty() {
+            return Err(TunerError::EmptySpace);
+        }
+        Ok(self.space.sample_unit(&mut self.rng))
+    }
+
+    fn record(&mut self, point: Vec<f64>, score: f64) {
+        self.history.record(point, score);
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.history.best()
+    }
+
+    fn num_observations(&self) -> usize {
+        self.history.ys.len()
+    }
+}
+
+/// BTB-style `GPTuner`: Gaussian-process meta-model + Expected
+/// Improvement acquisition over random candidates.
+#[derive(Debug, Clone)]
+pub struct GpTuner {
+    space: Space,
+    rng: SintelRng,
+    history: History,
+    /// Random proposals before the GP takes over.
+    n_initial: usize,
+    /// Candidate pool size per acquisition round.
+    n_candidates: usize,
+}
+
+impl GpTuner {
+    /// Create for a space with default settings (5 warm-up points, 200
+    /// acquisition candidates).
+    pub fn new(space: Space, seed: u64) -> Self {
+        Self {
+            space,
+            rng: SintelRng::seed_from_u64(seed),
+            history: History::default(),
+            n_initial: 5,
+            n_candidates: 200,
+        }
+    }
+}
+
+impl Tuner for GpTuner {
+    fn propose(&mut self) -> Result<Vec<f64>> {
+        if self.space.is_empty() {
+            return Err(TunerError::EmptySpace);
+        }
+        if self.history.ys.len() < self.n_initial {
+            return Ok(self.space.sample_unit(&mut self.rng));
+        }
+        // Fit the meta-model; if the fit degenerates, fall back to random.
+        let lengthscale = 0.2 * (self.space.len() as f64).sqrt().max(1.0);
+        let mut gp = GaussianProcess::new(lengthscale, 1e-4);
+        if gp.fit(&self.history.xs, &self.history.ys).is_err() {
+            return Ok(self.space.sample_unit(&mut self.rng));
+        }
+        let best_y = self.history.best().map(|(_, y)| y).unwrap_or(0.0);
+        let mut best_candidate = None;
+        let mut best_ei = f64::NEG_INFINITY;
+        for _ in 0..self.n_candidates {
+            let cand = self.space.sample_unit(&mut self.rng);
+            let Ok((mean, std)) = gp.predict(&cand) else { continue };
+            let ei = expected_improvement(mean, std, best_y, 0.01);
+            if ei > best_ei {
+                best_ei = ei;
+                best_candidate = Some(cand);
+            }
+        }
+        Ok(best_candidate.unwrap_or_else(|| self.space.sample_unit(&mut self.rng)))
+    }
+
+    fn record(&mut self, point: Vec<f64>, score: f64) {
+        self.history.record(point, score);
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.history.best()
+    }
+
+    fn num_observations(&self) -> usize {
+        self.history.ys.len()
+    }
+}
+
+/// A budgeted propose → evaluate → record loop (paper Figure 5: "continue
+/// the search until our budget runs out").
+///
+/// ```
+/// use sintel_tuner::{DimSpec, GpTuner, Space, TuningSession};
+///
+/// let space = Space::new(vec![DimSpec::Float { lo: 0.0, hi: 1.0, log: false }]);
+/// let mut session = TuningSession::new(GpTuner::new(space, 7), 20);
+/// // Maximise a 1-D objective peaking at x = 0.3.
+/// let (best_x, best_y) = session.run(|x| -(x[0] - 0.3) * (x[0] - 0.3)).unwrap();
+/// assert!((best_x[0] - 0.3).abs() < 0.2);
+/// assert!(best_y <= 0.0);
+/// ```
+pub struct TuningSession<T: Tuner> {
+    tuner: T,
+    budget: usize,
+}
+
+impl<T: Tuner> TuningSession<T> {
+    /// Create with an evaluation budget.
+    pub fn new(tuner: T, budget: usize) -> Self {
+        Self { tuner, budget }
+    }
+
+    /// Run the loop: `objective` scores each proposed unit-cube point
+    /// (higher is better). Returns the best `(point, score)`.
+    pub fn run(
+        &mut self,
+        mut objective: impl FnMut(&[f64]) -> f64,
+    ) -> Result<(Vec<f64>, f64)> {
+        for _ in 0..self.budget {
+            let cand = self.tuner.propose()?;
+            let score = objective(&cand);
+            self.tuner.record(cand, score);
+        }
+        self.tuner
+            .best()
+            .map(|(x, y)| (x.to_vec(), y))
+            .ok_or(TunerError::EmptySpace)
+    }
+
+    /// Access the underlying tuner (e.g. to inspect the history).
+    pub fn tuner(&self) -> &T {
+        &self.tuner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DimSpec;
+
+    fn unit_space(d: usize) -> Space {
+        Space::new(vec![DimSpec::Float { lo: 0.0, hi: 1.0, log: false }; d])
+    }
+
+    /// Smooth 2-D objective with optimum at (0.3, 0.7).
+    fn objective(x: &[f64]) -> f64 {
+        let dx = x[0] - 0.3;
+        let dy = x[1] - 0.7;
+        (-4.0 * (dx * dx + dy * dy)).exp()
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        let mut t = GpTuner::new(Space::default(), 0);
+        assert_eq!(t.propose().unwrap_err(), TunerError::EmptySpace);
+        let mut r = RandomTuner::new(Space::default(), 0);
+        assert_eq!(r.propose().unwrap_err(), TunerError::EmptySpace);
+    }
+
+    #[test]
+    fn random_tuner_tracks_best() {
+        let mut t = RandomTuner::new(unit_space(2), 1);
+        for _ in 0..20 {
+            let p = t.propose().unwrap();
+            let s = objective(&p);
+            t.record(p, s);
+        }
+        assert_eq!(t.num_observations(), 20);
+        let (_, best) = t.best().unwrap();
+        assert!(best > 0.1);
+    }
+
+    #[test]
+    fn gp_tuner_beats_random_on_smooth_objective() {
+        // With an equal budget the GP tuner should (on average) find a
+        // better optimum than random search. Compare over a few seeds to
+        // avoid flakiness.
+        let budget = 30;
+        let mut gp_wins = 0;
+        for seed in 0..5u64 {
+            let mut gp = TuningSession::new(GpTuner::new(unit_space(2), seed), budget);
+            let (_, gp_best) = gp.run(objective).unwrap();
+            let mut rnd = TuningSession::new(RandomTuner::new(unit_space(2), seed), budget);
+            let (_, rnd_best) = rnd.run(objective).unwrap();
+            if gp_best >= rnd_best {
+                gp_wins += 1;
+            }
+        }
+        assert!(gp_wins >= 3, "GP won only {gp_wins}/5 seeds");
+    }
+
+    #[test]
+    fn gp_tuner_improves_over_warmup() {
+        let mut session = TuningSession::new(GpTuner::new(unit_space(2), 7), 40);
+        let (_, best) = session.run(objective).unwrap();
+        assert!(best > 0.8, "best {best}");
+        // The best proposal should sit near the true optimum.
+        let hist = session.tuner();
+        let (x, _) = hist.best().unwrap();
+        assert!((x[0] - 0.3).abs() < 0.2 && (x[1] - 0.7).abs() < 0.2, "{x:?}");
+    }
+
+    #[test]
+    fn proposals_stay_in_unit_cube() {
+        let mut t = GpTuner::new(unit_space(3), 3);
+        for i in 0..15 {
+            let p = t.propose().unwrap();
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "iter {i}: {p:?}");
+            let s = p.iter().sum::<f64>();
+            t.record(p, s);
+        }
+    }
+
+    #[test]
+    fn session_exhausts_budget() {
+        let mut calls = 0;
+        let mut session = TuningSession::new(RandomTuner::new(unit_space(1), 0), 12);
+        session
+            .run(|_| {
+                calls += 1;
+                0.0
+            })
+            .unwrap();
+        assert_eq!(calls, 12);
+    }
+}

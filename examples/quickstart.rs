@@ -1,0 +1,71 @@
+//! Quickstart — the paper's Figure 4a workflow, end to end.
+//!
+//! ```text
+//! from sintel import Sintel                 | use sintel::Sintel;
+//! train_data = load_signal('S-1-train')     | let train = load_signal("S-1-train");
+//! sintel = Sintel(pipeline="lstm_dyn...")   | let mut s = Sintel::new("lstm_dynamic_threshold")?;
+//! sintel.fit(train_data)                    | s.fit(&train.signal)?;
+//! new_data = load_signal('S-1-new')         | let new = load_signal("S-1-new");
+//! anomalies = sintel.detect(new_data)       | let anomalies = s.detect(&new.signal)?;
+//! ```
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use sintel::Sintel;
+use sintel_datasets::load_signal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Initialize data: an anomaly-free training slice and fresh incoming
+    // data containing two anomalies (a contextual amplitude change and a
+    // stuck sensor).
+    let train_data = load_signal("S-1-train").expect("demo signal exists");
+    let new_data = load_signal("S-1-new").expect("demo signal exists");
+    println!(
+        "loaded S-1: {} training samples, {} new samples",
+        train_data.signal.len(),
+        new_data.signal.len()
+    );
+
+    // Select a pipeline from the hub and train it.
+    let mut sintel = Sintel::new("lstm_dynamic_threshold")?;
+    println!("training pipeline '{}' …", sintel.pipeline_name());
+    sintel.fit(&train_data.signal)?;
+    println!(
+        "trained in {}",
+        humantime(sintel.profile().fit_total.as_secs_f64())
+    );
+
+    // Detect anomalies in the incoming data.
+    let anomalies = sintel.detect(&new_data.signal)?;
+    println!("\ndetected {} anomalies:", anomalies.len());
+    for a in &anomalies {
+        println!(
+            "  [{} .. {}] severity {:.3}",
+            a.interval.start, a.interval.end, a.score
+        );
+    }
+
+    // Show them on an ASCII rendering of the signal (the MTV stand-in).
+    let intervals: Vec<_> = anomalies.iter().map(|a| a.interval).collect();
+    println!("\n{}", sintel_hil::viz::render(&new_data.signal, &intervals, 100, 12));
+
+    // Since S-1 is a demo signal we happen to know the ground truth:
+    let truth = &new_data.anomalies;
+    let scores = sintel::sintel::score(truth, &intervals, sintel::MetricKind::Overlap);
+    println!(
+        "vs ground truth ({} events): F1 {:.3}, precision {:.3}, recall {:.3}",
+        truth.len(),
+        scores.f1,
+        scores.precision,
+        scores.recall
+    );
+    Ok(())
+}
+
+fn humantime(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.0} ms", s * 1e3)
+    }
+}

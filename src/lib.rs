@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # sintel-repro — facade crate
+//!
+//! Re-exports the whole Sintel reproduction workspace under one roof so
+//! that the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`) have a single import surface.
+//!
+//! The real functionality lives in the member crates:
+//!
+//! * [`sintel`] — the framework core (`Sintel` orchestrator, benchmark
+//!   suite, feature registry).
+//! * [`sintel_pipeline`] — templates, pipelines, and the pipeline hub.
+//! * [`sintel_primitives`] — reusable pre/model/post primitives.
+//! * [`sintel_metrics`] — anomaly-specific evaluation metrics.
+//! * [`sintel_datasets`] — synthetic NAB / NASA / Yahoo S5 corpora.
+//! * [`sintel_tuner`] — Gaussian-process AutoML tuner.
+//! * [`sintel_store`] — embedded document database (knowledge base).
+//! * [`sintel_hil`] — human-in-the-loop annotations and feedback.
+
+pub use sintel;
+pub use sintel_common;
+pub use sintel_datasets;
+pub use sintel_hil;
+pub use sintel_linalg;
+pub use sintel_metrics;
+pub use sintel_nn;
+pub use sintel_pipeline;
+pub use sintel_primitives;
+pub use sintel_stats;
+pub use sintel_store;
+pub use sintel_timeseries;
+pub use sintel_tuner;

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the full Figure 4a workflow for every
+//! hub pipeline, against synthetic corpora with known ground truth.
+
+use sintel_repro::sintel::{MetricKind, Sintel};
+use sintel_repro::sintel_datasets::{load, load_signal, DatasetConfig, DatasetId};
+use sintel_repro::sintel_pipeline::hub;
+use sintel_repro::sintel_timeseries::Interval;
+
+/// Every pipeline in the hub completes fit + detect on a real-ish signal
+/// and produces within-range intervals. Deep models run with a reduced
+/// epoch budget so the test stays fast in debug builds — coverage here is
+/// plumbing, not quality (quality is the bench harness's job).
+#[test]
+fn every_hub_pipeline_runs_end_to_end() {
+    use sintel_repro::sintel_primitives::{build_primitive, HyperValue};
+    let full = load_signal("S-2").expect("demo signal");
+    let data = sintel_repro::sintel_datasets::LabeledSignal {
+        signal: full.signal.slice_index(0, 1000).unwrap(),
+        anomalies: Vec::new(),
+    };
+    for name in hub::available_pipelines() {
+        let mut template = hub::template_by_name(name).unwrap();
+        for step in &mut template.steps {
+            let prim = build_primitive(&step.primitive).unwrap();
+            if prim.meta().hyperparam("epochs").is_some() {
+                step.overrides.push(("epochs".into(), HyperValue::Int(2)));
+                step.overrides.push(("hidden".into(), HyperValue::Int(6)));
+            }
+        }
+        let mut sintel =
+            Sintel::from_template(template).unwrap_or_else(|e| panic!("{name}: {e}"));
+        sintel.fit(&data.signal).unwrap_or_else(|e| panic!("{name} fit: {e}"));
+        let anomalies =
+            sintel.detect(&data.signal).unwrap_or_else(|e| panic!("{name} detect: {e}"));
+        let start = data.signal.start().unwrap();
+        let end = data.signal.end().unwrap();
+        for a in &anomalies {
+            assert!(
+                a.interval.start >= start && a.interval.end <= end,
+                "{name}: {:?} outside signal span",
+                a.interval
+            );
+            assert!(a.score.is_finite(), "{name}: non-finite score");
+        }
+    }
+}
+
+/// The ARIMA pipeline finds the demo signal's injected anomalies with
+/// decent quality — the canonical quickstart promise.
+#[test]
+fn quickstart_quality_bar() {
+    let train = load_signal("S-2-train").expect("demo signal");
+    let new_data = load_signal("S-2-new").expect("demo signal");
+    let mut sintel = Sintel::new("arima").unwrap();
+    sintel.fit(&train.signal).unwrap();
+    let scores = sintel
+        .evaluate(&new_data.signal, &new_data.anomalies, MetricKind::Overlap)
+        .unwrap();
+    assert!(scores.recall >= 0.6, "recall {scores:?}");
+    assert!(scores.f1 >= 0.4, "f1 {scores:?}");
+}
+
+/// Detection works across corpora: run one fast pipeline over a small
+/// sample of each dataset family and require a nonzero aggregate recall
+/// (the pipelines must find *something* real everywhere).
+#[test]
+fn arima_detects_across_all_corpora() {
+    let cfg = DatasetConfig { seed: 42, signal_scale: 0.02, length_scale: 0.1 };
+    for id in [DatasetId::Nab, DatasetId::Nasa, DatasetId::Yahoo] {
+        let dataset = load(id, &cfg);
+        let mut tp = 0usize;
+        let mut truth_total = 0usize;
+        for labeled in dataset.iter_signals().take(4) {
+            let mut pipeline = hub::build_pipeline("arima").unwrap();
+            let Ok(anomalies) = pipeline.fit_detect(&labeled.signal, &labeled.signal) else {
+                continue;
+            };
+            let pred: Vec<Interval> = anomalies.iter().map(|a| a.interval).collect();
+            for t in &labeled.anomalies {
+                truth_total += 1;
+                if pred.iter().any(|p| p.overlaps(t)) {
+                    tp += 1;
+                }
+            }
+        }
+        assert!(truth_total > 0, "{:?}: no ground truth sampled", id);
+        assert!(tp > 0, "{:?}: nothing detected over {truth_total} true anomalies", id);
+    }
+}
+
+/// Degenerate inputs do not panic anywhere in the stack.
+#[test]
+fn degenerate_signals_handled_gracefully() {
+    use sintel_repro::sintel_timeseries::Signal;
+    // Constant signal: no anomalies, no crash.
+    let flat = Signal::from_values("flat", vec![1.0; 600]);
+    let mut sintel = Sintel::new("arima").unwrap();
+    sintel.fit(&flat).unwrap();
+    let anomalies = sintel.detect(&flat).unwrap();
+    assert!(anomalies.len() <= 1, "flat signal should be (nearly) quiet: {anomalies:?}");
+
+    // Signal with missing values: imputation keeps the pipeline alive.
+    let mut vals: Vec<f64> =
+        (0..600).map(|t| (std::f64::consts::TAU * t as f64 / 50.0).sin()).collect();
+    for v in vals.iter_mut().step_by(17) {
+        *v = f64::NAN;
+    }
+    let holey = Signal::from_values("holey", vals);
+    let mut sintel = Sintel::new("arima").unwrap();
+    sintel.fit(&holey).unwrap();
+    sintel.detect(&holey).unwrap();
+
+    // Irregularly sampled signal: aggregation normalises it.
+    let ts: Vec<i64> = (0..400i64).map(|i| i * 7 + (i % 5)).collect();
+    let vs: Vec<f64> = (0..400).map(|t| (t as f64 * 0.21).sin()).collect();
+    let irregular = Signal::univariate("irr", ts, vs).unwrap();
+    let mut sintel = Sintel::new("arima").unwrap();
+    sintel.fit(&irregular).unwrap();
+    sintel.detect(&irregular).unwrap();
+}
+
+/// Too-short signals error cleanly rather than panicking.
+#[test]
+fn too_short_signal_is_a_clean_error() {
+    use sintel_repro::sintel_timeseries::Signal;
+    let tiny = Signal::from_values("tiny", vec![1.0, 2.0, 3.0]);
+    let mut sintel = Sintel::new("arima").unwrap();
+    let result = sintel.fit(&tiny);
+    assert!(result.is_err(), "expected a clean error for a 3-sample signal");
+}

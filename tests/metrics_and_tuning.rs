@@ -1,0 +1,92 @@
+//! Integration tests for the evaluation metrics against full pipeline
+//! output, and for the AutoML loop improving a real pipeline.
+
+use sintel_repro::sintel::{MetricKind, Sintel, TuneSetting};
+use sintel_repro::sintel_metrics::{overlapping_segment, weighted_segment_in_span};
+use sintel_repro::sintel_pipeline::hub;
+use sintel_repro::sintel_timeseries::{Interval, Signal};
+
+fn spiky(n: usize, bursts: &[(usize, usize)]) -> (Signal, Vec<Interval>) {
+    let mut vals: Vec<f64> =
+        (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 40.0).sin()).collect();
+    let mut truth = Vec::new();
+    for &(s, e) in bursts {
+        for v in &mut vals[s..=e] {
+            *v += 5.0;
+        }
+        truth.push(Interval::new(s as i64, e as i64).unwrap());
+    }
+    (Signal::from_values("spiky", vals), truth)
+}
+
+/// The two metrics agree on perfect detections and rank a good detector
+/// above a random one.
+#[test]
+fn metrics_rank_detectors_consistently() {
+    let (signal, truth) = spiky(600, &[(150, 170), (400, 430)]);
+    let mut pipeline = hub::build_pipeline("arima").unwrap();
+    let detected = pipeline.fit_detect(&signal, &signal).unwrap();
+    let pred: Vec<Interval> = detected.iter().map(|d| d.interval).collect();
+
+    let good_overlap = overlapping_segment(&truth, &pred).scores();
+    let good_weighted = weighted_segment_in_span(&truth, &pred, 0, 599).scores();
+
+    // A detector that alarms at fixed wrong places.
+    let bad_pred = vec![Interval::new(10, 30).unwrap(), Interval::new(550, 560).unwrap()];
+    let bad_overlap = overlapping_segment(&truth, &bad_pred).scores();
+    let bad_weighted = weighted_segment_in_span(&truth, &bad_pred, 0, 599).scores();
+
+    assert!(good_overlap.f1 > bad_overlap.f1, "{good_overlap:?} vs {bad_overlap:?}");
+    assert!(good_weighted.f1 > bad_weighted.f1);
+    // The lenient metric is never harsher than the strict one on the
+    // same (real) detections.
+    assert!(good_overlap.f1 >= good_weighted.f1 - 1e-9);
+}
+
+/// Supervised tuning through the orchestrator improves (or preserves)
+/// detection quality and leaves the orchestrator holding the tuned
+/// pipeline.
+#[test]
+fn orchestrated_supervised_tuning() {
+    let (signal, truth) = spiky(500, &[(250, 265)]);
+    let mut sintel = Sintel::new("arima").unwrap();
+    let report = sintel
+        .tune(&signal, TuneSetting::Supervised { ground_truth: truth.clone() }, 6)
+        .unwrap();
+    assert!(report.best_score >= report.default_score);
+    assert_eq!(report.history.len(), 7); // default + budget
+
+    // The tuned pipeline is live in the orchestrator.
+    let scores = sintel.evaluate(&signal, &truth, MetricKind::Overlap).unwrap();
+    assert!(
+        scores.f1 >= report.best_score - 0.35,
+        "live pipeline f1 {} far below tuned {}",
+        scores.f1,
+        report.best_score
+    );
+}
+
+/// The feedback loop on top of real unsupervised proposals improves the
+/// semi-supervised pipeline's test F1 (the Figure 8a mechanism, via the
+/// full stack).
+#[test]
+fn feedback_loop_over_real_pipeline_proposals() {
+    use sintel_repro::sintel_hil::{FeedbackLoop, SimulatedExpert};
+    let (train, train_truth) = spiky(900, &[(200, 240), (600, 640)]);
+    let train = train.with_name("train");
+    let (test, test_truth) = spiky(700, &[(300, 340)]);
+    let test = test.with_name("test");
+
+    let mut unsup = hub::build_pipeline("arima").unwrap();
+    let proposals = unsup.fit_detect(&train, &train).unwrap();
+    assert!(!proposals.is_empty(), "need warm-start proposals");
+
+    let mut expert =
+        SimulatedExpert::new(vec![("train".to_string(), train_truth)], 1.0, 3);
+    let points = FeedbackLoop { epochs: 40, ..Default::default() }
+        .run(&mut expert, &train, &test, &test_truth, &proposals)
+        .unwrap();
+    assert!(!points.is_empty());
+    let final_f1 = points.last().unwrap().f1;
+    assert!(final_f1 > 0.5, "final F1 {final_f1}: {points:?}");
+}

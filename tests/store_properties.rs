@@ -1,0 +1,114 @@
+//! Property tests for the knowledge-base query layer: indexed lookups
+//! must agree with brute-force scans, and persistence must round-trip
+//! arbitrary documents — the invariants everything else (events,
+//! annotations, benchmark results) silently relies on.
+
+use proptest::prelude::*;
+use sintel_repro::sintel_store::{json, Collection, Doc, Filter};
+
+fn doc_strategy() -> impl Strategy<Value = Doc> {
+    let leaf = prop_oneof![
+        Just(Doc::Null),
+        any::<bool>().prop_map(Doc::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Doc::I64),
+        (-1e9f64..1e9).prop_map(Doc::F64),
+        "[a-z]{0,12}".prop_map(Doc::Str),
+    ];
+    // Flat objects with a few common fields so filters have targets.
+    (
+        "[a-z]{1,6}",
+        -100i64..100,
+        0.0f64..1.0,
+        proptest::collection::btree_map("[a-z]{1,5}", leaf, 0..4),
+    )
+        .prop_map(|(signal, n, score, extra)| {
+            let mut doc = Doc::obj().with("signal", signal).with("n", n).with("score", score);
+            for (k, v) in extra {
+                doc.set(&format!("x_{k}"), v);
+            }
+            doc
+        })
+}
+
+fn filter_strategy() -> impl Strategy<Value = Filter> {
+    let atom = prop_oneof![
+        "[a-z]{1,6}".prop_map(|s| Filter::eq("signal", s.as_str())),
+        (-100i64..100).prop_map(|v| Filter::Gt("n".into(), Doc::I64(v))),
+        (-100i64..100).prop_map(|v| Filter::Lte("n".into(), Doc::I64(v))),
+        (0.0f64..1.0).prop_map(|v| Filter::Lt("score".into(), Doc::F64(v))),
+        Just(Filter::Exists("x_a".into(), true)),
+        Just(Filter::All),
+    ];
+    atom.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Filter::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An indexed collection returns exactly the documents a brute-force
+    /// matches() scan selects, for arbitrary docs and filters.
+    #[test]
+    fn indexed_find_agrees_with_scan(
+        docs in proptest::collection::vec(doc_strategy(), 0..40),
+        filter in filter_strategy(),
+    ) {
+        let mut indexed = Collection::new();
+        indexed.create_index("signal");
+        let mut plain = Collection::new();
+        for doc in &docs {
+            indexed.insert(doc.clone());
+            plain.insert(doc.clone());
+        }
+        let from_index: Vec<i64> = indexed
+            .find(&filter)
+            .iter()
+            .map(|d| d.get("_id").unwrap().as_i64().unwrap())
+            .collect();
+        let from_scan: Vec<i64> = plain
+            .find(&filter)
+            .iter()
+            .map(|d| d.get("_id").unwrap().as_i64().unwrap())
+            .collect();
+        let mut a = from_index.clone();
+        a.sort_unstable();
+        let mut b = from_scan.clone();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// JSON serialisation of arbitrary (flat-ish) documents round-trips.
+    #[test]
+    fn json_roundtrip_of_store_docs(doc in doc_strategy()) {
+        let encoded = json::to_json(&doc);
+        let decoded = json::from_json(&encoded).unwrap();
+        prop_assert_eq!(decoded, doc);
+    }
+
+    /// Deleting every matched document leaves exactly the complement.
+    #[test]
+    fn delete_by_filter_leaves_complement(
+        docs in proptest::collection::vec(doc_strategy(), 0..30),
+        filter in filter_strategy(),
+    ) {
+        let mut collection = Collection::new();
+        for doc in &docs {
+            collection.insert(doc.clone());
+        }
+        let matched: Vec<u64> = collection
+            .find(&filter)
+            .iter()
+            .map(|d| d.get("_id").unwrap().as_i64().unwrap() as u64)
+            .collect();
+        for id in &matched {
+            collection.delete(*id).unwrap();
+        }
+        prop_assert_eq!(collection.count(&filter), 0);
+        prop_assert_eq!(collection.len(), docs.len() - matched.len());
+    }
+}
