@@ -6,7 +6,8 @@
 //! * error smoothing on vs off in `regression_errors`;
 //! * weighted vs overlapping segment scoring.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sintel_common::microbench::Criterion;
+use sintel_common::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use sintel_common::SintelRng;

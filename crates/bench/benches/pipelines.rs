@@ -2,7 +2,8 @@
 //! of Figure 7a on a single fixed signal (relative ordering between
 //! pipelines is the claim being tracked).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sintel_common::microbench::Criterion;
+use sintel_common::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use sintel_common::SintelRng;

@@ -1,7 +1,8 @@
 //! Substrate micro-benchmarks: the hot paths every experiment leans on
 //! (FFT, LSTM step, ARIMA fit, window extraction, JSON round-trip).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sintel_common::microbench::Criterion;
+use sintel_common::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use sintel_common::SintelRng;

@@ -39,6 +39,7 @@ fn main() {
             data: DatasetConfig { seed: 42, signal_scale: scale, length_scale: (scale * 2.5).clamp(0.12, 1.0) },
             metric: MetricKind::Overlap,
             rank: "f1",
+            ..BenchmarkConfig::default()
         };
         let rows = benchmark(&cfg).expect("benchmark run");
         let train: std::time::Duration = rows.iter().map(|r| r.train_time).sum();

@@ -29,6 +29,7 @@ fn main() {
         data: DatasetConfig { seed: 42, signal_scale: scale, length_scale: (scale * 2.5).clamp(0.12, 1.0) },
         metric: MetricKind::Overlap,
         rank: "f1",
+        ..BenchmarkConfig::default()
     };
     eprintln!(
         "Table 3: running {} pipelines x {} datasets at scale {scale} …",

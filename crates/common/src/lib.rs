@@ -10,6 +10,7 @@
 //! Everything in the workspace that needs randomness goes through
 //! [`SintelRng`] so that experiments are reproducible from a single seed.
 
+pub mod microbench;
 pub mod numeric;
 pub mod rng;
 

@@ -1,0 +1,187 @@
+//! Minimal, dependency-free micro-benchmark harness.
+//!
+//! A drop-in stand-in for the subset of the `criterion` API the workspace
+//! benches use ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros), so `cargo bench` works fully offline. Each benchmark is
+//! calibrated to a small per-sample budget, then timed for a fixed number
+//! of samples; the median, mean, and spread are printed in
+//! criterion-like one-line reports.
+//!
+//! This intentionally trades criterion's statistical machinery for zero
+//! dependencies: numbers are indicative (good for relative ordering and
+//! regression eyeballing), not publication-grade confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per measured sample (calibration target).
+const SAMPLE_BUDGET: Duration = Duration::from_millis(10);
+/// Upper bound on iterations per sample, to keep pathological cases bounded.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Times a closure over a batch of iterations. Passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, recording total
+    /// elapsed wall-clock time. The closure's output is passed through
+    /// [`std::hint::black_box`] so the optimiser cannot delete the work.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run a single benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self, name: name.to_string(), sample_size: 30 }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in this group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Register and immediately run a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// End the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+    // Calibration: one untimed-in-spirit iteration sizes the batch so each
+    // sample lands near SAMPLE_BUDGET, and doubles as warm-up.
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters = ((SAMPLE_BUDGET.as_nanos() / once.as_nanos()).max(1) as u64).min(MAX_ITERS);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.iters = iters;
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "bench: {name:<40} median {:>10}  mean {:>10}  range [{} .. {}]  ({} samples x {} iters)",
+        fmt_secs(median),
+        fmt_secs(mean),
+        fmt_secs(lo),
+        fmt_secs(hi),
+        sample_size,
+        iters,
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Define a benchmark group function from a list of bench functions, each
+/// taking `&mut Criterion` — mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main()` from benchmark groups — mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(count, 10);
+        assert!(b.elapsed > Duration::ZERO || count == 10);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion { sample_size: 2 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| 2 + 2));
+    }
+}

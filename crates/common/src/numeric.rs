@@ -93,7 +93,7 @@ pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SintelRng;
 
     #[test]
     fn mean_basic() {
@@ -154,36 +154,55 @@ mod tests {
         ewma(&[1.0], 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+    /// Random vector of `len` uniform samples in `[lo, hi)`.
+    fn random_vec(rng: &mut SintelRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| rng.uniform_range(lo, hi)).collect()
+    }
+
+    #[test]
+    fn prop_mean_within_bounds() {
+        let mut rng = SintelRng::seed_from_u64(0x0111);
+        for _ in 0..256 {
+            let len = 1 + rng.index(199);
+            let xs = random_vec(&mut rng, len, -1e6, 1e6);
             let m = mean(&xs);
             let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+            assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
-            prop_assert!(variance(&xs) >= 0.0);
+    #[test]
+    fn prop_variance_nonnegative() {
+        let mut rng = SintelRng::seed_from_u64(0x0112);
+        for _ in 0..256 {
+            let len = rng.index(200);
+            let xs = random_vec(&mut rng, len, -1e6, 1e6);
+            assert!(variance(&xs) >= 0.0);
         }
+    }
 
-        #[test]
-        fn prop_quantile_monotone(
-            xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
-            q1 in 0.0f64..1.0,
-            q2 in 0.0f64..1.0,
-        ) {
+    #[test]
+    fn prop_quantile_monotone() {
+        let mut rng = SintelRng::seed_from_u64(0x0113);
+        for _ in 0..256 {
+            let len = 1 + rng.index(99);
+            let xs = random_vec(&mut rng, len, -1e6, 1e6);
+            let q1 = rng.uniform();
+            let q2 = rng.uniform();
             let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-            prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-9);
+            assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_ewma_preserves_length(
-            xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
-            alpha in 0.01f64..1.0,
-        ) {
-            prop_assert_eq!(ewma(&xs, alpha).len(), xs.len());
+    #[test]
+    fn prop_ewma_preserves_length() {
+        let mut rng = SintelRng::seed_from_u64(0x0114);
+        for _ in 0..256 {
+            let len = rng.index(100);
+            let xs = random_vec(&mut rng, len, -1e3, 1e3);
+            let alpha = rng.uniform_range(0.01, 1.0);
+            assert_eq!(ewma(&xs, alpha).len(), xs.len());
         }
     }
 }

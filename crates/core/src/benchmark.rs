@@ -5,15 +5,25 @@
 //! recall / F1 under the segment-based metrics of §2.3, mean ± std
 //! across signals) and **computational performance** (training time,
 //! pipeline latency, peak memory, per-primitive profile).
+//!
+//! Every signal runs under the fault-isolation layer ([`crate::policy`]):
+//! a watchdog thread turns hangs into `Timeout` failures, contained
+//! panics and non-finite outputs are classified per
+//! [`FailureBreakdown`], and a `pipeline × signal` pair that keeps
+//! failing is quarantined through the knowledge base so later sweeps
+//! skip it instead of burning their budget again.
 
 use std::time::Duration;
 
 use sintel_datasets::{DatasetConfig, DatasetId};
 use sintel_metrics::Scores;
-use sintel_pipeline::hub;
+use sintel_pipeline::{hub, Template};
 use sintel_store::{Doc, SintelDb};
 use sintel_timeseries::Interval;
 
+use crate::policy::{
+    classify_pipeline_error, run_with_policy, Failure, FailureBreakdown, FailureKind, RunPolicy,
+};
 use crate::sintel::score;
 use crate::{alloc, Result};
 
@@ -31,6 +41,9 @@ pub enum MetricKind {
 pub struct BenchmarkConfig {
     /// Hub pipeline names to compare.
     pub pipelines: Vec<String>,
+    /// Custom templates benchmarked alongside the hub pipelines (the
+    /// fault-injection tests ride through here).
+    pub extra_templates: Vec<Template>,
     /// Datasets to run on.
     pub datasets: Vec<DatasetId>,
     /// Dataset generation (seed + scale).
@@ -39,16 +52,20 @@ pub struct BenchmarkConfig {
     pub metric: MetricKind,
     /// Rank rows by this metric name when rendering (`"f1"` in Fig 4c).
     pub rank: &'static str,
+    /// Per-signal execution budget (watchdog timeout, retries, backoff).
+    pub policy: RunPolicy,
 }
 
 impl Default for BenchmarkConfig {
     fn default() -> Self {
         Self {
             pipelines: hub::available_pipelines().iter().map(|s| s.to_string()).collect(),
+            extra_templates: Vec::new(),
             datasets: vec![DatasetId::Nab, DatasetId::Nasa, DatasetId::Yahoo],
             data: DatasetConfig::small(),
             metric: MetricKind::Overlap,
             rank: "f1",
+            policy: RunPolicy::default(),
         }
     }
 }
@@ -66,8 +83,10 @@ pub struct BenchmarkRow {
     pub std: Scores,
     /// Signals evaluated.
     pub signals: usize,
-    /// Signals whose run failed (excluded from the scores).
-    pub failures: usize,
+    /// Signals whose run failed (excluded from the scores), by class.
+    pub failures: FailureBreakdown,
+    /// Signals skipped because the pair was quarantined by earlier runs.
+    pub quarantined: usize,
     /// Total training time over all signals.
     pub train_time: Duration,
     /// Total detection (latency) time over all signals.
@@ -91,6 +110,19 @@ impl BenchmarkRow {
     }
 }
 
+/// Resolve the run list: hub pipelines by name, then custom templates.
+fn resolve_templates(cfg: &BenchmarkConfig) -> Result<Vec<Template>> {
+    let mut templates = Vec::with_capacity(cfg.pipelines.len() + cfg.extra_templates.len());
+    for pipeline_name in &cfg.pipelines {
+        templates.push(hub::template_by_name(pipeline_name)?);
+    }
+    templates.extend(cfg.extra_templates.iter().cloned());
+    Ok(templates)
+}
+
+/// Strikes needed before a `pipeline × signal` pair is quarantined.
+const QUARANTINE_STRIKES: usize = 2;
+
 /// Run the benchmark: every pipeline against every dataset
 /// (`sintel.benchmark`, Figure 4c).
 ///
@@ -99,46 +131,105 @@ impl BenchmarkRow {
 /// same signal; scoring compares detections to the held-back ground
 /// truth.
 pub fn benchmark(cfg: &BenchmarkConfig) -> Result<Vec<BenchmarkRow>> {
+    benchmark_with_db(cfg, None)
+}
+
+/// [`benchmark`], with failure bookkeeping in a knowledge base.
+///
+/// When `db` is given, every exhausted run is recorded in the
+/// `run_failures` collection (one strike per attempt) and pairs
+/// reaching [`QUARANTINE_STRIKES`] are quarantined: later benchmark
+/// calls against the same knowledge base skip them (with a logged
+/// reason) instead of re-running a known-bad combination.
+pub fn benchmark_with_db(
+    cfg: &BenchmarkConfig,
+    db: Option<&SintelDb>,
+) -> Result<Vec<BenchmarkRow>> {
+    let templates = resolve_templates(cfg)?;
     let mut rows = Vec::new();
     for dataset_id in &cfg.datasets {
         let dataset = sintel_datasets::load(*dataset_id, &cfg.data);
-        for pipeline_name in &cfg.pipelines {
-            let template = hub::template_by_name(pipeline_name)?;
+        for template in &templates {
+            let pipeline_name = template.name.clone();
             let mut per_signal = Vec::new();
-            let mut failures = 0usize;
+            let mut failures = FailureBreakdown::default();
+            let mut quarantined = 0usize;
             let mut train_time = Duration::ZERO;
             let mut detect_time = Duration::ZERO;
             let mut primitive_time = Duration::ZERO;
             alloc::reset_peak();
 
             for labeled in dataset.iter_signals() {
-                let mut pipeline = match template.build_default() {
-                    Ok(p) => p,
-                    Err(_) => {
-                        failures += 1;
+                let signal_name = labeled.signal.name().to_string();
+                if let Some(db) = db {
+                    if db.is_quarantined(&pipeline_name, &signal_name) {
+                        eprintln!(
+                            "benchmark: skipping quarantined pair \
+                             {pipeline_name} \u{d7} {signal_name}"
+                        );
+                        quarantined += 1;
                         continue;
                     }
+                }
+
+                let task_template = template.clone();
+                let task_signal = labeled.signal.clone();
+                let attempt = move || {
+                    let mut pipeline = task_template
+                        .build_default()
+                        .map_err(|e| Failure::new(FailureKind::Build, e.to_string()))?;
+                    let anomalies = pipeline
+                        .fit_detect(&task_signal, &task_signal)
+                        .map_err(|e| Failure::new(classify_pipeline_error(&e), e.to_string()))?;
+                    let profile = pipeline.profile().clone();
+                    Ok((anomalies, profile))
                 };
-                match pipeline.fit_detect(&labeled.signal, &labeled.signal) {
-                    Ok(anomalies) => {
+                let (result, attempts) = run_with_policy(&cfg.policy, attempt);
+                match result {
+                    Ok((anomalies, prof)) => {
                         let pred: Vec<Interval> =
                             anomalies.iter().map(|a| a.interval).collect();
                         per_signal.push(score(&labeled.anomalies, &pred, cfg.metric));
-                        let prof = pipeline.profile();
                         train_time += prof.fit_total;
                         detect_time += prof.detect_total;
                         primitive_time += prof.primitive_time();
                     }
-                    Err(_) => failures += 1,
+                    Err(failure) => {
+                        failures.record(failure.kind);
+                        if let Some(db) = db {
+                            db.add_run_failure(
+                                &pipeline_name,
+                                &signal_name,
+                                failure.kind.label(),
+                                &failure.message,
+                                attempts as usize,
+                            );
+                            let strikes = db.failure_strikes(&pipeline_name, &signal_name);
+                            if strikes >= QUARANTINE_STRIKES
+                                && !db.is_quarantined(&pipeline_name, &signal_name)
+                            {
+                                eprintln!(
+                                    "benchmark: quarantining {pipeline_name} \u{d7} \
+                                     {signal_name} after {strikes} strikes ({failure})"
+                                );
+                                db.add_quarantine(
+                                    &pipeline_name,
+                                    &signal_name,
+                                    &failure.to_string(),
+                                );
+                            }
+                        }
+                    }
                 }
             }
             rows.push(BenchmarkRow {
-                pipeline: pipeline_name.clone(),
+                pipeline: pipeline_name,
                 dataset: dataset.name.clone(),
                 mean: Scores::mean(&per_signal),
                 std: Scores::std(&per_signal),
                 signals: per_signal.len(),
                 failures,
+                quarantined,
                 train_time,
                 detect_time,
                 peak_memory: alloc::peak_bytes(),
@@ -167,7 +258,13 @@ pub fn persist_benchmark(db: &SintelDb, rows: &[BenchmarkRow]) {
             .with("recall", row.mean.recall)
             .with("f1_std", row.std.f1)
             .with("signals", row.signals)
-            .with("failures", row.failures)
+            .with("failures", row.failures.total())
+            .with("failures_build", row.failures.build)
+            .with("failures_panic", row.failures.panic)
+            .with("failures_non_finite", row.failures.non_finite)
+            .with("failures_timeout", row.failures.timeout)
+            .with("failures_other", row.failures.other)
+            .with("quarantined", row.quarantined)
             .with("train_seconds", row.train_time.as_secs_f64())
             .with("detect_seconds", row.detect_time.as_secs_f64())
             .with("peak_memory_bytes", row.peak_memory);
@@ -179,12 +276,21 @@ pub fn persist_benchmark(db: &SintelDb, rows: &[BenchmarkRow]) {
 pub fn render_table(rows: &[BenchmarkRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:<8} {:>14} {:>16} {:>14} {:>8}\n",
-        "pipeline", "dataset", "F1", "precision", "recall", "signals"
+        "{:<26} {:<8} {:>14} {:>16} {:>14} {:>8} {:>18}\n",
+        "pipeline", "dataset", "F1", "precision", "recall", "signals", "failures"
     ));
     for row in rows {
+        let mut failures = row.failures.summary();
+        if row.quarantined > 0 {
+            if failures == "-" {
+                failures.clear();
+            } else {
+                failures.push(' ');
+            }
+            failures.push_str(&format!("skip\u{d7}{}", row.quarantined));
+        }
         out.push_str(&format!(
-            "{:<26} {:<8} {:>6.3} ± {:<5.2} {:>8.3} ± {:<5.2} {:>6.3} ± {:<5.2} {:>5}\n",
+            "{:<26} {:<8} {:>6.3} ± {:<5.2} {:>8.3} ± {:<5.2} {:>6.3} ± {:<5.2} {:>5} {:>18}\n",
             row.pipeline,
             row.dataset,
             row.mean.f1,
@@ -194,6 +300,7 @@ pub fn render_table(rows: &[BenchmarkRow]) -> String {
             row.mean.recall,
             row.std.recall,
             row.signals,
+            failures,
         ));
     }
     out
@@ -210,6 +317,7 @@ mod tests {
             data: DatasetConfig { seed: 42, signal_scale: 0.05, length_scale: 0.08 },
             metric: MetricKind::Overlap,
             rank: "f1",
+            ..BenchmarkConfig::default()
         }
     }
 
@@ -220,6 +328,7 @@ mod tests {
         for row in &rows {
             assert_eq!(row.dataset, "NAB");
             assert!(row.signals > 0, "{row:?}");
+            assert_eq!(row.failures.total(), 0, "{row:?}");
             assert!(row.mean.f1 >= 0.0 && row.mean.f1 <= 1.0);
             assert!(row.train_time + row.detect_time > Duration::ZERO);
         }
@@ -234,6 +343,7 @@ mod tests {
         assert!(table.contains("arima"));
         assert!(table.contains("azure_anomaly_detection"));
         assert!(table.contains("F1"));
+        assert!(table.contains("failures"));
     }
 
     #[test]
@@ -247,5 +357,28 @@ mod tests {
             db.raw().count(sintel_store::schema::collections::EXPERIMENTS, &Filter::All),
             rows.len()
         );
+        let doc = db.raw().find("benchmark_results", &Filter::All).pop().unwrap();
+        assert!(doc.get("failures_timeout").is_some());
+        assert!(doc.get("quarantined").is_some());
+    }
+
+    #[test]
+    fn extra_templates_benchmark_alongside_hub_pipelines() {
+        let mut cfg = tiny_config();
+        cfg.pipelines = vec!["arima".into()];
+        cfg.extra_templates = vec![Template::from_names(
+            "custom_std_arima",
+            &[
+                "time_segments_aggregate",
+                "SimpleImputer",
+                "StandardScaler",
+                "arima",
+                "regression_errors",
+                "find_anomalies",
+            ],
+        )];
+        let rows = benchmark(&cfg).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r.pipeline == "custom_std_arima"));
     }
 }

@@ -7,6 +7,7 @@
 //! sintel-cli detect --signal F.csv --pipeline P [--train G.csv] [--labels L.csv]
 //! sintel-cli view --signal F.csv [--width N] [--height N]
 //! sintel-cli benchmark [--scale S] [--pipelines a,b] [--datasets NAB,YAHOO]
+//!                      [--timeout SECS] [--retries N]
 //! ```
 //!
 //! Signals are `timestamp,value` CSV files (`sintel_timeseries::csvio`
@@ -67,6 +68,7 @@ USAGE:
                        [--train FILE.csv] [--labels FILE.csv]
   sintel-cli view      --signal FILE.csv [--width N] [--height N]
   sintel-cli benchmark [--scale S] [--pipelines a,b,c] [--datasets NAB,NASA,YAHOO]
+                       [--timeout SECS] [--retries N]
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
                        [--horizon N]";
 
@@ -211,6 +213,14 @@ fn cmd_benchmark(opts: &HashMap<String, String>) -> Result<(), String> {
     let scale: f64 = opts.get("scale").map_or(Ok(0.03), |s| {
         s.parse().map_err(|_| format!("bad --scale '{s}'"))
     })?;
+    let mut policy = sintel::RunPolicy::default();
+    if let Some(s) = opts.get("timeout") {
+        let secs: u64 = s.parse().map_err(|_| format!("bad --timeout '{s}'"))?;
+        policy.timeout = std::time::Duration::from_secs(secs);
+    }
+    if let Some(s) = opts.get("retries") {
+        policy.max_retries = s.parse().map_err(|_| format!("bad --retries '{s}'"))?;
+    }
     let pipelines: Vec<String> = match opts.get("pipelines") {
         Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
         None => sintel_pipeline::hub::available_pipelines()
@@ -237,6 +247,8 @@ fn cmd_benchmark(opts: &HashMap<String, String>) -> Result<(), String> {
         },
         metric: MetricKind::Overlap,
         rank: "f1",
+        policy,
+        ..BenchmarkConfig::default()
     };
     let rows = benchmark(&cfg).map_err(|e| e.to_string())?;
     print!("{}", render_table(&rows));

@@ -122,7 +122,8 @@ pub fn sintel_features() -> SystemFeatures {
     }
     let engines: std::collections::HashSet<_> = prims
         .iter()
-        .map(|n| sintel_primitives::build_primitive(n).expect("registered").meta().engine)
+        .filter_map(|n| sintel_primitives::build_primitive(n).ok())
+        .map(|p| p.meta().engine)
         .collect();
     if engines.len() == 3 {
         capabilities.extend([Preprocessing, Modeling, Postprocessing]);

@@ -14,6 +14,9 @@
 //!   pipeline latency, memory);
 //! * [`tune`] — the bridge between pipeline templates' joint
 //!   hyperparameter spaces and the GP tuner;
+//! * [`policy`] — the fault-isolation layer ([`RunPolicy`], watchdog
+//!   execution, retries, the typed failure taxonomy) that every runner
+//!   above routes pipeline executions through;
 //! * [`api`] — a RESTful-style request/response layer over the
 //!   knowledge base, standing in for the `sintel-api` web service;
 //! * [`features`] — the Table 1 capability matrix;
@@ -27,11 +30,15 @@ pub mod api;
 pub mod benchmark;
 pub mod features;
 pub mod forecast;
+pub mod policy;
 pub mod sintel;
 pub mod tune;
 
 pub use crate::sintel::Sintel;
-pub use benchmark::{benchmark, BenchmarkConfig, BenchmarkRow, MetricKind};
+pub use benchmark::{
+    benchmark, benchmark_with_db, BenchmarkConfig, BenchmarkRow, MetricKind,
+};
+pub use policy::{FailureBreakdown, FailureKind, RunPolicy};
 pub use tune::{TuneReport, TuneSetting};
 
 /// Errors produced by the framework core.

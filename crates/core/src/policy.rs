@@ -1,0 +1,378 @@
+//! Fault-isolated execution policy: watchdogs, retries and failure
+//! taxonomy.
+//!
+//! A benchmark sweep or a tuning search runs hundreds of pipeline
+//! executions; one pathological primitive must not take the whole run
+//! down (hang it, poison its scores, or kill the process). This module
+//! is the single choke point every caller routes pipeline executions
+//! through:
+//!
+//! * [`RunPolicy`] — how long a run may take, how often it is retried
+//!   and how long to back off between attempts;
+//! * [`run_guarded`] — one attempt on a watchdog thread: panics are
+//!   contained and a run that exceeds the budget is abandoned (the hung
+//!   thread is detached) and reported as a timeout;
+//! * [`run_with_policy`] — retry loop over [`run_guarded`];
+//! * [`FailureKind`] / [`FailureBreakdown`] — the typed failure
+//!   taxonomy replacing anonymous failure counters, so benchmark rows
+//!   can report *why* signals failed, not just how many.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use sintel_pipeline::PipelineError;
+
+/// Execution budget for one pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Wall-clock budget per attempt; exceeding it abandons the attempt
+    /// as a [`FailureKind::Timeout`].
+    pub timeout: Duration,
+    /// Additional attempts after the first failure.
+    pub max_retries: u32,
+    /// Pause between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for RunPolicy {
+    /// The documented defaults: 60 s per attempt, one retry, 100 ms
+    /// backoff.
+    fn default() -> Self {
+        Self { timeout: Duration::from_secs(60), max_retries: 1, backoff: Duration::from_millis(100) }
+    }
+}
+
+impl RunPolicy {
+    /// A policy for interactive/tuning trials: same timeout, no
+    /// retries (a failed trial is informative, not worth repeating).
+    pub fn single_attempt(timeout: Duration) -> Self {
+        Self { timeout, max_retries: 0, backoff: Duration::ZERO }
+    }
+}
+
+/// Why a run failed — the benchmark's failure taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The pipeline could not even be constructed.
+    Build,
+    /// A primitive panicked (contained by the executor or the watchdog).
+    Panic,
+    /// A primitive emitted NaN/infinite output.
+    NonFinite,
+    /// The attempt exceeded [`RunPolicy::timeout`].
+    Timeout,
+    /// Any other typed error.
+    Other,
+}
+
+impl FailureKind {
+    /// Short stable label (used in the knowledge base).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Build => "build",
+            FailureKind::Panic => "panic",
+            FailureKind::NonFinite => "non_finite",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A classified failure with its human-readable cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Underlying error message.
+    pub message: String,
+}
+
+impl Failure {
+    /// Construct a failure.
+    pub fn new(kind: FailureKind, message: impl Into<String>) -> Self {
+        Self { kind, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+/// Classify a pipeline error into the failure taxonomy.
+pub fn classify_pipeline_error(e: &PipelineError) -> FailureKind {
+    match e {
+        PipelineError::UnknownPipeline(_) | PipelineError::BadTemplate(_) => FailureKind::Build,
+        PipelineError::PrimitivePanic { .. } => FailureKind::Panic,
+        PipelineError::NonFinite { .. } => FailureKind::NonFinite,
+        PipelineError::Step { .. } | PipelineError::NotFitted(_) => FailureKind::Other,
+    }
+}
+
+/// Per-class failure counts for one benchmark row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// Pipeline construction failures.
+    pub build: usize,
+    /// Contained primitive panics.
+    pub panic: usize,
+    /// Non-finite output rejections.
+    pub non_finite: usize,
+    /// Watchdog timeouts.
+    pub timeout: usize,
+    /// Everything else.
+    pub other: usize,
+}
+
+impl FailureBreakdown {
+    /// Total failures across all classes.
+    pub fn total(&self) -> usize {
+        self.build + self.panic + self.non_finite + self.timeout + self.other
+    }
+
+    /// Record one failure of the given class.
+    pub fn record(&mut self, kind: FailureKind) {
+        match kind {
+            FailureKind::Build => self.build += 1,
+            FailureKind::Panic => self.panic += 1,
+            FailureKind::NonFinite => self.non_finite += 1,
+            FailureKind::Timeout => self.timeout += 1,
+            FailureKind::Other => self.other += 1,
+        }
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &FailureBreakdown) {
+        self.build += other.build;
+        self.panic += other.panic;
+        self.non_finite += other.non_finite;
+        self.timeout += other.timeout;
+        self.other += other.other;
+    }
+
+    /// Compact `class×count` rendering (`-` when clean), e.g.
+    /// `panic×2 timeout×1`.
+    pub fn summary(&self) -> String {
+        if self.total() == 0 {
+            return "-".to_string();
+        }
+        let mut parts = Vec::new();
+        for (label, count) in [
+            ("build", self.build),
+            ("panic", self.panic),
+            ("nan", self.non_finite),
+            ("timeout", self.timeout),
+            ("other", self.other),
+        ] {
+            if count > 0 {
+                parts.push(format!("{label}\u{d7}{count}"));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+impl std::fmt::Display for FailureBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Outcome of one guarded attempt.
+#[derive(Debug)]
+pub enum GuardedResult<T> {
+    /// The task ran to completion (it may still have returned an error).
+    Done(T),
+    /// The task panicked; the payload message is preserved.
+    Panicked(String),
+    /// The task exceeded the budget; its thread was detached.
+    TimedOut,
+}
+
+fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Run one attempt on a watchdog thread with a wall-clock budget.
+///
+/// The task runs on its own thread; this call blocks at most `timeout`.
+/// If the task finishes in time its value is returned; if it panics the
+/// unwind is contained; if it hangs, the thread is *detached* (it keeps
+/// running until it finishes or the process exits — Rust threads cannot
+/// be killed) and the attempt reports [`GuardedResult::TimedOut`].
+pub fn run_guarded<T, F>(timeout: Duration, task: F) -> GuardedResult<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("sintel-watchdog-run".to_string())
+        .spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            // The receiver may be gone already (timeout) — ignore.
+            let _ = tx.send(result);
+        });
+    if spawned.is_err() {
+        return GuardedResult::TimedOut;
+    }
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(value)) => GuardedResult::Done(value),
+        Ok(Err(payload)) => GuardedResult::Panicked(panic_payload_message(payload)),
+        Err(_) => GuardedResult::TimedOut,
+    }
+}
+
+/// Run a fallible attempt under the full policy: watchdog per attempt,
+/// up to `1 + max_retries` attempts with backoff in between.
+///
+/// Returns the first success, or the *last* failure, plus the number of
+/// attempts actually made (quarantine logic counts these as strikes).
+pub fn run_with_policy<T, F>(
+    policy: &RunPolicy,
+    attempt: F,
+) -> (std::result::Result<T, Failure>, u32)
+where
+    T: Send + 'static,
+    F: Fn() -> std::result::Result<T, Failure> + Send + Clone + 'static,
+{
+    let mut last = Failure::new(FailureKind::Other, "no attempt was made");
+    let mut attempts = 0u32;
+    for round in 0..=policy.max_retries {
+        if round > 0 && !policy.backoff.is_zero() {
+            std::thread::sleep(policy.backoff);
+        }
+        attempts += 1;
+        match run_guarded(policy.timeout, attempt.clone()) {
+            GuardedResult::Done(Ok(value)) => return (Ok(value), attempts),
+            GuardedResult::Done(Err(failure)) => last = failure,
+            GuardedResult::Panicked(message) => {
+                last = Failure::new(FailureKind::Panic, message);
+            }
+            GuardedResult::TimedOut => {
+                last = Failure::new(
+                    FailureKind::Timeout,
+                    format!("exceeded the {:?} run budget", policy.timeout),
+                );
+            }
+        }
+    }
+    (Err(last), attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn guarded_run_returns_value() {
+        match run_guarded(Duration::from_secs(5), || 41 + 1) {
+            GuardedResult::Done(v) => assert_eq!(v, 42),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_run_contains_panics() {
+        match run_guarded(Duration::from_secs(5), || -> u32 { panic!("boom") }) {
+            GuardedResult::Panicked(msg) => assert!(msg.contains("boom")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_run_times_out_hung_tasks() {
+        let result = run_guarded(Duration::from_millis(50), || {
+            std::thread::sleep(Duration::from_millis(800));
+            1u32
+        });
+        assert!(matches!(result, GuardedResult::TimedOut));
+    }
+
+    #[test]
+    fn policy_retries_until_success() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        let policy = RunPolicy {
+            timeout: Duration::from_secs(5),
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let (result, attempts) = run_with_policy(&policy, move || {
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(Failure::new(FailureKind::Other, "flaky"))
+            } else {
+                Ok(7u32)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(attempts, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn policy_reports_last_failure_and_attempt_count() {
+        let policy = RunPolicy {
+            timeout: Duration::from_secs(5),
+            max_retries: 1,
+            backoff: Duration::ZERO,
+        };
+        let (result, attempts) = run_with_policy(&policy, || -> Result<(), Failure> {
+            Err(Failure::new(FailureKind::NonFinite, "nan output"))
+        });
+        let failure = result.unwrap_err();
+        assert_eq!(failure.kind, FailureKind::NonFinite);
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn breakdown_records_and_merges() {
+        let mut a = FailureBreakdown::default();
+        a.record(FailureKind::Panic);
+        a.record(FailureKind::Timeout);
+        let mut b = FailureBreakdown::default();
+        b.record(FailureKind::Panic);
+        b.merge(&a);
+        assert_eq!(b.panic, 2);
+        assert_eq!(b.timeout, 1);
+        assert_eq!(b.total(), 3);
+        assert!(b.summary().contains("panic"));
+        assert_eq!(FailureBreakdown::default().summary(), "-");
+    }
+
+    #[test]
+    fn pipeline_errors_classify_per_variant() {
+        use sintel_pipeline::PipelineError as E;
+        assert_eq!(
+            classify_pipeline_error(&E::BadTemplate("x".into())),
+            FailureKind::Build
+        );
+        assert_eq!(
+            classify_pipeline_error(&E::PrimitivePanic { step: "s".into(), message: "m".into() }),
+            FailureKind::Panic
+        );
+        assert_eq!(
+            classify_pipeline_error(&E::NonFinite { step: "s".into() }),
+            FailureKind::NonFinite
+        );
+        assert_eq!(
+            classify_pipeline_error(&E::Step { step: "s".into(), source: "e".into() }),
+            FailureKind::Other
+        );
+    }
+}

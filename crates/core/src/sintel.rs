@@ -1,13 +1,18 @@
 //! The `Sintel` orchestrator — the user-facing API of Figure 4a.
 
 use sintel_metrics::{overlapping_segment, weighted_segment, Scores};
-use sintel_pipeline::{hub, Pipeline, PipelineProfile, Template};
+use sintel_pipeline::{hub, ParamId, Pipeline, PipelineProfile, Template};
+use sintel_primitives::HyperValue;
 use sintel_store::SintelDb;
 use sintel_timeseries::{Interval, ScoredInterval, Signal};
 
 use crate::benchmark::MetricKind;
+use crate::policy::{
+    classify_pipeline_error, run_guarded, run_with_policy, Failure, FailureKind, GuardedResult,
+    RunPolicy,
+};
 use crate::tune::{self, TuneReport, TuneSetting};
-use crate::Result;
+use crate::{Result, SintelError};
 
 /// The end-to-end framework handle.
 ///
@@ -26,6 +31,10 @@ use crate::Result;
 pub struct Sintel {
     template: Template,
     pipeline: Pipeline,
+    /// Hyperparameter configuration the pipeline is rebuilt with
+    /// (empty = defaults; replaced by `tune`).
+    lambda: Vec<(ParamId, HyperValue)>,
+    policy: RunPolicy,
     db: Option<SintelDb>,
     signalrun_counter: u64,
 }
@@ -36,13 +45,27 @@ impl Sintel {
     pub fn new(pipeline: &str) -> Result<Self> {
         let template = hub::template_by_name(pipeline)?;
         let pipeline = template.build_default()?;
-        Ok(Self { template, pipeline, db: None, signalrun_counter: 0 })
+        Ok(Self {
+            template,
+            pipeline,
+            lambda: Vec::new(),
+            policy: RunPolicy::default(),
+            db: None,
+            signalrun_counter: 0,
+        })
     }
 
     /// Create from a custom template (the "system builder" path).
     pub fn from_template(template: Template) -> Result<Self> {
         let pipeline = template.build_default()?;
-        Ok(Self { template, pipeline, db: None, signalrun_counter: 0 })
+        Ok(Self {
+            template,
+            pipeline,
+            lambda: Vec::new(),
+            policy: RunPolicy::default(),
+            db: None,
+            signalrun_counter: 0,
+        })
     }
 
     /// Attach a knowledge base: every subsequent detection run persists
@@ -50,6 +73,18 @@ impl Sintel {
     pub fn with_db(mut self, db: SintelDb) -> Self {
         self.db = Some(db);
         self
+    }
+
+    /// Override the execution policy guarding `fit`/`detect` (watchdog
+    /// timeout, retries, backoff).
+    pub fn with_policy(mut self, policy: RunPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active execution policy.
+    pub fn policy(&self) -> &RunPolicy {
+        &self.policy
     }
 
     /// The active pipeline's name.
@@ -68,15 +103,65 @@ impl Sintel {
     }
 
     /// Train the pipeline (`sintel.fit(train_data)`).
+    ///
+    /// Runs under the fault-isolation layer: each attempt builds a
+    /// fresh pipeline (so a poisoned half-fitted state never survives a
+    /// retry) on a watchdog thread; panics are contained and a fit that
+    /// exceeds [`RunPolicy::timeout`] is abandoned as an error.
     pub fn fit(&mut self, data: &Signal) -> Result<()> {
-        self.pipeline.fit(data)?;
-        Ok(())
+        let template = self.template.clone();
+        let lambda = self.lambda.clone();
+        let data = data.clone();
+        let attempt = move || {
+            let mut pipeline = template
+                .build(&lambda)
+                .map_err(|e| Failure::new(FailureKind::Build, e.to_string()))?;
+            pipeline
+                .fit(&data)
+                .map_err(|e| Failure::new(classify_pipeline_error(&e), e.to_string()))?;
+            Ok(pipeline)
+        };
+        let (result, _attempts) = run_with_policy(&self.policy, attempt);
+        match result {
+            Ok(pipeline) => {
+                self.pipeline = pipeline;
+                Ok(())
+            }
+            Err(failure) => Err(SintelError::Pipeline(failure.to_string())),
+        }
     }
 
     /// Detect anomalies (`sintel.detect(new_data)`), persisting events to
     /// the knowledge base when attached.
+    ///
+    /// Guarded by the watchdog: a panicking or hanging detection
+    /// returns an error instead of taking the caller down. After such a
+    /// failure the orchestrator holds a fresh *unfitted* pipeline —
+    /// call [`Sintel::fit`] again before the next detection.
     pub fn detect(&mut self, data: &Signal) -> Result<Vec<ScoredInterval>> {
-        let anomalies = self.pipeline.detect(data)?;
+        let placeholder = self.template.build(&self.lambda)?;
+        let fitted = std::mem::replace(&mut self.pipeline, placeholder);
+        let data_owned = data.clone();
+        let outcome = run_guarded(self.policy.timeout, move || {
+            let mut pipeline = fitted;
+            let result = pipeline.detect(&data_owned);
+            (pipeline, result)
+        });
+        let anomalies = match outcome {
+            GuardedResult::Done((pipeline, result)) => {
+                self.pipeline = pipeline;
+                result?
+            }
+            GuardedResult::Panicked(message) => {
+                return Err(SintelError::Pipeline(format!("primitive panicked: {message}")))
+            }
+            GuardedResult::TimedOut => {
+                return Err(SintelError::Pipeline(format!(
+                    "detection exceeded the {:?} run budget",
+                    self.policy.timeout
+                )))
+            }
+        };
         if let Some(db) = &self.db {
             self.signalrun_counter += 1;
             let run = db.add_signalrun(self.signalrun_counter, data.name(), "done");
@@ -115,8 +200,10 @@ impl Sintel {
         budget: usize,
     ) -> Result<TuneReport> {
         let report = tune::tune_template(&self.template, data, &setting, budget)?;
-        self.pipeline = self.template.build(&report.best_lambda)?;
-        self.pipeline.fit(data)?;
+        self.lambda = report.best_lambda.clone();
+        // `fit` rebuilds from template + λ* under the fault-isolation
+        // layer, so the orchestrator keeps the improved pipeline.
+        self.fit(data)?;
         Ok(report)
     }
 }

@@ -15,6 +15,7 @@ use sintel_primitives::{HyperRange, HyperSpec, HyperValue};
 use sintel_timeseries::{Interval, Signal};
 use sintel_tuner::{DimSpec, DimValue, GpTuner, Space, Tuner};
 
+use crate::policy::{run_guarded, GuardedResult, RunPolicy};
 use crate::{Result, SintelError};
 
 /// Which objective drives the search (Figure 5's two conditions).
@@ -96,16 +97,57 @@ fn evaluate_lambda(
     }
 }
 
+/// Evaluate one configuration on a watchdog thread: a trial that
+/// panics or hangs scores `NEG_INFINITY` instead of killing (or
+/// stalling) the whole search.
+fn evaluate_lambda_guarded(
+    template: &Template,
+    lambda: &[(ParamId, HyperValue)],
+    data: &Signal,
+    setting: &TuneSetting,
+    policy: &RunPolicy,
+) -> f64 {
+    let template = template.clone();
+    let lambda = lambda.to_vec();
+    let data = data.clone();
+    let setting = setting.clone();
+    match run_guarded(policy.timeout, move || {
+        evaluate_lambda(&template, &lambda, &data, &setting)
+    }) {
+        GuardedResult::Done(score) => score,
+        GuardedResult::Panicked(_) | GuardedResult::TimedOut => f64::NEG_INFINITY,
+    }
+}
+
 /// Search the template's joint tunable space with the GP tuner.
 ///
 /// The default configuration is always evaluated first (it is both the
 /// warm-start observation and the baseline `default_score`); the best
-/// configuration over `budget` further evaluations wins.
+/// configuration over `budget` further evaluations wins. Trials run
+/// one attempt each under the default run budget — a failed trial is
+/// informative, not worth repeating.
 pub fn tune_template(
     template: &Template,
     data: &Signal,
     setting: &TuneSetting,
     budget: usize,
+) -> Result<TuneReport> {
+    tune_template_with_policy(
+        template,
+        data,
+        setting,
+        budget,
+        &RunPolicy::single_attempt(RunPolicy::default().timeout),
+    )
+}
+
+/// [`tune_template`] with an explicit per-trial execution budget.
+pub fn tune_template_with_policy(
+    template: &Template,
+    data: &Signal,
+    setting: &TuneSetting,
+    budget: usize,
+    policy: &RunPolicy,
 ) -> Result<TuneReport> {
     let space_specs = template.hyperparameter_space()?;
     if space_specs.is_empty() {
@@ -122,7 +164,7 @@ pub fn tune_template(
     };
 
     // Baseline: default configuration.
-    let default_score = evaluate_lambda(template, &[], data, setting);
+    let default_score = evaluate_lambda_guarded(template, &[], data, setting, policy);
 
     let mut tuner = GpTuner::new(space.clone(), 0xA1);
     let mut history = vec![default_score];
@@ -132,7 +174,7 @@ pub fn tune_template(
     for _ in 0..budget {
         let unit = tuner.propose()?;
         let lambda = decode(&unit);
-        let score = evaluate_lambda(template, &lambda, data, setting);
+        let score = evaluate_lambda_guarded(template, &lambda, data, setting, policy);
         history.push(score);
         // NEG_INFINITY (failed builds) recorded as a strong penalty so
         // the GP steers away without destroying its numerics.
@@ -215,6 +257,26 @@ mod tests {
         assert!(matches!(to_hyper(&specs[1], &decoded[1]), HyperValue::Float(_)));
         assert!(matches!(to_hyper(&specs[2], &decoded[2]), HyperValue::Float(_)));
         assert_eq!(to_hyper(&specs[3], &decoded[3]), HyperValue::Text("z".into()));
+    }
+
+    #[test]
+    fn crashing_trials_do_not_kill_the_search() {
+        // Every trial of this template panics inside `fit`; the search
+        // must record NEG_INFINITY scores and run to completion.
+        let template = Template {
+            name: "always_panics".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                StepSpec::plain("MinMaxScaler"),
+                StepSpec::plain("faulty_panic"),
+            ],
+        };
+        let (signal, _) = spiky_signal();
+        let report =
+            tune_template(&template, &signal, &TuneSetting::Unsupervised, 3).unwrap();
+        assert_eq!(report.history.len(), 4);
+        assert!(report.history.iter().all(|s| *s == f64::NEG_INFINITY), "{report:?}");
     }
 
     #[test]

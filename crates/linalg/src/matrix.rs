@@ -185,7 +185,7 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn identity_matmul_is_noop() {
@@ -249,36 +249,44 @@ mod tests {
         Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
     }
 
-    fn small_matrix() -> impl Strategy<Value = Matrix> {
-        (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-100.0f64..100.0, r * c)
-                .prop_map(move |data| Matrix::from_vec(r, c, data))
-        })
+    /// Random `r x c` matrix with entries uniform in `[-scale, scale)`.
+    fn random_matrix(rng: &mut SintelRng, r: usize, c: usize, scale: f64) -> Matrix {
+        let data = (0..r * c).map(|_| rng.uniform_range(-scale, scale)).collect();
+        Matrix::from_vec(r, c, data)
     }
 
-    proptest! {
-        #[test]
-        fn prop_transpose_preserves_frobenius(m in small_matrix()) {
-            prop_assert!((m.frobenius() - m.transpose().frobenius()).abs() < 1e-9);
+    #[test]
+    fn prop_transpose_preserves_frobenius() {
+        let mut rng = SintelRng::seed_from_u64(0x1111);
+        for _ in 0..256 {
+            let (r, c) = (1 + rng.index(5), 1 + rng.index(5));
+            let m = random_matrix(&mut rng, r, c, 100.0);
+            assert!((m.frobenius() - m.transpose().frobenius()).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn prop_matmul_identity(m in small_matrix()) {
+    #[test]
+    fn prop_matmul_identity() {
+        let mut rng = SintelRng::seed_from_u64(0x1112);
+        for _ in 0..256 {
+            let (r, c) = (1 + rng.index(5), 1 + rng.index(5));
+            let m = random_matrix(&mut rng, r, c, 100.0);
             let i = Matrix::identity(m.cols());
-            prop_assert_eq!(m.matmul(&i).unwrap(), m);
+            assert_eq!(m.matmul(&i).unwrap(), m);
         }
+    }
 
-        #[test]
-        fn prop_transpose_of_product((a, b) in (1usize..5, 1usize..5, 1usize..5).prop_flat_map(|(r, k, c)| {
-            (
-                proptest::collection::vec(-10.0f64..10.0, r * k).prop_map(move |d| Matrix::from_vec(r, k, d)),
-                proptest::collection::vec(-10.0f64..10.0, k * c).prop_map(move |d| Matrix::from_vec(k, c, d)),
-            )
-        })) {
+    #[test]
+    fn prop_transpose_of_product() {
+        let mut rng = SintelRng::seed_from_u64(0x1113);
+        for _ in 0..256 {
+            let (r, k, c) = (1 + rng.index(4), 1 + rng.index(4), 1 + rng.index(4));
+            let a = random_matrix(&mut rng, r, k, 10.0);
+            let b = random_matrix(&mut rng, k, c, 10.0);
             // (AB)^T == B^T A^T
             let lhs = a.matmul(&b).unwrap().transpose();
             let rhs = b.transpose().matmul(&a.transpose()).unwrap();
-            prop_assert!(lhs.sub(&rhs).frobenius() < 1e-8);
+            assert!(lhs.sub(&rhs).frobenius() < 1e-8);
         }
     }
 }

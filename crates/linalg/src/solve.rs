@@ -171,7 +171,7 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn solve_known_system() {
@@ -239,37 +239,39 @@ mod tests {
     }
 
     /// Random SPD matrix as A = B Bᵀ + n·I.
-    fn spd_matrix() -> impl Strategy<Value = Matrix> {
-        (2usize..6).prop_flat_map(|n| {
-            proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |d| {
-                let b = Matrix::from_vec(n, n, d);
-                let mut a = b.matmul(&b.transpose()).unwrap();
-                for i in 0..n {
-                    a[(i, i)] += n as f64;
-                }
-                a
-            })
-        })
+    fn spd_matrix(rng: &mut SintelRng) -> Matrix {
+        let n = 2 + rng.index(4);
+        let d = (0..n * n).map(|_| rng.uniform_range(-3.0, 3.0)).collect();
+        let b = Matrix::from_vec(n, n, d);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
     }
 
-    proptest! {
-        #[test]
-        fn prop_cholesky_reconstructs(a in spd_matrix()) {
+    #[test]
+    fn prop_cholesky_reconstructs() {
+        let mut rng = SintelRng::seed_from_u64(0x2111);
+        for _ in 0..256 {
+            let a = spd_matrix(&mut rng);
             let l = cholesky(&a).unwrap();
             let recon = l.matmul(&l.transpose()).unwrap();
-            prop_assert!(recon.sub(&a).frobenius() < 1e-8 * (1.0 + a.frobenius()));
+            assert!(recon.sub(&a).frobenius() < 1e-8 * (1.0 + a.frobenius()));
         }
+    }
 
-        #[test]
-        fn prop_spd_solve_residual_small(
-            a in spd_matrix(),
-        ) {
+    #[test]
+    fn prop_spd_solve_residual_small() {
+        let mut rng = SintelRng::seed_from_u64(0x2112);
+        for _ in 0..256 {
+            let a = spd_matrix(&mut rng);
             let n = a.rows();
             let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
             let x = solve_spd(&a, &b).unwrap();
             let r = a.matvec(&x).unwrap();
             for (ri, bi) in r.iter().zip(&b) {
-                prop_assert!((ri - bi).abs() < 1e-6 * (1.0 + bi.abs() + a.frobenius()));
+                assert!((ri - bi).abs() < 1e-6 * (1.0 + bi.abs() + a.frobenius()));
             }
         }
     }

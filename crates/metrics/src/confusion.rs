@@ -137,7 +137,7 @@ impl Scores {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn derived_scores_known_values() {
@@ -179,27 +179,36 @@ mod tests {
         assert_eq!(Scores::mean(&[]).f1, 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_scores_bounded(
-            tp in 0.0f64..1e6, fp in 0.0f64..1e6,
-            fn_ in 0.0f64..1e6, tn in 0.0f64..1e6,
-        ) {
-            let c = Confusion { tp, fp, fn_, tn };
+    #[test]
+    fn prop_scores_bounded() {
+        let mut rng = SintelRng::seed_from_u64(0x3111);
+        for _ in 0..256 {
+            let c = Confusion {
+                tp: rng.uniform_range(0.0, 1e6),
+                fp: rng.uniform_range(0.0, 1e6),
+                fn_: rng.uniform_range(0.0, 1e6),
+                tn: rng.uniform_range(0.0, 1e6),
+            };
             let s = c.scores();
             for v in [s.precision, s.recall, s.f1, s.accuracy] {
-                prop_assert!((0.0..=1.0).contains(&v), "{v}");
+                assert!((0.0..=1.0).contains(&v), "{v}");
             }
         }
+    }
 
-        #[test]
-        fn prop_f1_between_p_and_r(
-            tp in 0.1f64..1e3, fp in 0.0f64..1e3, fn_ in 0.0f64..1e3,
-        ) {
-            let c = Confusion { tp, fp, fn_, tn: 0.0 };
+    #[test]
+    fn prop_f1_between_p_and_r() {
+        let mut rng = SintelRng::seed_from_u64(0x3112);
+        for _ in 0..256 {
+            let c = Confusion {
+                tp: rng.uniform_range(0.1, 1e3),
+                fp: rng.uniform_range(0.0, 1e3),
+                fn_: rng.uniform_range(0.0, 1e3),
+                tn: 0.0,
+            };
             let (p, r, f1) = (c.precision(), c.recall(), c.f1());
-            prop_assert!(f1 <= p.max(r) + 1e-12);
-            prop_assert!(f1 >= p.min(r) - 1e-12);
+            assert!(f1 <= p.max(r) + 1e-12);
+            assert!(f1 >= p.min(r) - 1e-12);
         }
     }
 }

@@ -68,7 +68,7 @@ pub fn smape(truth: &[f64], pred: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn known_values() {
@@ -113,26 +113,34 @@ mod tests {
         mae(&[], &[]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_errors_nonnegative(
-            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..100)
-        ) {
-            let (t, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
-            prop_assert!(mse(&t, &p) >= 0.0);
-            prop_assert!(mae(&t, &p) >= 0.0);
-            prop_assert!(mape(&t, &p) >= 0.0);
-            let s = smape(&t, &p);
-            prop_assert!((0.0..=2.0 + 1e-12).contains(&s));
-        }
+    /// Random (truth, prediction) pair of equal length in `[-1e3, 1e3)`.
+    fn random_pair(rng: &mut SintelRng) -> (Vec<f64>, Vec<f64>) {
+        let len = 1 + rng.index(99);
+        let t = (0..len).map(|_| rng.uniform_range(-1e3, 1e3)).collect();
+        let p = (0..len).map(|_| rng.uniform_range(-1e3, 1e3)).collect();
+        (t, p)
+    }
 
-        #[test]
-        fn prop_rmse_ge_mae_relation(
-            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..100)
-        ) {
+    #[test]
+    fn prop_errors_nonnegative() {
+        let mut rng = SintelRng::seed_from_u64(0x3211);
+        for _ in 0..256 {
+            let (t, p) = random_pair(&mut rng);
+            assert!(mse(&t, &p) >= 0.0);
+            assert!(mae(&t, &p) >= 0.0);
+            assert!(mape(&t, &p) >= 0.0);
+            let s = smape(&t, &p);
+            assert!((0.0..=2.0 + 1e-12).contains(&s));
+        }
+    }
+
+    #[test]
+    fn prop_rmse_ge_mae_relation() {
+        let mut rng = SintelRng::seed_from_u64(0x3212);
+        for _ in 0..256 {
             // RMSE >= MAE for any data (Jensen).
-            let (t, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
-            prop_assert!(rmse(&t, &p) >= mae(&t, &p) - 1e-9);
+            let (t, p) = random_pair(&mut rng);
+            assert!(rmse(&t, &p) >= mae(&t, &p) - 1e-9);
         }
     }
 }

@@ -103,7 +103,7 @@ pub fn overlapping_segment(truth: &[Interval], pred: &[Interval]) -> Confusion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     fn iv(s: i64, e: i64) -> Interval {
         Interval::new(s, e).unwrap()
@@ -213,53 +213,70 @@ mod tests {
         assert_eq!((cm.tp, cm.fp, cm.fn_, cm.tn), (2.0, 2.0, 2.0, 4.0));
     }
 
-    fn intervals_strategy() -> impl Strategy<Value = Vec<Interval>> {
-        proptest::collection::vec((0i64..500, 1i64..50), 0..12)
-            .prop_map(|v| v.into_iter().map(|(s, d)| iv(s, s + d)).collect())
+    /// Up to 11 random intervals with starts in `[0, 500)`, durations in `[1, 50)`.
+    fn random_intervals(rng: &mut SintelRng) -> Vec<Interval> {
+        let n = rng.index(12);
+        (0..n)
+            .map(|_| {
+                let s = rng.int_range(0, 500);
+                let d = rng.int_range(1, 50);
+                iv(s, s + d)
+            })
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn prop_weighted_durations_partition_span(
-            truth in intervals_strategy(),
-            pred in intervals_strategy(),
-        ) {
+    #[test]
+    fn prop_weighted_durations_partition_span() {
+        let mut rng = SintelRng::seed_from_u64(0x3311);
+        for _ in 0..256 {
+            let truth = random_intervals(&mut rng);
+            let pred = random_intervals(&mut rng);
             let cm = weighted_segment_in_span(&truth, &pred, 0, 600);
             let total = cm.tp + cm.fp + cm.fn_ + cm.tn;
-            prop_assert!((total - 600.0).abs() < 1e-9, "total {total}");
+            assert!((total - 600.0).abs() < 1e-9, "total {total}");
         }
+    }
 
-        #[test]
-        fn prop_overlap_counts_bounded(
-            truth in intervals_strategy(),
-            pred in intervals_strategy(),
-        ) {
+    #[test]
+    fn prop_overlap_counts_bounded() {
+        let mut rng = SintelRng::seed_from_u64(0x3312);
+        for _ in 0..256 {
+            let truth = random_intervals(&mut rng);
+            let pred = random_intervals(&mut rng);
             let cm = overlapping_segment(&truth, &pred);
-            prop_assert_eq!(cm.tp + cm.fn_, truth.len() as f64);
-            prop_assert!(cm.fp <= pred.len() as f64);
+            assert_eq!(cm.tp + cm.fn_, truth.len() as f64);
+            assert!(cm.fp <= pred.len() as f64);
         }
+    }
 
-        #[test]
-        fn prop_perfect_prediction_is_perfect(truth in intervals_strategy()) {
-            prop_assume!(!truth.is_empty());
+    #[test]
+    fn prop_perfect_prediction_is_perfect() {
+        let mut rng = SintelRng::seed_from_u64(0x3313);
+        for _ in 0..256 {
+            let truth = random_intervals(&mut rng);
+            if truth.is_empty() {
+                continue;
+            }
             let cm = overlapping_segment(&truth, &truth);
-            prop_assert_eq!(cm.scores().f1, 1.0);
+            assert_eq!(cm.scores().f1, 1.0);
             let cmw = weighted_segment(&truth, &truth);
-            prop_assert_eq!(cmw.fp, 0.0);
-            prop_assert_eq!(cmw.fn_, 0.0);
+            assert_eq!(cmw.fp, 0.0);
+            assert_eq!(cmw.fn_, 0.0);
         }
+    }
 
-        #[test]
-        fn prop_more_predictions_never_reduce_recall(
-            truth in intervals_strategy(),
-            pred in intervals_strategy(),
-            extra in intervals_strategy(),
-        ) {
+    #[test]
+    fn prop_more_predictions_never_reduce_recall() {
+        let mut rng = SintelRng::seed_from_u64(0x3314);
+        for _ in 0..256 {
+            let truth = random_intervals(&mut rng);
+            let pred = random_intervals(&mut rng);
+            let extra = random_intervals(&mut rng);
             let r1 = overlapping_segment(&truth, &pred).recall();
             let mut bigger = pred.clone();
             bigger.extend(extra);
             let r2 = overlapping_segment(&truth, &bigger).recall();
-            prop_assert!(r2 >= r1 - 1e-12);
+            assert!(r2 >= r1 - 1e-12);
         }
     }
 }

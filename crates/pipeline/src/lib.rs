@@ -46,6 +46,18 @@ pub enum PipelineError {
     NotFitted(String),
     /// Structural problem in a template (unknown primitive, bad override).
     BadTemplate(String),
+    /// A primitive panicked; the executor contained the unwind.
+    PrimitivePanic {
+        /// Name of the panicking primitive.
+        step: String,
+        /// The panic payload (when it was a string).
+        message: String,
+    },
+    /// A modeling/postprocessing primitive emitted NaN or infinite values.
+    NonFinite {
+        /// Name of the primitive whose output failed the finiteness guard.
+        step: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -57,6 +69,12 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::NotFitted(n) => write!(f, "pipeline '{n}' is not fitted"),
             PipelineError::BadTemplate(m) => write!(f, "bad template: {m}"),
+            PipelineError::PrimitivePanic { step, message } => {
+                write!(f, "primitive '{step}' panicked: {message}")
+            }
+            PipelineError::NonFinite { step } => {
+                write!(f, "primitive '{step}' produced non-finite output")
+            }
         }
     }
 }

@@ -1,13 +1,38 @@
 //! The configured, executable pipeline ⟨V, E, λ⟩ with its fit / detect
 //! lifecycle.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use sintel_primitives::{Context, Primitive, Value};
+use sintel_primitives::{Context, Engine, Primitive, Value};
 use sintel_timeseries::{ScoredInterval, Signal};
 
 use crate::profile::{PipelineProfile, StepProfile};
 use crate::{PipelineError, Result};
+
+/// Best-effort extraction of a panic payload into a printable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// True when every float a primitive emitted is finite. Timestamps and
+/// indices are integral and cannot be poisoned; full signals are only
+/// re-emitted by preprocessing, which is exempt from the guard.
+fn value_is_finite(value: &Value) -> bool {
+    match value {
+        Value::Series(v) => v.iter().all(|x| x.is_finite()),
+        Value::Windows(w) => w.iter().all(|row| row.iter().all(|x| x.is_finite())),
+        Value::Intervals(ivs) => ivs.iter().all(|iv| iv.score.is_finite()),
+        Value::Scalar(x) => x.is_finite(),
+        Value::Timestamps(_) | Value::Indices(_) | Value::Signal(_) => true,
+    }
+}
 
 /// An executable anomaly detection pipeline.
 ///
@@ -60,18 +85,40 @@ impl Pipeline {
             let mut fit_time = std::time::Duration::ZERO;
             if do_fit {
                 let t0 = Instant::now();
-                step.fit(&ctx).map_err(|e| PipelineError::Step {
-                    step: meta_name.clone(),
-                    source: e.to_string(),
-                })?;
+                catch_unwind(AssertUnwindSafe(|| step.fit(&ctx)))
+                    .map_err(|payload| PipelineError::PrimitivePanic {
+                        step: meta_name.clone(),
+                        message: panic_message(payload),
+                    })?
+                    .map_err(|e| PipelineError::Step {
+                        step: meta_name.clone(),
+                        source: e.to_string(),
+                    })?;
                 fit_time = t0.elapsed();
             }
             let t0 = Instant::now();
-            let outputs = step.produce(&ctx).map_err(|e| PipelineError::Step {
-                step: meta_name.clone(),
-                source: e.to_string(),
-            })?;
+            let outputs = catch_unwind(AssertUnwindSafe(|| step.produce(&ctx)))
+                .map_err(|payload| PipelineError::PrimitivePanic {
+                    step: meta_name.clone(),
+                    message: panic_message(payload),
+                })?
+                .map_err(|e| PipelineError::Step {
+                    step: meta_name.clone(),
+                    source: e.to_string(),
+                })?;
             let produce_time = t0.elapsed();
+            // Inter-step output guard: NaN/Inf leaving a modeling or
+            // postprocessing primitive would silently poison thresholding
+            // downstream, so reject it here. Preprocessing is exempt —
+            // time_segments_aggregate legitimately materialises gaps as NaN
+            // for SimpleImputer to fill.
+            if engine != Engine::Preprocessing {
+                for (_, value) in &outputs {
+                    if !value_is_finite(value) {
+                        return Err(PipelineError::NonFinite { step: meta_name.clone() });
+                    }
+                }
+            }
             for (slot, value) in outputs {
                 ctx.set(slot, value);
             }

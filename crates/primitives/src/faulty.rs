@@ -1,0 +1,201 @@
+//! Fault-injection primitives (cargo feature `faulty`).
+//!
+//! Test-only building blocks that misbehave in the three ways the
+//! fault-isolation layer must contain:
+//!
+//! * [`FaultyPanic`] — panics inside `fit`;
+//! * [`FaultyNan`] — emits a NaN error series from `produce`;
+//! * [`FaultyHang`] — sleeps past any reasonable run budget in `fit`.
+//!
+//! They are modeling-engine primitives so the executor's non-finite
+//! output guard applies to them, and they are only registered when the
+//! `faulty` feature is enabled — production registries never see them.
+
+use crate::context::{Context, Value};
+use crate::hyper::{HyperSpec, HyperValue};
+use crate::primitive::{Engine, Primitive, PrimitiveMeta};
+use crate::{PrimitiveError, Result};
+
+/// Panics during `fit` — exercises `catch_unwind` containment.
+pub struct FaultyPanic {
+    meta: PrimitiveMeta,
+}
+
+impl FaultyPanic {
+    /// Construct with default (empty) hyperparameters.
+    pub fn new() -> Self {
+        Self {
+            meta: PrimitiveMeta::new(
+                "faulty_panic",
+                Engine::Modeling,
+                "fault injection: panics on fit",
+                &["signal"],
+                &[],
+                vec![],
+            ),
+        }
+    }
+}
+
+impl Default for FaultyPanic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Primitive for FaultyPanic {
+    fn meta(&self) -> &PrimitiveMeta {
+        &self.meta
+    }
+
+    fn set_hyperparam(&mut self, name: &str, _value: HyperValue) -> Result<()> {
+        Err(PrimitiveError::BadHyperparameter(format!(
+            "'faulty_panic' has no hyperparameter '{name}'"
+        )))
+    }
+
+    fn fit(&mut self, _ctx: &Context) -> Result<()> {
+        panic!("injected panic from faulty_panic");
+    }
+
+    fn produce(&mut self, _ctx: &Context) -> Result<Vec<(String, Value)>> {
+        Ok(vec![])
+    }
+}
+
+/// Emits a NaN-poisoned error series — exercises the non-finite guard.
+pub struct FaultyNan {
+    meta: PrimitiveMeta,
+}
+
+impl FaultyNan {
+    /// Construct with default (empty) hyperparameters.
+    pub fn new() -> Self {
+        Self {
+            meta: PrimitiveMeta::new(
+                "faulty_nan",
+                Engine::Modeling,
+                "fault injection: produces NaN errors",
+                &["signal"],
+                &["errors", "error_timestamps"],
+                vec![],
+            ),
+        }
+    }
+}
+
+impl Default for FaultyNan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Primitive for FaultyNan {
+    fn meta(&self) -> &PrimitiveMeta {
+        &self.meta
+    }
+
+    fn set_hyperparam(&mut self, name: &str, _value: HyperValue) -> Result<()> {
+        Err(PrimitiveError::BadHyperparameter(format!(
+            "'faulty_nan' has no hyperparameter '{name}'"
+        )))
+    }
+
+    fn produce(&mut self, _ctx: &Context) -> Result<Vec<(String, Value)>> {
+        Ok(vec![
+            ("errors".to_string(), Value::Series(vec![f64::NAN; 16])),
+            ("error_timestamps".to_string(), Value::Timestamps((0..16).collect())),
+        ])
+    }
+}
+
+/// Sleeps past the run budget in `fit` — exercises the watchdog timeout.
+pub struct FaultyHang {
+    meta: PrimitiveMeta,
+    sleep_ms: i64,
+}
+
+impl FaultyHang {
+    /// Construct with the default 30 s sleep.
+    pub fn new() -> Self {
+        Self {
+            meta: PrimitiveMeta::new(
+                "faulty_hang",
+                Engine::Modeling,
+                "fault injection: sleeps past the run budget on fit",
+                &["signal"],
+                &[],
+                vec![HyperSpec::int("sleep_ms", 1, 3_600_000, 30_000)],
+            ),
+            sleep_ms: 30_000,
+        }
+    }
+}
+
+impl Default for FaultyHang {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Primitive for FaultyHang {
+    fn meta(&self) -> &PrimitiveMeta {
+        &self.meta
+    }
+
+    fn set_hyperparam(&mut self, name: &str, value: HyperValue) -> Result<()> {
+        self.meta.validate_hyperparam(name, &value)?;
+        match (name, value) {
+            ("sleep_ms", HyperValue::Int(ms)) => {
+                self.sleep_ms = ms;
+                Ok(())
+            }
+            _ => Err(PrimitiveError::BadHyperparameter(format!(
+                "'faulty_hang' cannot apply hyperparameter '{name}'"
+            ))),
+        }
+    }
+
+    fn fit(&mut self, _ctx: &Context) -> Result<()> {
+        std::thread::sleep(std::time::Duration::from_millis(self.sleep_ms as u64));
+        Ok(())
+    }
+
+    fn produce(&mut self, _ctx: &Context) -> Result<Vec<(String, Value)>> {
+        Ok(vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_panic_panics_on_fit() {
+        let mut prim = FaultyPanic::new();
+        let ctx = Context::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prim.fit(&ctx)));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn faulty_nan_output_is_poisoned() {
+        let mut prim = FaultyNan::new();
+        let out = prim.produce(&Context::new()).unwrap();
+        let series = out.iter().find(|(slot, _)| slot == "errors").unwrap();
+        match &series.1 {
+            Value::Series(v) => assert!(v.iter().all(|x| x.is_nan())),
+            other => panic!("unexpected value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_hang_sleep_is_configurable() {
+        let mut prim = FaultyHang::new();
+        prim.set_hyperparam("sleep_ms", HyperValue::Int(1)).unwrap();
+        let t0 = std::time::Instant::now();
+        prim.fit(&Context::new()).unwrap();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        assert!(prim.set_hyperparam("nope", HyperValue::Int(1)).is_err());
+    }
+}

@@ -30,6 +30,8 @@
 
 pub mod context;
 pub mod ext;
+#[cfg(feature = "faulty")]
+pub mod faulty;
 pub mod hyper;
 pub mod model;
 pub mod post;

@@ -200,7 +200,11 @@ impl Primitive for ArimaPrimitive {
             "p" => self.p = value.as_int()? as usize,
             "d" => self.d = value.as_int()? as usize,
             "q" => self.q = value.as_int()? as usize,
-            _ => unreachable!("validated above"),
+            other => {
+                return Err(crate::PrimitiveError::BadHyperparameter(format!(
+                    "'arima' cannot apply hyperparameter '{other}'"
+                )))
+            }
         }
         Ok(())
     }
@@ -495,7 +499,11 @@ impl Primitive for AzureAnomalyService {
         match name {
             "filter_window" => self.filter_window = value.as_int()? as usize,
             "score_window" => self.score_window = value.as_int()? as usize,
-            _ => unreachable!("validated above"),
+            other => {
+                return Err(crate::PrimitiveError::BadHyperparameter(format!(
+                    "'azure_anomaly_service' cannot apply hyperparameter '{other}'"
+                )))
+            }
         }
         Ok(())
     }

@@ -67,7 +67,11 @@ impl Primitive for TimeSegmentsAggregate {
             "method" => {
                 self.agg = Aggregation::parse(value.as_text()?).map_err(algo)?;
             }
-            _ => unreachable!("validated above"),
+            other => {
+                return Err(crate::PrimitiveError::BadHyperparameter(format!(
+                    "'time_segments_aggregate' cannot apply hyperparameter '{other}'"
+                )))
+            }
         }
         Ok(())
     }
@@ -366,7 +370,11 @@ impl Primitive for RollingWindowSequences {
             "window_size" => self.window_size = value.as_int()? as usize,
             "step" => self.step = value.as_int()? as usize,
             "targets" => self.targets = value.as_flag()?,
-            _ => unreachable!("validated above"),
+            other => {
+                return Err(crate::PrimitiveError::BadHyperparameter(format!(
+                    "'rolling_window_sequences' cannot apply hyperparameter '{other}'"
+                )))
+            }
         }
         Ok(())
     }

@@ -47,6 +47,12 @@ pub const PRIMITIVE_NAMES: &[&str] = &[
     "fixed_threshold",
 ];
 
+/// Fault-injection primitives available only with the `faulty` feature.
+/// Deliberately excluded from [`PRIMITIVE_NAMES`] so production pipeline
+/// listings never advertise them.
+#[cfg(feature = "faulty")]
+pub const FAULTY_PRIMITIVE_NAMES: &[&str] = &["faulty_panic", "faulty_nan", "faulty_hang"];
+
 /// Construct a fresh primitive by registry name.
 pub fn build_primitive(name: &str) -> Result<Box<dyn Primitive>> {
     let prim: Box<dyn Primitive> = match name {
@@ -69,6 +75,12 @@ pub fn build_primitive(name: &str) -> Result<Box<dyn Primitive>> {
         "reconstruction_errors" => Box::new(ReconstructionErrors::new()),
         "find_anomalies" => Box::new(FindAnomalies::new()),
         "fixed_threshold" => Box::new(FixedThresholdPrimitive::new()),
+        #[cfg(feature = "faulty")]
+        "faulty_panic" => Box::new(crate::faulty::FaultyPanic::new()),
+        #[cfg(feature = "faulty")]
+        "faulty_nan" => Box::new(crate::faulty::FaultyNan::new()),
+        #[cfg(feature = "faulty")]
+        "faulty_hang" => Box::new(crate::faulty::FaultyHang::new()),
         other => {
             return Err(PrimitiveError::Algorithm(format!("unknown primitive '{other}'")))
         }

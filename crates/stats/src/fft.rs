@@ -119,7 +119,7 @@ pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn fft_of_impulse_is_flat() {
@@ -177,25 +177,33 @@ mod tests {
         assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(v in proptest::collection::vec(-100.0f64..100.0, 1..128)) {
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = SintelRng::seed_from_u64(0x4111);
+        for _ in 0..128 {
+            let len = 1 + rng.index(127);
+            let v: Vec<f64> = (0..len).map(|_| rng.uniform_range(-100.0, 100.0)).collect();
             let spec = fft(&v);
             let back = ifft(&spec);
             for (i, orig) in v.iter().enumerate() {
-                prop_assert!((orig - back[i].re).abs() < 1e-8);
+                assert!((orig - back[i].re).abs() < 1e-8);
             }
         }
+    }
 
-        #[test]
-        fn prop_parseval(v in proptest::collection::vec(-10.0f64..10.0, 1..64)) {
+    #[test]
+    fn prop_parseval() {
+        let mut rng = SintelRng::seed_from_u64(0x4112);
+        for _ in 0..128 {
             // Energy in time domain == energy in frequency domain / N
             // (zero padding does not change either side).
+            let len = 1 + rng.index(63);
+            let v: Vec<f64> = (0..len).map(|_| rng.uniform_range(-10.0, 10.0)).collect();
             let spec = fft(&v);
             let n = spec.len() as f64;
             let time: f64 = v.iter().map(|x| x * x).sum();
             let freq: f64 = spec.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / n;
-            prop_assert!((time - freq).abs() < 1e-6 * (1.0 + time));
+            assert!((time - freq).abs() < 1e-6 * (1.0 + time));
         }
     }
 }

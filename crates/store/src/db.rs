@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use parking_lot::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::collection::Collection;
 use crate::doc::Doc;
@@ -38,6 +38,18 @@ pub struct Database {
 }
 
 impl Database {
+    /// Shared lock; a poisoned lock (writer panicked) is recovered rather
+    /// than propagated — collection state is valid after any completed
+    /// insert/update, so reads remain safe.
+    fn read_lock(&self) -> RwLockReadGuard<'_, HashMap<String, Collection>> {
+        self.collections.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive lock with the same poison-recovery rationale.
+    fn write_lock(&self) -> RwLockWriteGuard<'_, HashMap<String, Collection>> {
+        self.collections.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Volatile in-memory database.
     pub fn in_memory() -> Self {
         Self { collections: RwLock::new(HashMap::new()), path: None }
@@ -80,7 +92,7 @@ impl Database {
     /// Persist every collection (no-op for in-memory databases).
     pub fn save(&self) -> Result<()> {
         let Some(dir) = &self.path else { return Ok(()) };
-        let collections = self.collections.read();
+        let collections = self.read_lock();
         for (name, collection) in collections.iter() {
             let final_path = dir.join(format!("{name}.jsonl"));
             let tmp_path = dir.join(format!(".{name}.jsonl.tmp"));
@@ -99,18 +111,17 @@ impl Database {
 
     /// Insert into a collection (created on first use); returns the id.
     pub fn insert(&self, collection: &str, doc: Doc) -> u64 {
-        self.collections.write().entry(collection.to_string()).or_default().insert(doc)
+        self.write_lock().entry(collection.to_string()).or_default().insert(doc)
     }
 
     /// Fetch one document by id (cloned out of the lock).
     pub fn get(&self, collection: &str, id: u64) -> Option<Doc> {
-        self.collections.read().get(collection)?.get(id).cloned()
+        self.read_lock().get(collection)?.get(id).cloned()
     }
 
     /// Find matching documents (cloned).
     pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Doc> {
-        self.collections
-            .read()
+        self.read_lock()
             .get(collection)
             .map(|c| c.find(filter).into_iter().cloned().collect())
             .unwrap_or_default()
@@ -118,18 +129,17 @@ impl Database {
 
     /// First match (cloned).
     pub fn find_one(&self, collection: &str, filter: &Filter) -> Option<Doc> {
-        self.collections.read().get(collection)?.find_one(filter).cloned()
+        self.read_lock().get(collection)?.find_one(filter).cloned()
     }
 
     /// Count matches.
     pub fn count(&self, collection: &str, filter: &Filter) -> usize {
-        self.collections.read().get(collection).map(|c| c.count(filter)).unwrap_or(0)
+        self.read_lock().get(collection).map(|c| c.count(filter)).unwrap_or(0)
     }
 
     /// Replace a document.
     pub fn update(&self, collection: &str, id: u64, doc: Doc) -> Result<()> {
-        self.collections
-            .write()
+        self.write_lock()
             .get_mut(collection)
             .ok_or(StoreError::NotFound(id))?
             .update(id, doc)
@@ -137,8 +147,7 @@ impl Database {
 
     /// Merge fields into a document.
     pub fn patch(&self, collection: &str, id: u64, fields: &[(&str, Doc)]) -> Result<()> {
-        self.collections
-            .write()
+        self.write_lock()
             .get_mut(collection)
             .ok_or(StoreError::NotFound(id))?
             .patch(id, fields)
@@ -146,8 +155,7 @@ impl Database {
 
     /// Delete a document.
     pub fn delete(&self, collection: &str, id: u64) -> Result<()> {
-        self.collections
-            .write()
+        self.write_lock()
             .get_mut(collection)
             .ok_or(StoreError::NotFound(id))?
             .delete(id)
@@ -155,8 +163,7 @@ impl Database {
 
     /// Create a secondary index on a collection field.
     pub fn create_index(&self, collection: &str, field: &str) {
-        self.collections
-            .write()
+        self.write_lock()
             .entry(collection.to_string())
             .or_default()
             .create_index(field);
@@ -164,7 +171,7 @@ impl Database {
 
     /// Names of non-empty collections (sorted).
     pub fn collection_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.read_lock().keys().cloned().collect();
         names.sort();
         names
     }

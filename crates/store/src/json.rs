@@ -264,7 +264,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Doc> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn roundtrip_scalars() {
@@ -337,28 +337,57 @@ mod tests {
         assert_eq!(to_json(&Doc::obj()), "{}");
     }
 
-    fn doc_strategy() -> impl Strategy<Value = Doc> {
-        let leaf = prop_oneof![
-            Just(Doc::Null),
-            any::<bool>().prop_map(Doc::Bool),
-            any::<i64>().prop_map(Doc::I64),
-            (-1e15f64..1e15).prop_map(Doc::F64),
-            "[a-zA-Z0-9 _\\-\"\\\\\n\t]{0,20}".prop_map(Doc::Str),
-        ];
-        leaf.prop_recursive(3, 32, 6, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..6).prop_map(Doc::Arr),
-                proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Doc::Obj),
-            ]
-        })
+    /// Characters exercising the escaper: alphanumerics plus quotes,
+    /// backslashes and control characters.
+    const STR_CHARS: &[char] = &[
+        'a', 'Z', '0', '9', ' ', '_', '-', '"', '\\', '\n', '\t', 'é', '…',
+    ];
+
+    fn random_string(rng: &mut SintelRng, max_len: usize) -> String {
+        let len = rng.index(max_len + 1);
+        (0..len).map(|_| *rng.choice(STR_CHARS)).collect()
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(doc in doc_strategy()) {
+    fn random_key(rng: &mut SintelRng) -> String {
+        let len = 1 + rng.index(8);
+        (0..len).map(|_| (b'a' + rng.index(26) as u8) as char).collect()
+    }
+
+    /// Random document with nesting up to `depth`; mirrors the old
+    /// property-test strategy (scalar leaves, arrays, objects).
+    fn random_doc(rng: &mut SintelRng, depth: usize) -> Doc {
+        let variants = if depth == 0 { 5 } else { 7 };
+        match rng.index(variants) {
+            0 => Doc::Null,
+            1 => Doc::Bool(rng.chance(0.5)),
+            2 => Doc::I64(rng.next_u64() as i64),
+            3 => Doc::F64(rng.uniform_range(-1e15, 1e15)),
+            4 => Doc::Str(random_string(rng, 20)),
+            5 => {
+                let n = rng.index(6);
+                Doc::Arr((0..n).map(|_| random_doc(rng, depth - 1)).collect())
+            }
+            _ => {
+                let n = rng.index(6);
+                let mut map = std::collections::BTreeMap::new();
+                for _ in 0..n {
+                    let key = random_key(rng);
+                    let child = random_doc(rng, depth - 1);
+                    map.insert(key, child);
+                }
+                Doc::Obj(map)
+            }
+        }
+    }
+
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = SintelRng::seed_from_u64(0x7111);
+        for _ in 0..512 {
+            let doc = random_doc(&mut rng, 3);
             let json = to_json(&doc);
             let parsed = from_json(&json).unwrap();
-            prop_assert_eq!(parsed, doc);
+            assert_eq!(parsed, doc);
         }
     }
 }

@@ -15,7 +15,7 @@
 //! * [`collection::Collection`] — id-keyed document storage with
 //!   secondary hash indexes used to accelerate equality filters;
 //! * [`db::Database`] — a named set of collections behind a
-//!   `parking_lot::RwLock`, with atomic JSONL persistence (write to a
+//!   `std::sync::RwLock`, with atomic JSONL persistence (write to a
 //!   temp file, rename) and reload-on-open;
 //! * [`schema`] — the Sintel entity schema of Figure 6 (datasets,
 //!   signals, templates, pipelines, experiments, signalruns, events,

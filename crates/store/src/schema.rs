@@ -50,6 +50,10 @@ pub mod collections {
     pub const COMMENTS: &str = "comments";
     /// Users (experts, operators).
     pub const USERS: &str = "users";
+    /// Classified failures of benchmark/detection runs.
+    pub const RUN_FAILURES: &str = "run_failures";
+    /// Quarantined `pipeline × signal` pairs (skip on later runs).
+    pub const QUARANTINE: &str = "quarantine";
 }
 
 impl SintelDb {
@@ -74,6 +78,8 @@ impl SintelDb {
         self.db.create_index(collections::EVENTS, "signal");
         self.db.create_index(collections::ANNOTATIONS, "event_id");
         self.db.create_index(collections::COMMENTS, "event_id");
+        self.db.create_index(collections::RUN_FAILURES, "pipeline");
+        self.db.create_index(collections::QUARANTINE, "pipeline");
     }
 
     /// Access the raw database (escape hatch).
@@ -182,6 +188,57 @@ impl SintelDb {
         )
     }
 
+    /// Record a classified run failure (`kind` is a stable label such as
+    /// `panic`/`timeout`; `strikes` is how many attempts were burned).
+    pub fn add_run_failure(
+        &self,
+        pipeline: &str,
+        signal: &str,
+        kind: &str,
+        message: &str,
+        strikes: usize,
+    ) -> u64 {
+        self.db.insert(
+            collections::RUN_FAILURES,
+            Doc::obj()
+                .with("pipeline", pipeline)
+                .with("signal", signal)
+                .with("kind", kind)
+                .with("message", message)
+                .with("strikes", strikes),
+        )
+    }
+
+    /// Total failed attempts recorded for a `pipeline × signal` pair.
+    pub fn failure_strikes(&self, pipeline: &str, signal: &str) -> usize {
+        self.db
+            .find(collections::RUN_FAILURES, &Self::pair_filter(pipeline, signal))
+            .iter()
+            .filter_map(|doc| doc.get("strikes").and_then(|d| d.as_i64()))
+            .sum::<i64>()
+            .max(0) as usize
+    }
+
+    /// Quarantine a `pipeline × signal` pair so later runs skip it.
+    pub fn add_quarantine(&self, pipeline: &str, signal: &str, reason: &str) -> u64 {
+        self.db.insert(
+            collections::QUARANTINE,
+            Doc::obj()
+                .with("pipeline", pipeline)
+                .with("signal", signal)
+                .with("reason", reason),
+        )
+    }
+
+    /// Whether a `pipeline × signal` pair has been quarantined.
+    pub fn is_quarantined(&self, pipeline: &str, signal: &str) -> bool {
+        self.db.count(collections::QUARANTINE, &Self::pair_filter(pipeline, signal)) > 0
+    }
+
+    fn pair_filter(pipeline: &str, signal: &str) -> Filter {
+        Filter::And(vec![Filter::eq("pipeline", pipeline), Filter::eq("signal", signal)])
+    }
+
     // ---- typed queries -------------------------------------------------
 
     /// Events detected on a signal.
@@ -254,6 +311,25 @@ mod tests {
         db.set_event_status(ev, "confirmed").unwrap();
         let doc = db.events_for_signal("S-1").pop().unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("confirmed"));
+    }
+
+    #[test]
+    fn failure_strikes_accumulate_into_quarantine() {
+        let db = SintelDb::in_memory();
+        assert_eq!(db.failure_strikes("arima", "S-1"), 0);
+        assert!(!db.is_quarantined("arima", "S-1"));
+
+        db.add_run_failure("arima", "S-1", "panic", "injected panic", 1);
+        assert_eq!(db.failure_strikes("arima", "S-1"), 1);
+        db.add_run_failure("arima", "S-1", "timeout", "exceeded budget", 2);
+        assert_eq!(db.failure_strikes("arima", "S-1"), 3);
+        // Strikes are per pair, not per pipeline or per signal.
+        assert_eq!(db.failure_strikes("arima", "S-2"), 0);
+        assert_eq!(db.failure_strikes("tadgan", "S-1"), 0);
+
+        db.add_quarantine("arima", "S-1", "3 strikes");
+        assert!(db.is_quarantined("arima", "S-1"));
+        assert!(!db.is_quarantined("arima", "S-2"));
     }
 
     #[test]

@@ -144,7 +144,7 @@ pub fn total_duration(intervals: &[Interval]) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn construction_and_validation() {
@@ -224,40 +224,54 @@ mod tests {
         assert_eq!(total_duration(&[]), 0);
     }
 
-    fn interval_strategy() -> impl Strategy<Value = Interval> {
-        (0i64..1000, 0i64..100)
-            .prop_map(|(s, d)| Interval::new(s, s + d).expect("valid by construction"))
+    /// Random interval with start in `[0, 1000)` and duration in `[0, 100)`.
+    fn random_interval(rng: &mut SintelRng) -> Interval {
+        let s = rng.int_range(0, 1000);
+        let d = rng.int_range(0, 100);
+        Interval::new(s, s + d).expect("valid by construction")
     }
 
-    proptest! {
-        #[test]
-        fn prop_merged_is_disjoint_and_sorted(
-            ivs in proptest::collection::vec(interval_strategy(), 0..40),
-            gap in 0i64..10,
-        ) {
+    fn random_interval_vec(rng: &mut SintelRng, min: usize, max: usize) -> Vec<Interval> {
+        let n = min + rng.index(max - min);
+        (0..n).map(|_| random_interval(rng)).collect()
+    }
+
+    #[test]
+    fn prop_merged_is_disjoint_and_sorted() {
+        let mut rng = SintelRng::seed_from_u64(0x5111);
+        for _ in 0..256 {
+            let ivs = random_interval_vec(&mut rng, 0, 40);
+            let gap = rng.int_range(0, 10);
             let merged = merge_overlapping(&ivs, gap);
             for w in merged.windows(2) {
-                prop_assert!(w[0].end + gap < w[1].start);
+                assert!(w[0].end + gap < w[1].start);
             }
         }
+    }
 
-        #[test]
-        fn prop_merge_preserves_coverage(
-            ivs in proptest::collection::vec(interval_strategy(), 1..40),
-        ) {
+    #[test]
+    fn prop_merge_preserves_coverage() {
+        let mut rng = SintelRng::seed_from_u64(0x5112);
+        for _ in 0..256 {
+            let ivs = random_interval_vec(&mut rng, 1, 40);
             let merged = merge_overlapping(&ivs, 0);
             // Every original instant is covered by some merged interval.
             for iv in &ivs {
-                prop_assert!(merged.iter().any(|m| m.start <= iv.start && iv.end <= m.end));
+                assert!(merged.iter().any(|m| m.start <= iv.start && iv.end <= m.end));
             }
             // Total duration never grows.
-            prop_assert_eq!(total_duration(&merged), total_duration(&ivs));
+            assert_eq!(total_duration(&merged), total_duration(&ivs));
         }
+    }
 
-        #[test]
-        fn prop_overlap_symmetric(a in interval_strategy(), b in interval_strategy()) {
-            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-            prop_assert_eq!(a.intersect(&b).is_some(), a.overlaps(&b));
+    #[test]
+    fn prop_overlap_symmetric() {
+        let mut rng = SintelRng::seed_from_u64(0x5113);
+        for _ in 0..256 {
+            let a = random_interval(&mut rng);
+            let b = random_interval(&mut rng);
+            assert_eq!(a.overlaps(&b), b.overlaps(&a));
+            assert_eq!(a.intersect(&b).is_some(), a.overlaps(&b));
         }
     }
 }

@@ -139,7 +139,7 @@ pub fn interpolate_nans(values: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     #[test]
     fn aggregation_parse_roundtrip() {
@@ -233,30 +233,38 @@ mod tests {
         assert_eq!(v, [0.0, 0.0]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_aggregate_output_equispaced(
-            n in 2usize..100,
-            interval in 1i64..20,
-        ) {
+    #[test]
+    fn prop_aggregate_output_equispaced() {
+        let mut rng = SintelRng::seed_from_u64(0x5211);
+        for _ in 0..256 {
+            let n = 2 + rng.index(98);
+            let interval = rng.int_range(1, 20);
             let ts: Vec<i64> = (0..n as i64).map(|i| i * 3).collect();
             let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let s = Signal::univariate("s", ts, vals).unwrap();
             let agg = time_segments_aggregate(&s, interval, Aggregation::Mean).unwrap();
             for w in agg.timestamps().windows(2) {
-                prop_assert_eq!(w[1] - w[0], interval);
+                assert_eq!(w[1] - w[0], interval);
             }
         }
+    }
 
-        #[test]
-        fn prop_interpolate_removes_all_nans(
-            mut v in proptest::collection::vec(
-                proptest::option::of(-100f64..100.0).prop_map(|o| o.unwrap_or(f64::NAN)),
-                0..60,
-            )
-        ) {
+    #[test]
+    fn prop_interpolate_removes_all_nans() {
+        let mut rng = SintelRng::seed_from_u64(0x5212);
+        for _ in 0..256 {
+            let len = rng.index(60);
+            let mut v: Vec<f64> = (0..len)
+                .map(|_| {
+                    if rng.chance(0.5) {
+                        rng.uniform_range(-100.0, 100.0)
+                    } else {
+                        f64::NAN
+                    }
+                })
+                .collect();
             interpolate_nans(&mut v);
-            prop_assert!(v.iter().all(|x| x.is_finite()));
+            assert!(v.iter().all(|x| x.is_finite()));
         }
     }
 }

@@ -190,7 +190,7 @@ impl Signal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     fn sig() -> Signal {
         Signal::univariate("s", vec![0, 10, 20, 30, 40], vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap()
@@ -277,19 +277,28 @@ mod tests {
         assert_eq!(s.index_at(41), 5);
     }
 
-    proptest! {
-        #[test]
-        fn prop_split_partitions(len in 1usize..200, frac in 0.0f64..1.0) {
+    #[test]
+    fn prop_split_partitions() {
+        let mut rng = SintelRng::seed_from_u64(0x5311);
+        for _ in 0..256 {
+            let len = 1 + rng.index(199);
+            let frac = rng.uniform();
             let s = Signal::from_values("s", vec![0.0; len]);
             let (a, b) = s.split(frac).unwrap();
-            prop_assert_eq!(a.len() + b.len(), len);
+            assert_eq!(a.len() + b.len(), len);
         }
+    }
 
-        #[test]
-        fn prop_slice_time_subset(len in 2usize..100, lo in 0i64..50, span in 0i64..100) {
+    #[test]
+    fn prop_slice_time_subset() {
+        let mut rng = SintelRng::seed_from_u64(0x5312);
+        for _ in 0..256 {
+            let len = 2 + rng.index(98);
+            let lo = rng.int_range(0, 50);
+            let span = rng.int_range(0, 100);
             let s = Signal::from_values("s", (0..len).map(|i| i as f64).collect());
             let sub = s.slice_time(lo, lo + span).unwrap();
-            prop_assert!(sub.timestamps().iter().all(|&t| t >= lo && t <= lo + span));
+            assert!(sub.timestamps().iter().all(|&t| t >= lo && t <= lo + span));
         }
     }
 }

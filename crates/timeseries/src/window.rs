@@ -125,7 +125,7 @@ pub fn overlap_average(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     fn sig(n: usize) -> Signal {
         Signal::from_values("s", (0..n).map(|i| i as f64).collect())
@@ -199,25 +199,32 @@ mod tests {
         assert!(merged[2].is_nan() && merged[3].is_nan());
     }
 
-    proptest! {
-        #[test]
-        fn prop_window_count_formula(
-            n in 0usize..200,
-            w in 1usize..10,
-            step in 1usize..5,
-        ) {
+    #[test]
+    fn prop_window_count_formula() {
+        let mut rng = SintelRng::seed_from_u64(0x5411);
+        for _ in 0..256 {
+            let n = rng.index(200);
+            let w = 1 + rng.index(9);
+            let step = 1 + rng.index(4);
             let ws = rolling_windows(&sig(n), w, step, false).unwrap();
             let expected = if n >= w { (n - w) / step + 1 } else { 0 };
-            prop_assert_eq!(ws.len(), expected);
+            assert_eq!(ws.len(), expected);
         }
+    }
 
-        #[test]
-        fn prop_targets_follow_windows(n in 2usize..100, w in 1usize..8) {
-            prop_assume!(n > w);
+    #[test]
+    fn prop_targets_follow_windows() {
+        let mut rng = SintelRng::seed_from_u64(0x5412);
+        for _ in 0..256 {
+            let n = 2 + rng.index(98);
+            let w = 1 + rng.index(7);
+            if n <= w {
+                continue;
+            }
             let ws = rolling_windows(&sig(n), w, 1, true).unwrap();
             for (k, &fi) in ws.first_index.iter().enumerate() {
                 // Target is the sample right after the window.
-                prop_assert_eq!(ws.targets[k], (fi + w) as f64);
+                assert_eq!(ws.targets[k], (fi + w) as f64);
             }
         }
     }

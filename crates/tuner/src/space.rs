@@ -105,7 +105,7 @@ impl Space {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sintel_common::SintelRng;
 
     fn space() -> Space {
         Space::new(vec![
@@ -157,22 +157,40 @@ mod tests {
         assert!(u.iter().all(|x| (0.0..1.0).contains(x)));
     }
 
-    proptest! {
-        #[test]
-        fn prop_decode_within_bounds(u in proptest::collection::vec(0.0f64..1.0, 5)) {
+    #[test]
+    fn prop_decode_within_bounds() {
+        let mut rng = SintelRng::seed_from_u64(0x6111);
+        for _ in 0..256 {
+            let u: Vec<f64> = (0..5).map(|_| rng.uniform()).collect();
             let s = space();
             let vals = s.decode(&u);
-            match vals[0] { DimValue::F(v) => prop_assert!((-1.0..=1.0).contains(&v)), _ => prop_assert!(false) }
-            match vals[1] { DimValue::F(v) => prop_assert!((1e-4..=0.1 + 1e-12).contains(&v)), _ => prop_assert!(false) }
-            match vals[2] { DimValue::I(v) => prop_assert!((3..=7).contains(&v)), _ => prop_assert!(false) }
-            match vals[3] { DimValue::Idx(v) => prop_assert!(v < 4), _ => prop_assert!(false) }
+            match vals[0] {
+                DimValue::F(v) => assert!((-1.0..=1.0).contains(&v)),
+                _ => unreachable!("dim 0 is Float"),
+            }
+            match vals[1] {
+                DimValue::F(v) => assert!((1e-4..=0.1 + 1e-12).contains(&v)),
+                _ => unreachable!("dim 1 is Float"),
+            }
+            match vals[2] {
+                DimValue::I(v) => assert!((3..=7).contains(&v)),
+                _ => unreachable!("dim 2 is Int"),
+            }
+            match vals[3] {
+                DimValue::Idx(v) => assert!(v < 4),
+                _ => unreachable!("dim 3 is Choice"),
+            }
         }
+    }
 
-        #[test]
-        fn prop_int_decode_uniformish(u in 0.0f64..1.0) {
+    #[test]
+    fn prop_int_decode_uniformish() {
+        let mut rng = SintelRng::seed_from_u64(0x6112);
+        for _ in 0..256 {
+            let u = rng.uniform();
             let s = Space::new(vec![DimSpec::Int { lo: 0, hi: 9 }]);
             if let DimValue::I(v) = s.decode(&[u])[0] {
-                prop_assert_eq!(v, (u * 10.0).floor().min(9.0) as i64);
+                assert_eq!(v, (u * 10.0).floor().min(9.0) as i64);
             }
         }
     }

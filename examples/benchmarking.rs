@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data: DatasetConfig { seed: 42, signal_scale: scale, length_scale: 0.12 },
         metric: MetricKind::Overlap,
         rank: "f1",
+        ..BenchmarkConfig::default()
     };
     println!(
         "benchmarking {} pipelines on {} datasets (scale {scale}) …\n",

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + full test suite + lint gates.
+#
+# Runs fully offline — the workspace has no external dependencies, so
+# no network (and no pre-populated cargo cache) is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+# The fault-isolation layer must never itself abort: deny unwrap in the
+# pipeline executor and the framework core (test code is exempt —
+# clippy only lints lib/bin targets here).
+echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel)"
+cargo clippy -p sintel-pipeline -p sintel -- -D clippy::unwrap_used
+
+echo "verify: OK"

@@ -132,6 +132,7 @@ fn benchmark_results_are_persisted_experiments() {
         data: DatasetConfig { seed: 1, signal_scale: 0.01, length_scale: 0.1 },
         metric: MetricKind::Overlap,
         rank: "f1",
+        ..BenchmarkConfig::default()
     };
     let rows = benchmark(&cfg).unwrap();
     let db = SintelDb::in_memory();

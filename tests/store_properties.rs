@@ -3,61 +3,71 @@
 //! arbitrary documents — the invariants everything else (events,
 //! annotations, benchmark results) silently relies on.
 
-use proptest::prelude::*;
+use sintel_repro::sintel_common::SintelRng;
 use sintel_repro::sintel_store::{json, Collection, Doc, Filter};
 
-fn doc_strategy() -> impl Strategy<Value = Doc> {
-    let leaf = prop_oneof![
-        Just(Doc::Null),
-        any::<bool>().prop_map(Doc::Bool),
-        (-1_000_000i64..1_000_000).prop_map(Doc::I64),
-        (-1e9f64..1e9).prop_map(Doc::F64),
-        "[a-z]{0,12}".prop_map(Doc::Str),
-    ];
-    // Flat objects with a few common fields so filters have targets.
-    (
-        "[a-z]{1,6}",
-        -100i64..100,
-        0.0f64..1.0,
-        proptest::collection::btree_map("[a-z]{1,5}", leaf, 0..4),
-    )
-        .prop_map(|(signal, n, score, extra)| {
-            let mut doc = Doc::obj().with("signal", signal).with("n", n).with("score", score);
-            for (k, v) in extra {
-                doc.set(&format!("x_{k}"), v);
-            }
-            doc
-        })
+fn random_key(rng: &mut SintelRng, min: usize, max: usize) -> String {
+    let len = min + rng.index(max - min + 1);
+    (0..len).map(|_| (b'a' + rng.index(26) as u8) as char).collect()
 }
 
-fn filter_strategy() -> impl Strategy<Value = Filter> {
-    let atom = prop_oneof![
-        "[a-z]{1,6}".prop_map(|s| Filter::eq("signal", s.as_str())),
-        (-100i64..100).prop_map(|v| Filter::Gt("n".into(), Doc::I64(v))),
-        (-100i64..100).prop_map(|v| Filter::Lte("n".into(), Doc::I64(v))),
-        (0.0f64..1.0).prop_map(|v| Filter::Lt("score".into(), Doc::F64(v))),
-        Just(Filter::Exists("x_a".into(), true)),
-        Just(Filter::All),
-    ];
-    atom.prop_recursive(2, 8, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Filter::And),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Filter::Or),
-            inner.prop_map(|f| Filter::Not(Box::new(f))),
-        ]
-    })
+fn random_leaf(rng: &mut SintelRng) -> Doc {
+    match rng.index(5) {
+        0 => Doc::Null,
+        1 => Doc::Bool(rng.chance(0.5)),
+        2 => Doc::I64(rng.int_range(-1_000_000, 1_000_000)),
+        3 => Doc::F64(rng.uniform_range(-1e9, 1e9)),
+        _ => Doc::Str(random_key(rng, 0, 12)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Flat documents with a few common fields so filters have targets.
+fn random_doc(rng: &mut SintelRng) -> Doc {
+    let signal = random_key(rng, 1, 6);
+    let n = rng.int_range(-100, 100);
+    let score = rng.uniform();
+    let mut doc = Doc::obj().with("signal", signal).with("n", n).with("score", score);
+    let extras = rng.index(4);
+    for _ in 0..extras {
+        let key = random_key(rng, 1, 5);
+        let value = random_leaf(rng);
+        doc.set(&format!("x_{key}"), value);
+    }
+    doc
+}
 
-    /// An indexed collection returns exactly the documents a brute-force
-    /// matches() scan selects, for arbitrary docs and filters.
-    #[test]
-    fn indexed_find_agrees_with_scan(
-        docs in proptest::collection::vec(doc_strategy(), 0..40),
-        filter in filter_strategy(),
-    ) {
+fn random_filter(rng: &mut SintelRng, depth: usize) -> Filter {
+    let variants = if depth == 0 { 6 } else { 9 };
+    match rng.index(variants) {
+        0 => {
+            let s = random_key(rng, 1, 6);
+            Filter::eq("signal", s.as_str())
+        }
+        1 => Filter::Gt("n".into(), Doc::I64(rng.int_range(-100, 100))),
+        2 => Filter::Lte("n".into(), Doc::I64(rng.int_range(-100, 100))),
+        3 => Filter::Lt("score".into(), Doc::F64(rng.uniform())),
+        4 => Filter::Exists("x_a".into(), true),
+        5 => Filter::All,
+        6 => {
+            let n = 1 + rng.index(2);
+            Filter::And((0..n).map(|_| random_filter(rng, depth - 1)).collect())
+        }
+        7 => {
+            let n = 1 + rng.index(2);
+            Filter::Or((0..n).map(|_| random_filter(rng, depth - 1)).collect())
+        }
+        _ => Filter::Not(Box::new(random_filter(rng, depth - 1))),
+    }
+}
+
+/// An indexed collection returns exactly the documents a brute-force
+/// matches() scan selects, for arbitrary docs and filters.
+#[test]
+fn indexed_find_agrees_with_scan() {
+    let mut rng = SintelRng::seed_from_u64(0x8111);
+    for _ in 0..64 {
+        let docs: Vec<Doc> = (0..rng.index(40)).map(|_| random_doc(&mut rng)).collect();
+        let filter = random_filter(&mut rng, 2);
         let mut indexed = Collection::new();
         indexed.create_index("signal");
         let mut plain = Collection::new();
@@ -79,23 +89,29 @@ proptest! {
         a.sort_unstable();
         let mut b = from_scan.clone();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// JSON serialisation of arbitrary (flat-ish) documents round-trips.
-    #[test]
-    fn json_roundtrip_of_store_docs(doc in doc_strategy()) {
+/// JSON serialisation of arbitrary (flat-ish) documents round-trips.
+#[test]
+fn json_roundtrip_of_store_docs() {
+    let mut rng = SintelRng::seed_from_u64(0x8112);
+    for _ in 0..256 {
+        let doc = random_doc(&mut rng);
         let encoded = json::to_json(&doc);
         let decoded = json::from_json(&encoded).unwrap();
-        prop_assert_eq!(decoded, doc);
+        assert_eq!(decoded, doc);
     }
+}
 
-    /// Deleting every matched document leaves exactly the complement.
-    #[test]
-    fn delete_by_filter_leaves_complement(
-        docs in proptest::collection::vec(doc_strategy(), 0..30),
-        filter in filter_strategy(),
-    ) {
+/// Deleting every matched document leaves exactly the complement.
+#[test]
+fn delete_by_filter_leaves_complement() {
+    let mut rng = SintelRng::seed_from_u64(0x8113);
+    for _ in 0..64 {
+        let docs: Vec<Doc> = (0..rng.index(30)).map(|_| random_doc(&mut rng)).collect();
+        let filter = random_filter(&mut rng, 2);
         let mut collection = Collection::new();
         for doc in &docs {
             collection.insert(doc.clone());
@@ -108,7 +124,7 @@ proptest! {
         for id in &matched {
             collection.delete(*id).unwrap();
         }
-        prop_assert_eq!(collection.count(&filter), 0);
-        prop_assert_eq!(collection.len(), docs.len() - matched.len());
+        assert_eq!(collection.count(&filter), 0);
+        assert_eq!(collection.len(), docs.len() - matched.len());
     }
 }
