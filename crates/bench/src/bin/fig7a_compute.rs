@@ -17,6 +17,7 @@ use sintel_datasets::{DatasetConfig, DatasetId};
 static ALLOC: sintel::alloc::TrackingAllocator = sintel::alloc::TrackingAllocator;
 
 fn main() {
+    let obs = sintel_bench::obs_session();
     let scale = sintel_bench::scale_from_env(0.05);
     let pipelines: Vec<String> = sintel_pipeline::hub::available_pipelines()
         .iter()
@@ -84,4 +85,5 @@ fn main() {
         if recon_mem >= pred_mem { "yes (matches paper)" } else { "mixed" }
     );
     let _ = tadgan;
+    obs.finish();
 }

@@ -13,6 +13,7 @@ use sintel_pipeline::hub;
 use sintel_primitives::build_primitive;
 
 fn main() {
+    let obs = sintel_bench::obs_session();
     let scale = sintel_bench::scale_from_env(0.04);
     let budget: usize = std::env::var("SINTEL_TUNE_BUDGET")
         .ok()
@@ -93,4 +94,5 @@ fn main() {
             100.0 * post_changes as f64 / total_changes as f64
         );
     }
+    obs.finish();
 }

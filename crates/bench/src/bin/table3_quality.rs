@@ -19,6 +19,7 @@ use sintel_datasets::{DatasetConfig, DatasetId};
 static ALLOC: sintel::alloc::TrackingAllocator = sintel::alloc::TrackingAllocator;
 
 fn main() {
+    let obs = sintel_bench::obs_session();
     let scale = sintel_bench::scale_from_env(0.06);
     let cfg = BenchmarkConfig {
         pipelines: sintel_pipeline::hub::available_pipelines()
@@ -76,4 +77,5 @@ fn main() {
         })
         .collect();
     println!("distinct per-dataset winners: {} (paper: no single pipeline dominates)", winners.len());
+    obs.finish();
 }

@@ -29,6 +29,60 @@
 
 use std::time::Duration;
 
+/// Observability hookup of a bench binary, armed from the environment:
+///
+/// * `SINTEL_LOG` — log verbosity (read by `sintel-obs` itself).
+/// * `SINTEL_TRACE_OUT` — write the run's span trace (JSON lines) here.
+/// * `SINTEL_METRICS_OUT` — write the run's metrics snapshot
+///   (Prometheus text) here.
+///
+/// Call [`obs_session`] first thing in `main` and [`ObsSession::finish`]
+/// after the experiment: the published table output is untouched, the
+/// exports ride alongside it.
+#[must_use = "call .finish() after the experiment to write the exports"]
+pub struct ObsSession {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// Arm trace capture if `SINTEL_TRACE_OUT` is set (see [`ObsSession`]).
+pub fn obs_session() -> ObsSession {
+    let session = ObsSession {
+        trace_out: std::env::var("SINTEL_TRACE_OUT").ok(),
+        metrics_out: std::env::var("SINTEL_METRICS_OUT").ok(),
+    };
+    if session.trace_out.is_some() {
+        sintel_obs::tracing_start();
+    }
+    session
+}
+
+impl ObsSession {
+    /// Write the requested exports; failures are logged, not fatal — a
+    /// bench run's numbers are worth keeping even if an export path is
+    /// bad.
+    pub fn finish(self) {
+        if let Some(path) = &self.trace_out {
+            let events = sintel_obs::tracing_stop();
+            if let Err(e) = std::fs::write(path, sintel_obs::export_jsonl(&events)) {
+                sintel_obs::error!(
+                    "sintel::bench",
+                    format!("writing SINTEL_TRACE_OUT {path}: {e}"),
+                );
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            let snapshot = sintel_obs::global().snapshot();
+            if let Err(e) = std::fs::write(path, snapshot.to_prometheus()) {
+                sintel_obs::error!(
+                    "sintel::bench",
+                    format!("writing SINTEL_METRICS_OUT {path}: {e}"),
+                );
+            }
+        }
+    }
+}
+
 /// Read `SINTEL_SCALE` (clamped), with a per-experiment default.
 pub fn scale_from_env(default_scale: f64) -> f64 {
     std::env::var("SINTEL_SCALE")

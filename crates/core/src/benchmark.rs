@@ -17,7 +17,9 @@ use std::time::Duration;
 
 use sintel_datasets::{DatasetConfig, DatasetId};
 use sintel_metrics::Scores;
+use sintel_obs::FieldValue;
 use sintel_pipeline::{hub, Template};
+use sintel_store::schema::collections as schema_collections;
 use sintel_store::{Doc, SintelDb};
 use sintel_timeseries::Interval;
 
@@ -123,6 +125,73 @@ fn resolve_templates(cfg: &BenchmarkConfig) -> Result<Vec<Template>> {
 /// Strikes needed before a `pipeline × signal` pair is quarantined.
 const QUARANTINE_STRIKES: usize = 2;
 
+/// Log target of the benchmark runner.
+const TARGET: &str = "sintel::benchmark";
+
+/// Pre-register the benchmark's counters at zero so a clean run still
+/// dumps explicit failure-kind counters (a dashboard reading the
+/// snapshot can tell "no failures" from "not instrumented").
+fn preregister_metrics() {
+    for kind in FailureKind::ALL {
+        sintel_obs::counter_add(
+            &sintel_obs::labeled("sintel_benchmark_failures_total", &[("kind", kind.label())]),
+            0,
+        );
+    }
+    sintel_obs::counter_add("sintel_benchmark_trials_total", 0);
+    sintel_obs::counter_add("sintel_benchmark_quarantine_skips_total", 0);
+    sintel_obs::counter_add("sintel_benchmark_quarantine_added_total", 0);
+}
+
+/// Export the run's health — quarantine and failure-breakdown state —
+/// as gauges, so a benchmark run is inspectable from the metrics
+/// snapshot alone without reading the knowledge base.
+fn export_health_gauges(rows: &[BenchmarkRow], db: Option<&SintelDb>) {
+    let mut breakdown = FailureBreakdown::default();
+    let (mut scored, mut skipped) = (0usize, 0usize);
+    for row in rows {
+        breakdown.merge(&row.failures);
+        scored += row.signals;
+        skipped += row.quarantined;
+    }
+    sintel_obs::gauge_set("sintel_benchmark_rows", rows.len() as f64);
+    sintel_obs::gauge_set("sintel_benchmark_signals_scored", scored as f64);
+    sintel_obs::gauge_set("sintel_benchmark_signals_failed", breakdown.total() as f64);
+    sintel_obs::gauge_set("sintel_benchmark_signals_quarantine_skipped", skipped as f64);
+    for kind in FailureKind::ALL {
+        let count = match kind {
+            FailureKind::Build => breakdown.build,
+            FailureKind::Panic => breakdown.panic,
+            FailureKind::NonFinite => breakdown.non_finite,
+            FailureKind::Timeout => breakdown.timeout,
+            FailureKind::Other => breakdown.other,
+        };
+        sintel_obs::gauge_set(
+            &sintel_obs::labeled("sintel_benchmark_failure_breakdown", &[("kind", kind.label())]),
+            count as f64,
+        );
+    }
+    if let Some(db) = db {
+        use sintel_store::Filter;
+        sintel_obs::gauge_set(
+            "sintel_quarantine_pairs",
+            db.raw().count(schema_collections::QUARANTINE, &Filter::All) as f64,
+        );
+        sintel_obs::gauge_set(
+            "sintel_run_failure_records",
+            db.raw().count(schema_collections::RUN_FAILURES, &Filter::All) as f64,
+        );
+    }
+}
+
+/// Persist the global metrics registry's snapshot into the knowledge
+/// base (`metrics_snapshots` collection) under a run label, in both
+/// exporter formats. Returns the stored document id.
+pub fn persist_metrics_snapshot(db: &SintelDb, run: &str) -> u64 {
+    let snapshot = sintel_obs::global().snapshot();
+    db.add_metrics_snapshot(run, &snapshot.to_prometheus(), &snapshot.to_json())
+}
+
 /// Run the benchmark: every pipeline against every dataset
 /// (`sintel.benchmark`, Figure 4c).
 ///
@@ -146,11 +215,19 @@ pub fn benchmark_with_db(
     db: Option<&SintelDb>,
 ) -> Result<Vec<BenchmarkRow>> {
     let templates = resolve_templates(cfg)?;
+    preregister_metrics();
     let mut rows = Vec::new();
     for dataset_id in &cfg.datasets {
         let dataset = sintel_datasets::load(*dataset_id, &cfg.data);
         for template in &templates {
             let pipeline_name = template.name.clone();
+            let row_span = sintel_obs::span_with(
+                "benchmark.row",
+                &[
+                    ("pipeline", FieldValue::from(pipeline_name.as_str())),
+                    ("dataset", FieldValue::from(dataset.name.as_str())),
+                ],
+            );
             let mut per_signal = Vec::new();
             let mut failures = FailureBreakdown::default();
             let mut quarantined = 0usize;
@@ -163,18 +240,32 @@ pub fn benchmark_with_db(
                 let signal_name = labeled.signal.name().to_string();
                 if let Some(db) = db {
                     if db.is_quarantined(&pipeline_name, &signal_name) {
-                        eprintln!(
-                            "benchmark: skipping quarantined pair \
-                             {pipeline_name} \u{d7} {signal_name}"
+                        sintel_obs::counter_add("sintel_benchmark_quarantine_skips_total", 1);
+                        sintel_obs::info!(
+                            TARGET,
+                            "skipping quarantined pair",
+                            pipeline = pipeline_name.as_str(),
+                            signal = signal_name.as_str(),
                         );
                         quarantined += 1;
                         continue;
                     }
                 }
 
+                sintel_obs::counter_add("sintel_benchmark_trials_total", 1);
                 let task_template = template.clone();
                 let task_signal = labeled.signal.clone();
+                // The attempt (and therefore its `benchmark.trial` span
+                // and the pipeline spans nested inside it) runs on the
+                // watchdog thread — one trial span per attempt.
                 let attempt = move || {
+                    let _trial = sintel_obs::span_with(
+                        "benchmark.trial",
+                        &[
+                            ("pipeline", FieldValue::from(task_template.name.as_str())),
+                            ("signal", FieldValue::from(task_signal.name())),
+                        ],
+                    );
                     let mut pipeline = task_template
                         .build_default()
                         .map_err(|e| Failure::new(FailureKind::Build, e.to_string()))?;
@@ -196,6 +287,21 @@ pub fn benchmark_with_db(
                     }
                     Err(failure) => {
                         failures.record(failure.kind);
+                        sintel_obs::counter_add(
+                            &sintel_obs::labeled(
+                                "sintel_benchmark_failures_total",
+                                &[("kind", failure.kind.label())],
+                            ),
+                            1,
+                        );
+                        sintel_obs::warn!(
+                            TARGET,
+                            format!("signal run exhausted its policy: {}", failure.message),
+                            pipeline = pipeline_name.as_str(),
+                            signal = signal_name.as_str(),
+                            kind = failure.kind.label(),
+                            attempts = attempts,
+                        );
                         if let Some(db) = db {
                             db.add_run_failure(
                                 &pipeline_name,
@@ -208,9 +314,17 @@ pub fn benchmark_with_db(
                             if strikes >= QUARANTINE_STRIKES
                                 && !db.is_quarantined(&pipeline_name, &signal_name)
                             {
-                                eprintln!(
-                                    "benchmark: quarantining {pipeline_name} \u{d7} \
-                                     {signal_name} after {strikes} strikes ({failure})"
+                                sintel_obs::counter_add(
+                                    "sintel_benchmark_quarantine_added_total",
+                                    1,
+                                );
+                                sintel_obs::warn!(
+                                    TARGET,
+                                    "quarantining pipeline × signal pair",
+                                    pipeline = pipeline_name.as_str(),
+                                    signal = signal_name.as_str(),
+                                    strikes = strikes,
+                                    reason = failure.to_string(),
                                 );
                                 db.add_quarantine(
                                     &pipeline_name,
@@ -222,6 +336,7 @@ pub fn benchmark_with_db(
                     }
                 }
             }
+            row_span.close();
             rows.push(BenchmarkRow {
                 pipeline: pipeline_name,
                 dataset: dataset.name.clone(),
@@ -240,6 +355,10 @@ pub fn benchmark_with_db(
     rows.sort_by(|a, b| {
         a.dataset.cmp(&b.dataset).then(b.mean.f1.total_cmp(&a.mean.f1))
     });
+    export_health_gauges(&rows, db);
+    if let Some(db) = db {
+        persist_metrics_snapshot(db, "benchmark");
+    }
     Ok(rows)
 }
 

@@ -12,6 +12,10 @@
 //!
 //! Signals are `timestamp,value` CSV files (`sintel_timeseries::csvio`
 //! format); label files are `start,end` rows.
+//!
+//! Every command also takes the observability flags `--log-level LEVEL`,
+//! `--trace-out FILE` (JSON-lines span trace) and `--metrics-out FILE`
+//! (Prometheus text metrics snapshot).
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -35,6 +39,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let obs = match setup_observability(&opts) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match command.as_str() {
         "pipelines" => cmd_pipelines(),
         "primitives" => cmd_primitives(),
@@ -49,13 +60,61 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'")),
     };
-    match result {
+    // Export trace/metrics even when the command failed — a post-mortem
+    // is exactly when the trace matters.
+    let export = finish_observability(&obs);
+    match result.and(export) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // Leveled, so `--log-level off` silences it; the exit code
+            // still reports the failure.
+            sintel_obs::error!("sintel::cli", e);
             ExitCode::FAILURE
         }
     }
+}
+
+/// Trace/metrics export destinations requested on the command line.
+#[derive(Debug)]
+struct ObsFlags {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// Apply `--log-level` and arm `--trace-out` capture before the command
+/// runs.
+fn setup_observability(opts: &HashMap<String, String>) -> Result<ObsFlags, String> {
+    if let Some(level) = opts.get("log-level") {
+        let parsed = sintel_obs::Level::parse(level)
+            .ok_or_else(|| format!("bad --log-level '{level}' (error|warn|info|debug|trace|off)"))?;
+        sintel_obs::set_level(parsed);
+    }
+    let flags = ObsFlags {
+        trace_out: opts.get("trace-out").cloned(),
+        metrics_out: opts.get("metrics-out").cloned(),
+    };
+    if flags.trace_out.is_some() {
+        sintel_obs::tracing_start();
+    }
+    Ok(flags)
+}
+
+/// Write the captured trace (JSON lines) and the metrics snapshot
+/// (Prometheus text) to their requested destinations.
+fn finish_observability(flags: &ObsFlags) -> Result<(), String> {
+    if let Some(path) = &flags.trace_out {
+        let events = sintel_obs::tracing_stop();
+        std::fs::write(path, sintel_obs::export_jsonl(&events))
+            .map_err(|e| format!("writing --trace-out {path}: {e}"))?;
+        eprintln!("trace: {} span events -> {path}", events.len());
+    }
+    if let Some(path) = &flags.metrics_out {
+        let snapshot = sintel_obs::global().snapshot();
+        std::fs::write(path, snapshot.to_prometheus())
+            .map_err(|e| format!("writing --metrics-out {path}: {e}"))?;
+        eprintln!("metrics: {} series -> {path}", snapshot.metrics.len());
+    }
+    Ok(())
 }
 
 const USAGE: &str = "sintel-cli — end-to-end time series anomaly detection
@@ -70,7 +129,13 @@ USAGE:
   sintel-cli benchmark [--scale S] [--pipelines a,b,c] [--datasets NAB,NASA,YAHOO]
                        [--timeout SECS] [--retries N]
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
-                       [--horizon N]";
+                       [--horizon N]
+
+OBSERVABILITY (any command):
+  --log-level LEVEL    stderr log verbosity: error|warn|info|debug|trace|off
+                       (overrides the SINTEL_LOG environment variable)
+  --trace-out FILE     export the run's span trace as JSON lines
+  --metrics-out FILE   export the run's metrics snapshot as Prometheus text";
 
 /// Parse `--key value` flags into a map.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -283,6 +348,40 @@ mod tests {
         let mut opts = HashMap::new();
         opts.insert("scale".to_string(), "0.02".to_string());
         assert!(cmd_datasets(&opts).is_ok());
+    }
+
+    #[test]
+    fn observability_flags_export_trace_and_metrics() {
+        let dir = std::env::temp_dir()
+            .join(format!("sintel-cli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let metrics = dir.join("metrics.txt");
+        let mut opts = HashMap::new();
+        opts.insert("trace-out".to_string(), trace.to_string_lossy().into_owned());
+        opts.insert("metrics-out".to_string(), metrics.to_string_lossy().into_owned());
+        opts.insert("log-level".to_string(), "warn".to_string());
+
+        let obs = setup_observability(&opts).unwrap();
+        {
+            let _span = sintel_obs::span("cli.test");
+            sintel_obs::counter_add("sintel_cli_test_total", 1);
+        }
+        finish_observability(&obs).unwrap();
+
+        let events =
+            sintel_obs::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(events.iter().any(|e| e.name == "cli.test"));
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        assert!(text.contains("sintel_cli_test_total"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_observability_flags_are_rejected() {
+        let mut opts = HashMap::new();
+        opts.insert("log-level".to_string(), "loud".to_string());
+        assert!(setup_observability(&opts).unwrap_err().contains("--log-level"));
     }
 
     #[test]

@@ -66,6 +66,16 @@ pub enum FailureKind {
 }
 
 impl FailureKind {
+    /// Every failure class, for pre-registering metrics so a clean run
+    /// still dumps explicit zero counters.
+    pub const ALL: [FailureKind; 5] = [
+        FailureKind::Build,
+        FailureKind::Panic,
+        FailureKind::NonFinite,
+        FailureKind::Timeout,
+        FailureKind::Other,
+    ];
+
     /// Short stable label (used in the knowledge base).
     pub fn label(&self) -> &'static str {
         match self {
@@ -241,6 +251,11 @@ where
 ///
 /// Returns the first success, or the *last* failure, plus the number of
 /// attempts actually made (quarantine logic counts these as strikes).
+///
+/// Observability: every attempt increments `sintel_run_attempts_total`,
+/// every retry `sintel_run_retries_total`, and every failed attempt
+/// `sintel_run_failures_total{kind=…}`; failures and backoffs are
+/// logged as structured `sintel::policy` events.
 pub fn run_with_policy<T, F>(
     policy: &RunPolicy,
     attempt: F,
@@ -249,26 +264,46 @@ where
     T: Send + 'static,
     F: Fn() -> std::result::Result<T, Failure> + Send + Clone + 'static,
 {
+    const TARGET: &str = "sintel::policy";
     let mut last = Failure::new(FailureKind::Other, "no attempt was made");
     let mut attempts = 0u32;
     for round in 0..=policy.max_retries {
-        if round > 0 && !policy.backoff.is_zero() {
-            std::thread::sleep(policy.backoff);
+        if round > 0 {
+            sintel_obs::counter_add("sintel_run_retries_total", 1);
+            sintel_obs::debug!(
+                TARGET,
+                "retrying after failure",
+                attempt = round + 1,
+                backoff_seconds = policy.backoff,
+                last_kind = last.kind.label(),
+            );
+            if !policy.backoff.is_zero() {
+                std::thread::sleep(policy.backoff);
+            }
         }
         attempts += 1;
-        match run_guarded(policy.timeout, attempt.clone()) {
+        sintel_obs::counter_add("sintel_run_attempts_total", 1);
+        let failure = match run_guarded(policy.timeout, attempt.clone()) {
             GuardedResult::Done(Ok(value)) => return (Ok(value), attempts),
-            GuardedResult::Done(Err(failure)) => last = failure,
-            GuardedResult::Panicked(message) => {
-                last = Failure::new(FailureKind::Panic, message);
-            }
-            GuardedResult::TimedOut => {
-                last = Failure::new(
-                    FailureKind::Timeout,
-                    format!("exceeded the {:?} run budget", policy.timeout),
-                );
-            }
-        }
+            GuardedResult::Done(Err(failure)) => failure,
+            GuardedResult::Panicked(message) => Failure::new(FailureKind::Panic, message),
+            GuardedResult::TimedOut => Failure::new(
+                FailureKind::Timeout,
+                format!("exceeded the {:?} run budget", policy.timeout),
+            ),
+        };
+        sintel_obs::counter_add(
+            &sintel_obs::labeled("sintel_run_failures_total", &[("kind", failure.kind.label())]),
+            1,
+        );
+        sintel_obs::warn!(
+            TARGET,
+            format!("attempt failed: {}", failure.message),
+            kind = failure.kind.label(),
+            attempt = attempts,
+            retries_left = policy.max_retries - round,
+        );
+        last = failure;
     }
     (Err(last), attempts)
 }

@@ -1,6 +1,7 @@
 //! The `Sintel` orchestrator — the user-facing API of Figure 4a.
 
 use sintel_metrics::{overlapping_segment, weighted_segment, Scores};
+use sintel_obs::FieldValue;
 use sintel_pipeline::{hub, ParamId, Pipeline, PipelineProfile, Template};
 use sintel_primitives::HyperValue;
 use sintel_store::SintelDb;
@@ -113,6 +114,14 @@ impl Sintel {
         let lambda = self.lambda.clone();
         let data = data.clone();
         let attempt = move || {
+            // On the watchdog thread, so the pipeline spans nest inside.
+            let _span = sintel_obs::span_with(
+                "sintel.fit",
+                &[
+                    ("pipeline", FieldValue::from(template.name.as_str())),
+                    ("signal", FieldValue::from(data.name())),
+                ],
+            );
             let mut pipeline = template
                 .build(&lambda)
                 .map_err(|e| Failure::new(FailureKind::Build, e.to_string()))?;
@@ -142,7 +151,15 @@ impl Sintel {
         let placeholder = self.template.build(&self.lambda)?;
         let fitted = std::mem::replace(&mut self.pipeline, placeholder);
         let data_owned = data.clone();
+        let pipeline_name = self.pipeline_name().to_string();
         let outcome = run_guarded(self.policy.timeout, move || {
+            let _span = sintel_obs::span_with(
+                "sintel.detect",
+                &[
+                    ("pipeline", FieldValue::from(pipeline_name.as_str())),
+                    ("signal", FieldValue::from(data_owned.name())),
+                ],
+            );
             let mut pipeline = fitted;
             let result = pipeline.detect(&data_owned);
             (pipeline, result)

@@ -10,6 +10,7 @@
 //!   so only the signal-fit is optimised.
 
 use sintel_metrics::overlapping_segment;
+use sintel_obs::FieldValue;
 use sintel_pipeline::{ParamId, Template};
 use sintel_primitives::{HyperRange, HyperSpec, HyperValue};
 use sintel_timeseries::{Interval, Signal};
@@ -17,6 +18,9 @@ use sintel_tuner::{DimSpec, DimValue, GpTuner, Space, Tuner};
 
 use crate::policy::{run_guarded, GuardedResult, RunPolicy};
 use crate::{Result, SintelError};
+
+/// Log target of the tuner bridge.
+const TARGET: &str = "sintel::tune";
 
 /// Which objective drives the search (Figure 5's two conditions).
 #[derive(Debug, Clone)]
@@ -164,17 +168,49 @@ pub fn tune_template_with_policy(
     };
 
     // Baseline: default configuration.
-    let default_score = evaluate_lambda_guarded(template, &[], data, setting, policy);
+    let default_score = {
+        let trial_span = sintel_obs::span_with(
+            "tune.trial",
+            &[
+                ("template", FieldValue::from(template.name.as_str())),
+                ("trial", FieldValue::from(0u64)),
+            ],
+        );
+        let score = evaluate_lambda_guarded(template, &[], data, setting, policy);
+        let elapsed = trial_span.close();
+        sintel_obs::counter_add("sintel_tune_trials_total", 1);
+        sintel_obs::observe_duration("sintel_tune_trial_seconds", elapsed);
+        score
+    };
 
     let mut tuner = GpTuner::new(space.clone(), 0xA1);
     let mut history = vec![default_score];
     let mut best_score = default_score;
     let mut best_lambda: Vec<(ParamId, HyperValue)> = Vec::new();
 
-    for _ in 0..budget {
+    for trial in 0..budget {
         let unit = tuner.propose()?;
         let lambda = decode(&unit);
+        let trial_span = sintel_obs::span_with(
+            "tune.trial",
+            &[
+                ("template", FieldValue::from(template.name.as_str())),
+                ("trial", FieldValue::from(trial as u64 + 1)),
+            ],
+        );
         let score = evaluate_lambda_guarded(template, &lambda, data, setting, policy);
+        let elapsed = trial_span.close();
+        sintel_obs::counter_add("sintel_tune_trials_total", 1);
+        sintel_obs::observe_duration("sintel_tune_trial_seconds", elapsed);
+        if !score.is_finite() {
+            sintel_obs::counter_add("sintel_tune_failed_trials_total", 1);
+            sintel_obs::debug!(
+                TARGET,
+                "trial failed; recording penalty score",
+                template = template.name.as_str(),
+                trial = trial as u64 + 1,
+            );
+        }
         history.push(score);
         // NEG_INFINITY (failed builds) recorded as a strong penalty so
         // the GP steers away without destroying its numerics.
@@ -185,7 +221,17 @@ pub fn tune_template_with_policy(
         }
     }
 
-    let changed_params = best_lambda.iter().map(|(pid, _)| pid.clone()).collect();
+    let changed_params: Vec<ParamId> =
+        best_lambda.iter().map(|(pid, _)| pid.clone()).collect();
+    sintel_obs::info!(
+        TARGET,
+        "search finished",
+        template = template.name.as_str(),
+        trials = history.len(),
+        default_score = default_score,
+        best_score = best_score,
+        changed_params = changed_params.len(),
+    );
     Ok(TuneReport { default_score, best_score, best_lambda, history, changed_params })
 }
 

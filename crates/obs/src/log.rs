@@ -1,0 +1,242 @@
+//! Leveled structured logging.
+//!
+//! A minimal stand-in for the `tracing`/`log` crates: one global level
+//! (from `SINTEL_LOG` or [`set_level`]), records carrying `key=value`
+//! fields, and two sinks — stderr for humans, an in-memory capture
+//! buffer for tests ([`capture_start`] / [`capture_stop`]).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::FieldValue;
+
+/// Log severity, most severe first. Ordering is by verbosity:
+/// `Error < Warn < Info < Debug < Trace`, and a record is emitted when
+/// its level is `<=` the configured maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error = 1,
+    /// Something surprising that the run survived.
+    Warn = 2,
+    /// Coarse progress events (quarantine skips, retries exhausted…).
+    Info = 3,
+    /// Per-attempt / per-trial detail.
+    Debug = 4,
+    /// Everything, including per-primitive events.
+    Trace = 5,
+}
+
+impl Level {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name (case-insensitive; `off` disables everything).
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One emitted log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Severity.
+    pub level: Level,
+    /// Emitting subsystem (module-path style, e.g. `sintel::policy`).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl LogRecord {
+    /// One-line human rendering (the stderr format).
+    pub fn render(&self) -> String {
+        let mut out = format!("{:<5} {}: {}", self.level.label(), self.target, self.message);
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            match v {
+                FieldValue::Str(s) if s.contains(' ') => {
+                    out.push('"');
+                    out.push_str(s);
+                    out.push('"');
+                }
+                other => out.push_str(&other.to_string()),
+            }
+        }
+        out
+    }
+}
+
+/// 0 = uninitialised (read `SINTEL_LOG` on first use), 255 = off.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+const LEVEL_OFF: u8 = 255;
+
+fn capture_cell() -> &'static Mutex<Option<Vec<LogRecord>>> {
+    static CAPTURE: OnceLock<Mutex<Option<Vec<LogRecord>>>> = OnceLock::new();
+    CAPTURE.get_or_init(|| Mutex::new(None))
+}
+
+fn capture_lock() -> MutexGuard<'static, Option<Vec<LogRecord>>> {
+    capture_cell().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn init_level_from_env() -> u8 {
+    let from_env = std::env::var("SINTEL_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(Some(Level::Info));
+    let raw = from_env.map(|l| l as u8).unwrap_or(LEVEL_OFF);
+    // Another thread may have raced `set_level`; only fill the default in.
+    let _ = MAX_LEVEL.compare_exchange(0, raw, Ordering::SeqCst, Ordering::SeqCst);
+    MAX_LEVEL.load(Ordering::SeqCst)
+}
+
+/// Set the global maximum level (`None` = off). Overrides `SINTEL_LOG`.
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map(|l| l as u8).unwrap_or(LEVEL_OFF), Ordering::SeqCst);
+}
+
+/// The currently configured maximum level (`None` = off).
+pub fn max_level() -> Option<Level> {
+    let mut raw = MAX_LEVEL.load(Ordering::SeqCst);
+    if raw == 0 {
+        raw = init_level_from_env();
+    }
+    Level::from_u8(raw)
+}
+
+/// Whether a record at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Emit one structured record (no-op when the level is disabled).
+/// Prefer the [`crate::log_event!`] / [`crate::info!`] family, which
+/// also skips evaluating the message when disabled.
+pub fn log(
+    level: Level,
+    target: &str,
+    message: impl Into<String>,
+    fields: Vec<(String, FieldValue)>,
+) {
+    if !enabled(level) {
+        return;
+    }
+    let record = LogRecord { level, target: target.to_string(), message: message.into(), fields };
+    let mut capture = capture_lock();
+    match capture.as_mut() {
+        Some(buffer) => buffer.push(record),
+        // Observability output is the logger's purpose; this is the one
+        // place in the library crates allowed to write to stderr.
+        #[allow(clippy::print_stderr)]
+        None => eprintln!("{}", record.render()),
+    }
+}
+
+/// Start capturing records in-memory instead of writing them to stderr
+/// (test sink). Nested captures are not supported: starting again
+/// clears the buffer.
+pub fn capture_start() {
+    *capture_lock() = Some(Vec::new());
+}
+
+/// Stop capturing and return everything captured since
+/// [`capture_start`]. Subsequent records go to stderr again.
+pub fn capture_stop() -> Vec<LogRecord> {
+    capture_lock().take().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Logger state is global; serialize the tests that mutate it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("nope"), None);
+        assert_eq!(Level::Debug.label(), "debug");
+    }
+
+    #[test]
+    fn capture_records_fields_and_filters_levels() {
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_level(Some(Level::Info));
+        capture_start();
+        crate::info!("test::target", format!("hello {}", 7), pipeline = "arima", n = 3usize);
+        crate::debug!("test::target", "dropped: below max level");
+        let records = capture_stop();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.level, Level::Info);
+        assert_eq!(r.target, "test::target");
+        assert_eq!(r.message, "hello 7");
+        assert_eq!(r.fields[0], ("pipeline".to_string(), FieldValue::Str("arima".into())));
+        assert_eq!(r.fields[1], ("n".to_string(), FieldValue::UInt(3)));
+        set_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn off_disables_everything() {
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_level(None);
+        capture_start();
+        crate::error!("test::off", "must not appear");
+        assert!(capture_stop().is_empty());
+        assert!(!enabled(Level::Error));
+        set_level(Some(Level::Info));
+    }
+
+    #[test]
+    fn render_quotes_spaced_strings() {
+        let r = LogRecord {
+            level: Level::Warn,
+            target: "t".into(),
+            message: "m".into(),
+            fields: vec![("reason".to_string(), FieldValue::Str("took too long".into()))],
+        };
+        assert_eq!(r.render(), "warn  t: m reason=\"took too long\"");
+    }
+}

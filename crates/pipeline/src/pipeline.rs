@@ -2,8 +2,8 @@
 //! lifecycle.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
+use sintel_obs::FieldValue;
 use sintel_primitives::{Context, Engine, Primitive, Value};
 use sintel_timeseries::{ScoredInterval, Signal};
 
@@ -74,17 +74,36 @@ impl Pipeline {
         &self.profile
     }
 
+    /// Execute the pipeline over a signal.
+    ///
+    /// All timing is span-based (see `sintel-obs`): the whole run is one
+    /// span and every primitive `fit`/`produce` is a child span, so the
+    /// per-step numbers in [`PipelineProfile`] and the exported trace
+    /// come from the same clock and `primitive_time() <= total_time()`
+    /// holds by construction.
     fn run(&mut self, signal: &Signal, do_fit: bool) -> Result<Context> {
         let mut ctx = Context::from_signal(signal.clone());
         if do_fit {
             self.profile = PipelineProfile::default();
         }
+        let run_span = sintel_obs::span_with(
+            if do_fit { "pipeline.fit" } else { "pipeline.produce" },
+            &[("pipeline", FieldValue::from(self.name.as_str()))],
+        );
         for step in &mut self.steps {
             let meta_name = step.meta().name.clone();
             let engine = step.meta().engine;
             let mut fit_time = std::time::Duration::ZERO;
             if do_fit {
-                let t0 = Instant::now();
+                // A failing step returns early; its span guard drops,
+                // which closes the span, so the trace stays balanced.
+                let fit_span = sintel_obs::span_with(
+                    "primitive.fit",
+                    &[
+                        ("primitive", FieldValue::from(meta_name.as_str())),
+                        ("engine", FieldValue::from(engine.to_string())),
+                    ],
+                );
                 catch_unwind(AssertUnwindSafe(|| step.fit(&ctx)))
                     .map_err(|payload| PipelineError::PrimitivePanic {
                         step: meta_name.clone(),
@@ -94,9 +113,16 @@ impl Pipeline {
                         step: meta_name.clone(),
                         source: e.to_string(),
                     })?;
-                fit_time = t0.elapsed();
+                fit_time = fit_span.close();
+                sintel_obs::observe_duration("sintel_primitive_fit_seconds", fit_time);
             }
-            let t0 = Instant::now();
+            let produce_span = sintel_obs::span_with(
+                "primitive.produce",
+                &[
+                    ("primitive", FieldValue::from(meta_name.as_str())),
+                    ("engine", FieldValue::from(engine.to_string())),
+                ],
+            );
             let outputs = catch_unwind(AssertUnwindSafe(|| step.produce(&ctx)))
                 .map_err(|payload| PipelineError::PrimitivePanic {
                     step: meta_name.clone(),
@@ -106,7 +132,8 @@ impl Pipeline {
                     step: meta_name.clone(),
                     source: e.to_string(),
                 })?;
-            let produce_time = t0.elapsed();
+            let produce_time = produce_span.close();
+            sintel_obs::observe_duration("sintel_primitive_produce_seconds", produce_time);
             // Inter-step output guard: NaN/Inf leaving a modeling or
             // postprocessing primitive would silently poison thresholding
             // downstream, so reject it here. Preprocessing is exempt —
@@ -135,15 +162,25 @@ impl Pipeline {
                 rec.produce_time += produce_time;
             }
         }
+        // The run span encloses every step span on the same clock, so
+        // the profile totals and the per-step times cannot disagree
+        // (the Figure 7b overhead delta is computed from one clock).
+        let run_time = run_span.close();
+        if do_fit {
+            self.profile.fit_total = run_time;
+            sintel_obs::observe_duration("sintel_pipeline_fit_seconds", run_time);
+        } else {
+            self.profile.detect_total += run_time;
+            sintel_obs::observe_duration("sintel_pipeline_detect_seconds", run_time);
+        }
+        self.profile.debug_assert_consistent();
         Ok(ctx)
     }
 
     /// Train the pipeline end-to-end on a signal (Figure 4a:
     /// `sintel.fit(train_data)`).
     pub fn fit(&mut self, signal: &Signal) -> Result<()> {
-        let t0 = Instant::now();
         self.run(signal, true)?;
-        self.profile.fit_total = t0.elapsed();
         self.fitted = true;
         Ok(())
     }
@@ -155,9 +192,7 @@ impl Pipeline {
         if !self.fitted {
             return Err(PipelineError::NotFitted(self.name.clone()));
         }
-        let t0 = Instant::now();
         let ctx = self.run(signal, false)?;
-        self.profile.detect_total = t0.elapsed();
         match ctx.get("anomalies") {
             Some(Value::Intervals(anoms)) => Ok(anoms.clone()),
             _ => Err(PipelineError::Step {
@@ -273,6 +308,31 @@ mod tests {
         assert!(prof.fit_total > std::time::Duration::ZERO);
         assert!(prof.detect_total > std::time::Duration::ZERO);
         assert!(prof.total_time() >= prof.primitive_time());
+    }
+
+    /// Regression: repeated `detect`/`errors` calls accumulate both the
+    /// per-step produce times and `detect_total` from the same clock,
+    /// so the primitives' own time can never exceed the wall-clock
+    /// (the old code overwrote `detect_total` while accumulating
+    /// produce times, double-counting the Figure 7b overhead delta).
+    #[test]
+    fn repeated_runs_keep_profile_consistent() {
+        let mut pipeline = fast_template().build_default().unwrap();
+        let s = spiky_signal(400);
+        pipeline.fit(&s).unwrap();
+        for _ in 0..3 {
+            pipeline.detect(&s).unwrap();
+        }
+        pipeline.errors(&s).unwrap();
+        let prof = pipeline.profile();
+        assert!(
+            prof.primitive_time() <= prof.total_time(),
+            "primitive {:?} > total {:?}",
+            prof.primitive_time(),
+            prof.total_time()
+        );
+        // detect_total accumulated across all four produce-only runs.
+        assert!(prof.detect_total > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -1,4 +1,13 @@
 //! Per-primitive execution profiling (powers Figures 7a/7b).
+//!
+//! Since the observability PR, every number here is a **view over the
+//! `sintel-obs` span records** of the run: `fit_total`/`detect_total`
+//! are the durations of the enclosing `pipeline.fit`/`pipeline.produce`
+//! spans and each [`StepProfile`] time is the duration of the
+//! corresponding `primitive.*` child span. Because children nest
+//! strictly inside their parent on one monotonic clock,
+//! `primitive_time() <= total_time()` holds by construction — there is
+//! no second hand-rolled timer that could drift or double-count.
 
 use std::time::Duration;
 
@@ -22,10 +31,13 @@ pub struct StepProfile {
 pub struct PipelineProfile {
     /// Per-step records, pipeline order.
     pub steps: Vec<StepProfile>,
-    /// Wall-clock time of the whole `fit` call (including framework
-    /// overhead between primitives).
+    /// Wall-clock time of the whole `fit` run (including framework
+    /// overhead between primitives): the `pipeline.fit` span duration.
     pub fit_total: Duration,
-    /// Wall-clock time of the whole `detect` call.
+    /// Accumulated wall-clock time of every produce-only run since the
+    /// last `fit` (`detect` and `errors` calls) — it accumulates in
+    /// lock-step with the steps' `produce_time`, so repeated detects
+    /// cannot push `primitive_time()` past `total_time()`.
     pub detect_total: Duration,
 }
 
@@ -54,6 +66,17 @@ impl PipelineProfile {
             return 0.0;
         }
         100.0 * self.overhead().as_secs_f64() / prim
+    }
+
+    /// Debug-assert the single-clock invariant: the primitives' own
+    /// time can never exceed the end-to-end wall-clock they ran inside.
+    pub fn debug_assert_consistent(&self) {
+        debug_assert!(
+            self.primitive_time() <= self.total_time(),
+            "profile double-counting: primitive_time {:?} > total_time {:?}",
+            self.primitive_time(),
+            self.total_time()
+        );
     }
 }
 

@@ -1,0 +1,80 @@
+//! The profile is a view over the span records: with tracing on, the
+//! exported trace contains exactly the fit/produce spans the profile
+//! reports, nested under the pipeline run spans.
+//!
+//! Lives in its own integration binary because the trace buffer is
+//! process-global — unit tests running pipelines in parallel would
+//! interleave their spans into the capture.
+
+use sintel_pipeline::Template;
+use sintel_timeseries::Signal;
+
+fn spiky_signal(n: usize) -> Signal {
+    let mut vals: Vec<f64> =
+        (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 40.0).sin()).collect();
+    for v in vals.iter_mut().skip(n / 2).take(6) {
+        *v += 5.0;
+    }
+    Signal::from_values("spiky", vals)
+}
+
+#[test]
+fn profile_matches_exported_trace() {
+    let template = Template::from_names(
+        "trace_arima",
+        &[
+            "time_segments_aggregate",
+            "SimpleImputer",
+            "MinMaxScaler",
+            "arima",
+            "regression_errors",
+            "find_anomalies",
+        ],
+    );
+    let mut pipeline = template.build_default().unwrap();
+    let s = spiky_signal(400);
+    sintel_obs::tracing_start();
+    pipeline.fit(&s).unwrap();
+    pipeline.detect(&s).unwrap();
+    let events = sintel_obs::tracing_stop();
+    let prof = pipeline.profile().clone();
+
+    let closes_of = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e.kind == sintel_obs::EventKind::Close && e.name == name)
+            .count()
+    };
+    assert_eq!(closes_of("pipeline.fit"), 1);
+    assert_eq!(closes_of("pipeline.produce"), 1);
+    assert_eq!(closes_of("primitive.fit"), prof.steps.len());
+    assert_eq!(closes_of("primitive.produce"), 2 * prof.steps.len());
+
+    // Every primitive span's parent is a pipeline run span.
+    let run_ids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.name.starts_with("pipeline."))
+        .map(|e| e.id)
+        .collect();
+    for e in events.iter().filter(|e| e.name.starts_with("primitive.")) {
+        assert!(e.parent.is_some_and(|p| run_ids.contains(&p)), "{e:?}");
+    }
+
+    // The profile totals are the run spans' recorded durations.
+    let close_duration = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.kind == sintel_obs::EventKind::Close && e.name == name)
+            .and_then(|e| e.duration_ns)
+            .unwrap()
+    };
+    assert_eq!(close_duration("pipeline.fit"), prof.fit_total.as_nanos() as u64);
+    assert_eq!(
+        close_duration("pipeline.produce"),
+        prof.detect_total.as_nanos() as u64
+    );
+
+    // Round-trip: the JSONL export parses back to the same events.
+    let parsed = sintel_obs::parse_jsonl(&sintel_obs::export_jsonl(&events)).unwrap();
+    assert_eq!(parsed, events);
+}

@@ -54,6 +54,8 @@ pub mod collections {
     pub const RUN_FAILURES: &str = "run_failures";
     /// Quarantined `pipeline × signal` pairs (skip on later runs).
     pub const QUARANTINE: &str = "quarantine";
+    /// Observability metrics snapshots, one per instrumented run.
+    pub const METRICS_SNAPSHOTS: &str = "metrics_snapshots";
 }
 
 impl SintelDb {
@@ -80,6 +82,7 @@ impl SintelDb {
         self.db.create_index(collections::COMMENTS, "event_id");
         self.db.create_index(collections::RUN_FAILURES, "pipeline");
         self.db.create_index(collections::QUARANTINE, "pipeline");
+        self.db.create_index(collections::METRICS_SNAPSHOTS, "run");
     }
 
     /// Access the raw database (escape hatch).
@@ -235,6 +238,23 @@ impl SintelDb {
         self.db.count(collections::QUARANTINE, &Self::pair_filter(pipeline, signal)) > 0
     }
 
+    /// Store a metrics snapshot for a run, in both exporter formats
+    /// (Prometheus text dump and JSON).
+    pub fn add_metrics_snapshot(&self, run: &str, prometheus: &str, json: &str) -> u64 {
+        self.db.insert(
+            collections::METRICS_SNAPSHOTS,
+            Doc::obj()
+                .with("run", run)
+                .with("prometheus", prometheus)
+                .with("json", json),
+        )
+    }
+
+    /// Metrics snapshots recorded under a run label, insertion order.
+    pub fn metrics_snapshots(&self, run: &str) -> Vec<Doc> {
+        self.db.find(collections::METRICS_SNAPSHOTS, &Filter::eq("run", run))
+    }
+
     fn pair_filter(pipeline: &str, signal: &str) -> Filter {
         Filter::And(vec![Filter::eq("pipeline", pipeline), Filter::eq("signal", signal)])
     }
@@ -330,6 +350,21 @@ mod tests {
         db.add_quarantine("arima", "S-1", "3 strikes");
         assert!(db.is_quarantined("arima", "S-1"));
         assert!(!db.is_quarantined("arima", "S-2"));
+    }
+
+    #[test]
+    fn metrics_snapshots_round_trip() {
+        let db = SintelDb::in_memory();
+        assert!(db.metrics_snapshots("benchmark").is_empty());
+        db.add_metrics_snapshot("benchmark", "# TYPE x counter\nx 1\n", "{\"x\":1}");
+        db.add_metrics_snapshot("tune", "# TYPE y counter\ny 2\n", "{\"y\":2}");
+        let snaps = db.metrics_snapshots("benchmark");
+        assert_eq!(snaps.len(), 1);
+        assert!(snaps[0]
+            .get("prometheus")
+            .and_then(|d| d.as_str())
+            .is_some_and(|s| s.contains("x 1")));
+        assert_eq!(db.metrics_snapshots("tune").len(), 1);
     }
 
     #[test]

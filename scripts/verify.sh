@@ -18,4 +18,11 @@ cargo test -q
 echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel)"
 cargo clippy -p sintel-pipeline -p sintel -- -D clippy::unwrap_used
 
+# Library crates must route diagnostics through sintel-obs, never print
+# directly. Lib targets only: binaries (CLI, bench tables) legitimately
+# print their output, and the microbench console reporter carries local
+# allows.
+echo "==> cargo clippy (deny print_stdout/print_stderr in library crates)"
+cargo clippy --workspace --lib -- -D clippy::print_stdout -D clippy::print_stderr
+
 echo "verify: OK"

@@ -17,6 +17,7 @@
 //! * [`sintel_tuner`] — Gaussian-process AutoML tuner.
 //! * [`sintel_store`] — embedded document database (knowledge base).
 //! * [`sintel_hil`] — human-in-the-loop annotations and feedback.
+//! * [`sintel_obs`] — structured logging, nested spans, and metrics.
 
 pub use sintel;
 pub use sintel_common;
@@ -25,6 +26,7 @@ pub use sintel_hil;
 pub use sintel_linalg;
 pub use sintel_metrics;
 pub use sintel_nn;
+pub use sintel_obs;
 pub use sintel_pipeline;
 pub use sintel_primitives;
 pub use sintel_stats;
