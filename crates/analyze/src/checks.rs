@@ -1,0 +1,513 @@
+//! The analyzer walk: contracts × step list → diagnostics.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sintel_primitives::registry::primitive_meta;
+use sintel_primitives::{Engine, HyperValue, PrimitiveMeta};
+
+use crate::diagnostics::{Code, Diagnostic, Report};
+
+/// Slots that legitimately remain unread at the end of a pipeline: the
+/// detection verdict itself plus the error series kept for downstream
+/// visualisation (paper Fig. 2c).
+const TERMINAL_SLOTS: &[&str] = &["anomalies", "errors", "error_timestamps"];
+
+/// One template step as seen by the analyzer: a primitive name plus the
+/// *explicit* hyperparameter assignments (template overrides merged with
+/// a tuner candidate λ, if any).
+#[derive(Debug, Clone)]
+pub struct StepConfig {
+    /// Registry name of the primitive.
+    pub primitive: String,
+    /// Explicit hyperparameter assignments for this step.
+    pub hypers: Vec<(String, HyperValue)>,
+}
+
+impl StepConfig {
+    /// A step with no explicit hyperparameters.
+    pub fn plain(primitive: &str) -> Self {
+        Self { primitive: primitive.to_string(), hypers: Vec::new() }
+    }
+
+    /// A step with explicit hyperparameter assignments.
+    pub fn with(primitive: &str, hypers: Vec<(String, HyperValue)>) -> Self {
+        Self { primitive: primitive.to_string(), hypers }
+    }
+}
+
+/// Statically analyse a pipeline's step list against the primitives'
+/// declared contracts. Pure: resolves metadata only, never builds
+/// runtime state, so it cannot perturb detection results.
+pub fn analyze_pipeline(pipeline: &str, steps: &[StepConfig]) -> Report {
+    let mut report = Report::new(pipeline);
+
+    // Resolve every step to its metadata. Unknown names are fatal for
+    // the walk (no contract to check against), so SA000 aborts here.
+    let mut metas: Vec<PrimitiveMeta> = Vec::with_capacity(steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        match primitive_meta(&step.primitive) {
+            Ok(meta) => metas.push(meta),
+            Err(_) => report.push(Diagnostic::error(
+                Code::UnknownPrimitive,
+                i,
+                &step.primitive,
+                format!("unknown primitive '{}'", step.primitive),
+                "check available_primitives() for registered names",
+            )),
+        }
+    }
+    if metas.len() != steps.len() {
+        return report;
+    }
+
+    check_hyperparams(steps, &metas, &mut report);
+    check_phase_order(steps, &metas, &mut report);
+    check_dataflow(&metas, &mut report);
+    check_windows(steps, &metas, &mut report);
+
+    report.diagnostics.sort_by_key(|d| (d.step, d.code));
+    report
+}
+
+/// SA003: every explicit hyperparameter must exist and lie in its
+/// declared domain. Reuses `PrimitiveMeta::validate_hyperparam`, so the
+/// static check and the runtime `set_hyperparam` guard can never drift.
+fn check_hyperparams(steps: &[StepConfig], metas: &[PrimitiveMeta], report: &mut Report) {
+    for (i, (step, meta)) in steps.iter().zip(metas).enumerate() {
+        for (name, value) in &step.hypers {
+            if let Err(e) = meta.validate_hyperparam(name, value) {
+                let hint = match meta.hyperparam(name) {
+                    Some(spec) => format!("declared domain: {:?}", spec.range),
+                    None if meta.hyperparams.is_empty() => {
+                        "this primitive declares no hyperparameters".to_string()
+                    }
+                    None => format!(
+                        "declared hyperparameters: {}",
+                        meta.hyperparams
+                            .iter()
+                            .map(|h| h.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                };
+                report.push(Diagnostic::error(
+                    Code::HyperOutOfDomain,
+                    i,
+                    &step.primitive,
+                    e.to_string(),
+                    hint,
+                ));
+            }
+        }
+    }
+}
+
+fn engine_rank(engine: Engine) -> u8 {
+    match engine {
+        Engine::Preprocessing => 0,
+        Engine::Modeling => 1,
+        Engine::Postprocessing => 2,
+    }
+}
+
+/// SA004: engine category must be non-decreasing along the step list
+/// (preprocessing → modeling → postprocessing, paper Fig. 2a).
+fn check_phase_order(steps: &[StepConfig], metas: &[PrimitiveMeta], report: &mut Report) {
+    let mut max_engine = Engine::Preprocessing;
+    for (i, (step, meta)) in steps.iter().zip(metas).enumerate() {
+        if engine_rank(meta.engine) < engine_rank(max_engine) {
+            report.push(Diagnostic::error(
+                Code::PhaseOrdering,
+                i,
+                &step.primitive,
+                format!(
+                    "{} step after a {} step violates engine ordering",
+                    meta.engine, max_engine
+                ),
+                "reorder steps: preprocessing \u{2192} modeling \u{2192} postprocessing",
+            ));
+        } else {
+            max_engine = meta.engine;
+        }
+    }
+}
+
+/// SA001/SA002: walk the implicit context dataflow. `available` mirrors
+/// the slots a `Context` would hold at each step (seeded with "signal",
+/// exactly like `Context::from_signal`); `pending` tracks primary writes
+/// not yet consumed by any later read.
+fn check_dataflow(metas: &[PrimitiveMeta], report: &mut Report) {
+    let mut available: BTreeSet<&str> = BTreeSet::new();
+    available.insert("signal");
+    // slot -> (producing step, producing primitive)
+    let mut pending: BTreeMap<&str, (usize, &str)> = BTreeMap::new();
+
+    for (i, meta) in metas.iter().enumerate() {
+        for read in &meta.contract.reads {
+            if read.required && !available.contains(read.slot.as_str()) {
+                report.push(Diagnostic::error(
+                    Code::DanglingRead,
+                    i,
+                    &meta.name,
+                    format!(
+                        "required input '{}' ({}) is never produced by an upstream step",
+                        read.slot, read.kind
+                    ),
+                    format!("add an upstream primitive that writes '{}'", read.slot),
+                ));
+            }
+        }
+        // All declared reads (required or optional) consume pending
+        // outputs — an optional reader still counts as a consumer.
+        for read in &meta.contract.reads {
+            pending.remove(read.slot.as_str());
+        }
+        for write in &meta.contract.writes {
+            if let Some((j, producer)) = pending.remove(write.slot.as_str()) {
+                report.push(Diagnostic::warn(
+                    Code::ShadowedOutput,
+                    i,
+                    &meta.name,
+                    format!(
+                        "output '{}' of step {j} ({producer}) is overwritten before being read",
+                        write.slot
+                    ),
+                    format!("remove the earlier writer or consume '{}' in between", write.slot),
+                ));
+            }
+            available.insert(&write.slot);
+            if write.primary {
+                pending.insert(&write.slot, (i, &meta.name));
+            }
+        }
+    }
+
+    for (slot, (j, producer)) in pending {
+        if !TERMINAL_SLOTS.contains(&slot) {
+            report.push(Diagnostic::warn(
+                Code::ShadowedOutput,
+                j,
+                producer,
+                format!("primary output '{slot}' of step {j} ({producer}) is never consumed"),
+                format!("remove the step or add a downstream consumer of '{slot}'"),
+            ));
+        }
+    }
+}
+
+/// Effective value of an integer hyperparameter: the explicit assignment
+/// when present *and valid*, else the declared default. Invalid explicit
+/// values fall back to the default — SA003 already reports them.
+fn effective_int(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option<i64> {
+    let spec = meta.hyperparam(name)?;
+    if let Some((_, value)) = step.hypers.iter().find(|(n, _)| n == name) {
+        if spec.range.contains(value) {
+            if let Ok(v) = value.as_int() {
+                return Some(v);
+            }
+        }
+    }
+    spec.default.as_int().ok()
+}
+
+/// Effective value of a flag hyperparameter (same fallback rule).
+fn effective_flag(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option<bool> {
+    let spec = meta.hyperparam(name)?;
+    if let Some((_, value)) = step.hypers.iter().find(|(n, _)| n == name) {
+        if let Ok(v) = value.as_flag() {
+            return Some(v);
+        }
+    }
+    spec.default.as_flag().ok()
+}
+
+/// SA005: window/aggregation consistency around
+/// `rolling_window_sequences`. Two rules, both checked against the
+/// *effective* hyperparameters (template/λ overrides over defaults):
+///
+/// 1. `targets = false` while a downstream step declares a required read
+///    of `targets` (a forecaster would train on an empty series);
+/// 2. `step > window_size` while a downstream step reads `first_index`
+///    (overlap-averaged reconstruction cannot bridge the gaps between
+///    windows).
+///
+/// A scan stops early when an intermediate step re-produces the slot.
+fn check_windows(steps: &[StepConfig], metas: &[PrimitiveMeta], report: &mut Report) {
+    for (i, (step, meta)) in steps.iter().zip(metas).enumerate() {
+        if meta.name != "rolling_window_sequences" {
+            continue;
+        }
+        let targets_on = effective_flag(step, meta, "targets").unwrap_or(true);
+        let window_size = effective_int(step, meta, "window_size").unwrap_or(50);
+        let step_size = effective_int(step, meta, "step").unwrap_or(1);
+
+        if !targets_on {
+            for (j, later) in metas.iter().enumerate().skip(i + 1) {
+                if later.contract.requires("targets") {
+                    report.push(Diagnostic::error(
+                        Code::WindowInconsistency,
+                        i,
+                        &meta.name,
+                        format!(
+                            "rolling_window_sequences has targets=false but step {j} ({}) \
+                             requires 'targets'",
+                            later.name
+                        ),
+                        "set targets=true or switch to a reconstruction-style consumer",
+                    ));
+                    break;
+                }
+                if later.contract.writes.iter().any(|w| w.slot == "targets") {
+                    break; // re-supplied downstream
+                }
+            }
+        }
+
+        if step_size > window_size {
+            for (j, later) in metas.iter().enumerate().skip(i + 1) {
+                if later.contract.reads.iter().any(|r| r.slot == "first_index") {
+                    report.push(Diagnostic::error(
+                        Code::WindowInconsistency,
+                        i,
+                        &meta.name,
+                        format!(
+                            "step {step_size} exceeds window_size {window_size}; step {j} ({}) \
+                             reconstructs from 'first_index' over gapped windows",
+                            later.name
+                        ),
+                        "reduce step to at most window_size",
+                    ));
+                    break;
+                }
+                if later.contract.writes.iter().any(|w| w.slot == "first_index") {
+                    break; // re-supplied downstream
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+
+    fn preprocessing() -> Vec<StepConfig> {
+        vec![
+            StepConfig::with(
+                "time_segments_aggregate",
+                vec![("interval".into(), HyperValue::Int(0))],
+            ),
+            StepConfig::plain("SimpleImputer"),
+            StepConfig::plain("MinMaxScaler"),
+        ]
+    }
+
+    #[test]
+    fn forecaster_chain_is_clean() {
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![
+                    ("window_size".into(), HyperValue::Int(50)),
+                    ("targets".into(), HyperValue::Flag(true)),
+                ],
+            ),
+            StepConfig::plain("lstm_regressor"),
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        let report = analyze_pipeline("lstm_dynamic_threshold", &steps);
+        assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    }
+
+    #[test]
+    fn autoencoder_chain_is_clean_without_critic_scores() {
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![
+                    ("window_size".into(), HyperValue::Int(40)),
+                    ("step".into(), HyperValue::Int(2)),
+                    ("targets".into(), HyperValue::Flag(false)),
+                ],
+            ),
+            StepConfig::plain("lstm_autoencoder"),
+            StepConfig::plain("reconstruction_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        let report = analyze_pipeline("lstm_autoencoder", &steps);
+        assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    }
+
+    #[test]
+    fn tadgan_critic_scores_count_as_consumed() {
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![("targets".into(), HyperValue::Flag(false))],
+            ),
+            StepConfig::plain("tadgan"),
+            StepConfig::plain("reconstruction_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        let report = analyze_pipeline("tadgan", &steps);
+        assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.render());
+    }
+
+    #[test]
+    fn sa000_unknown_primitive_aborts_walk() {
+        let steps =
+            vec![StepConfig::plain("flux_capacitor"), StepConfig::plain("regression_errors")];
+        let report = analyze_pipeline("demo", &steps);
+        assert_eq!(report.diagnostics.len(), 1, "walk should abort after SA000");
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, Code::UnknownPrimitive);
+        assert_eq!(d.step, 0);
+        assert_eq!(d.message, "unknown primitive 'flux_capacitor'");
+    }
+
+    #[test]
+    fn sa001_dangling_read() {
+        let mut steps = preprocessing();
+        // no rolling_window_sequences: lstm_regressor has nothing to eat
+        steps.push(StepConfig::plain("lstm_regressor"));
+        steps.push(StepConfig::plain("regression_errors"));
+        steps.push(StepConfig::plain("find_anomalies"));
+        let report = analyze_pipeline("demo", &steps);
+        let errors: Vec<_> = report.errors().collect();
+        assert!(errors.iter().all(|d| d.code == Code::DanglingRead));
+        assert!(errors
+            .iter()
+            .any(|d| d.step == 3 && d.message.contains("required input 'windows' (windows)")));
+    }
+
+    #[test]
+    fn sa002_shadowed_output_is_warn() {
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::plain("arima"),
+            StepConfig::plain("holt_winters"), // shadows arima's outputs
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        let report = analyze_pipeline("demo", &steps);
+        assert!(!report.has_errors());
+        let shadowed: Vec<_> =
+            report.warnings().filter(|d| d.code == Code::ShadowedOutput).collect();
+        assert_eq!(shadowed.len(), 3, "predictions, targets, index_timestamps");
+        assert!(shadowed.iter().all(|d| d.step == 4 && d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn sa003_out_of_domain_hyper() {
+        let mut steps = preprocessing();
+        steps[0] = StepConfig::with(
+            "time_segments_aggregate",
+            vec![("interval".into(), HyperValue::Int(-5))],
+        );
+        steps.push(StepConfig::plain("arima"));
+        steps.push(StepConfig::plain("regression_errors"));
+        steps.push(StepConfig::plain("find_anomalies"));
+        let report = analyze_pipeline("demo", &steps);
+        let errors: Vec<_> = report.errors().collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, Code::HyperOutOfDomain);
+        assert_eq!(errors[0].step, 0);
+        assert!(errors[0].message.contains("out of range"));
+        assert!(errors[0].hint.contains("declared domain"));
+    }
+
+    #[test]
+    fn sa003_unknown_hyper_lists_alternatives() {
+        let steps = vec![StepConfig::with(
+            "SimpleImputer",
+            vec![("strategee".into(), HyperValue::Text("mean".into()))],
+        )];
+        let report = analyze_pipeline("demo", &steps);
+        let errors: Vec<_> = report.errors().collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, Code::HyperOutOfDomain);
+        assert!(errors[0].hint.contains("strategy"));
+    }
+
+    #[test]
+    fn sa004_phase_ordering() {
+        let steps = vec![
+            StepConfig::plain("time_segments_aggregate"),
+            StepConfig::plain("arima"),
+            StepConfig::plain("SimpleImputer"), // preprocessing after modeling
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ];
+        let report = analyze_pipeline("demo", &steps);
+        let errors: Vec<_> = report.errors().collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, Code::PhaseOrdering);
+        assert_eq!(errors[0].step, 2);
+        assert_eq!(
+            errors[0].message,
+            "preprocessing step after a modeling step violates engine ordering"
+        );
+    }
+
+    #[test]
+    fn sa005_targets_off_before_forecaster() {
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![("targets".into(), HyperValue::Flag(false))],
+            ),
+            StepConfig::plain("lstm_regressor"),
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        let report = analyze_pipeline("demo", &steps);
+        let errors: Vec<_> = report.errors().collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, Code::WindowInconsistency);
+        assert_eq!(errors[0].step, 3);
+        assert!(errors[0].message.contains("targets=false"));
+        assert!(errors[0].message.contains("step 4 (lstm_regressor)"));
+    }
+
+    #[test]
+    fn sa005_step_larger_than_window() {
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![
+                    ("window_size".into(), HyperValue::Int(10)),
+                    ("step".into(), HyperValue::Int(50)),
+                    ("targets".into(), HyperValue::Flag(false)),
+                ],
+            ),
+            StepConfig::plain("lstm_autoencoder"),
+            StepConfig::plain("reconstruction_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        let report = analyze_pipeline("demo", &steps);
+        let errors: Vec<_> = report.errors().collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, Code::WindowInconsistency);
+        assert!(errors[0].message.contains("step 50 exceeds window_size 10"));
+    }
+
+    #[test]
+    fn fault_injection_primitives_are_contract_clean() {
+        // The dev-dependency enables sintel-primitives' `faulty` feature,
+        // registering the fault-injection primitives for this test build.
+        // Runtime faults (panic/NaN/hang) are not wiring bugs: the
+        // analyzer must keep these templates buildable so the
+        // fault-isolation layer can exercise them.
+        let mut steps = preprocessing();
+        steps.push(StepConfig::plain("faulty_panic"));
+        let report = analyze_pipeline("faulty", &steps);
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+}

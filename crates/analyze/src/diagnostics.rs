@@ -1,0 +1,254 @@
+//! Diagnostic codes, severities and the rustc-style report.
+
+/// Stable diagnostic codes (see the crate docs for the full table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// SA000: unknown primitive name.
+    UnknownPrimitive,
+    /// SA001: dangling context read — a required input is never produced.
+    DanglingRead,
+    /// SA002: shadowed or unused primary output.
+    ShadowedOutput,
+    /// SA003: hyperparameter unknown or out of its declared domain.
+    HyperOutOfDomain,
+    /// SA004: phase-ordering violation (engine rank decreases).
+    PhaseOrdering,
+    /// SA005: window/aggregation inconsistency.
+    WindowInconsistency,
+}
+
+impl Code {
+    /// The stable `SAxxx` code string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::UnknownPrimitive => "SA000",
+            Code::DanglingRead => "SA001",
+            Code::ShadowedOutput => "SA002",
+            Code::HyperOutOfDomain => "SA003",
+            Code::PhaseOrdering => "SA004",
+            Code::WindowInconsistency => "SA005",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Logged and reported, never blocks a build.
+    Warn,
+    /// Refuses to build the pipeline.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label (`"error"` / `"warning"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One coded finding, anchored to a template step.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable diagnostic code.
+    pub code: Code,
+    /// Error refuses to build; Warn is logged.
+    pub severity: Severity,
+    /// Zero-based step index the finding anchors to.
+    pub step: usize,
+    /// Primitive name at that step (as written in the template).
+    pub primitive: String,
+    /// Human-readable statement of the defect.
+    pub message: String,
+    /// Suggested fix.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Construct an Error-severity diagnostic.
+    pub fn error(
+        code: Code,
+        step: usize,
+        primitive: &str,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            step,
+            primitive: primitive.to_string(),
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+
+    /// Construct a Warn-severity diagnostic.
+    pub fn warn(
+        code: Code,
+        step: usize,
+        primitive: &str,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity: Severity::Warn,
+            step,
+            primitive: primitive.to_string(),
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+}
+
+/// The result of analysing one template: all diagnostics, ordered by step
+/// index then code.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Name of the analysed pipeline/template.
+    pub pipeline: String,
+    /// Ordered diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report for `pipeline`.
+    pub fn new(pipeline: &str) -> Self {
+        Self { pipeline: pipeline.to_string(), diagnostics: Vec::new() }
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Error-severity diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warn-severity diagnostics only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warn)
+    }
+
+    /// Whether any Error-severity diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the report is completely clean (no diagnostics at all).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Compact one-token-per-code summary (`"clean"` or e.g.
+    /// `"SA001\u{d7}2 SA002\u{d7}1"`) — the benchmark's diagnostics
+    /// column and the store's persisted form.
+    pub fn summary(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "clean".to_string();
+        }
+        let mut counts: std::collections::BTreeMap<Code, usize> = std::collections::BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.code).or_insert(0) += 1;
+        }
+        counts
+            .iter()
+            .map(|(code, n)| format!("{code}\u{d7}{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Render a rustc-style multi-line report:
+    ///
+    /// ```text
+    /// error[SA001]: required input 'windows' (windows) is never produced by an upstream step
+    ///   --> lstm_dynamic_threshold, step 3 (lstm_regressor)
+    ///    = help: add an upstream primitive that writes 'windows'
+    ///
+    /// lstm_dynamic_threshold: 1 error, 0 warnings
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+            out.push_str(&format!(
+                "  --> {}, step {} ({})\n",
+                self.pipeline, d.step, d.primitive
+            ));
+            out.push_str(&format!("   = help: {}\n\n", d.hint));
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        if errors == 0 && warnings == 0 {
+            out.push_str(&format!("{}: OK\n", self.pipeline));
+        } else {
+            out.push_str(&format!(
+                "{}: {} error{}, {} warning{}\n",
+                self.pipeline,
+                errors,
+                if errors == 1 { "" } else { "s" },
+                warnings,
+                if warnings == 1 { "" } else { "s" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_and_severity_labels() {
+        assert_eq!(Code::UnknownPrimitive.to_string(), "SA000");
+        assert_eq!(Code::WindowInconsistency.to_string(), "SA005");
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warn.to_string(), "warning");
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn report_summary_counts_per_code() {
+        let mut r = Report::new("demo");
+        assert!(r.is_clean());
+        assert_eq!(r.summary(), "clean");
+        r.push(Diagnostic::error(Code::DanglingRead, 1, "x", "m", "h"));
+        r.push(Diagnostic::error(Code::DanglingRead, 2, "y", "m", "h"));
+        r.push(Diagnostic::warn(Code::ShadowedOutput, 3, "z", "m", "h"));
+        assert_eq!(r.summary(), "SA001\u{d7}2 SA002\u{d7}1");
+        assert!(r.has_errors());
+        assert_eq!(r.errors().count(), 2);
+        assert_eq!(r.warnings().count(), 1);
+    }
+
+    #[test]
+    fn render_is_rustc_style() {
+        let mut r = Report::new("demo");
+        r.push(Diagnostic::error(Code::DanglingRead, 3, "lstm_regressor", "boom", "fix it"));
+        let text = r.render();
+        assert!(text.contains("error[SA001]: boom"));
+        assert!(text.contains("  --> demo, step 3 (lstm_regressor)"));
+        assert!(text.contains("   = help: fix it"));
+        assert!(text.contains("demo: 1 error, 0 warnings"));
+        assert!(Report::new("demo").render().contains("demo: OK"));
+    }
+}

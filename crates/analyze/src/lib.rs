@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # sintel-analyze
+//!
+//! Static dataflow/contract checker for pipeline templates.
+//!
+//! The paper's template abstraction ⟨V, E, Λ⟩ (§2.2, Fig. 4a) wires
+//! primitives through an *implicit* context dataflow: each step reads
+//! named slots left behind by earlier steps and writes its own. A
+//! mis-wired template — a step consuming a slot nobody produced, an
+//! out-of-domain hyperparameter, engines out of order — historically only
+//! surfaced as a runtime failure deep inside `fit`, wasting whole
+//! benchmark rows and tuner trials.
+//!
+//! This crate rejects such pipelines *before* execution. Every primitive
+//! declares a static [`Contract`](sintel_primitives::Contract) (context
+//! slots consumed/produced per phase, value kinds, hyperparameter
+//! domains); [`analyze_pipeline`] walks a step list against those
+//! contracts and emits coded diagnostics:
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | SA000 | Error    | unknown primitive name (aborts the walk) |
+//! | SA001 | Error    | dangling context read — required input never produced |
+//! | SA002 | Warn     | shadowed or unused primary output |
+//! | SA003 | Error    | hyperparameter unknown or out of declared domain |
+//! | SA004 | Error    | phase-ordering violation (engine rank decreases) |
+//! | SA005 | Error    | window/aggregation inconsistency |
+//!
+//! Severity policy: **Error** diagnostics refuse to build (enforced by
+//! `sintel-pipeline`'s hub), **Warn** diagnostics are logged through
+//! `sintel-obs` and reported but never block. Analysis is pure — it never
+//! constructs runtime state beyond primitive metadata, so enabling it
+//! cannot change detection results on valid pipelines.
+
+mod checks;
+mod diagnostics;
+
+pub use checks::{analyze_pipeline, StepConfig};
+pub use diagnostics::{Code, Diagnostic, Report, Severity};

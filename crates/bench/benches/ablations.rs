@@ -34,10 +34,10 @@ fn threshold_ablation(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("dynamic_hundman", |b| {
         let params = ThresholdParams::default();
-        b.iter(|| black_box(dynamic_threshold(black_box(&errors), &params)));
+        b.iter(|| black_box(dynamic_threshold(black_box(&errors), &params).expect("valid params")));
     });
     group.bench_function("fixed_3sigma", |b| {
-        b.iter(|| black_box(fixed_threshold(black_box(&errors), 3.0)));
+        b.iter(|| black_box(fixed_threshold(black_box(&errors), 3.0).expect("valid k")));
     });
     group.finish();
 }

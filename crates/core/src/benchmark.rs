@@ -87,6 +87,10 @@ pub struct BenchmarkRow {
     pub signals: usize,
     /// Signals whose run failed (excluded from the scores), by class.
     pub failures: FailureBreakdown,
+    /// Compact static-analysis preflight summary (`"clean"` or
+    /// `SAxxx×n` counts). Rows with Error diagnostics never execute —
+    /// every signal is recorded as [`FailureKind::Rejected`].
+    pub diagnostics: String,
     /// Signals skipped because the pair was quarantined by earlier runs.
     pub quarantined: usize,
     /// Total training time over all signals.
@@ -164,6 +168,7 @@ fn export_health_gauges(rows: &[BenchmarkRow], db: Option<&SintelDb>) {
             FailureKind::Panic => breakdown.panic,
             FailureKind::NonFinite => breakdown.non_finite,
             FailureKind::Timeout => breakdown.timeout,
+            FailureKind::Rejected => breakdown.rejected,
             FailureKind::Other => breakdown.other,
         };
         sintel_obs::gauge_set(
@@ -216,10 +221,40 @@ pub fn benchmark_with_db(
 ) -> Result<Vec<BenchmarkRow>> {
     let templates = resolve_templates(cfg)?;
     preregister_metrics();
+
+    // Preflight: analyse each template once, up front. Warn-level
+    // diagnostics are logged; Error-level ones mark the template as
+    // rejected — its rows never execute a single signal. All diagnostics
+    // are persisted to the knowledge base when one is attached.
+    let preflights: Vec<sintel_analyze::Report> =
+        templates.iter().map(|t| t.analyze()).collect();
+    for report in &preflights {
+        for diag in &report.diagnostics {
+            sintel_obs::warn!(
+                TARGET,
+                format!("preflight diagnostic: {}", diag.message),
+                pipeline = report.pipeline.as_str(),
+                code = diag.code.as_str(),
+                severity = diag.severity.label(),
+                step = diag.step,
+                primitive = diag.primitive.as_str(),
+            );
+            if let Some(db) = db {
+                db.add_diagnostic(
+                    &report.pipeline,
+                    diag.code.as_str(),
+                    diag.severity.label(),
+                    &diag.primitive,
+                    &diag.message,
+                );
+            }
+        }
+    }
+
     let mut rows = Vec::new();
     for dataset_id in &cfg.datasets {
         let dataset = sintel_datasets::load(*dataset_id, &cfg.data);
-        for template in &templates {
+        for (template, preflight) in templates.iter().zip(&preflights) {
             let pipeline_name = template.name.clone();
             let row_span = sintel_obs::span_with(
                 "benchmark.row",
@@ -238,6 +273,18 @@ pub fn benchmark_with_db(
 
             for labeled in dataset.iter_signals() {
                 let signal_name = labeled.signal.name().to_string();
+                if preflight.has_errors() {
+                    // Statically rejected: never executed, not a crash.
+                    failures.record(FailureKind::Rejected);
+                    sintel_obs::counter_add(
+                        &sintel_obs::labeled(
+                            "sintel_benchmark_failures_total",
+                            &[("kind", FailureKind::Rejected.label())],
+                        ),
+                        1,
+                    );
+                    continue;
+                }
                 if let Some(db) = db {
                     if db.is_quarantined(&pipeline_name, &signal_name) {
                         sintel_obs::counter_add("sintel_benchmark_quarantine_skips_total", 1);
@@ -344,6 +391,7 @@ pub fn benchmark_with_db(
                 std: Scores::std(&per_signal),
                 signals: per_signal.len(),
                 failures,
+                diagnostics: preflight.summary(),
                 quarantined,
                 train_time,
                 detect_time,
@@ -382,7 +430,9 @@ pub fn persist_benchmark(db: &SintelDb, rows: &[BenchmarkRow]) {
             .with("failures_panic", row.failures.panic)
             .with("failures_non_finite", row.failures.non_finite)
             .with("failures_timeout", row.failures.timeout)
+            .with("failures_rejected", row.failures.rejected)
             .with("failures_other", row.failures.other)
+            .with("diagnostics", row.diagnostics.as_str())
             .with("quarantined", row.quarantined)
             .with("train_seconds", row.train_time.as_secs_f64())
             .with("detect_seconds", row.detect_time.as_secs_f64())
@@ -395,8 +445,8 @@ pub fn persist_benchmark(db: &SintelDb, rows: &[BenchmarkRow]) {
 pub fn render_table(rows: &[BenchmarkRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:<8} {:>14} {:>16} {:>14} {:>8} {:>18}\n",
-        "pipeline", "dataset", "F1", "precision", "recall", "signals", "failures"
+        "{:<26} {:<8} {:>14} {:>16} {:>14} {:>8} {:>18} {:>14}\n",
+        "pipeline", "dataset", "F1", "precision", "recall", "signals", "failures", "diagnostics"
     ));
     for row in rows {
         let mut failures = row.failures.summary();
@@ -409,7 +459,7 @@ pub fn render_table(rows: &[BenchmarkRow]) -> String {
             failures.push_str(&format!("skip\u{d7}{}", row.quarantined));
         }
         out.push_str(&format!(
-            "{:<26} {:<8} {:>6.3} ± {:<5.2} {:>8.3} ± {:<5.2} {:>6.3} ± {:<5.2} {:>5} {:>18}\n",
+            "{:<26} {:<8} {:>6.3} ± {:<5.2} {:>8.3} ± {:<5.2} {:>6.3} ± {:<5.2} {:>5} {:>18} {:>14}\n",
             row.pipeline,
             row.dataset,
             row.mean.f1,
@@ -420,6 +470,7 @@ pub fn render_table(rows: &[BenchmarkRow]) -> String {
             row.std.recall,
             row.signals,
             failures,
+            row.diagnostics,
         ));
     }
     out
@@ -448,6 +499,7 @@ mod tests {
             assert_eq!(row.dataset, "NAB");
             assert!(row.signals > 0, "{row:?}");
             assert_eq!(row.failures.total(), 0, "{row:?}");
+            assert_eq!(row.diagnostics, "clean", "{row:?}");
             assert!(row.mean.f1 >= 0.0 && row.mean.f1 <= 1.0);
             assert!(row.train_time + row.detect_time > Duration::ZERO);
         }
@@ -499,5 +551,42 @@ mod tests {
         let rows = benchmark(&cfg).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().any(|r| r.pipeline == "custom_std_arima"));
+    }
+
+    #[test]
+    fn statically_broken_template_rows_are_rejected_not_executed() {
+        let mut cfg = tiny_config();
+        cfg.pipelines = vec!["arima".into()];
+        // lstm_regressor with no rolling_window_sequences upstream:
+        // SA001 dangling reads of 'windows'/'targets'.
+        cfg.extra_templates = vec![Template::from_names(
+            "miswired_lstm",
+            &[
+                "time_segments_aggregate",
+                "SimpleImputer",
+                "MinMaxScaler",
+                "lstm_regressor",
+                "regression_errors",
+                "find_anomalies",
+            ],
+        )];
+        let db = SintelDb::in_memory();
+        let rows = benchmark_with_db(&cfg, Some(&db)).unwrap();
+        let rejected = rows.iter().find(|r| r.pipeline == "miswired_lstm").unwrap();
+        assert_eq!(rejected.signals, 0, "{rejected:?}");
+        assert!(rejected.failures.rejected > 0, "{rejected:?}");
+        assert_eq!(rejected.failures.total(), rejected.failures.rejected);
+        assert!(rejected.diagnostics.contains("SA001"), "{rejected:?}");
+        // The healthy pipeline still ran normally alongside it.
+        let healthy = rows.iter().find(|r| r.pipeline == "arima").unwrap();
+        assert!(healthy.signals > 0);
+        assert_eq!(healthy.failures.total(), 0);
+        // Diagnostics were persisted to the knowledge base, and the
+        // rendered table carries the new column.
+        assert!(!db.diagnostics_for_pipeline("miswired_lstm").is_empty());
+        assert!(db.diagnostics_for_pipeline("arima").is_empty());
+        let table = render_table(&rows);
+        assert!(table.contains("diagnostics"));
+        assert!(table.contains("SA001"));
     }
 }

@@ -8,6 +8,7 @@
 //! sintel-cli view --signal F.csv [--width N] [--height N]
 //! sintel-cli benchmark [--scale S] [--pipelines a,b] [--datasets NAB,YAHOO]
 //!                      [--timeout SECS] [--retries N]
+//! sintel-cli analyze [--all | PIPELINE...]      static template diagnostics
 //! ```
 //!
 //! Signals are `timestamp,value` CSV files (`sintel_timeseries::csvio`
@@ -32,7 +33,15 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_flags(rest) {
+    // `analyze` takes positional pipeline names and the valueless `--all`
+    // switch, which the strict `--key value` parser would reject; peel
+    // them off before flag parsing.
+    let (targets, rest) = if command == "analyze" {
+        split_analyze_args(rest)
+    } else {
+        (Vec::new(), rest.to_vec())
+    };
+    let opts = match parse_flags(&rest) {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -54,6 +63,7 @@ fn main() -> ExitCode {
         "view" => cmd_view(&opts),
         "benchmark" => cmd_benchmark(&opts),
         "forecast" => cmd_forecast(&opts),
+        "analyze" => cmd_analyze(&targets),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -130,6 +140,9 @@ USAGE:
                        [--timeout SECS] [--retries N]
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
                        [--horizon N]
+  sintel-cli analyze   [--all | PIPELINE...]
+                       static dataflow/contract diagnostics (SA001-SA005);
+                       exits nonzero if any pipeline has error diagnostics
 
 OBSERVABILITY (any command):
   --log-level LEVEL    stderr log verbosity: error|warn|info|debug|trace|off
@@ -150,6 +163,63 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         opts.insert(key.to_string(), value.clone());
     }
     Ok(opts)
+}
+
+/// Split `analyze`'s positional arguments (pipeline names and the bare
+/// `--all` switch) from the `--key value` flags shared by every command.
+fn split_analyze_args(args: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut targets = Vec::new();
+    let mut flags = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--all" {
+            targets.push(arg.clone());
+        } else if arg.starts_with("--") {
+            flags.push(arg.clone());
+            if let Some(value) = iter.next() {
+                flags.push(value.clone());
+            }
+        } else {
+            targets.push(arg.clone());
+        }
+    }
+    (targets, flags)
+}
+
+fn cmd_analyze(targets: &[String]) -> Result<(), String> {
+    let all = targets.iter().any(|t| t == "--all");
+    let names: Vec<String> = if all {
+        sintel_pipeline::hub::available_pipelines()
+            .iter()
+            .chain(sintel_pipeline::hub::EXTENSION_PIPELINES.iter())
+            .map(|s| s.to_string())
+            .collect()
+    } else if targets.is_empty() {
+        return Err("analyze needs a pipeline name or --all".to_string());
+    } else {
+        targets.to_vec()
+    };
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for name in &names {
+        let template =
+            sintel_pipeline::hub::template_by_name(name).map_err(|e| e.to_string())?;
+        let report = template.analyze();
+        print!("{}", report.render());
+        errors += report.errors().count();
+        warnings += report.warnings().count();
+    }
+    if names.len() > 1 {
+        println!(
+            "\nanalyzed {} pipelines: {errors} error(s), {warnings} warning(s)",
+            names.len()
+        );
+    }
+    if errors > 0 {
+        Err(format!("{errors} error diagnostic(s)"))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_pipelines() -> Result<(), String> {
@@ -382,6 +452,28 @@ mod tests {
         let mut opts = HashMap::new();
         opts.insert("log-level".to_string(), "loud".to_string());
         assert!(setup_observability(&opts).unwrap_err().contains("--log-level"));
+    }
+
+    #[test]
+    fn split_analyze_args_separates_targets_from_flags() {
+        let args: Vec<String> = ["arima", "--all", "--log-level", "warn", "lstm"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (targets, flags) = split_analyze_args(&args);
+        assert_eq!(targets, vec!["arima", "--all", "lstm"]);
+        assert_eq!(flags, vec!["--log-level", "warn"]);
+    }
+
+    #[test]
+    fn analyze_command_reports_hub_pipelines_clean() {
+        let all = vec!["--all".to_string()];
+        assert!(cmd_analyze(&all).is_ok());
+        let one = vec!["arima".to_string()];
+        assert!(cmd_analyze(&one).is_ok());
+        assert!(cmd_analyze(&[]).unwrap_err().contains("--all"));
+        let bogus = vec!["not_a_pipeline".to_string()];
+        assert!(cmd_analyze(&bogus).is_err());
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub enum FailureKind {
     NonFinite,
     /// The attempt exceeded [`RunPolicy::timeout`].
     Timeout,
+    /// The configuration was refused by the static analyzer before any
+    /// execution (`sintel-analyze` Error-level diagnostics) — a skipped
+    /// trial/row, not a crash.
+    Rejected,
     /// Any other typed error.
     Other,
 }
@@ -68,11 +72,12 @@ pub enum FailureKind {
 impl FailureKind {
     /// Every failure class, for pre-registering metrics so a clean run
     /// still dumps explicit zero counters.
-    pub const ALL: [FailureKind; 5] = [
+    pub const ALL: [FailureKind; 6] = [
         FailureKind::Build,
         FailureKind::Panic,
         FailureKind::NonFinite,
         FailureKind::Timeout,
+        FailureKind::Rejected,
         FailureKind::Other,
     ];
 
@@ -83,6 +88,7 @@ impl FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::NonFinite => "non_finite",
             FailureKind::Timeout => "timeout",
+            FailureKind::Rejected => "rejected",
             FailureKind::Other => "other",
         }
     }
@@ -119,7 +125,9 @@ impl std::fmt::Display for Failure {
 /// Classify a pipeline error into the failure taxonomy.
 pub fn classify_pipeline_error(e: &PipelineError) -> FailureKind {
     match e {
-        PipelineError::UnknownPipeline(_) | PipelineError::BadTemplate(_) => FailureKind::Build,
+        PipelineError::UnknownPipeline(_) | PipelineError::BadTemplate { .. } => {
+            FailureKind::Build
+        }
         PipelineError::PrimitivePanic { .. } => FailureKind::Panic,
         PipelineError::NonFinite { .. } => FailureKind::NonFinite,
         PipelineError::Step { .. } | PipelineError::NotFitted(_) => FailureKind::Other,
@@ -137,6 +145,8 @@ pub struct FailureBreakdown {
     pub non_finite: usize,
     /// Watchdog timeouts.
     pub timeout: usize,
+    /// Analyzer rejections (never executed).
+    pub rejected: usize,
     /// Everything else.
     pub other: usize,
 }
@@ -144,7 +154,7 @@ pub struct FailureBreakdown {
 impl FailureBreakdown {
     /// Total failures across all classes.
     pub fn total(&self) -> usize {
-        self.build + self.panic + self.non_finite + self.timeout + self.other
+        self.build + self.panic + self.non_finite + self.timeout + self.rejected + self.other
     }
 
     /// Record one failure of the given class.
@@ -154,6 +164,7 @@ impl FailureBreakdown {
             FailureKind::Panic => self.panic += 1,
             FailureKind::NonFinite => self.non_finite += 1,
             FailureKind::Timeout => self.timeout += 1,
+            FailureKind::Rejected => self.rejected += 1,
             FailureKind::Other => self.other += 1,
         }
     }
@@ -164,6 +175,7 @@ impl FailureBreakdown {
         self.panic += other.panic;
         self.non_finite += other.non_finite;
         self.timeout += other.timeout;
+        self.rejected += other.rejected;
         self.other += other.other;
     }
 
@@ -179,6 +191,7 @@ impl FailureBreakdown {
             ("panic", self.panic),
             ("nan", self.non_finite),
             ("timeout", self.timeout),
+            ("rejected", self.rejected),
             ("other", self.other),
         ] {
             if count > 0 {
@@ -394,7 +407,11 @@ mod tests {
     fn pipeline_errors_classify_per_variant() {
         use sintel_pipeline::PipelineError as E;
         assert_eq!(
-            classify_pipeline_error(&E::BadTemplate("x".into())),
+            classify_pipeline_error(&E::BadTemplate {
+                code: "SA001".into(),
+                step: "s".into(),
+                message: "x".into(),
+            }),
             FailureKind::Build
         );
         assert_eq!(

@@ -47,6 +47,9 @@ pub struct TuneReport {
     pub history: Vec<f64>,
     /// Names of the parameters that changed from their defaults in λ*.
     pub changed_params: Vec<ParamId>,
+    /// Trials skipped because the static analyzer rejected the candidate
+    /// λ before execution (scored `NEG_INFINITY`, counted in `history`).
+    pub rejected_trials: usize,
 }
 
 /// Convert a primitive hyperparameter spec into a tuner dimension.
@@ -167,8 +170,39 @@ pub fn tune_template_with_policy(
             .collect()
     };
 
+    let mut rejected_trials = 0usize;
+
+    // Pre-screen: a statically rejected configuration is never executed —
+    // it scores NEG_INFINITY as a FailureKind::Rejected trial, not a crash.
+    let mut screen = |lambda: &[(ParamId, HyperValue)], trial: u64| -> bool {
+        let report = template.analyze_with(lambda);
+        if !report.has_errors() {
+            return false;
+        }
+        rejected_trials += 1;
+        sintel_obs::counter_add(
+            &sintel_obs::labeled(
+                "sintel_run_failures_total",
+                &[("kind", crate::policy::FailureKind::Rejected.label())],
+            ),
+            1,
+        );
+        sintel_obs::counter_add("sintel_tune_rejected_trials_total", 1);
+        let summary = report.summary();
+        sintel_obs::debug!(
+            TARGET,
+            "trial rejected by static analysis; recording penalty score",
+            template = template.name.as_str(),
+            trial = trial,
+            diagnostics = summary.as_str(),
+        );
+        true
+    };
+
     // Baseline: default configuration.
-    let default_score = {
+    let default_score = if screen(&[], 0) {
+        f64::NEG_INFINITY
+    } else {
         let trial_span = sintel_obs::span_with(
             "tune.trial",
             &[
@@ -191,6 +225,13 @@ pub fn tune_template_with_policy(
     for trial in 0..budget {
         let unit = tuner.propose()?;
         let lambda = decode(&unit);
+        if screen(&lambda, trial as u64 + 1) {
+            history.push(f64::NEG_INFINITY);
+            // Same strong penalty as a crashed trial: the GP steers away
+            // from the rejected region without destroying its numerics.
+            tuner.record(unit, -1e6);
+            continue;
+        }
         let trial_span = sintel_obs::span_with(
             "tune.trial",
             &[
@@ -231,8 +272,16 @@ pub fn tune_template_with_policy(
         default_score = default_score,
         best_score = best_score,
         changed_params = changed_params.len(),
+        rejected_trials = rejected_trials,
     );
-    Ok(TuneReport { default_score, best_score, best_lambda, history, changed_params })
+    Ok(TuneReport {
+        default_score,
+        best_score,
+        best_lambda,
+        history,
+        changed_params,
+        rejected_trials,
+    })
 }
 
 #[cfg(test)]
@@ -323,6 +372,43 @@ mod tests {
             tune_template(&template, &signal, &TuneSetting::Unsupervised, 3).unwrap();
         assert_eq!(report.history.len(), 4);
         assert!(report.history.iter().all(|s| *s == f64::NEG_INFINITY), "{report:?}");
+    }
+
+    #[test]
+    fn statically_doomed_trials_are_rejected_not_executed() {
+        // targets=false is a fixed override the tuner can never undo, and
+        // lstm_regressor requires targets (SA005): every candidate λ —
+        // including the default — is rejected by the pre-screen without a
+        // single pipeline execution.
+        let template = Template {
+            name: "doomed".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                StepSpec::plain("MinMaxScaler"),
+                StepSpec::with(
+                    "rolling_window_sequences",
+                    &[("targets", HyperValue::Flag(false))],
+                ),
+                StepSpec::plain("lstm_regressor"),
+                StepSpec::plain("regression_errors"),
+                StepSpec::plain("find_anomalies"),
+            ],
+        };
+        let (signal, _) = spiky_signal();
+        let report =
+            tune_template(&template, &signal, &TuneSetting::Unsupervised, 3).unwrap();
+        assert_eq!(report.rejected_trials, 4, "default + 3 proposals");
+        assert_eq!(report.history.len(), 4);
+        assert!(report.history.iter().all(|s| *s == f64::NEG_INFINITY), "{report:?}");
+    }
+
+    #[test]
+    fn valid_searches_report_zero_rejections() {
+        let (signal, _) = spiky_signal();
+        let report =
+            tune_template(&arima_template(), &signal, &TuneSetting::Unsupervised, 3).unwrap();
+        assert_eq!(report.rejected_trials, 0);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! The static analyzer is pure: gating pipeline construction on
+//! `Template::analyze` must not perturb detection results by a single
+//! bit. The hub path (analyze-then-build) and the raw
+//! `Template::build_default` path must produce identical anomalies.
+
+use sintel_datasets::demo::load_signal;
+use sintel_pipeline::hub;
+
+#[test]
+fn analyzer_gated_build_is_bitwise_identical_to_raw_build() {
+    let labeled = load_signal("S-1").expect("demo signal");
+    let signal = &labeled.signal;
+
+    for name in ["arima", "azure_anomaly_detection"] {
+        // Hub path: analyze (Error-gated) then build.
+        let mut gated = hub::build_pipeline(name).unwrap();
+        let gated_anomalies = gated.fit_detect(signal, signal).unwrap();
+
+        // Raw path: build the same template without running the analyzer
+        // gate.
+        let mut raw = hub::template_by_name(name).unwrap().build_default().unwrap();
+        let raw_anomalies = raw.fit_detect(signal, signal).unwrap();
+
+        assert_eq!(gated_anomalies.len(), raw_anomalies.len(), "{name}");
+        for (a, b) in gated_anomalies.iter().zip(&raw_anomalies) {
+            assert_eq!(a.interval.start, b.interval.start, "{name}");
+            assert_eq!(a.interval.end, b.interval.end, "{name}");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{name}: score drifted ({} vs {})",
+                a.score,
+                b.score
+            );
+        }
+    }
+}

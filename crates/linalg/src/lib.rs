@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Dense kernels index by construction-checked dimensions; every routine
+// that does so carries a function-level allow with its invariant spelled
+// out. New indexing must either use checked access or justify an allow.
+#![deny(clippy::indexing_slicing)]
 
 //! # sintel-linalg
 //!

@@ -32,6 +32,8 @@ impl Matrix {
     }
 
     /// Build from a slice of rows. All rows must share one length.
+    // The `rows[0]` access is guarded by the `is_empty` early return.
+    #[allow(clippy::indexing_slicing)]
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         if rows.is_empty() {
             return Self::zeros(0, 0);
@@ -56,11 +58,16 @@ impl Matrix {
     }
 
     /// Borrow a row as a slice.
+    // `data.len() == rows * cols` by construction; `i < rows` is the
+    // caller's contract, matching slice semantics (panic on violation).
+    #[allow(clippy::indexing_slicing)]
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutably borrow a row.
+    // Same invariant as `row`.
+    #[allow(clippy::indexing_slicing)]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
@@ -168,6 +175,10 @@ impl Matrix {
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
+    // The debug_assert documents the invariant; the release-mode flat
+    // index is in range whenever (i, j) is, because
+    // `data.len() == rows * cols`.
+    #[allow(clippy::indexing_slicing)]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
         debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
         &self.data[i * self.cols + j]
@@ -176,6 +187,8 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
+    // Same invariant as `Index`.
+    #[allow(clippy::indexing_slicing)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
         debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
         &mut self.data[i * self.cols + j]

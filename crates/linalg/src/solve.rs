@@ -7,6 +7,8 @@ impl Matrix {
     /// Solve `self * x = b` for a square system using Gaussian elimination
     /// with partial pivoting. Used for ARIMA least squares (via the normal
     /// equations) and anywhere a general solve is needed.
+    // Elimination indexes `x` (length n, checked above) with row/col < n.
+    #[allow(clippy::indexing_slicing)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.rows();
         if self.cols() != n {
@@ -116,6 +118,9 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix> {
 }
 
 /// Forward substitution: solve `L y = b` for lower-triangular `L`.
+// `b` and `y` both have length n (checked/allocated above the loops);
+// every index is < n.
+#[allow(clippy::indexing_slicing)]
 pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = l.rows();
     if b.len() != n {
@@ -139,6 +144,8 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 }
 
 /// Back substitution: solve `U x = b` for upper-triangular `U`.
+// Same invariant as `solve_lower`.
+#[allow(clippy::indexing_slicing)]
 pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let n = u.rows();
     if b.len() != n {

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Scores feed ranking and regression tests; accidental `==` on computed
+// floats is almost always a bug here. Exact-zero guards on values that
+// are *assigned* zero (never computed) carry documented allows.
+#![deny(clippy::float_cmp)]
 
 //! # sintel-metrics
 //!

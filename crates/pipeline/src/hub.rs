@@ -8,6 +8,8 @@ use sintel_primitives::HyperValue;
 use crate::template::{StepSpec, Template};
 use crate::{Pipeline, PipelineError, Result};
 
+const TARGET: &str = "sintel::pipeline::hub";
+
 /// Pipeline names available in the hub, in the paper's Table 3 order.
 pub const PIPELINE_NAMES: &[&str] = &[
     "lstm_dynamic_threshold",
@@ -124,8 +126,32 @@ pub fn template_by_name(name: &str) -> Result<Template> {
 }
 
 /// Build a hub pipeline by name with default hyperparameters.
+///
+/// Gate: the template is first checked against the primitives' static
+/// contracts (`sintel-analyze`). Warn-level diagnostics are logged via
+/// `sintel-obs`; the first Error-level diagnostic refuses the build with
+/// a structured [`PipelineError::BadTemplate`].
 pub fn build_pipeline(name: &str) -> Result<Pipeline> {
-    template_by_name(name)?.build_default()
+    let template = template_by_name(name)?;
+    let report = template.analyze();
+    for warn in report.warnings() {
+        sintel_obs::warn!(
+            TARGET,
+            format!("template diagnostic: {}", warn.message),
+            pipeline = name,
+            code = warn.code.as_str(),
+            step = warn.step,
+            primitive = warn.primitive.as_str(),
+        );
+    }
+    if let Some(err) = report.errors().next() {
+        return Err(PipelineError::BadTemplate {
+            code: err.code.as_str().to_string(),
+            step: err.primitive.clone(),
+            message: format!("step {} ({}): {}", err.step, err.primitive, err.message),
+        });
+    }
+    template.build_default()
 }
 
 /// Names of the pipelines in the hub.

@@ -44,8 +44,17 @@ pub enum PipelineError {
     },
     /// The pipeline was used before `fit`.
     NotFitted(String),
-    /// Structural problem in a template (unknown primitive, bad override).
-    BadTemplate(String),
+    /// Structural problem in a template, refused before execution. Carries
+    /// the static-analysis diagnostic that rejected it (`sintel-analyze`
+    /// code such as `SA001`) and the offending step's primitive name.
+    BadTemplate {
+        /// Diagnostic code (`SA000`…`SA005`).
+        code: String,
+        /// Primitive name of the offending step.
+        step: String,
+        /// Full human-readable message.
+        message: String,
+    },
     /// A primitive panicked; the executor contained the unwind.
     PrimitivePanic {
         /// Name of the panicking primitive.
@@ -68,7 +77,9 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "primitive '{step}' failed: {source}")
             }
             PipelineError::NotFitted(n) => write!(f, "pipeline '{n}' is not fitted"),
-            PipelineError::BadTemplate(m) => write!(f, "bad template: {m}"),
+            // Display stays `bad template: {message}` — the structured
+            // fields add detail without breaking message-matching callers.
+            PipelineError::BadTemplate { message, .. } => write!(f, "bad template: {message}"),
             PipelineError::PrimitivePanic { step, message } => {
                 write!(f, "primitive '{step}' panicked: {message}")
             }

@@ -85,8 +85,13 @@ impl Template {
     pub fn hyperparameter_space(&self) -> Result<Vec<(ParamId, HyperSpec)>> {
         let mut space = Vec::new();
         for (idx, step) in self.steps.iter().enumerate() {
-            let prim = build_primitive(&step.primitive)
-                .map_err(|e| PipelineError::BadTemplate(e.to_string()))?;
+            let prim = build_primitive(&step.primitive).map_err(|e| {
+                PipelineError::BadTemplate {
+                    code: "SA000".to_string(),
+                    step: step.primitive.clone(),
+                    message: e.to_string(),
+                }
+            })?;
             for spec in &prim.meta().hyperparams {
                 let overridden = step.overrides.iter().any(|(n, _)| n == &spec.name);
                 if spec.tunable && !overridden {
@@ -105,8 +110,13 @@ impl Template {
     pub fn build(&self, lambda: &[(ParamId, HyperValue)]) -> Result<Pipeline> {
         let mut steps = Vec::with_capacity(self.steps.len());
         for (idx, spec) in self.steps.iter().enumerate() {
-            let mut prim = build_primitive(&spec.primitive)
-                .map_err(|e| PipelineError::BadTemplate(e.to_string()))?;
+            let mut prim = build_primitive(&spec.primitive).map_err(|e| {
+                PipelineError::BadTemplate {
+                    code: "SA000".to_string(),
+                    step: spec.primitive.clone(),
+                    message: e.to_string(),
+                }
+            })?;
             for (name, value) in &spec.overrides {
                 prim.set_hyperparam(name, value.clone()).map_err(|e| PipelineError::Step {
                     step: spec.primitive.clone(),
@@ -131,6 +141,40 @@ impl Template {
     /// Build with defaults only.
     pub fn build_default(&self) -> Result<Pipeline> {
         self.build(&[])
+    }
+
+    /// Statically analyse the template (fixed overrides only) against the
+    /// primitives' declared contracts. Pure — builds no runtime state.
+    pub fn analyze(&self) -> sintel_analyze::Report {
+        self.analyze_with(&[])
+    }
+
+    /// Statically analyse the template with the extra configuration λ
+    /// merged over the fixed overrides (λ wins on conflicts) — exactly
+    /// the assignment order [`Template::build`] applies at runtime.
+    pub fn analyze_with(&self, lambda: &[(ParamId, HyperValue)]) -> sintel_analyze::Report {
+        let steps: Vec<sintel_analyze::StepConfig> = self
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(idx, spec)| {
+                let mut hypers: Vec<(String, HyperValue)> = spec
+                    .overrides
+                    .iter()
+                    .filter(|(name, _)| {
+                        !lambda.iter().any(|(pid, _)| pid.step == idx && &pid.name == name)
+                    })
+                    .cloned()
+                    .collect();
+                for (pid, value) in lambda {
+                    if pid.step == idx {
+                        hypers.push((pid.name.clone(), value.clone()));
+                    }
+                }
+                sintel_analyze::StepConfig::with(&spec.primitive, hypers)
+            })
+            .collect();
+        sintel_analyze::analyze_pipeline(&self.name, &steps)
     }
 }
 
@@ -180,8 +224,30 @@ mod tests {
     #[test]
     fn unknown_primitive_in_template() {
         let t = Template::from_names("broken", &["nonexistent_primitive"]);
-        assert!(matches!(t.build_default(), Err(PipelineError::BadTemplate(_))));
+        match t.build_default() {
+            Err(PipelineError::BadTemplate { code, step, message }) => {
+                assert_eq!(code, "SA000");
+                assert_eq!(step, "nonexistent_primitive");
+                assert!(message.contains("unknown primitive"));
+            }
+            other => panic!("expected BadTemplate, got {other:?}"),
+        }
         assert!(t.hyperparameter_space().is_err());
+    }
+
+    #[test]
+    fn analyze_with_merges_lambda_over_overrides() {
+        let t = demo_template();
+        // The override (window_size = 8) is valid -> clean.
+        assert!(!t.analyze().has_errors());
+        // λ replaces the override with an out-of-domain value -> SA003.
+        let lambda = vec![(
+            ParamId { step: 2, name: "window_size".into() },
+            HyperValue::Int(100_000),
+        )];
+        let report = t.analyze_with(&lambda);
+        assert!(report.has_errors());
+        assert!(report.errors().any(|d| d.code == sintel_analyze::Code::HyperOutOfDomain));
     }
 
     #[test]

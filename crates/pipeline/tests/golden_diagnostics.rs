@@ -1,0 +1,173 @@
+//! Golden diagnostics: one broken-template fixture per SA code asserting
+//! the exact code/step/message the analyzer emits, plus the guarantee
+//! that every hub and extension pipeline analyzes clean.
+
+use sintel_pipeline::hub;
+use sintel_pipeline::{StepSpec, Template};
+use sintel_primitives::HyperValue;
+
+fn template(name: &str, steps: Vec<StepSpec>) -> Template {
+    Template { name: name.to_string(), steps }
+}
+
+fn preprocessing() -> Vec<StepSpec> {
+    vec![
+        StepSpec::plain("time_segments_aggregate"),
+        StepSpec::plain("SimpleImputer"),
+        StepSpec::plain("MinMaxScaler"),
+    ]
+}
+
+#[test]
+fn every_hub_and_extension_pipeline_analyzes_clean() {
+    for name in hub::available_pipelines().iter().chain(hub::EXTENSION_PIPELINES) {
+        let report = hub::template_by_name(name).unwrap().analyze();
+        assert!(report.is_clean(), "{name} is not clean:\n{}", report.render());
+        assert_eq!(report.summary(), "clean");
+    }
+}
+
+#[test]
+fn golden_sa000_unknown_primitive() {
+    let t = template(
+        "fixture_sa000",
+        vec![StepSpec::plain("time_segments_aggregate"), StepSpec::plain("flux_capacitor")],
+    );
+    let report = t.analyze();
+    assert_eq!(report.diagnostics.len(), 1, "SA000 aborts the walk");
+    let d = &report.diagnostics[0];
+    assert_eq!(d.code.as_str(), "SA000");
+    assert_eq!(d.severity.label(), "error");
+    assert_eq!(d.step, 1);
+    assert_eq!(d.primitive, "flux_capacitor");
+    assert_eq!(d.message, "unknown primitive 'flux_capacitor'");
+}
+
+#[test]
+fn golden_sa001_dangling_read() {
+    // No rolling_window_sequences: the regressor's `windows` input has no
+    // producer.
+    let mut steps = preprocessing();
+    steps.extend([
+        StepSpec::plain("lstm_regressor"),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ]);
+    let report = template("fixture_sa001", steps).analyze();
+    assert!(report.has_errors());
+    let d = report
+        .errors()
+        .find(|d| d.step == 3)
+        .expect("dangling read at the regressor step");
+    assert_eq!(d.code.as_str(), "SA001");
+    assert_eq!(d.primitive, "lstm_regressor");
+    assert_eq!(
+        d.message,
+        "required input 'windows' (windows) is never produced by an upstream step"
+    );
+}
+
+#[test]
+fn golden_sa002_shadowed_output() {
+    // holt_winters overwrites arima's never-read predictions.
+    let mut steps = preprocessing();
+    steps.extend([
+        StepSpec::plain("arima"),
+        StepSpec::plain("holt_winters"),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ]);
+    let report = template("fixture_sa002", steps).analyze();
+    assert!(!report.has_errors(), "shadowing is a warning, not an error");
+    let d = report
+        .warnings()
+        .find(|d| d.message.contains("'predictions'"))
+        .expect("shadowed predictions warning");
+    assert_eq!(d.code.as_str(), "SA002");
+    assert_eq!(d.severity.label(), "warning");
+    assert_eq!(d.step, 4);
+    assert_eq!(d.primitive, "holt_winters");
+    assert_eq!(
+        d.message,
+        "output 'predictions' of step 3 (arima) is overwritten before being read"
+    );
+}
+
+#[test]
+fn golden_sa003_hyper_out_of_domain() {
+    let mut steps = preprocessing();
+    steps.extend([
+        StepSpec::with("arima", &[("p", HyperValue::Int(999))]),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ]);
+    let report = template("fixture_sa003", steps).analyze();
+    let errors: Vec<_> = report.errors().collect();
+    assert_eq!(errors.len(), 1);
+    let d = errors[0];
+    assert_eq!(d.code.as_str(), "SA003");
+    assert_eq!(d.step, 3);
+    assert_eq!(d.primitive, "arima");
+    assert!(d.message.contains("out of range"), "{}", d.message);
+    assert!(d.hint.contains("declared domain"), "{}", d.hint);
+}
+
+#[test]
+fn golden_sa004_phase_ordering() {
+    let steps = vec![
+        StepSpec::plain("time_segments_aggregate"),
+        StepSpec::plain("arima"),
+        StepSpec::plain("MinMaxScaler"),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ];
+    let report = template("fixture_sa004", steps).analyze();
+    let errors: Vec<_> = report.errors().collect();
+    assert_eq!(errors.len(), 1);
+    let d = errors[0];
+    assert_eq!(d.code.as_str(), "SA004");
+    assert_eq!(d.step, 2);
+    assert_eq!(d.primitive, "MinMaxScaler");
+    assert_eq!(d.message, "preprocessing step after a modeling step violates engine ordering");
+}
+
+#[test]
+fn golden_sa005_window_inconsistency() {
+    let mut steps = preprocessing();
+    steps.extend([
+        StepSpec::with("rolling_window_sequences", &[("targets", HyperValue::Flag(false))]),
+        StepSpec::plain("lstm_regressor"),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ]);
+    let report = template("fixture_sa005", steps).analyze();
+    let errors: Vec<_> = report.errors().collect();
+    assert_eq!(errors.len(), 1);
+    let d = errors[0];
+    assert_eq!(d.code.as_str(), "SA005");
+    assert_eq!(d.step, 3);
+    assert_eq!(d.primitive, "rolling_window_sequences");
+    assert_eq!(
+        d.message,
+        "rolling_window_sequences has targets=false but step 4 (lstm_regressor) \
+         requires 'targets'"
+    );
+}
+
+#[test]
+fn hub_build_refuses_broken_extension_template() {
+    // A template with an error diagnostic must not build through the hub
+    // path; Template::build_default stays available for callers that
+    // explicitly opt out of analysis.
+    let mut steps = preprocessing();
+    steps.extend([
+        StepSpec::plain("lstm_regressor"),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ]);
+    let t = template("fixture_sa001", steps);
+    assert!(t.analyze().has_errors());
+    // The raw builder still works: analysis is static wiring-checking,
+    // not a runtime gate at this layer.
+    assert!(t.build_default().is_ok());
+}

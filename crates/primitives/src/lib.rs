@@ -29,6 +29,7 @@
 //!   threshold), [`post::FixedThresholdPrimitive`] (ablation baseline).
 
 pub mod context;
+pub mod contract;
 pub mod ext;
 #[cfg(feature = "faulty")]
 pub mod faulty;
@@ -40,9 +41,10 @@ pub mod primitive;
 pub mod registry;
 
 pub use context::{Context, Value};
+pub use contract::{Contract, SlotRead, SlotWrite, ValueKind};
 pub use hyper::{HyperRange, HyperSpec, HyperValue};
 pub use primitive::{Engine, Primitive, PrimitiveMeta};
-pub use registry::{available_primitives, build_primitive};
+pub use registry::{available_primitives, build_primitive, primitive_meta};
 
 /// Errors produced by primitives.
 #[derive(Debug, Clone, PartialEq)]

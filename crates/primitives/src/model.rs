@@ -98,7 +98,10 @@ impl LstmRegressorPrimitive {
                 &["windows", "targets"],
                 &["predictions"],
                 train_specs(8),
-            ),
+            )
+            // targets are only consumed while training; produce runs on
+            // windows alone.
+            .fit_only_read("targets"),
             hypers: TrainHypers::new(8),
             model: None,
         }

@@ -138,7 +138,10 @@ impl ReconstructionErrors {
                     HyperSpec::float("alpha", 0.0, 1.0, 0.7),
                     HyperSpec::int("smoothing_window", 1, 200, 10),
                 ],
-            ),
+            )
+            // critic scores are blended in when a TadGAN-style model left
+            // them in the context; plain autoencoders don't provide them.
+            .optional_read("critic_scores"),
             alpha: 0.7,
             smoothing_window: 10,
         }
@@ -320,7 +323,8 @@ impl Primitive for FindAnomalies {
         let mut params = self.params;
         params.window_size = ((errors.len() as f64 * self.window_fraction).ceil() as usize)
             .clamp(1, errors.len().max(1));
-        let spans = dynamic_threshold(errors, &params);
+        let spans = dynamic_threshold(errors, &params)
+            .map_err(|e| PrimitiveError::Algorithm(e.to_string()))?;
         let anomalies: Vec<ScoredInterval> = spans
             .iter()
             .map(|s| {
@@ -389,7 +393,8 @@ impl Primitive for FixedThresholdPrimitive {
         if errors.len() != ts.len() {
             return Err(PrimitiveError::Algorithm("misaligned errors/timestamps".into()));
         }
-        let spans = fixed_threshold(errors, self.k);
+        let spans = fixed_threshold(errors, self.k)
+            .map_err(|e| PrimitiveError::Algorithm(e.to_string()))?;
         let anomalies: Vec<ScoredInterval> = spans
             .iter()
             .map(|s| {

@@ -345,7 +345,12 @@ impl RollingWindowSequences {
                         tunable: false,
                     },
                 ],
-            ),
+            )
+            // `windows` is the main product; the other three slots are
+            // alignment bookkeeping that only some downstream chains read.
+            .auxiliary_write("targets")
+            .auxiliary_write("index_timestamps")
+            .auxiliary_write("first_index"),
             window_size: 50,
             step: 1,
             targets: true,

@@ -1,6 +1,7 @@
 //! The [`Primitive`] trait and its metadata.
 
 use crate::context::{Context, Value};
+use crate::contract::Contract;
 use crate::hyper::{HyperSpec, HyperValue};
 use crate::{PrimitiveError, Result};
 
@@ -44,6 +45,10 @@ pub struct PrimitiveMeta {
     pub outputs: Vec<String>,
     /// Declared hyperparameters.
     pub hyperparams: Vec<HyperSpec>,
+    /// Static dataflow contract (per-phase reads/writes) consumed by
+    /// `sintel-analyze`. Derived from `inputs`/`outputs`, refined via the
+    /// builder methods where dataflow is conditional.
+    pub contract: Contract,
 }
 
 impl PrimitiveMeta {
@@ -56,14 +61,36 @@ impl PrimitiveMeta {
         outputs: &[&str],
         hyperparams: Vec<HyperSpec>,
     ) -> Self {
+        let inputs: Vec<String> = inputs.iter().map(|s| s.to_string()).collect();
+        let outputs: Vec<String> = outputs.iter().map(|s| s.to_string()).collect();
+        let contract = Contract::from_io(&inputs, &outputs);
         Self {
             name: name.to_string(),
             engine,
             description: description.to_string(),
-            inputs: inputs.iter().map(|s| s.to_string()).collect(),
-            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            inputs,
+            outputs,
             hyperparams,
+            contract,
         }
+    }
+
+    /// Contract refinement: `slot` is read opportunistically, not required.
+    pub fn optional_read(mut self, slot: &str) -> Self {
+        self.contract = self.contract.optional_read(slot);
+        self
+    }
+
+    /// Contract refinement: `slot` is consumed during `fit` only.
+    pub fn fit_only_read(mut self, slot: &str) -> Self {
+        self.contract = self.contract.fit_only_read(slot);
+        self
+    }
+
+    /// Contract refinement: `slot` is an auxiliary (non-primary) output.
+    pub fn auxiliary_write(mut self, slot: &str) -> Self {
+        self.contract = self.contract.auxiliary_write(slot);
+        self
     }
 
     /// Look up a hyperparameter spec by name.

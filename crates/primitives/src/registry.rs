@@ -93,6 +93,13 @@ pub fn available_primitives() -> &'static [&'static str] {
     PRIMITIVE_NAMES
 }
 
+/// Resolve a primitive name to its metadata (contract, hyperparameter
+/// domains…) without keeping the instance. This is what `sintel-analyze`
+/// uses to check templates statically.
+pub fn primitive_meta(name: &str) -> Result<crate::primitive::PrimitiveMeta> {
+    Ok(build_primitive(name)?.meta().clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

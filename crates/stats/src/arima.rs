@@ -55,11 +55,16 @@ impl Arima {
 
         // Stage 1: long AR to estimate innovations.
         let long_coef = fit_ar(&y, long_order)?;
+        let Some((long_intercept, long_lags)) = long_coef.split_first() else {
+            return Err(StatsError::Numerical("empty long-AR coefficient vector".into()));
+        };
         let mut resid = vec![0.0; y.len()];
         for t in long_order..y.len() {
-            let mut pred = long_coef[0];
-            for (k, c) in long_coef[1..].iter().enumerate() {
-                pred += c * y[t - 1 - k];
+            let mut pred = *long_intercept;
+            // Lags newest-first: y[t-1], y[t-2], … — same summation order
+            // as explicit `y[t - 1 - k]` indexing, without the indexing.
+            for (c, &lag) in long_lags.iter().zip(y[..t].iter().rev()) {
+                pred += c * lag;
             }
             resid[t] = y[t] - pred;
         }
@@ -75,12 +80,9 @@ impl Arima {
         for t in start..y.len() {
             let mut row = Vec::with_capacity(1 + p + q);
             row.push(1.0);
-            for k in 1..=p {
-                row.push(y[t - k]);
-            }
-            for k in 1..=q {
-                row.push(resid[t - k]);
-            }
+            // Lag columns newest-first, matching the prediction loops.
+            row.extend(y[t - p..t].iter().rev());
+            row.extend(resid[t - q..t].iter().rev());
             design.push(row);
             target.push(y[t]);
         }
@@ -88,6 +90,13 @@ impl Arima {
         let beta = design
             .least_squares(&target, 1e-6)
             .map_err(|e| StatsError::Numerical(e.to_string()))?;
+        if beta.len() != 1 + p + q {
+            return Err(StatsError::Numerical(format!(
+                "least squares returned {} coefficients, expected {}",
+                beta.len(),
+                1 + p + q
+            )));
+        }
 
         Ok(Self {
             p,
@@ -121,21 +130,39 @@ impl Arima {
         let mut preds = Vec::with_capacity(values.len() - offset);
         for t in warm..y.len() {
             let mut yhat = self.intercept;
-            for (k, c) in self.phi.iter().enumerate() {
-                yhat += c * y[t - 1 - k];
+            for (c, &lag) in self.phi.iter().zip(y[..t].iter().rev()) {
+                yhat += c * lag;
             }
-            for (k, c) in self.theta.iter().enumerate() {
-                yhat += c * resid[t - 1 - k];
+            for (c, &lag) in self.theta.iter().zip(resid[..t].iter().rev()) {
+                yhat += c * lag;
             }
             resid[t] = y[t] - yhat;
             // Integrate back: with d=0 the forecast is yhat; with d=1 it
             // is previous original value + yhat; with d=2, accumulate.
             let pred_original = match self.d {
                 0 => yhat,
-                1 => values[t] + yhat, // y index t aligns with original t+1 target
+                // y index t aligns with original t+1 target
+                1 => match values.get(t) {
+                    Some(&x) => x + yhat,
+                    None => {
+                        return Err(StatsError::Numerical(format!(
+                            "integration index {t} out of range ({} values)",
+                            values.len()
+                        )))
+                    }
+                },
                 _ => {
                     // d == 2: y_t = x_{t+2} - 2 x_{t+1} + x_t
-                    2.0 * values[t + 1] - values[t] + yhat
+                    match (values.get(t), values.get(t + 1)) {
+                        (Some(&x0), Some(&x1)) => 2.0 * x1 - x0 + yhat,
+                        _ => {
+                            return Err(StatsError::Numerical(format!(
+                                "integration index {} out of range ({} values)",
+                                t + 1,
+                                values.len()
+                            )))
+                        }
+                    }
                 }
             };
             preds.push(pred_original);
@@ -188,29 +215,32 @@ impl Arima {
         let mut resid = vec![0.0; y.len()];
         for t in warm..y.len() {
             let mut yhat = self.intercept;
-            for (k, c) in self.phi.iter().enumerate() {
-                yhat += c * y[t - 1 - k];
+            for (c, &lag) in self.phi.iter().zip(y[..t].iter().rev()) {
+                yhat += c * lag;
             }
-            for (k, c) in self.theta.iter().enumerate() {
-                yhat += c * resid[t - 1 - k];
+            for (c, &lag) in self.theta.iter().zip(resid[..t].iter().rev()) {
+                yhat += c * lag;
             }
             resid[t] = y[t] - yhat;
         }
         let mut out = Vec::with_capacity(horizon);
         for _ in 0..horizon {
-            let t = y.len();
             let mut yhat = self.intercept;
-            for (k, c) in self.phi.iter().enumerate() {
-                yhat += c * y[t - 1 - k];
+            for (c, &lag) in self.phi.iter().zip(y.iter().rev()) {
+                yhat += c * lag;
             }
-            for (k, c) in self.theta.iter().enumerate() {
-                yhat += c * resid[t - 1 - k];
+            for (c, &lag) in self.theta.iter().zip(resid.iter().rev()) {
+                yhat += c * lag;
             }
-            // Integrate back to the original scale.
-            let next = match self.d {
-                0 => yhat,
-                1 => x[x.len() - 1] + yhat,
-                _ => 2.0 * x[x.len() - 1] - x[x.len() - 2] + yhat,
+            // Integrate back to the original scale; the history-length
+            // guard above means the tail patterns always match.
+            let next = match (self.d, x.as_slice()) {
+                (0, _) => yhat,
+                (1, [.., last]) => last + yhat,
+                (_, [.., prev, last]) => 2.0 * last - prev + yhat,
+                _ => {
+                    return Err(StatsError::InsufficientData { needed: 2, got: x.len() })
+                }
             };
             y.push(yhat);
             resid.push(0.0); // future innovations expected zero

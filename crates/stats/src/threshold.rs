@@ -14,6 +14,8 @@
 //! A fixed `k·σ` rule ([`fixed_threshold`]) is included as the ablation
 //! baseline (DESIGN.md §4).
 
+use crate::{Result, StatsError};
+
 /// A detected anomalous index range with a severity score.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnomalySpan {
@@ -59,25 +61,64 @@ impl Default for ThresholdParams {
     }
 }
 
+/// Reject parameter combinations that would make the sweep meaningless
+/// or non-terminating (a non-positive `z_step` loops forever).
+fn validate_params(params: &ThresholdParams) -> Result<()> {
+    if !(params.smoothing_alpha > 0.0 && params.smoothing_alpha <= 1.0) {
+        return Err(StatsError::InvalidParameter(format!(
+            "smoothing_alpha={} not in (0, 1]",
+            params.smoothing_alpha
+        )));
+    }
+    if !params.z_step.is_finite() || params.z_step <= 0.0 {
+        return Err(StatsError::InvalidParameter(format!(
+            "z_step={} must be positive and finite (the z sweep would never terminate)",
+            params.z_step
+        )));
+    }
+    if !params.z_min.is_finite() || !params.z_max.is_finite() || params.z_min > params.z_max {
+        return Err(StatsError::InvalidParameter(format!(
+            "z range [{}, {}] is not a finite ascending interval",
+            params.z_min, params.z_max
+        )));
+    }
+    if !params.min_percent_drop.is_finite() || params.min_percent_drop < 0.0 {
+        return Err(StatsError::InvalidParameter(format!(
+            "min_percent_drop={} must be finite and >= 0",
+            params.min_percent_drop
+        )));
+    }
+    Ok(())
+}
+
 /// Detect anomalous spans in an error series with a *fixed* `µ + k·σ`
 /// threshold — the simple baseline the dynamic method is compared
 /// against in the ablation bench.
-pub fn fixed_threshold(errors: &[f64], k: f64) -> Vec<AnomalySpan> {
+pub fn fixed_threshold(errors: &[f64], k: f64) -> Result<Vec<AnomalySpan>> {
+    if !k.is_finite() || k < 0.0 {
+        return Err(StatsError::InvalidParameter(format!(
+            "k={k} must be a finite non-negative sigma multiplier"
+        )));
+    }
     if errors.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mu = sintel_common::mean(errors);
     let sigma = sintel_common::stddev(errors);
     let eps = mu + k * sigma;
-    group_spans(errors, eps, mu, sigma)
+    Ok(group_spans(errors, eps, mu, sigma))
 }
 
 /// Detect anomalous spans with the dynamic threshold described above.
-pub fn dynamic_threshold(errors: &[f64], params: &ThresholdParams) -> Vec<AnomalySpan> {
+pub fn dynamic_threshold(
+    errors: &[f64],
+    params: &ThresholdParams,
+) -> Result<Vec<AnomalySpan>> {
+    validate_params(params)?;
     if errors.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let smoothed = sintel_common::ewma(errors, params.smoothing_alpha.clamp(1e-6, 1.0));
+    let smoothed = sintel_common::ewma(errors, params.smoothing_alpha);
     let win = if params.window_size == 0 { smoothed.len() } else { params.window_size };
 
     let mut spans = Vec::new();
@@ -94,7 +135,7 @@ pub fn dynamic_threshold(errors: &[f64], params: &ThresholdParams) -> Vec<Anomal
     }
     // Merge spans that touch across window borders.
     merge_adjacent(&mut spans);
-    spans
+    Ok(spans)
 }
 
 fn window_spans(errors: &[f64], params: &ThresholdParams) -> Vec<AnomalySpan> {
@@ -191,7 +232,14 @@ fn prune(
         .iter()
         .enumerate()
         .map(|(k, s)| {
-            let m = errors[s.start..=s.end].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            // Spans are derived from `errors` by group_spans, so the range
+            // is always valid; the checked access keeps a malformed span
+            // from panicking instead of scoring as "nothing to prune".
+            let m = errors
+                .get(s.start..=s.end)
+                .map_or(f64::NEG_INFINITY, |w| {
+                    w.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                });
             (k, m)
         })
         .collect();
@@ -246,8 +294,8 @@ mod tests {
 
     #[test]
     fn flat_errors_produce_nothing() {
-        assert!(dynamic_threshold(&[0.5; 100], &ThresholdParams::default()).is_empty());
-        assert!(dynamic_threshold(&[], &ThresholdParams::default()).is_empty());
+        assert!(dynamic_threshold(&[0.5; 100], &ThresholdParams::default()).unwrap().is_empty());
+        assert!(dynamic_threshold(&[], &ThresholdParams::default()).unwrap().is_empty());
     }
 
     #[test]
@@ -256,7 +304,7 @@ mod tests {
         for e in &mut errors[200..215] {
             *e += 5.0;
         }
-        let spans = dynamic_threshold(&errors, &ThresholdParams::default());
+        let spans = dynamic_threshold(&errors, &ThresholdParams::default()).unwrap();
         assert_eq!(spans.len(), 1, "{spans:?}");
         let s = spans[0];
         assert!(s.start >= 195 && s.start <= 205, "start {}", s.start);
@@ -277,7 +325,7 @@ mod tests {
         // window picks its own ε, so bursts of different magnitude are
         // both found.
         let params = ThresholdParams { window_size: 400, ..Default::default() };
-        let spans = dynamic_threshold(&errors, &params);
+        let spans = dynamic_threshold(&errors, &params).unwrap();
         assert!(spans.len() >= 2, "{spans:?}");
         assert!(spans[0].start < 150 && spans.last().unwrap().start > 550);
     }
@@ -293,13 +341,13 @@ mod tests {
             *e += 0.45;
         }
         let strict = ThresholdParams { min_percent_drop: 0.35, ..Default::default() };
-        let spans = dynamic_threshold(&errors, &strict);
+        let spans = dynamic_threshold(&errors, &strict).unwrap();
         // The dominant burst survives; the bump is pruned (or never
         // crossed the threshold).
         assert!(spans.iter().any(|s| s.start < 150));
         assert!(spans.iter().all(|s| s.start < 150 || s.score > 0.0));
         let lenient = ThresholdParams { min_percent_drop: 0.0, ..Default::default() };
-        let spans_all = dynamic_threshold(&errors, &lenient);
+        let spans_all = dynamic_threshold(&errors, &lenient).unwrap();
         assert!(spans_all.len() >= spans.len());
     }
 
@@ -307,15 +355,15 @@ mod tests {
     fn fixed_threshold_known_case() {
         let mut errors = vec![1.0; 100];
         errors[50] = 10.0;
-        let spans = fixed_threshold(&errors, 3.0);
+        let spans = fixed_threshold(&errors, 3.0).unwrap();
         assert_eq!(spans.len(), 1);
         assert_eq!((spans[0].start, spans[0].end), (50, 50));
     }
 
     #[test]
     fn fixed_threshold_empty_and_flat() {
-        assert!(fixed_threshold(&[], 3.0).is_empty());
-        assert!(fixed_threshold(&[2.0; 50], 3.0).is_empty());
+        assert!(fixed_threshold(&[], 3.0).unwrap().is_empty());
+        assert!(fixed_threshold(&[2.0; 50], 3.0).unwrap().is_empty());
     }
 
     #[test]
@@ -326,7 +374,7 @@ mod tests {
         }
         // Window border at 200 cuts the burst in half.
         let params = ThresholdParams { window_size: 200, ..Default::default() };
-        let spans = dynamic_threshold(&errors, &params);
+        let spans = dynamic_threshold(&errors, &params).unwrap();
         assert_eq!(spans.len(), 1, "{spans:?}");
         assert!(spans[0].start <= 197 && spans[0].end >= 202);
     }
@@ -345,10 +393,35 @@ mod tests {
             window_size: 300,
             ..Default::default()
         };
-        let spans = dynamic_threshold(&errors, &params);
+        let spans = dynamic_threshold(&errors, &params).unwrap();
         let big = spans.iter().find(|s| s.start < 150).expect("big burst found");
         let small = spans.iter().find(|s| s.start > 350).expect("small burst found");
         assert!(big.score > small.score);
+    }
+
+    #[test]
+    fn bad_parameters_are_typed_errors_not_hangs() {
+        let errors = noisy_errors(50, 7);
+        // A non-positive z_step used to spin the sweep loop forever.
+        let frozen = ThresholdParams { z_step: 0.0, ..Default::default() };
+        assert!(matches!(
+            dynamic_threshold(&errors, &frozen),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        let negative = ThresholdParams { z_step: -0.5, ..Default::default() };
+        assert!(dynamic_threshold(&errors, &negative).is_err());
+        let bad_alpha = ThresholdParams { smoothing_alpha: 0.0, ..Default::default() };
+        assert!(dynamic_threshold(&errors, &bad_alpha).is_err());
+        let inverted = ThresholdParams { z_min: 5.0, z_max: 2.0, ..Default::default() };
+        assert!(dynamic_threshold(&errors, &inverted).is_err());
+        let nan_drop =
+            ThresholdParams { min_percent_drop: f64::NAN, ..Default::default() };
+        assert!(dynamic_threshold(&errors, &nan_drop).is_err());
+        assert!(matches!(
+            fixed_threshold(&errors, f64::INFINITY),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(fixed_threshold(&errors, -1.0).is_err());
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub mod collections {
     pub const QUARANTINE: &str = "quarantine";
     /// Observability metrics snapshots, one per instrumented run.
     pub const METRICS_SNAPSHOTS: &str = "metrics_snapshots";
+    /// Static-analysis diagnostics recorded for benchmarked pipelines.
+    pub const DIAGNOSTICS: &str = "diagnostics";
 }
 
 impl SintelDb {
@@ -83,6 +85,7 @@ impl SintelDb {
         self.db.create_index(collections::RUN_FAILURES, "pipeline");
         self.db.create_index(collections::QUARANTINE, "pipeline");
         self.db.create_index(collections::METRICS_SNAPSHOTS, "run");
+        self.db.create_index(collections::DIAGNOSTICS, "pipeline");
     }
 
     /// Access the raw database (escape hatch).
@@ -210,6 +213,33 @@ impl SintelDb {
                 .with("message", message)
                 .with("strikes", strikes),
         )
+    }
+
+    /// Record a static-analysis diagnostic for a pipeline (`code` is a
+    /// stable `SAxxx` code, `severity` is `error`/`warning`, `step` is
+    /// the offending primitive's name).
+    pub fn add_diagnostic(
+        &self,
+        pipeline: &str,
+        code: &str,
+        severity: &str,
+        step: &str,
+        message: &str,
+    ) -> u64 {
+        self.db.insert(
+            collections::DIAGNOSTICS,
+            Doc::obj()
+                .with("pipeline", pipeline)
+                .with("code", code)
+                .with("severity", severity)
+                .with("step", step)
+                .with("message", message),
+        )
+    }
+
+    /// All diagnostics recorded for a pipeline.
+    pub fn diagnostics_for_pipeline(&self, pipeline: &str) -> Vec<Doc> {
+        self.db.find(collections::DIAGNOSTICS, &Filter::eq("pipeline", pipeline))
     }
 
     /// Total failed attempts recorded for a `pipeline × signal` pair.
@@ -350,6 +380,27 @@ mod tests {
         db.add_quarantine("arima", "S-1", "3 strikes");
         assert!(db.is_quarantined("arima", "S-1"));
         assert!(!db.is_quarantined("arima", "S-2"));
+    }
+
+    #[test]
+    fn diagnostics_round_trip() {
+        let db = SintelDb::in_memory();
+        assert!(db.diagnostics_for_pipeline("lstm_dynamic_threshold").is_empty());
+        db.add_diagnostic(
+            "lstm_dynamic_threshold",
+            "SA001",
+            "error",
+            "lstm_regressor",
+            "required input 'windows' (windows) is never produced by an upstream step",
+        );
+        db.add_diagnostic("arima", "SA002", "warning", "arima", "unused output");
+        let diags = db.diagnostics_for_pipeline("lstm_dynamic_threshold");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].get("code").unwrap().as_str(), Some("SA001"));
+        assert_eq!(diags[0].get("severity").unwrap().as_str(), Some("error"));
+        assert_eq!(diags[0].get("step").unwrap().as_str(), Some("lstm_regressor"));
+        assert_eq!(db.diagnostics_for_pipeline("arima").len(), 1);
+        assert!(db.diagnostics_for_pipeline("tadgan").is_empty());
     }
 
     #[test]

@@ -25,4 +25,19 @@ cargo clippy -p sintel-pipeline -p sintel -- -D clippy::unwrap_used
 echo "==> cargo clippy (deny print_stdout/print_stderr in library crates)"
 cargo clippy --workspace --lib -- -D clippy::print_stdout -D clippy::print_stderr
 
+# Crate-scoped lint extensions (the deny attributes live in each crate's
+# lib.rs, with documented inline allows at the justified sites):
+#  - sintel-linalg denies clippy::indexing_slicing — dense kernels must
+#    justify every direct index against a construction invariant;
+#  - sintel-metrics denies clippy::float_cmp — computed scores must never
+#    be compared with `==`.
+echo "==> cargo clippy (crate-scoped denies: linalg indexing, metrics float_cmp)"
+cargo clippy -q -p sintel-linalg --lib
+cargo clippy -q -p sintel-metrics --lib
+
+# Static analysis gate: every hub and extension pipeline must produce
+# zero error diagnostics (SA000-SA005) under `sintel-cli analyze`.
+echo "==> sintel-cli analyze --all"
+cargo run --release -q -p sintel --bin sintel-cli -- analyze --all
+
 echo "verify: OK"
