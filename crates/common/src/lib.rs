@@ -4,15 +4,22 @@
 //!
 //! Shared low-level utilities for the Sintel reproduction workspace:
 //! a deterministic random number generator with the distributions the
-//! framework needs (uniform, normal, choice, shuffle) and a handful of
-//! numeric helpers used across crates.
+//! framework needs (uniform, normal, choice, shuffle), a deterministic
+//! parallel fan-out substrate ([`par`]), an in-tree property-testing
+//! harness ([`check`]), and a handful of numeric helpers used across
+//! crates.
 //!
 //! Everything in the workspace that needs randomness goes through
-//! [`SintelRng`] so that experiments are reproducible from a single seed.
+//! [`SintelRng`] so that experiments are reproducible from a single
+//! seed, and everything that needs threads goes through [`par`] so
+//! that results are bit-identical at every `SINTEL_THREADS` setting.
 
+pub mod check;
 pub mod microbench;
 pub mod numeric;
+pub mod par;
 pub mod rng;
 
 pub use numeric::{argmax, argmin, ewma, mean, median, quantile, stddev, variance};
+pub use par::{configured_threads, par_map, par_try_map, set_threads, TaskPanic};
 pub use rng::SintelRng;

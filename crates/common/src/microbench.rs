@@ -123,7 +123,7 @@ fn run_one(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
     let lo = per_iter[0];
     let hi = per_iter[per_iter.len() - 1];
     println!(
-        "bench: {name:<40} median {:>10}  p90 {:>10}  mean {:>10}  range [{} .. {}]  ({} samples x {} iters)",
+        "bench: {name:<40} median {:>10}  p90 {:>10}  mean {:>10}  range [{} .. {}]  ({} samples x {} iters, {} threads)",
         fmt_secs(median),
         fmt_secs(p90),
         fmt_secs(mean),
@@ -131,6 +131,7 @@ fn run_one(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
         fmt_secs(hi),
         sample_size,
         iters,
+        crate::par::configured_threads(),
     );
 }
 

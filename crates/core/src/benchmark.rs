@@ -219,6 +219,49 @@ pub fn benchmark_with_db(
     cfg: &BenchmarkConfig,
     db: Option<&SintelDb>,
 ) -> Result<Vec<BenchmarkRow>> {
+    Ok(benchmark_report_with_db(cfg, db)?.rows)
+}
+
+/// Benchmark rows plus the run's aggregate performance: `cpu_time` is
+/// the sum of per-signal pipeline time (what a serial sweep would have
+/// spent in pipelines), `wall_time` the actual elapsed time — their
+/// ratio makes the parallel speedup visible.
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    /// The result rows, ranked as [`benchmark`] ranks them.
+    pub rows: Vec<BenchmarkRow>,
+    /// Elapsed wall-clock time of the whole sweep.
+    pub wall_time: Duration,
+    /// Summed pipeline (train + detect) time across all signals.
+    pub cpu_time: Duration,
+    /// Worker-thread budget the sweep ran with.
+    pub threads: usize,
+}
+
+impl BenchmarkReport {
+    /// `cpu_time / wall_time` — parallel efficiency of the sweep
+    /// (≈1 serial, →`threads` under perfect scaling).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        self.cpu_time.as_secs_f64() / wall
+    }
+}
+
+/// [`benchmark_with_db`], also reporting cpu/wall time and thread count.
+pub fn benchmark_report(cfg: &BenchmarkConfig) -> Result<BenchmarkReport> {
+    benchmark_report_with_db(cfg, None)
+}
+
+/// The full benchmark entry point: plan serially, execute cells on the
+/// [`sintel_common::par`] pool, fold results serially in plan order.
+pub fn benchmark_report_with_db(
+    cfg: &BenchmarkConfig,
+    db: Option<&SintelDb>,
+) -> Result<BenchmarkReport> {
+    let sweep_started = std::time::Instant::now();
     let templates = resolve_templates(cfg)?;
     preregister_metrics();
 
@@ -251,29 +294,163 @@ pub fn benchmark_with_db(
         }
     }
 
-    let mut rows = Vec::new();
-    for dataset_id in &cfg.datasets {
-        let dataset = sintel_datasets::load(*dataset_id, &cfg.data);
-        for (template, preflight) in templates.iter().zip(&preflights) {
-            let pipeline_name = template.name.clone();
-            let row_span = sintel_obs::span_with(
+    // ---- Plan (serial) -------------------------------------------------
+    //
+    // The sweep is decomposed into (dataset, pipeline, signal) cells up
+    // front, on one thread. Every decision that depends on shared state
+    // — preflight rejection, quarantine lookup — is made here, and every
+    // shared-state *write* happens in the fold below, also on one
+    // thread, in cell order. The parallel section in between executes
+    // pure cells only, so the whole benchmark is bitwise-identical at
+    // any `SINTEL_THREADS` value.
+    let datasets: Vec<sintel_datasets::Dataset> =
+        cfg.datasets.iter().map(|id| sintel_datasets::load(*id, &cfg.data)).collect();
+
+    let run_span = sintel_obs::span_with(
+        "benchmark.run",
+        &[("threads", FieldValue::UInt(sintel_common::configured_threads() as u64))],
+    );
+    let run_id = run_span.id();
+
+    /// What the plan decided for one signal of a row.
+    enum SignalPlan {
+        /// Template preflight has Error diagnostics: never executed.
+        Rejected,
+        /// Pair quarantined by earlier runs: skipped.
+        Quarantined,
+        /// Executable; index into the flat cell list.
+        Execute(usize),
+    }
+    struct RowPlan {
+        dataset_idx: usize,
+        template_idx: usize,
+        signals: Vec<SignalPlan>,
+        span: sintel_obs::SpanGuard,
+    }
+    struct Cell<'a> {
+        template: &'a Template,
+        labeled: &'a sintel_datasets::LabeledSignal,
+        row_span_id: u64,
+    }
+
+    let mut row_plans: Vec<RowPlan> = Vec::new();
+    let mut cells: Vec<Cell<'_>> = Vec::new();
+    for (dataset_idx, dataset) in datasets.iter().enumerate() {
+        for (template_idx, (template, preflight)) in
+            templates.iter().zip(&preflights).enumerate()
+        {
+            // Row spans are opened up front (they bracket their cells'
+            // execution) with an explicit parent: several are open at
+            // once, so stack-inferred nesting would chain them.
+            let span = sintel_obs::span_with_parent(
                 "benchmark.row",
                 &[
-                    ("pipeline", FieldValue::from(pipeline_name.as_str())),
+                    ("pipeline", FieldValue::from(template.name.as_str())),
                     ("dataset", FieldValue::from(dataset.name.as_str())),
                 ],
+                Some(run_id),
             );
-            let mut per_signal = Vec::new();
-            let mut failures = FailureBreakdown::default();
-            let mut quarantined = 0usize;
-            let mut train_time = Duration::ZERO;
-            let mut detect_time = Duration::ZERO;
-            let mut primitive_time = Duration::ZERO;
-            alloc::reset_peak();
-
+            let row_span_id = span.id();
+            let mut signals = Vec::new();
             for labeled in dataset.iter_signals() {
-                let signal_name = labeled.signal.name().to_string();
                 if preflight.has_errors() {
+                    signals.push(SignalPlan::Rejected);
+                    continue;
+                }
+                if let Some(db) = db {
+                    if db.is_quarantined(&template.name, labeled.signal.name()) {
+                        sintel_obs::counter_add("sintel_benchmark_quarantine_skips_total", 1);
+                        sintel_obs::info!(
+                            TARGET,
+                            "skipping quarantined pair",
+                            pipeline = template.name.as_str(),
+                            signal = labeled.signal.name(),
+                        );
+                        signals.push(SignalPlan::Quarantined);
+                        continue;
+                    }
+                }
+                signals.push(SignalPlan::Execute(cells.len()));
+                cells.push(Cell { template, labeled, row_span_id });
+            }
+            row_plans.push(RowPlan { dataset_idx, template_idx, signals, span });
+        }
+    }
+
+    // ---- Execute (parallel) --------------------------------------------
+    //
+    // Each cell is pure: build → fit/detect → score, under the watchdog
+    // policy. Trial spans are attributed to the cell's row span
+    // explicitly (span stacks are thread-local; inference would attach
+    // them to whatever the worker had open). Counter increments are
+    // commutative, so totals are exact regardless of interleaving.
+    alloc::reset_peak();
+    let outcomes = sintel_common::par_try_map(cells.len(), |i| {
+        // In range: `i` comes from `0..cells.len()`.
+        #[allow(clippy::indexing_slicing)]
+        let cell = &cells[i];
+        sintel_obs::counter_add("sintel_benchmark_trials_total", 1);
+        let task_template = cell.template.clone();
+        let task_signal = cell.labeled.signal.clone();
+        let row_span_id = cell.row_span_id;
+        // The attempt (and therefore its `benchmark.trial` span and the
+        // pipeline spans nested inside it) runs on the watchdog thread —
+        // one trial span per attempt.
+        let attempt = move || {
+            let _trial = sintel_obs::span_with_parent(
+                "benchmark.trial",
+                &[
+                    ("pipeline", FieldValue::from(task_template.name.as_str())),
+                    ("signal", FieldValue::from(task_signal.name())),
+                ],
+                Some(row_span_id),
+            );
+            let mut pipeline = task_template
+                .build_default()
+                .map_err(|e| Failure::new(FailureKind::Build, e.to_string()))?;
+            let anomalies = pipeline
+                .fit_detect(&task_signal, &task_signal)
+                .map_err(|e| Failure::new(classify_pipeline_error(&e), e.to_string()))?;
+            let profile = pipeline.profile().clone();
+            Ok((anomalies, profile))
+        };
+        let (result, attempts) = run_with_policy(&cfg.policy, attempt);
+        let scored = result.map(|(anomalies, prof)| {
+            let pred: Vec<Interval> = anomalies.iter().map(|a| a.interval).collect();
+            (score(&cell.labeled.anomalies, &pred, cfg.metric), prof)
+        });
+        (scored, attempts)
+    });
+    let peak_memory = alloc::peak_bytes();
+    // Each outcome is consumed exactly once by its planned cell below.
+    let mut outcomes: Vec<Option<_>> = outcomes.into_iter().map(Some).collect();
+
+    // ---- Fold (serial, in plan order) ----------------------------------
+    //
+    // All observable side effects — failure counters and logs,
+    // knowledge-base writes, quarantine strikes — are applied here in
+    // cell order, exactly as the serial sweep applied them.
+    let mut rows = Vec::new();
+    for row_plan in row_plans {
+        // In range: plan indices come from the enumerations above.
+        #[allow(clippy::indexing_slicing)]
+        let (dataset, template, preflight) = (
+            &datasets[row_plan.dataset_idx],
+            &templates[row_plan.template_idx],
+            &preflights[row_plan.template_idx],
+        );
+        let pipeline_name = template.name.clone();
+        let mut per_signal = Vec::new();
+        let mut failures = FailureBreakdown::default();
+        let mut quarantined = 0usize;
+        let mut train_time = Duration::ZERO;
+        let mut detect_time = Duration::ZERO;
+        let mut primitive_time = Duration::ZERO;
+
+        // Plans were built in `iter_signals` order; zip restores the pairing.
+        for (plan, labeled) in row_plan.signals.iter().zip(dataset.iter_signals()) {
+            let cell_idx = match plan {
+                SignalPlan::Rejected => {
                     // Statically rejected: never executed, not a crash.
                     failures.record(FailureKind::Rejected);
                     sintel_obs::counter_add(
@@ -285,121 +462,105 @@ pub fn benchmark_with_db(
                     );
                     continue;
                 }
-                if let Some(db) = db {
-                    if db.is_quarantined(&pipeline_name, &signal_name) {
-                        sintel_obs::counter_add("sintel_benchmark_quarantine_skips_total", 1);
-                        sintel_obs::info!(
-                            TARGET,
-                            "skipping quarantined pair",
-                            pipeline = pipeline_name.as_str(),
-                            signal = signal_name.as_str(),
-                        );
-                        quarantined += 1;
-                        continue;
-                    }
+                SignalPlan::Quarantined => {
+                    quarantined += 1;
+                    continue;
                 }
-
-                sintel_obs::counter_add("sintel_benchmark_trials_total", 1);
-                let task_template = template.clone();
-                let task_signal = labeled.signal.clone();
-                // The attempt (and therefore its `benchmark.trial` span
-                // and the pipeline spans nested inside it) runs on the
-                // watchdog thread — one trial span per attempt.
-                let attempt = move || {
-                    let _trial = sintel_obs::span_with(
-                        "benchmark.trial",
-                        &[
-                            ("pipeline", FieldValue::from(task_template.name.as_str())),
-                            ("signal", FieldValue::from(task_signal.name())),
-                        ],
+                SignalPlan::Execute(idx) => *idx,
+            };
+            let signal_name = labeled.signal.name().to_string();
+            // A task panic outside the watchdog (scoring, bookkeeping)
+            // is routed into the taxonomy instead of poisoning the run.
+            // In range: every `Execute` index points into `outcomes`.
+            #[allow(clippy::indexing_slicing)]
+            let (result, attempts) = match outcomes[cell_idx].take() {
+                Some(Ok(outcome)) => outcome,
+                Some(Err(task_panic)) => {
+                    (Err(Failure::new(FailureKind::Panic, task_panic.message)), 0)
+                }
+                None => (
+                    Err(Failure::new(FailureKind::Other, "cell produced no outcome")),
+                    0,
+                ),
+            };
+            match result {
+                Ok((scores, prof)) => {
+                    per_signal.push(scores);
+                    train_time += prof.fit_total;
+                    detect_time += prof.detect_total;
+                    primitive_time += prof.primitive_time();
+                }
+                Err(failure) => {
+                    failures.record(failure.kind);
+                    sintel_obs::counter_add(
+                        &sintel_obs::labeled(
+                            "sintel_benchmark_failures_total",
+                            &[("kind", failure.kind.label())],
+                        ),
+                        1,
                     );
-                    let mut pipeline = task_template
-                        .build_default()
-                        .map_err(|e| Failure::new(FailureKind::Build, e.to_string()))?;
-                    let anomalies = pipeline
-                        .fit_detect(&task_signal, &task_signal)
-                        .map_err(|e| Failure::new(classify_pipeline_error(&e), e.to_string()))?;
-                    let profile = pipeline.profile().clone();
-                    Ok((anomalies, profile))
-                };
-                let (result, attempts) = run_with_policy(&cfg.policy, attempt);
-                match result {
-                    Ok((anomalies, prof)) => {
-                        let pred: Vec<Interval> =
-                            anomalies.iter().map(|a| a.interval).collect();
-                        per_signal.push(score(&labeled.anomalies, &pred, cfg.metric));
-                        train_time += prof.fit_total;
-                        detect_time += prof.detect_total;
-                        primitive_time += prof.primitive_time();
-                    }
-                    Err(failure) => {
-                        failures.record(failure.kind);
-                        sintel_obs::counter_add(
-                            &sintel_obs::labeled(
-                                "sintel_benchmark_failures_total",
-                                &[("kind", failure.kind.label())],
-                            ),
-                            1,
+                    sintel_obs::warn!(
+                        TARGET,
+                        format!("signal run exhausted its policy: {}", failure.message),
+                        pipeline = pipeline_name.as_str(),
+                        signal = signal_name.as_str(),
+                        kind = failure.kind.label(),
+                        attempts = attempts,
+                    );
+                    if let Some(db) = db {
+                        db.add_run_failure(
+                            &pipeline_name,
+                            &signal_name,
+                            failure.kind.label(),
+                            &failure.message,
+                            attempts as usize,
                         );
-                        sintel_obs::warn!(
-                            TARGET,
-                            format!("signal run exhausted its policy: {}", failure.message),
-                            pipeline = pipeline_name.as_str(),
-                            signal = signal_name.as_str(),
-                            kind = failure.kind.label(),
-                            attempts = attempts,
-                        );
-                        if let Some(db) = db {
-                            db.add_run_failure(
+                        let strikes = db.failure_strikes(&pipeline_name, &signal_name);
+                        if strikes >= QUARANTINE_STRIKES
+                            && !db.is_quarantined(&pipeline_name, &signal_name)
+                        {
+                            sintel_obs::counter_add(
+                                "sintel_benchmark_quarantine_added_total",
+                                1,
+                            );
+                            sintel_obs::warn!(
+                                TARGET,
+                                "quarantining pipeline × signal pair",
+                                pipeline = pipeline_name.as_str(),
+                                signal = signal_name.as_str(),
+                                strikes = strikes,
+                                reason = failure.to_string(),
+                            );
+                            db.add_quarantine(
                                 &pipeline_name,
                                 &signal_name,
-                                failure.kind.label(),
-                                &failure.message,
-                                attempts as usize,
+                                &failure.to_string(),
                             );
-                            let strikes = db.failure_strikes(&pipeline_name, &signal_name);
-                            if strikes >= QUARANTINE_STRIKES
-                                && !db.is_quarantined(&pipeline_name, &signal_name)
-                            {
-                                sintel_obs::counter_add(
-                                    "sintel_benchmark_quarantine_added_total",
-                                    1,
-                                );
-                                sintel_obs::warn!(
-                                    TARGET,
-                                    "quarantining pipeline × signal pair",
-                                    pipeline = pipeline_name.as_str(),
-                                    signal = signal_name.as_str(),
-                                    strikes = strikes,
-                                    reason = failure.to_string(),
-                                );
-                                db.add_quarantine(
-                                    &pipeline_name,
-                                    &signal_name,
-                                    &failure.to_string(),
-                                );
-                            }
                         }
                     }
                 }
             }
-            row_span.close();
-            rows.push(BenchmarkRow {
-                pipeline: pipeline_name,
-                dataset: dataset.name.clone(),
-                mean: Scores::mean(&per_signal),
-                std: Scores::std(&per_signal),
-                signals: per_signal.len(),
-                failures,
-                diagnostics: preflight.summary(),
-                quarantined,
-                train_time,
-                detect_time,
-                peak_memory: alloc::peak_bytes(),
-                primitive_time,
-            });
         }
+        row_plan.span.close();
+        rows.push(BenchmarkRow {
+            pipeline: pipeline_name,
+            dataset: dataset.name.clone(),
+            mean: Scores::mean(&per_signal),
+            std: Scores::std(&per_signal),
+            signals: per_signal.len(),
+            failures,
+            diagnostics: preflight.summary(),
+            quarantined,
+            train_time,
+            detect_time,
+            // Run-wide heap peak: per-row attribution is meaningless
+            // once rows execute concurrently, and a run-wide number is
+            // the same at every thread count's fold.
+            peak_memory,
+            primitive_time,
+        });
     }
+    run_span.close();
     rows.sort_by(|a, b| {
         a.dataset.cmp(&b.dataset).then(b.mean.f1.total_cmp(&a.mean.f1))
     });
@@ -407,7 +568,13 @@ pub fn benchmark_with_db(
     if let Some(db) = db {
         persist_metrics_snapshot(db, "benchmark");
     }
-    Ok(rows)
+    let cpu_time = rows.iter().map(|r| r.train_time + r.detect_time).sum();
+    Ok(BenchmarkReport {
+        rows,
+        wall_time: sweep_started.elapsed(),
+        cpu_time,
+        threads: sintel_common::configured_threads(),
+    })
 }
 
 /// Persist benchmark rows into the knowledge base as experiments.
@@ -473,6 +640,39 @@ pub fn render_table(rows: &[BenchmarkRow]) -> String {
             row.diagnostics,
         ));
     }
+    out
+}
+
+/// Render the run's computational performance: per-row pipeline times
+/// plus a footer with summed `cpu_time`, elapsed `wall_time`, the
+/// speedup ratio and the thread budget.
+///
+/// Kept separate from [`render_table`]: quality tables are part of the
+/// bitwise determinism contract (identical at every thread count),
+/// while wall-clock numbers are inherently machine- and run-specific.
+pub fn render_perf_table(report: &BenchmarkReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:<8} {:>12} {:>12} {:>12}\n",
+        "pipeline", "dataset", "train", "detect", "cpu"
+    ));
+    for row in &report.rows {
+        out.push_str(&format!(
+            "{:<26} {:<8} {:>10.3}s {:>10.3}s {:>10.3}s\n",
+            row.pipeline,
+            row.dataset,
+            row.train_time.as_secs_f64(),
+            row.detect_time.as_secs_f64(),
+            (row.train_time + row.detect_time).as_secs_f64(),
+        ));
+    }
+    out.push_str(&format!(
+        "cpu_time {:.3}s  wall_time {:.3}s  speedup {:.2}x  threads {}\n",
+        report.cpu_time.as_secs_f64(),
+        report.wall_time.as_secs_f64(),
+        report.speedup(),
+        report.threads,
+    ));
     out
 }
 

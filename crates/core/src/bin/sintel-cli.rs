@@ -7,7 +7,7 @@
 //! sintel-cli detect --signal F.csv --pipeline P [--train G.csv] [--labels L.csv]
 //! sintel-cli view --signal F.csv [--width N] [--height N]
 //! sintel-cli benchmark [--scale S] [--pipelines a,b] [--datasets NAB,YAHOO]
-//!                      [--timeout SECS] [--retries N]
+//!                      [--timeout SECS] [--retries N] [--threads N]
 //! sintel-cli analyze [--all | PIPELINE...]      static template diagnostics
 //! ```
 //!
@@ -22,7 +22,9 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 
-use sintel::benchmark::{benchmark, render_table, BenchmarkConfig, MetricKind};
+use sintel::benchmark::{
+    benchmark_report, render_perf_table, render_table, BenchmarkConfig, MetricKind,
+};
 use sintel::Sintel;
 use sintel_datasets::{load_all, DatasetConfig, DatasetId};
 use sintel_timeseries::csvio;
@@ -55,6 +57,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = apply_threads_flag(&opts) {
+        eprintln!("error: {e}\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let result = match command.as_str() {
         "pipelines" => cmd_pipelines(),
         "primitives" => cmd_primitives(),
@@ -137,7 +143,7 @@ USAGE:
                        [--train FILE.csv] [--labels FILE.csv]
   sintel-cli view      --signal FILE.csv [--width N] [--height N]
   sintel-cli benchmark [--scale S] [--pipelines a,b,c] [--datasets NAB,NASA,YAHOO]
-                       [--timeout SECS] [--retries N]
+                       [--timeout SECS] [--retries N] [--threads N]
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
                        [--horizon N]
   sintel-cli analyze   [--all | PIPELINE...]
@@ -148,7 +154,12 @@ OBSERVABILITY (any command):
   --log-level LEVEL    stderr log verbosity: error|warn|info|debug|trace|off
                        (overrides the SINTEL_LOG environment variable)
   --trace-out FILE     export the run's span trace as JSON lines
-  --metrics-out FILE   export the run's metrics snapshot as Prometheus text";
+  --metrics-out FILE   export the run's metrics snapshot as Prometheus text
+
+PARALLELISM (any command):
+  --threads N          worker-thread budget (overrides SINTEL_THREADS;
+                       default = available parallelism). Results are
+                       bitwise-identical at every setting";
 
 /// Parse `--key value` flags into a map.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -385,8 +396,24 @@ fn cmd_benchmark(opts: &HashMap<String, String>) -> Result<(), String> {
         policy,
         ..BenchmarkConfig::default()
     };
-    let rows = benchmark(&cfg).map_err(|e| e.to_string())?;
-    print!("{}", render_table(&rows));
+    let report = benchmark_report(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", render_table(&report.rows));
+    println!();
+    print!("{}", render_perf_table(&report));
+    Ok(())
+}
+
+/// Apply `--threads N` as the process-wide worker budget (precedence
+/// over `SINTEL_THREADS`; default = available parallelism).
+fn apply_threads_flag(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(s) = opts.get("threads") {
+        let n: usize = s
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("bad --threads '{s}' (want an integer >= 1)"))?;
+        sintel_common::set_threads(Some(n));
+    }
     Ok(())
 }
 
@@ -409,6 +436,20 @@ mod tests {
     fn parse_flags_rejects_positional_and_dangling() {
         assert!(flags(&["positional"]).is_err());
         assert!(flags(&["--scale"]).is_err());
+    }
+
+    #[test]
+    fn threads_flag_sets_and_validates_the_budget() {
+        let mut opts = HashMap::new();
+        assert!(apply_threads_flag(&opts).is_ok(), "absent flag is fine");
+        opts.insert("threads".to_string(), "3".to_string());
+        apply_threads_flag(&opts).unwrap();
+        assert_eq!(sintel_common::configured_threads(), 3);
+        sintel_common::set_threads(None);
+        for bad in ["0", "-1", "many"] {
+            opts.insert("threads".to_string(), bad.to_string());
+            assert!(apply_threads_flag(&opts).is_err(), "--threads {bad}");
+        }
     }
 
     #[test]

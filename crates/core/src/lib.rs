@@ -36,7 +36,9 @@ pub mod tune;
 
 pub use crate::sintel::Sintel;
 pub use benchmark::{
-    benchmark, benchmark_with_db, BenchmarkConfig, BenchmarkRow, MetricKind,
+    benchmark, benchmark_report, benchmark_report_with_db, benchmark_with_db,
+    render_perf_table, render_table, BenchmarkConfig, BenchmarkReport, BenchmarkRow,
+    MetricKind,
 };
 pub use policy::{FailureBreakdown, FailureKind, RunPolicy};
 pub use tune::{TuneReport, TuneSetting};

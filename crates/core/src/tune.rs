@@ -22,6 +22,12 @@ use crate::{Result, SintelError};
 /// Log target of the tuner bridge.
 const TARGET: &str = "sintel::tune";
 
+/// Candidate λs evaluated concurrently per GP round. Fixed — never
+/// derived from the thread count — so proposals, the GP's update
+/// sequence and therefore the whole search trajectory are identical
+/// at every `SINTEL_THREADS` value.
+const TRIAL_BATCH: usize = 4;
+
 /// Which objective drives the search (Figure 5's two conditions).
 #[derive(Debug, Clone)]
 pub enum TuneSetting {
@@ -222,44 +228,79 @@ pub fn tune_template_with_policy(
     let mut best_score = default_score;
     let mut best_lambda: Vec<(ParamId, HyperValue)> = Vec::new();
 
-    for trial in 0..budget {
-        let unit = tuner.propose()?;
-        let lambda = decode(&unit);
-        if screen(&lambda, trial as u64 + 1) {
-            history.push(f64::NEG_INFINITY);
-            // Same strong penalty as a crashed trial: the GP steers away
-            // from the rejected region without destroying its numerics.
-            tuner.record(unit, -1e6);
-            continue;
+    // Trial spans open on worker threads; capture the caller's span so
+    // they attach to it instead of appearing as per-worker roots.
+    let parent_span = sintel_obs::current_span_id();
+
+    let mut trial_no = 0usize;
+    while trial_no < budget {
+        let batch_size = (budget - trial_no).min(TRIAL_BATCH);
+        // Propose the whole batch before evaluating any of it: each
+        // proposal draws on the RNG and the history recorded so far,
+        // both of which are independent of the thread count.
+        let mut batch = Vec::with_capacity(batch_size);
+        for b in 0..batch_size {
+            let unit = tuner.propose()?;
+            let lambda = decode(&unit);
+            let screened = screen(&lambda, (trial_no + b) as u64 + 1);
+            batch.push((unit, lambda, screened));
         }
-        let trial_span = sintel_obs::span_with(
-            "tune.trial",
-            &[
-                ("template", FieldValue::from(template.name.as_str())),
-                ("trial", FieldValue::from(trial as u64 + 1)),
-            ],
-        );
-        let score = evaluate_lambda_guarded(template, &lambda, data, setting, policy);
-        let elapsed = trial_span.close();
-        sintel_obs::counter_add("sintel_tune_trials_total", 1);
-        sintel_obs::observe_duration("sintel_tune_trial_seconds", elapsed);
-        if !score.is_finite() {
-            sintel_obs::counter_add("sintel_tune_failed_trials_total", 1);
-            sintel_obs::debug!(
-                TARGET,
-                "trial failed; recording penalty score",
-                template = template.name.as_str(),
-                trial = trial as u64 + 1,
+        // Evaluate the surviving candidates concurrently. Each trial is
+        // pure (watchdog-guarded pipeline run); spans and commutative
+        // counters are the only side effects.
+        let scores = sintel_common::par_map(batch.len(), |b| {
+            // In range: `b` comes from `0..batch.len()`.
+            #[allow(clippy::indexing_slicing)]
+            let (_, lambda, screened) = &batch[b];
+            if *screened {
+                return None;
+            }
+            let trial_span = sintel_obs::span_with_parent(
+                "tune.trial",
+                &[
+                    ("template", FieldValue::from(template.name.as_str())),
+                    ("trial", FieldValue::from((trial_no + b) as u64 + 1)),
+                ],
+                parent_span,
             );
+            let score = evaluate_lambda_guarded(template, lambda, data, setting, policy);
+            let elapsed = trial_span.close();
+            sintel_obs::counter_add("sintel_tune_trials_total", 1);
+            sintel_obs::observe_duration("sintel_tune_trial_seconds", elapsed);
+            Some(score)
+        });
+        // Record in proposal order — the GP's update sequence is fixed
+        // regardless of which worker finished first.
+        for (b, ((unit, lambda, _), evaluated)) in
+            batch.into_iter().zip(scores).enumerate()
+        {
+            let Some(score) = evaluated else {
+                history.push(f64::NEG_INFINITY);
+                // Same strong penalty as a crashed trial: the GP steers
+                // away from the rejected region without destroying its
+                // numerics.
+                tuner.record(unit, -1e6);
+                continue;
+            };
+            if !score.is_finite() {
+                sintel_obs::counter_add("sintel_tune_failed_trials_total", 1);
+                sintel_obs::debug!(
+                    TARGET,
+                    "trial failed; recording penalty score",
+                    template = template.name.as_str(),
+                    trial = (trial_no + b) as u64 + 1,
+                );
+            }
+            history.push(score);
+            // NEG_INFINITY (failed builds) recorded as a strong penalty
+            // so the GP steers away without destroying its numerics.
+            tuner.record(unit, if score.is_finite() { score } else { -1e6 });
+            if score > best_score {
+                best_score = score;
+                best_lambda = lambda;
+            }
         }
-        history.push(score);
-        // NEG_INFINITY (failed builds) recorded as a strong penalty so
-        // the GP steers away without destroying its numerics.
-        tuner.record(unit, if score.is_finite() { score } else { -1e6 });
-        if score > best_score {
-            best_score = score;
-            best_lambda = lambda;
-        }
+        trial_no += batch_size;
     }
 
     let changed_params: Vec<ParamId> =

@@ -98,7 +98,53 @@ impl Matrix {
         out
     }
 
+    /// Row-block size of the parallel matmul path. Fixed (never derived
+    /// from the thread count) so the work decomposition — and therefore
+    /// every partial-sum grouping — is identical at any `SINTEL_THREADS`.
+    const MATMUL_BLOCK_ROWS: usize = 16;
+
+    /// Flop-count threshold (`rows * cols * other.cols`) above which
+    /// matmul fans out across threads; below it, spawn overhead wins.
+    const MATMUL_PAR_FLOPS: usize = 1 << 20;
+
+    /// Compute output rows `range` of `self * other` into `out_rows`
+    /// (a mutable slice holding exactly those rows, row-major).
+    ///
+    /// This is the single kernel both the serial and parallel paths
+    /// run: each output row is a pure function of one row of `self`
+    /// and all of `other`, accumulated in the same i-k-j order, so the
+    /// result is bitwise-identical however rows are partitioned.
+    // Row arithmetic is in range: `out_rows.len() == range.len() * cols`
+    // by the caller's contract and `k < self.cols == other.rows`.
+    #[allow(clippy::indexing_slicing)]
+    fn matmul_rows_into(
+        &self,
+        other: &Matrix,
+        range: std::ops::Range<usize>,
+        out_rows: &mut [f64],
+    ) {
+        let out_cols = other.cols;
+        for (local, i) in range.enumerate() {
+            let out_row = &mut out_rows[local * out_cols..(local + 1) * out_cols];
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
     /// Matrix product `self * other`.
+    ///
+    /// Above [`Self::MATMUL_PAR_FLOPS`] the product is computed in
+    /// row blocks on the [`sintel_common::par`] pool; the blocking is a
+    /// function of the shapes only, so the bits are identical at every
+    /// thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -106,22 +152,37 @@ impl Matrix {
                 got: format!("({} x {}) * ({} x {})", self.rows, self.cols, other.rows, other.cols),
             });
         }
+        let flops = self.rows * self.cols * other.cols;
+        if flops >= Self::MATMUL_PAR_FLOPS && sintel_common::configured_threads() > 1 {
+            return Ok(self.matmul_blocked(other, Self::MATMUL_BLOCK_ROWS));
+        }
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order keeps inner access contiguous for both operands.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(other_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_rows_into(other, 0..self.rows, out.as_mut_slice());
         Ok(out)
+    }
+
+    /// Row-blocked parallel product with an explicit block size —
+    /// exposed (hidden) so the property suite can exercise the blocked
+    /// path on small, cheap shapes. Shapes must already agree.
+    #[doc(hidden)]
+    pub fn matmul_blocked(&self, other: &Matrix, block_rows: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul_blocked: shape mismatch");
+        let out_cols = other.cols;
+        let ranges = sintel_common::par::block_ranges(self.rows, block_rows);
+        let blocks = sintel_common::par_map(ranges.len(), |b| {
+            // Indexing is in range: `b` comes from `0..ranges.len()`.
+            #[allow(clippy::indexing_slicing)]
+            let range = ranges[b].clone();
+            let mut rows = vec![0.0; range.len() * out_cols];
+            self.matmul_rows_into(other, range, &mut rows);
+            rows
+        });
+        let mut data = Vec::with_capacity(self.rows * out_cols);
+        for block in blocks {
+            data.extend_from_slice(&block);
+        }
+        Matrix::from_vec(self.rows, out_cols, data)
     }
 
     /// Matrix–vector product `self * v`.

@@ -1,0 +1,215 @@
+//! Property-based suite for the linear-algebra kernels, built on
+//! `sintel_common::check`. Every failure prints a replayable case seed;
+//! rerun with `SINTEL_CHECK_SEED=<root>` to reproduce a whole suite run.
+
+use sintel_common::check::{forall, shrinks, Config};
+use sintel_common::SintelRng;
+use sintel_linalg::{cholesky, solve_spd, Matrix};
+
+/// Random matrix with entries in `[-2, 2]`.
+fn random_matrix(rng: &mut SintelRng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.uniform_range(-2.0, 2.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Random symmetric positive-definite matrix: `BᵀB + n·I`.
+fn random_spd(rng: &mut SintelRng, n: usize) -> Matrix {
+    let b = random_matrix(rng, n, n);
+    let bt_b = b.transpose().matmul(&b).expect("square dims agree");
+    bt_b.add(&Matrix::identity(n).scale(n as f64))
+}
+
+/// Frobenius norm of the elementwise difference.
+fn frobenius_diff(a: &Matrix, b: &Matrix) -> f64 {
+    a.sub(b).frobenius()
+}
+
+#[test]
+fn matmul_is_associative_up_to_rounding() {
+    forall(
+        "matmul associativity (A·B)·C ≈ A·(B·C)",
+        &Config::default(),
+        |rng| {
+            let (r, k, m, n) = (
+                rng.int_range(1, 7) as usize,
+                rng.int_range(1, 7) as usize,
+                rng.int_range(1, 7) as usize,
+                rng.int_range(1, 7) as usize,
+            );
+            (random_matrix(rng, r, k), random_matrix(rng, k, m), random_matrix(rng, m, n))
+        },
+        shrinks::none,
+        |(a, b, c)| {
+            let left = a.matmul(b).map_err(|e| e.to_string())?.matmul(c);
+            let right = a.matmul(&b.matmul(c).map_err(|e| e.to_string())?);
+            let left = left.map_err(|e| e.to_string())?;
+            let right = right.map_err(|e| e.to_string())?;
+            let scale = left.frobenius().max(1.0);
+            let diff = frobenius_diff(&left, &right);
+            if diff <= 1e-9 * scale {
+                Ok(())
+            } else {
+                Err(format!("associativity violated: ‖(AB)C - A(BC)‖ = {diff:e}"))
+            }
+        },
+    );
+}
+
+/// The row-blocked parallel path must agree *bitwise* with the serial
+/// kernel for any block size — this is the determinism contract the
+/// benchmark relies on, and the property that catches a broken blocking
+/// scheme (wrong ranges, dropped remainder rows, reordered accumulation).
+#[test]
+fn matmul_blocked_matches_serial_bitwise_for_any_block_size() {
+    forall(
+        "matmul_blocked(A, B, block) == matmul serial path, bitwise",
+        &Config::default(),
+        |rng| {
+            let (r, k, m) = (
+                rng.int_range(1, 24) as usize,
+                rng.int_range(1, 12) as usize,
+                rng.int_range(1, 12) as usize,
+            );
+            let block = rng.int_range(1, 9) as usize;
+            (random_matrix(rng, r, k), random_matrix(rng, k, m), block)
+        },
+        shrinks::none,
+        |(a, b, block)| {
+            let serial = a.matmul(b).map_err(|e| e.to_string())?;
+            let blocked = a.matmul_blocked(b, *block);
+            if serial.rows() != blocked.rows() || serial.cols() != blocked.cols() {
+                return Err(format!(
+                    "shape mismatch: serial {}x{}, blocked {}x{}",
+                    serial.rows(),
+                    serial.cols(),
+                    blocked.rows(),
+                    blocked.cols()
+                ));
+            }
+            for (i, (s, p)) in
+                serial.as_slice().iter().zip(blocked.as_slice()).enumerate()
+            {
+                if s.to_bits() != p.to_bits() {
+                    return Err(format!(
+                        "element {i} differs: serial {s:?} vs blocked {p:?} (block={block})"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn spd_solve_round_trips_a_x_eq_b() {
+    forall(
+        "solve_spd(A, A·x) ≈ x for SPD A",
+        &Config::default(),
+        |rng| {
+            let n = rng.int_range(1, 9) as usize;
+            let a = random_spd(rng, n);
+            let x: Vec<f64> = (0..n).map(|_| rng.uniform_range(-3.0, 3.0)).collect();
+            (a, x)
+        },
+        shrinks::none,
+        |(a, x)| {
+            let b = a.matvec(x).map_err(|e| e.to_string())?;
+            let solved = solve_spd(a, &b).map_err(|e| e.to_string())?;
+            let err: f64 = solved
+                .iter()
+                .zip(x)
+                .map(|(s, t)| (s - t).abs())
+                .fold(0.0, f64::max);
+            let scale = x.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            if err <= 1e-7 * scale {
+                Ok(())
+            } else {
+                Err(format!("round-trip error {err:e} exceeds tolerance"))
+            }
+        },
+    );
+}
+
+#[test]
+fn cholesky_factor_reconstructs_a() {
+    forall(
+        "cholesky(A) gives L with L·Lᵀ ≈ A",
+        &Config::default(),
+        |rng| {
+            let n = rng.int_range(1, 9) as usize;
+            random_spd(rng, n)
+        },
+        shrinks::none,
+        |a| {
+            let l = cholesky(a).map_err(|e| e.to_string())?;
+            let rebuilt = l.matmul(&l.transpose()).map_err(|e| e.to_string())?;
+            let diff = frobenius_diff(a, &rebuilt);
+            let scale = a.frobenius().max(1.0);
+            if diff <= 1e-9 * scale {
+                Ok(())
+            } else {
+                Err(format!("‖L·Lᵀ - A‖ = {diff:e}"))
+            }
+        },
+    );
+}
+
+#[test]
+fn lu_solve_round_trips_a_x_eq_b() {
+    forall(
+        "Matrix::solve(A·x) ≈ x for well-conditioned A",
+        &Config::default(),
+        |rng| {
+            let n = rng.int_range(1, 9) as usize;
+            // Diagonally dominant => nonsingular and well conditioned.
+            let mut a = random_matrix(rng, n, n);
+            for i in 0..n {
+                let boost = 4.0 * n as f64;
+                let v = a.row(i)[i] + boost;
+                a.row_mut(i)[i] = v;
+            }
+            let x: Vec<f64> = (0..n).map(|_| rng.uniform_range(-3.0, 3.0)).collect();
+            (a, x)
+        },
+        shrinks::none,
+        |(a, x)| {
+            let b = a.matvec(x).map_err(|e| e.to_string())?;
+            let solved = a.solve(&b).map_err(|e| e.to_string())?;
+            let err: f64 = solved
+                .iter()
+                .zip(x)
+                .map(|(s, t)| (s - t).abs())
+                .fold(0.0, f64::max);
+            if err <= 1e-7 {
+                Ok(())
+            } else {
+                Err(format!("LU round-trip error {err:e}"))
+            }
+        },
+    );
+}
+
+#[test]
+fn transpose_is_an_involution() {
+    forall(
+        "A.transpose().transpose() == A, bitwise",
+        &Config::default(),
+        |rng| {
+            let (r, c) = (rng.int_range(1, 16) as usize, rng.int_range(1, 16) as usize);
+            random_matrix(rng, r, c)
+        },
+        shrinks::none,
+        |a| {
+            let round = a.transpose().transpose();
+            if round.rows() != a.rows() || round.cols() != a.cols() {
+                return Err("transpose round-trip changed shape".into());
+            }
+            for (i, (x, y)) in a.as_slice().iter().zip(round.as_slice()).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!("element {i} changed: {x:?} -> {y:?}"));
+                }
+            }
+            Ok(())
+        },
+    );
+}

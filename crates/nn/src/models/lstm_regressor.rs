@@ -58,6 +58,39 @@ impl LstmRegressor {
         Ok(self.head.forward(c2.last_hidden())[0])
     }
 
+    /// Windows-per-batch threshold above which [`Self::predict_batch`]
+    /// fans out across threads; the forward pass for one window is
+    /// cheap, so small batches stay serial.
+    const PREDICT_PAR_WINDOWS: usize = 64;
+
+    /// Predict the next value for every window of a batch.
+    ///
+    /// Shapes are validated up front so a bad window fails the whole
+    /// batch before any work runs; each prediction is then a pure
+    /// `&self` forward pass, parallelised above
+    /// [`Self::PREDICT_PAR_WINDOWS`] windows with results collected in
+    /// input order — bitwise-identical to the serial loop.
+    pub fn predict_batch(&self, windows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        for w in windows {
+            self.check_window(w)?;
+        }
+        let forward = |i: usize| -> f64 {
+            // In range: `i` comes from `0..windows.len()`.
+            #[allow(clippy::indexing_slicing)]
+            let xs = unflatten(&windows[i], self.channels);
+            let c1 = self.l1.forward(&xs);
+            let c2 = self.l2.forward(c1.hidden_states());
+            self.head.forward(c2.last_hidden())[0]
+        };
+        if windows.len() >= Self::PREDICT_PAR_WINDOWS
+            && sintel_common::configured_threads() > 1
+        {
+            Ok(sintel_common::par_map(windows.len(), forward))
+        } else {
+            Ok((0..windows.len()).map(forward).collect())
+        }
+    }
+
     /// Train on `(window, next value)` pairs; returns the mean training
     /// loss per epoch.
     pub fn fit(
@@ -167,5 +200,24 @@ mod tests {
         let model = LstmRegressor::new(4, 2, 3, 1);
         let w = vec![0.1; 8];
         assert!(model.predict(&w).unwrap().is_finite());
+    }
+
+    #[test]
+    fn predict_batch_matches_serial_predict_bitwise() {
+        let model = LstmRegressor::new(6, 1, 4, 9);
+        let mut rng = SintelRng::seed_from_u64(77);
+        // Cross the parallel threshold so both code paths are exercised.
+        let windows: Vec<Vec<f64>> = (0..LstmRegressor::PREDICT_PAR_WINDOWS + 8)
+            .map(|_| (0..6).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+            .collect();
+        let batch = model.predict_batch(&windows).unwrap();
+        assert_eq!(batch.len(), windows.len());
+        for (w, &b) in windows.iter().zip(&batch) {
+            assert_eq!(model.predict(w).unwrap().to_bits(), b.to_bits());
+        }
+        // A single bad window fails the whole batch up front.
+        let mut bad = windows.clone();
+        bad[3] = vec![0.0; 5];
+        assert!(model.predict_batch(&bad).is_err());
     }
 }

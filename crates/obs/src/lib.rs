@@ -40,7 +40,8 @@ pub use crate::metrics::{
     MetricsSnapshot, Registry,
 };
 pub use crate::span::{
-    export_jsonl, parse_jsonl, span, span_with, tracing_active, tracing_start, tracing_stop,
+    current_span_id, export_jsonl, parse_jsonl, span, span_with, span_with_parent,
+    tracing_active, tracing_start, tracing_stop,
     EventKind, SpanGuard, TraceEvent,
 };
 

@@ -145,15 +145,49 @@ pub fn span(name: &str) -> SpanGuard {
     span_with(name, &[])
 }
 
+/// Id of the innermost open span on *this thread*, if any.
+///
+/// Capture this before handing work to another thread and pass it to
+/// [`span_with_parent`] on the worker: span stacks are thread-local,
+/// so without an explicit parent a worker's spans would appear as
+/// roots (or, worse, interleave under whatever that worker happened
+/// to have open).
+pub fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied())
+}
+
 /// Open a span with structured fields. The span nests under the
 /// innermost open span *of this thread*.
 pub fn span_with(name: &str, fields: &[(&str, FieldValue)]) -> SpanGuard {
+    open_span(name, fields, None)
+}
+
+/// Open a span whose parent is set explicitly instead of taken from
+/// this thread's stack — the cross-thread attribution primitive. The
+/// new span is still pushed onto the *current* thread's stack, so
+/// spans opened underneath it on this thread nest correctly.
+pub fn span_with_parent(
+    name: &str,
+    fields: &[(&str, FieldValue)],
+    parent: Option<u64>,
+) -> SpanGuard {
+    open_span(name, fields, Some(parent))
+}
+
+/// `forced_parent`: `None` = inherit this thread's innermost span,
+/// `Some(p)` = record exactly `p` (which may itself be `None` for an
+/// explicit root).
+fn open_span(
+    name: &str,
+    fields: &[(&str, FieldValue)],
+    forced_parent: Option<Option<u64>>,
+) -> SpanGuard {
     let start = Instant::now();
     let start_ns = start.duration_since(anchor()).as_nanos() as u64;
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let parent = stack.last().copied();
+        let parent = forced_parent.unwrap_or_else(|| stack.last().copied());
         stack.push(id);
         parent
     });

@@ -1,0 +1,169 @@
+//! Concurrency stress tests for the observability substrate.
+//!
+//! The parallel benchmark and tuner hammer the metrics registry and the
+//! span exporter from worker threads; these tests pin the guarantees
+//! they rely on:
+//!
+//! * counter totals are exact under contention (no lost updates),
+//! * the JSONL trace parses losslessly however threads interleave,
+//! * span parentage never leaks across threads — a span nests under
+//!   another thread's parent only when attached explicitly via
+//!   [`sintel_obs::span_with_parent`].
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread;
+
+use sintel_obs::{
+    current_span_id, export_jsonl, parse_jsonl, span, span_with_parent, tracing_start,
+    tracing_stop, EventKind, Registry, TraceEvent,
+};
+
+/// Tracing state is process-global, so tests that record traces must
+/// not interleave with each other.
+static TRACE_GUARD: Mutex<()> = Mutex::new(());
+
+const THREADS: usize = 8;
+const OPS: usize = 2_000;
+
+#[test]
+fn counter_totals_are_exact_under_contention() {
+    let registry = Registry::new();
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    registry.counter_add("stress_total", 1);
+                    registry.counter_add(&format!("stress_thread_{t}_total"), 1);
+                    registry.observe("stress_seconds", (i % 7) as f64 * 1e-3);
+                }
+            });
+        }
+    });
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("stress_total"), Some((THREADS * OPS) as u64));
+    for t in 0..THREADS {
+        assert_eq!(
+            snapshot.counter(&format!("stress_thread_{t}_total")),
+            Some(OPS as u64),
+            "per-thread counter {t} lost updates"
+        );
+    }
+    let hist = snapshot.histogram("stress_seconds").expect("histogram exists");
+    assert_eq!(hist.count(), (THREADS * OPS) as u64);
+}
+
+/// Per-thread span structure produced by one stress worker: the id of
+/// its own root span and the ids of the children it nested under it.
+struct ThreadSpans {
+    root: u64,
+    children: Vec<u64>,
+    explicit: u64,
+}
+
+#[test]
+fn span_parentage_never_crosses_threads() {
+    let _guard = TRACE_GUARD.lock().expect("trace guard");
+    tracing_start();
+
+    // A shared ancestor opened on the main thread; workers attach to it
+    // explicitly, the way the parallel benchmark attaches trial spans
+    // to their row span.
+    let shared = span("stress.shared");
+    let shared_id = shared.id();
+
+    let mut reports: Vec<ThreadSpans> = Vec::new();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            handles.push(scope.spawn(move || {
+                // Fresh thread: no inherited stack.
+                assert_eq!(current_span_id(), None);
+                let root = span("stress.root");
+                let root_id = root.id();
+                assert_eq!(current_span_id(), Some(root_id));
+                let mut children = Vec::new();
+                for _ in 0..50 {
+                    let child = span("stress.child");
+                    children.push(child.id());
+                    child.close();
+                }
+                // Explicit cross-thread attachment to the shared span.
+                let explicit = span_with_parent("stress.task", &[], Some(shared_id));
+                let explicit_id = explicit.id();
+                explicit.close();
+                root.close();
+                ThreadSpans { root: root_id, children, explicit: explicit_id }
+            }));
+        }
+        for handle in handles {
+            reports.push(handle.join().expect("stress worker panicked"));
+        }
+    });
+    shared.close();
+    let events = tracing_stop();
+
+    // JSONL round-trips losslessly no matter how threads interleaved.
+    let parsed = parse_jsonl(&export_jsonl(&events)).expect("trace parses");
+    assert_eq!(parsed, events, "JSONL round-trip altered the trace");
+
+    let opens: HashMap<u64, &TraceEvent> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Open)
+        .map(|e| (e.id, e))
+        .collect();
+    let closes = events.iter().filter(|e| e.kind == EventKind::Close).count();
+    assert_eq!(opens.len(), closes, "every span must open and close exactly once");
+
+    // Which root id belongs to which thread.
+    let owner_of_root: HashMap<u64, usize> =
+        reports.iter().enumerate().map(|(t, r)| (r.root, t)).collect();
+
+    for (t, report) in reports.iter().enumerate() {
+        let root_open = opens.get(&report.root).expect("root span recorded");
+        assert_eq!(
+            root_open.parent, None,
+            "thread {t} root must not nest under any other span"
+        );
+        for child in &report.children {
+            let child_open = opens.get(child).expect("child span recorded");
+            let parent = child_open.parent.expect("child has a parent");
+            assert_eq!(
+                parent, report.root,
+                "thread {t} child nests under span {parent}, not its own root"
+            );
+            if let Some(owner) = owner_of_root.get(&parent) {
+                assert_eq!(*owner, t, "child leaked under another thread's root");
+            }
+        }
+        let explicit_open = opens.get(&report.explicit).expect("explicit span recorded");
+        assert_eq!(
+            explicit_open.parent,
+            Some(shared_id),
+            "explicitly attached span must record exactly the requested parent"
+        );
+    }
+}
+
+#[test]
+fn concurrent_traces_export_every_event() {
+    let _guard = TRACE_GUARD.lock().expect("trace guard");
+    tracing_start();
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..200 {
+                    span("stress.spin").close();
+                }
+            });
+        }
+    });
+    let events = tracing_stop();
+    let opens = events.iter().filter(|e| e.kind == EventKind::Open).count();
+    let closes = events.iter().filter(|e| e.kind == EventKind::Close).count();
+    assert_eq!(opens, THREADS * 200, "lost open events under contention");
+    assert_eq!(closes, THREADS * 200, "lost close events under contention");
+    let parsed = parse_jsonl(&export_jsonl(&events)).expect("trace parses");
+    assert_eq!(parsed.len(), events.len());
+}

@@ -140,10 +140,10 @@ impl Primitive for LstmRegressorPrimitive {
         let model =
             self.model.as_ref().ok_or_else(|| PrimitiveError::NotFitted("lstm_regressor".into()))?;
         let windows = ctx.windows("windows")?;
-        let mut preds = Vec::with_capacity(windows.len());
-        for w in windows {
-            preds.push(model.predict(w).map_err(algo)?);
-        }
+        // Batched forward: validates shapes up front, fans out across
+        // threads above the nn crate's size threshold, and returns
+        // predictions in window order (bitwise-equal to a serial loop).
+        let preds = model.predict_batch(windows).map_err(algo)?;
         Ok(vec![("predictions".into(), Value::Series(preds))])
     }
 }

@@ -1,0 +1,136 @@
+//! Property-based suite for the statistical detectors, built on
+//! `sintel_common::check`. Failures print a replayable case seed; rerun
+//! a whole suite run with `SINTEL_CHECK_SEED=<root>`.
+
+use sintel_common::check::{forall, shrinks, Config};
+use sintel_common::SintelRng;
+use sintel_stats::{fixed_threshold, Arima};
+
+/// Random non-negative error series with a few injected spikes, the
+/// shape `fixed_threshold` sees in the pipeline (absolute residuals).
+fn random_errors(rng: &mut SintelRng) -> Vec<f64> {
+    let n = rng.int_range(20, 200) as usize;
+    let mut errors: Vec<f64> = (0..n).map(|_| rng.normal_std().abs()).collect();
+    for _ in 0..rng.int_range(0, 4) {
+        let i = rng.index(errors.len());
+        errors[i] += rng.uniform_range(2.0, 10.0);
+    }
+    errors
+}
+
+/// Total number of samples covered by the detected spans.
+fn flagged_samples(spans: &[sintel_stats::AnomalySpan]) -> usize {
+    spans.iter().map(|s| s.end - s.start + 1).sum()
+}
+
+/// Raising the sigma multiplier `k` raises the threshold `µ + k·σ`, so
+/// the set of flagged samples can only shrink — monotonicity in z. A
+/// mutation that breaks threshold pruning (e.g. comparing with the
+/// wrong inequality) fails this with a replayable seed.
+#[test]
+fn fixed_threshold_is_monotone_in_k() {
+    forall(
+        "fixed_threshold flags monotonically fewer samples as k grows",
+        &Config::default(),
+        |rng| {
+            let errors = random_errors(rng);
+            let k_lo = rng.uniform_range(0.0, 3.0);
+            let k_hi = k_lo + rng.uniform_range(0.1, 3.0);
+            (errors, k_lo, k_hi)
+        },
+        |(errors, k_lo, k_hi)| {
+            shrinks::truncate_vec(errors)
+                .into_iter()
+                .map(|e| (e, *k_lo, *k_hi))
+                .collect()
+        },
+        |(errors, k_lo, k_hi)| {
+            let lo = fixed_threshold(errors, *k_lo).map_err(|e| e.to_string())?;
+            let hi = fixed_threshold(errors, *k_hi).map_err(|e| e.to_string())?;
+            let (n_lo, n_hi) = (flagged_samples(&lo), flagged_samples(&hi));
+            if n_hi <= n_lo {
+                Ok(())
+            } else {
+                Err(format!(
+                    "k={k_hi} flagged {n_hi} samples but lower k={k_lo} flagged only {n_lo}"
+                ))
+            }
+        },
+    );
+}
+
+/// Every sample a fixed-threshold span covers must actually exceed the
+/// threshold `µ + k·σ` somewhere in the span, and spans must be
+/// in-bounds, ordered, and non-overlapping.
+#[test]
+fn fixed_threshold_spans_are_well_formed() {
+    forall(
+        "fixed_threshold spans are ordered, disjoint, in bounds",
+        &Config::default(),
+        |rng| (random_errors(rng), rng.uniform_range(0.5, 4.0)),
+        |(errors, k)| {
+            shrinks::truncate_vec(errors).into_iter().map(|e| (e, *k)).collect()
+        },
+        |(errors, k)| {
+            let spans = fixed_threshold(errors, *k).map_err(|e| e.to_string())?;
+            let mut prev_end: Option<usize> = None;
+            for s in &spans {
+                if s.start > s.end || s.end >= errors.len() {
+                    return Err(format!("span {}..={} out of bounds", s.start, s.end));
+                }
+                if let Some(p) = prev_end {
+                    if s.start <= p {
+                        return Err(format!(
+                            "span {}..={} overlaps or precedes previous end {p}",
+                            s.start, s.end
+                        ));
+                    }
+                }
+                if !s.score.is_finite() || s.score < 0.0 {
+                    return Err(format!("span score {} not finite/non-negative", s.score));
+                }
+                prev_end = Some(s.end);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Fit ARIMA on a random stationary AR(1) series and forecast: every
+/// forecast value must be finite. Catches coefficient blow-ups and NaN
+/// propagation in the two-stage Hannan–Rissanen fit.
+#[test]
+fn arima_forecasts_are_finite_on_stationary_series() {
+    forall(
+        "Arima::forecast is finite on random stationary AR(1) input",
+        &Config::default().cases(48),
+        |rng| {
+            let n = rng.int_range(80, 240) as usize;
+            let phi = rng.uniform_range(-0.8, 0.8);
+            let mut x = 0.0f64;
+            let series: Vec<f64> = (0..n)
+                .map(|_| {
+                    x = phi * x + rng.normal_std();
+                    x
+                })
+                .collect();
+            let horizon = rng.int_range(1, 12) as usize;
+            (series, horizon)
+        },
+        shrinks::none,
+        |(series, horizon)| {
+            let model = Arima::fit(series, 2, 0, 1).map_err(|e| e.to_string())?;
+            let forecast = model.forecast(series, *horizon).map_err(|e| e.to_string())?;
+            if forecast.len() != *horizon {
+                return Err(format!(
+                    "asked for {horizon} steps, got {}",
+                    forecast.len()
+                ));
+            }
+            if let Some(bad) = forecast.iter().find(|v| !v.is_finite()) {
+                return Err(format!("non-finite forecast value {bad}"));
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,168 @@
+//! Property-based suite for signal resampling and interval algebra,
+//! built on `sintel_common::check`. Failures print a replayable case
+//! seed; rerun a whole suite run with `SINTEL_CHECK_SEED=<root>`.
+
+use sintel_common::check::{forall, shrinks, Config};
+use sintel_common::SintelRng;
+use sintel_timeseries::{merge_overlapping, time_segments_aggregate, Aggregation, Interval, Signal};
+
+/// Random univariate signal with strictly increasing integer timestamps.
+fn random_signal(rng: &mut SintelRng) -> Signal {
+    let n = rng.int_range(1, 120) as usize;
+    let mut t = rng.int_range(-50, 50);
+    let mut timestamps = Vec::with_capacity(n);
+    for _ in 0..n {
+        timestamps.push(t);
+        t += rng.int_range(1, 7);
+    }
+    let values: Vec<f64> = (0..n).map(|_| rng.normal(0.0, 5.0)).collect();
+    Signal::univariate("prop", timestamps, values).expect("strictly increasing timestamps")
+}
+
+fn random_interval(rng: &mut SintelRng) -> Interval {
+    let a = rng.int_range(-100, 100);
+    let b = rng.int_range(-100, 100);
+    Interval::new(a.min(b), a.max(b)).expect("ordered endpoints")
+}
+
+/// `time_segments_aggregate` covers `[start, end]` with bins of width
+/// `interval`: the output must hold exactly `(end-start)/interval + 1`
+/// equally spaced timestamps regardless of where samples fall.
+#[test]
+fn aggregate_length_and_spacing_invariants() {
+    forall(
+        "time_segments_aggregate bin count and spacing",
+        &Config::default(),
+        |rng| {
+            let signal = random_signal(rng);
+            let interval = rng.int_range(1, 15);
+            (signal, interval)
+        },
+        shrinks::none,
+        |(signal, interval)| {
+            let agg = time_segments_aggregate(signal, *interval, Aggregation::Mean)
+                .map_err(|e| e.to_string())?;
+            let start = signal.start().expect("non-empty");
+            let end = signal.end().expect("non-empty");
+            let expected = ((end - start) / interval + 1) as usize;
+            if agg.len() != expected {
+                return Err(format!("expected {expected} bins, got {}", agg.len()));
+            }
+            let ts = agg.timestamps();
+            if ts.first() != Some(&start) {
+                return Err(format!("first bin {:?} != signal start {start}", ts.first()));
+            }
+            if let Some(bad) = ts.windows(2).find(|w| w[1] - w[0] != *interval) {
+                return Err(format!("uneven spacing {bad:?}, want step {interval}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Aggregated means must lie within the min/max of the source values
+/// (or be NaN for empty bins) — aggregation never invents new extremes.
+#[test]
+fn aggregate_means_stay_within_source_range() {
+    forall(
+        "time_segments_aggregate(Mean) stays in [min, max] of source",
+        &Config::default(),
+        |rng| {
+            let signal = random_signal(rng);
+            let interval = rng.int_range(1, 15);
+            (signal, interval)
+        },
+        shrinks::none,
+        |(signal, interval)| {
+            let agg = time_segments_aggregate(signal, *interval, Aggregation::Mean)
+                .map_err(|e| e.to_string())?;
+            let src = signal.channel(0);
+            let lo = src.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = src.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for v in agg.channel(0) {
+                if v.is_nan() {
+                    continue; // empty bin
+                }
+                if *v < lo - 1e-12 || *v > hi + 1e-12 {
+                    return Err(format!("bin mean {v} outside source range [{lo}, {hi}]"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn interval_overlap_is_symmetric_and_matches_intersect() {
+    forall(
+        "overlaps symmetry and intersect consistency",
+        &Config::default(),
+        |rng| (random_interval(rng), random_interval(rng)),
+        shrinks::none,
+        |(a, b)| {
+            if a.overlaps(b) != b.overlaps(a) {
+                return Err(format!("overlaps not symmetric for {a:?}, {b:?}"));
+            }
+            match (a.intersect(b), b.intersect(a)) {
+                (Some(x), Some(y)) if x == y => {
+                    if !a.overlaps(b) {
+                        return Err(format!("intersect Some but overlaps false: {a:?}, {b:?}"));
+                    }
+                    if x.start < a.start.max(b.start) || x.end > a.end.min(b.end) {
+                        return Err(format!("intersection {x:?} escapes {a:?} ∩ {b:?}"));
+                    }
+                }
+                (None, None) => {
+                    if a.overlaps(b) {
+                        return Err(format!("overlaps true but intersect None: {a:?}, {b:?}"));
+                    }
+                }
+                (x, y) => return Err(format!("intersect not symmetric: {x:?} vs {y:?}")),
+            }
+            let hull = a.hull(b);
+            if hull.start != a.start.min(b.start) || hull.end != a.end.max(b.end) {
+                return Err(format!("hull {hull:?} does not span {a:?} and {b:?}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `merge_overlapping` must return sorted, pairwise-disjoint intervals
+/// that cover exactly the input points (no instant gained or lost when
+/// gap = 0).
+#[test]
+fn merge_overlapping_yields_disjoint_cover() {
+    forall(
+        "merge_overlapping output is sorted, disjoint, covering",
+        &Config::default(),
+        |rng| {
+            let n = rng.int_range(0, 12) as usize;
+            (0..n).map(|_| random_interval(rng)).collect::<Vec<_>>()
+        },
+        |v| shrinks::truncate_vec(v),
+        |intervals| {
+            let merged = merge_overlapping(intervals, 0);
+            for w in merged.windows(2) {
+                if w[1].start <= w[0].end {
+                    return Err(format!("merged intervals not disjoint/sorted: {w:?}"));
+                }
+            }
+            // Every input instant is covered by some merged interval.
+            for iv in intervals {
+                if !merged.iter().any(|m| m.start <= iv.start && iv.end <= m.end) {
+                    return Err(format!("input {iv:?} not covered by {merged:?}"));
+                }
+            }
+            // Every merged endpoint comes from some input interval.
+            for m in &merged {
+                let start_ok = intervals.iter().any(|iv| iv.start == m.start);
+                let end_ok = intervals.iter().any(|iv| iv.end == m.end);
+                if !start_ok || !end_ok {
+                    return Err(format!("merged {m:?} endpoints not drawn from inputs"));
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -9,8 +9,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (SINTEL_THREADS=1, serial paths)"
+SINTEL_THREADS=1 cargo test -q
+
+# The determinism contract (DESIGN.md §4e): the same suite must pass —
+# with bitwise-identical scores asserted inside the tests — on the
+# parallel paths.
+echo "==> cargo test -q (SINTEL_THREADS=4, parallel paths)"
+SINTEL_THREADS=4 cargo test -q
 
 # The fault-isolation layer must never itself abort: deny unwrap in the
 # pipeline executor and the framework core (test code is exempt —
@@ -24,6 +30,11 @@ cargo clippy -p sintel-pipeline -p sintel -- -D clippy::unwrap_used
 # allows.
 echo "==> cargo clippy (deny print_stdout/print_stderr in library crates)"
 cargo clippy --workspace --lib -- -D clippy::print_stdout -D clippy::print_stderr
+
+# The parallel substrate is scoped-threads only: an Arc around a
+# non-Send/Sync payload is always a bug here, never a workaround.
+echo "==> cargo clippy (deny arc_with_non_send_sync workspace-wide)"
+cargo clippy --workspace -- -D clippy::arc_with_non_send_sync
 
 # Crate-scoped lint extensions (the deny attributes live in each crate's
 # lib.rs, with documented inline allows at the justified sites):
