@@ -265,6 +265,16 @@ pub fn benchmark_report_with_db(
     let templates = resolve_templates(cfg)?;
     preregister_metrics();
 
+    // Group commit: every knowledge-base write of this run (preflight
+    // diagnostics, run failures, quarantine strikes, the metrics
+    // snapshot) is buffered and appended as ONE WAL record when the
+    // run completes — one fsync per benchmark instead of one per
+    // write, and a crash mid-run persists either the whole run's
+    // bookkeeping or none of it. All writes happen in the serial plan
+    // and fold sections, so the record's contents are identical at any
+    // `SINTEL_THREADS`.
+    let store_batch = db.map(SintelDb::batch);
+
     // Preflight: analyse each template once, up front. Warn-level
     // diagnostics are logged; Error-level ones mark the template as
     // rejected — its rows never execute a single signal. All diagnostics
@@ -568,6 +578,14 @@ pub fn benchmark_report_with_db(
     if let Some(db) = db {
         persist_metrics_snapshot(db, "benchmark");
     }
+    if let Some(scope) = store_batch {
+        if let Err(e) = scope.commit() {
+            sintel_obs::warn!(
+                TARGET,
+                format!("benchmark knowledge-base batch did not reach the log: {e}"),
+            );
+        }
+    }
     let cpu_time = rows.iter().map(|r| r.train_time + r.detect_time).sum();
     Ok(BenchmarkReport {
         rows,
@@ -578,7 +596,10 @@ pub fn benchmark_report_with_db(
 }
 
 /// Persist benchmark rows into the knowledge base as experiments.
+/// Committed as one WAL batch: either every row's experiment+result
+/// pair lands, or none do.
 pub fn persist_benchmark(db: &SintelDb, rows: &[BenchmarkRow]) {
+    let scope = db.batch();
     for row in rows {
         let exp = db.add_experiment(
             &format!("benchmark/{}/{}", row.dataset, row.pipeline),
@@ -605,6 +626,12 @@ pub fn persist_benchmark(db: &SintelDb, rows: &[BenchmarkRow]) {
             .with("detect_seconds", row.detect_time.as_secs_f64())
             .with("peak_memory_bytes", row.peak_memory);
         db.raw().insert("benchmark_results", doc);
+    }
+    if let Err(e) = scope.commit() {
+        sintel_obs::warn!(
+            TARGET,
+            format!("benchmark results batch did not reach the log: {e}"),
+        );
     }
 }
 

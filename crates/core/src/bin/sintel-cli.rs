@@ -8,6 +8,7 @@
 //! sintel-cli view --signal F.csv [--width N] [--height N]
 //! sintel-cli benchmark [--scale S] [--pipelines a,b] [--datasets NAB,YAHOO]
 //!                      [--timeout SECS] [--retries N] [--threads N]
+//!                      [--store DIR] [--store-durability snapshot|wal|wal-sync]
 //! sintel-cli analyze [--all | PIPELINE...]      static template diagnostics
 //! ```
 //!
@@ -23,9 +24,11 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use sintel::benchmark::{
-    benchmark_report, render_perf_table, render_table, BenchmarkConfig, MetricKind,
+    benchmark_report_with_db, persist_benchmark, render_perf_table, render_table,
+    BenchmarkConfig, MetricKind,
 };
 use sintel::Sintel;
+use sintel_store::{Durability, SintelDb, StoreOptions};
 use sintel_datasets::{load_all, DatasetConfig, DatasetId};
 use sintel_timeseries::csvio;
 
@@ -144,6 +147,12 @@ USAGE:
   sintel-cli view      --signal FILE.csv [--width N] [--height N]
   sintel-cli benchmark [--scale S] [--pipelines a,b,c] [--datasets NAB,NASA,YAHOO]
                        [--timeout SECS] [--retries N] [--threads N]
+                       [--store DIR] [--store-durability snapshot|wal|wal-sync]
+                       --store persists runs/failures/quarantine to a
+                       crash-safe knowledge base (WAL + snapshots); the
+                       durability knob trades fsync cost for crash loss:
+                       wal-sync (default) fsyncs every commit, wal leaves
+                       fsync to the OS, snapshot only persists on save
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
                        [--horizon N]
   sintel-cli analyze   [--all | PIPELINE...]
@@ -396,11 +405,60 @@ fn cmd_benchmark(opts: &HashMap<String, String>) -> Result<(), String> {
         policy,
         ..BenchmarkConfig::default()
     };
-    let report = benchmark_report(&cfg).map_err(|e| e.to_string())?;
+    let db = open_store(opts)?;
+    let report = benchmark_report_with_db(&cfg, db.as_ref()).map_err(|e| e.to_string())?;
     print!("{}", render_table(&report.rows));
     println!();
     print!("{}", render_perf_table(&report));
+    if let Some(db) = &db {
+        persist_benchmark(db, &report.rows);
+        db.save().map_err(|e| format!("saving knowledge base: {e}"))?;
+        let raw = db.raw();
+        eprintln!(
+            "store: {} collections persisted at durability '{}' ({} run failures, \
+             {} quarantined pairs)",
+            raw.collection_names().len(),
+            raw.durability().label(),
+            raw.count(sintel_store::schema::collections::RUN_FAILURES, &sintel_store::Filter::All),
+            raw.count(sintel_store::schema::collections::QUARANTINE, &sintel_store::Filter::All),
+        );
+    }
     Ok(())
+}
+
+/// Open the persistent knowledge base named by `--store DIR`, at the
+/// durability level named by `--store-durability` (default `wal-sync`).
+/// Returns `None` when no store was requested.
+fn open_store(opts: &HashMap<String, String>) -> Result<Option<SintelDb>, String> {
+    let Some(dir) = opts.get("store") else {
+        if opts.contains_key("store-durability") {
+            return Err("--store-durability needs --store DIR".to_string());
+        }
+        return Ok(None);
+    };
+    let mut store_opts = StoreOptions::default();
+    if let Some(s) = opts.get("store-durability") {
+        store_opts.durability = Durability::parse(s).ok_or_else(|| {
+            format!("bad --store-durability '{s}' (want snapshot|wal|wal-sync)")
+        })?;
+    }
+    let db = SintelDb::open_with(Path::new(dir), store_opts)
+        .map_err(|e| format!("opening --store {dir}: {e}"))?;
+    let recovery = db.recovery();
+    if !recovery.is_clean() {
+        eprintln!(
+            "store: recovered {dir}: {} corrupt snapshot(s) quarantined, \
+             {} orphan temp file(s) removed, {} WAL batch(es) replayed{}",
+            recovery.corrupt.len(),
+            recovery.orphans_removed.len(),
+            recovery.wal_replayed_batches,
+            recovery
+                .wal_truncated_at
+                .map(|o| format!(", torn tail truncated at byte {o}"))
+                .unwrap_or_default(),
+        );
+    }
+    Ok(Some(db))
 }
 
 /// Apply `--threads N` as the process-wide worker budget (precedence

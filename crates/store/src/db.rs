@@ -1,28 +1,165 @@
-//! The database: named collections behind a lock, with atomic JSONL
-//! persistence.
+//! The database: collections sharded across per-shard locks, durably
+//! persisted through a checksummed write-ahead log plus JSONL snapshots.
+//!
+//! ## Concurrency
+//!
+//! Documents are distributed over [`NUM_SHARDS`] shards by
+//! [`shard_of`]`(collection, id)` — a deterministic FNV-1a hash, never
+//! `RandomState`, so the same document lands on the same shard in every
+//! process. Each shard holds its slice of every collection behind its
+//! own `RwLock`, so a writer touching one shard never blocks readers of
+//! the other fifteen; readers first `try_read` and count the rare
+//! conflict in `sintel_store_shard_read_blocked_total` before waiting.
+//!
+//! ## Durability
+//!
+//! Mutations apply to memory first (under one shard's write lock), then
+//! are logged to the WAL ([`crate::wal`]) — individually, or as one
+//! record per [`Database::batch`] scope. [`Database::save`] doubles as
+//! *compaction*: it writes one `<collection>.jsonl` snapshot per
+//! collection (temp file + `sync_all` + rename + directory `fsync`) and
+//! then truncates the log; the log also auto-compacts once it crosses
+//! [`StoreOptions::compact_threshold`]. [`Database::open`] recovers
+//! deterministically: remove orphan temp files, load snapshots
+//! (quarantining corrupt files as `<name>.jsonl.corrupt` instead of
+//! failing the open), then replay the WAL — truncating a torn tail —
+//! and report it all in a [`RecoveryReport`].
+//!
+//! A database directory supports one writer at a time; concurrent
+//! writers through separate `Database` handles would interleave
+//! appends on independent file cursors and corrupt the log.
 
 use std::collections::HashMap;
+use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
-
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::time::Instant;
 
 use crate::collection::Collection;
 use crate::doc::Doc;
 use crate::json::{from_json, to_json};
 use crate::query::Filter;
+use crate::wal::{crash_point, encode_batch, fsync_dir, Wal, WalOp};
 use crate::{Result, StoreError};
+
+/// Log target for store observability events.
+const TARGET: &str = "sintel::store";
+
+/// Number of lock shards collections are hashed across.
+pub const NUM_SHARDS: usize = 16;
 
 fn io_err(e: impl std::fmt::Display) -> StoreError {
     StoreError::Io(e.to_string())
 }
 
+/// Shard index for a document: FNV-1a 64 over the collection name and
+/// the little-endian id bytes. Deterministic across processes and runs
+/// (the persisted layout and the tests depend on that).
+pub fn shard_of(collection: &str, id: u64) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in collection.bytes().chain(id.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % NUM_SHARDS as u64) as usize
+}
+
+/// How eagerly committed writes reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// No write-ahead log: data persists only on explicit
+    /// [`Database::save`] (the pre-WAL behaviour, with the snapshot
+    /// writer's fsync bugs fixed). A crash loses everything since the
+    /// last save.
+    Snapshot,
+    /// Every mutation is appended to the WAL but `fsync` is left to the
+    /// OS page cache: a process crash loses nothing, a power failure
+    /// may lose the cache tail.
+    Wal,
+    /// Every WAL append is `sync_data`'d before the mutation returns:
+    /// committed means durable. The default.
+    WalSync,
+}
+
+impl Durability {
+    /// Parse a CLI-flavoured label (`snapshot` | `wal` | `wal-sync`).
+    pub fn parse(s: &str) -> Option<Durability> {
+        match s {
+            "snapshot" => Some(Durability::Snapshot),
+            "wal" => Some(Durability::Wal),
+            "wal-sync" => Some(Durability::WalSync),
+            _ => None,
+        }
+    }
+
+    /// The label [`Durability::parse`] accepts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Durability::Snapshot => "snapshot",
+            Durability::Wal => "wal",
+            Durability::WalSync => "wal-sync",
+        }
+    }
+}
+
+/// Tunables for [`Database::open_with`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Write durability level.
+    pub durability: Durability,
+    /// WAL size (bytes) beyond which a commit triggers auto-compaction
+    /// into fresh snapshots. `u64::MAX` disables auto-compaction.
+    pub compact_threshold: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self { durability: Durability::WalSync, compact_threshold: 4 * 1024 * 1024 }
+    }
+}
+
+/// What [`Database::open`] found and repaired on the way up.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Snapshot files that failed to load and were quarantined with a
+    /// `.corrupt` suffix ([`StoreError::Corrupt`] each).
+    pub corrupt: Vec<StoreError>,
+    /// Orphan `.tmp` files (compaction crash debris) that were removed.
+    pub orphans_removed: Vec<String>,
+    /// Committed WAL batches replayed over the snapshots.
+    pub wal_replayed_batches: usize,
+    /// Individual operations inside those batches.
+    pub wal_replayed_ops: usize,
+    /// Byte offset the WAL was truncated at when a torn tail was found.
+    pub wal_truncated_at: Option<u64>,
+}
+
+impl RecoveryReport {
+    /// True when recovery found nothing to repair.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty()
+            && self.orphans_removed.is_empty()
+            && self.wal_truncated_at.is_none()
+    }
+}
+
+/// Writes buffered during an open [`BatchScope`], committed as one WAL
+/// record. `depth` counts nested scopes.
+struct PendingBatch {
+    depth: usize,
+    ops: Vec<WalOp>,
+}
+
 /// An embedded multi-collection document database.
 ///
-/// Thread-safe: reads take a shared lock, writes an exclusive one. When
-/// opened with a directory path, [`Database::save`] writes one
-/// `<collection>.jsonl` file per collection atomically (temp file +
-/// rename) and [`Database::open`] reloads them.
+/// Thread-safe: collections are sharded across [`NUM_SHARDS`] locks so
+/// readers and writers of different shards proceed in parallel. When
+/// opened with a directory path, every mutation is logged to a
+/// checksummed write-ahead log and [`Database::save`] compacts the log
+/// into one `<collection>.jsonl` snapshot per collection;
+/// [`Database::open`] replays log over snapshots, repairing crash
+/// debris (see [`RecoveryReport`]).
 ///
 /// ```
 /// use sintel_store::{Database, Doc, Filter};
@@ -33,148 +170,647 @@ fn io_err(e: impl std::fmt::Display) -> StoreError {
 /// assert_eq!(hits.len(), 1);
 /// ```
 pub struct Database {
-    collections: RwLock<HashMap<String, Collection>>,
+    /// `shard -> collection name -> that shard's slice of the collection`.
+    shards: [RwLock<HashMap<String, Collection>>; NUM_SHARDS],
+    /// Global per-collection id allocator (`next_id`).
+    ids: Mutex<HashMap<String, u64>>,
+    /// Index registry: collection -> indexed fields. New shard slices
+    /// of a collection inherit these on creation.
+    indexed: Mutex<HashMap<String, Vec<String>>>,
+    /// The write-ahead log; `None` for in-memory and snapshot-only DBs.
+    wal: Mutex<Option<Wal>>,
+    /// Open batch scope, if any.
+    pending: Mutex<Option<PendingBatch>>,
     path: Option<PathBuf>,
+    opts: StoreOptions,
+    recovery: RecoveryReport,
 }
 
 impl Database {
-    /// Shared lock; a poisoned lock (writer panicked) is recovered rather
-    /// than propagated — collection state is valid after any completed
-    /// insert/update, so reads remain safe.
-    fn read_lock(&self) -> RwLockReadGuard<'_, HashMap<String, Collection>> {
-        self.collections.read().unwrap_or_else(|e| e.into_inner())
+    // ---- lock helpers (poisoned locks are recovered, not propagated:
+    // collection state is valid after any completed mutation) ----------
+
+    fn read_shard(&self, idx: usize) -> RwLockReadGuard<'_, HashMap<String, Collection>> {
+        match self.shards[idx].try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                sintel_obs::counter_add("sintel_store_shard_read_blocked_total", 1);
+                self.shards[idx].read().unwrap_or_else(|e| e.into_inner())
+            }
+        }
     }
 
-    /// Exclusive lock with the same poison-recovery rationale.
-    fn write_lock(&self) -> RwLockWriteGuard<'_, HashMap<String, Collection>> {
-        self.collections.write().unwrap_or_else(|e| e.into_inner())
+    fn write_shard(&self, idx: usize) -> RwLockWriteGuard<'_, HashMap<String, Collection>> {
+        self.shards[idx].write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_ids(&self) -> MutexGuard<'_, HashMap<String, u64>> {
+        self.ids.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_indexed(&self) -> MutexGuard<'_, HashMap<String, Vec<String>>> {
+        self.indexed.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_wal(&self) -> MutexGuard<'_, Option<Wal>> {
+        self.wal.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_pending(&self) -> MutexGuard<'_, Option<PendingBatch>> {
+        self.pending.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn empty(path: Option<PathBuf>, opts: StoreOptions) -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            ids: Mutex::new(HashMap::new()),
+            indexed: Mutex::new(HashMap::new()),
+            wal: Mutex::new(None),
+            pending: Mutex::new(None),
+            path,
+            opts,
+            recovery: RecoveryReport::default(),
+        }
     }
 
     /// Volatile in-memory database.
     pub fn in_memory() -> Self {
-        Self { collections: RwLock::new(HashMap::new()), path: None }
+        Self::empty(None, StoreOptions::default())
+    }
+
+    /// Open (creating if needed) a database persisted under `dir`, with
+    /// default options ([`Durability::WalSync`]).
+    pub fn open(dir: &Path) -> Result<Self> {
+        Self::open_with(dir, StoreOptions::default())
     }
 
     /// Open (creating if needed) a database persisted under `dir`.
-    pub fn open(dir: &Path) -> Result<Self> {
+    ///
+    /// Recovery sequence, in order: remove orphan compaction temp
+    /// files; load every `<name>.jsonl` snapshot (a file with a corrupt
+    /// line is renamed to `<name>.jsonl.corrupt` and reported rather
+    /// than failing the open); replay the write-ahead log over the
+    /// snapshots, truncating a torn tail. The outcome is readable via
+    /// [`Database::recovery`] — this never panics on crash debris.
+    pub fn open_with(dir: &Path, opts: StoreOptions) -> Result<Self> {
         std::fs::create_dir_all(dir).map_err(io_err)?;
-        let mut collections = HashMap::new();
+        let mut db = Self::empty(Some(dir.to_path_buf()), opts);
+        let mut report = RecoveryReport::default();
+
+        // 1. Orphan temp files: debris of a crash mid-compaction. The
+        // WAL still holds whatever the interrupted compaction was
+        // flushing, so the orphans are pure garbage.
+        let mut snapshots = Vec::new();
         for entry in std::fs::read_dir(dir).map_err(io_err)? {
-            let entry = entry.map_err(io_err)?;
-            let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            let path = entry.map_err(io_err)?.path();
+            if !path.is_file() {
                 continue;
             }
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(&path).map_err(io_err)?;
+                sintel_obs::warn!(
+                    TARGET,
+                    "removed orphan temp file left by an interrupted compaction",
+                    file = name.as_str(),
+                );
+                sintel_obs::counter_add("sintel_store_orphans_removed_total", 1);
+                report.orphans_removed.push(name);
+            } else if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+                snapshots.push(path);
+            }
+        }
+        snapshots.sort();
+
+        // 2. Snapshots. A corrupt file is quarantined whole: half a
+        // collection silently loaded would be worse than none, and the
+        // bytes stay on disk (renamed) for manual inspection.
+        for path in snapshots {
             let name = path
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .ok_or_else(|| StoreError::Io(format!("bad file name {path:?}")))?
                 .to_string();
-            let mut collection = Collection::new();
-            let file = std::fs::File::open(&path).map_err(io_err)?;
-            for line in BufReader::new(file).lines() {
-                let line = line.map_err(io_err)?;
-                if line.trim().is_empty() {
-                    continue;
+            match load_snapshot(&path) {
+                Ok(docs) => {
+                    // Even an empty snapshot names a collection that
+                    // must exist (and persist) after reopen.
+                    db.ensure_collection(&name);
+                    for (id, doc) in docs {
+                        db.bump_next_id(&name, id);
+                        db.apply_put(&name, id, doc);
+                    }
                 }
-                let doc = from_json(&line)?;
-                let id = doc
-                    .get("_id")
-                    .and_then(Doc::as_i64)
-                    .ok_or_else(|| StoreError::Schema("persisted doc lacks _id".into()))?;
-                collection.restore(id as u64, doc);
+                Err(err) => {
+                    let quarantine = path.with_extension("jsonl.corrupt");
+                    std::fs::rename(&path, &quarantine).map_err(io_err)?;
+                    sintel_obs::warn!(
+                        TARGET,
+                        format!("quarantined corrupt snapshot: {err}"),
+                        collection = name.as_str(),
+                    );
+                    sintel_obs::counter_add("sintel_store_corrupt_collections_total", 1);
+                    report.corrupt.push(err);
+                }
             }
-            collections.insert(name, collection);
         }
-        Ok(Self { collections: RwLock::new(collections), path: Some(dir.to_path_buf()) })
+
+        // 3. The log: replay every committed batch, truncate torn tails.
+        let t0 = Instant::now();
+        let sync = db.opts.durability == Durability::WalSync;
+        let (mut wal, replay) = Wal::open(dir, sync)?;
+        report.wal_replayed_batches = replay.batches.len();
+        report.wal_truncated_at = replay.truncated_at;
+        for batch in replay.batches {
+            for op in batch {
+                report.wal_replayed_ops += 1;
+                db.apply_replayed(op);
+            }
+        }
+        if let Some(offset) = replay.truncated_at {
+            sintel_obs::warn!(
+                TARGET,
+                "truncated torn tail of write-ahead log",
+                offset = offset,
+            );
+            sintel_obs::counter_add("sintel_store_wal_truncations_total", 1);
+        }
+        sintel_obs::counter_add(
+            "sintel_store_wal_replayed_batches_total",
+            report.wal_replayed_batches as u64,
+        );
+        sintel_obs::observe_duration("sintel_store_wal_replay_seconds", t0.elapsed());
+
+        if db.opts.durability == Durability::Snapshot {
+            // Snapshot-only mode keeps no log. Fold anything a previous
+            // WAL-mode run left in it into fresh snapshots *now*, then
+            // truncate — a stale log must never resurrect over
+            // snapshots written later by this mode's explicit saves.
+            if report.wal_replayed_batches > 0 || report.wal_truncated_at.is_some() {
+                db.snapshot_all(dir)?;
+            }
+            if wal.size() > 0 {
+                wal.reset()?;
+            }
+        } else {
+            *db.lock_wal() = Some(wal);
+        }
+        db.recovery = report;
+        Ok(db)
     }
 
-    /// Persist every collection (no-op for in-memory databases).
+    /// What recovery found when this database was opened (empty report
+    /// for in-memory databases).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The durability level this database runs at.
+    pub fn durability(&self) -> Durability {
+        self.opts.durability
+    }
+
+    /// Current size of the write-ahead log in bytes (0 without a WAL).
+    pub fn wal_size(&self) -> u64 {
+        self.lock_wal().as_ref().map(Wal::size).unwrap_or(0)
+    }
+
+    // ---- persistence -------------------------------------------------
+
+    /// Persist every collection and truncate the write-ahead log (a
+    /// no-op for in-memory databases). This is also *compaction*: the
+    /// log's contents are folded into `<collection>.jsonl` snapshots
+    /// (temp file, `sync_all`, rename, directory `fsync` — the full
+    /// crash-safe sequence), after which the log restarts empty.
     pub fn save(&self) -> Result<()> {
-        let Some(dir) = &self.path else { return Ok(()) };
-        let collections = self.read_lock();
-        for (name, collection) in collections.iter() {
-            let final_path = dir.join(format!("{name}.jsonl"));
-            let tmp_path = dir.join(format!(".{name}.jsonl.tmp"));
-            {
-                let file = std::fs::File::create(&tmp_path).map_err(io_err)?;
-                let mut out = BufWriter::new(file);
-                for (_, doc) in collection.iter() {
-                    writeln!(out, "{}", to_json(doc)).map_err(io_err)?;
-                }
-                out.flush().map_err(io_err)?;
-            }
-            std::fs::rename(&tmp_path, &final_path).map_err(io_err)?;
+        let Some(dir) = self.path.clone() else { return Ok(()) };
+        let t0 = Instant::now();
+        let mut wal_guard = self.lock_wal();
+        self.snapshot_all(&dir)?;
+        if let Some(wal) = wal_guard.as_mut() {
+            wal.reset()?;
         }
+        drop(wal_guard);
+        sintel_obs::counter_add("sintel_store_compactions_total", 1);
+        sintel_obs::observe_duration("sintel_store_compaction_seconds", t0.elapsed());
         Ok(())
     }
 
+    /// Write one JSONL snapshot per collection under `dir`, from a
+    /// consistent view (all shard read locks held). The caller decides
+    /// what happens to the WAL.
+    fn snapshot_all(&self, dir: &Path) -> Result<()> {
+        let shards: Vec<_> = (0..NUM_SHARDS).map(|i| self.read_shard(i)).collect();
+        // Every collection that ever existed gets a file — including
+        // ones that are currently empty or only had an index declared —
+        // so a reopened database sees the same collection set.
+        let mut names: Vec<String> =
+            shards.iter().flat_map(|shard| shard.keys().cloned()).collect();
+        names.extend(self.lock_indexed().keys().cloned());
+        names.sort();
+        names.dedup();
+        for name in &names {
+            let final_path = dir.join(format!("{name}.jsonl"));
+            let tmp_path = dir.join(format!(".{name}.jsonl.tmp"));
+            {
+                let file = File::create(&tmp_path).map_err(io_err)?;
+                let mut out = BufWriter::new(file);
+                let mut docs: Vec<(&u64, &Doc)> = shards
+                    .iter()
+                    .filter_map(|shard| shard.get(name))
+                    .flat_map(Collection::iter)
+                    .collect();
+                docs.sort_by_key(|(id, _)| **id);
+                for (_, doc) in docs {
+                    writeln!(out, "{}", to_json(doc)).map_err(io_err)?;
+                }
+                out.flush().map_err(io_err)?;
+                // A rename is only atomic *and durable* if the new
+                // bytes are on disk first.
+                out.get_ref().sync_all().map_err(io_err)?;
+            }
+            crash_point!(MidCompaction, Err);
+            std::fs::rename(&tmp_path, &final_path).map_err(io_err)?;
+        }
+        // ...and the renames themselves live in the directory entry.
+        fsync_dir(dir)
+    }
+
+    // ---- write path --------------------------------------------------
+
+    /// Make a collection exist (possibly empty) so `collection_names`
+    /// and snapshots keep listing it. Its home shard is `shard_of(name, 0)`.
+    fn ensure_collection(&self, name: &str) {
+        let mut shard = self.write_shard(shard_of(name, 0));
+        shard.entry(name.to_string()).or_default();
+    }
+
+    fn bump_next_id(&self, collection: &str, id: u64) {
+        let mut ids = self.lock_ids();
+        let next = ids.entry(collection.to_string()).or_insert(1);
+        *next = (*next).max(id + 1);
+    }
+
+    fn alloc_id(&self, collection: &str) -> u64 {
+        let mut ids = self.lock_ids();
+        let next = ids.entry(collection.to_string()).or_insert(1);
+        let id = *next;
+        *next += 1;
+        id
+    }
+
+    /// Upsert `doc` (already carrying `_id`) into its shard. Existing
+    /// documents go through `update` so their old index entries are
+    /// removed; fresh ones through `restore`.
+    fn apply_put(&self, collection: &str, id: u64, doc: Doc) {
+        let fields: Vec<String> =
+            self.lock_indexed().get(collection).cloned().unwrap_or_default();
+        let mut shard = self.write_shard(shard_of(collection, id));
+        let col = shard.entry(collection.to_string()).or_default();
+        for field in &fields {
+            col.create_index(field);
+        }
+        if col.get(id).is_some() {
+            let _ = col.update(id, doc);
+        } else {
+            col.restore(id, doc);
+        }
+    }
+
+    fn apply_replayed(&self, op: WalOp) {
+        match op {
+            WalOp::Put { collection, id, doc } => {
+                self.bump_next_id(&collection, id);
+                self.apply_put(&collection, id, doc);
+            }
+            WalOp::Delete { collection, id } => {
+                let mut shard = self.write_shard(shard_of(&collection, id));
+                if let Some(col) = shard.get_mut(&collection) {
+                    // Deleting a doc the snapshot already lacks is fine:
+                    // the snapshot was written after this op committed.
+                    let _ = col.delete(id);
+                }
+            }
+        }
+    }
+
+    /// Route one committed operation to the WAL — directly, or into the
+    /// open batch scope.
+    fn log_op(&self, op: WalOp) -> Result<()> {
+        {
+            let mut pending = self.lock_pending();
+            if let Some(batch) = pending.as_mut() {
+                batch.ops.push(op);
+                return Ok(());
+            }
+        }
+        self.commit_ops(vec![op])
+    }
+
+    /// Append a batch of operations as one WAL record.
+    fn commit_ops(&self, ops: Vec<WalOp>) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut wal_guard = self.lock_wal();
+        let Some(wal) = wal_guard.as_mut() else { return Ok(()) };
+        let payload = encode_batch(&ops);
+        let t0 = Instant::now();
+        match wal.append(&payload) {
+            Ok(()) => {
+                sintel_obs::counter_add("sintel_store_wal_appends_total", 1);
+                sintel_obs::counter_add(
+                    "sintel_store_wal_appended_bytes_total",
+                    payload.len() as u64 + 8,
+                );
+                if wal.synced() {
+                    sintel_obs::counter_add("sintel_store_wal_fsyncs_total", 1);
+                }
+                sintel_obs::observe_duration("sintel_store_wal_append_seconds", t0.elapsed());
+                let compact = wal.size() >= self.opts.compact_threshold;
+                drop(wal_guard);
+                if compact {
+                    // Auto-compaction failing is not a commit failure:
+                    // the data is durable in the log; only the fold
+                    // into snapshots is deferred.
+                    if let Err(e) = self.save() {
+                        sintel_obs::warn!(
+                            TARGET,
+                            format!("auto-compaction failed, will retry on next commit: {e}"),
+                        );
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => {
+                sintel_obs::counter_add("sintel_store_wal_append_errors_total", 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// True for errors produced by the WAL append path (as opposed to
+    /// the in-memory mutation, which e.g. yields `NotFound`).
+    fn is_wal_error(e: &StoreError) -> bool {
+        match e {
+            StoreError::Io(_) => true,
+            #[cfg(feature = "faulty")]
+            StoreError::Injected(_) => true,
+            _ => false,
+        }
+    }
+
+    /// Swallow a WAL failure from an infallible legacy signature: the
+    /// mutation stays applied in memory (availability wins) and the
+    /// failure is logged and counted; callers that must know use the
+    /// `try_*` variants.
+    fn swallow_wal_error(op: &'static str, result: Result<()>) -> Result<()> {
+        match result {
+            Err(e) if Self::is_wal_error(&e) => {
+                sintel_obs::warn!(
+                    TARGET,
+                    format!("{op}: write applied in memory but not logged: {e}"),
+                );
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// Open a batch scope: every mutation until the scope commits (or
+    /// drops) is buffered and appended as **one** WAL record — one
+    /// fsync per batch instead of per write. Scopes nest (inner scopes
+    /// just deepen the outer one), and while one is open, writes from
+    /// *all* threads join the buffer, so batches are for serial
+    /// sections (the benchmark fold) or single-writer phases.
+    pub fn batch(&self) -> BatchScope<'_> {
+        let mut pending = self.lock_pending();
+        match pending.as_mut() {
+            Some(batch) => batch.depth += 1,
+            None => *pending = Some(PendingBatch { depth: 1, ops: Vec::new() }),
+        }
+        BatchScope { db: self, committed: false }
+    }
+
+    fn batch_end(&self) -> Result<()> {
+        let ops = {
+            let mut pending = self.lock_pending();
+            match pending.as_mut() {
+                Some(batch) if batch.depth > 1 => {
+                    batch.depth -= 1;
+                    return Ok(());
+                }
+                Some(_) => pending.take().map(|b| b.ops).unwrap_or_default(),
+                None => return Ok(()),
+            }
+        };
+        self.commit_ops(ops)
+    }
+
+    // ---- public mutations --------------------------------------------
+
     /// Insert into a collection (created on first use); returns the id.
+    ///
+    /// Infallible legacy signature: a WAL failure leaves the document
+    /// in memory and is logged/counted ([`Database::try_insert`]
+    /// surfaces it instead).
     pub fn insert(&self, collection: &str, doc: Doc) -> u64 {
-        self.write_lock().entry(collection.to_string()).or_default().insert(doc)
+        let (id, logged) = self.insert_inner(collection, doc);
+        let _ = Self::swallow_wal_error("insert", logged);
+        id
     }
 
-    /// Fetch one document by id (cloned out of the lock).
+    /// Insert, surfacing WAL append failures; returns the new id.
+    pub fn try_insert(&self, collection: &str, doc: Doc) -> Result<u64> {
+        let (id, logged) = self.insert_inner(collection, doc);
+        logged.map(|_| id)
+    }
+
+    fn insert_inner(&self, collection: &str, mut doc: Doc) -> (u64, Result<()>) {
+        let id = self.alloc_id(collection);
+        doc.set("_id", id);
+        self.apply_put(collection, id, doc.clone());
+        let logged = self.log_op(WalOp::Put { collection: collection.to_string(), id, doc });
+        (id, logged)
+    }
+
+    /// Replace a document. WAL failures are swallowed (see
+    /// [`Database::insert`]); `NotFound` is still reported.
+    pub fn update(&self, collection: &str, id: u64, doc: Doc) -> Result<()> {
+        Self::swallow_wal_error("update", self.try_update(collection, id, doc))
+    }
+
+    /// Replace a document, surfacing WAL append failures.
+    pub fn try_update(&self, collection: &str, id: u64, doc: Doc) -> Result<()> {
+        let post = {
+            let mut shard = self.write_shard(shard_of(collection, id));
+            let col = shard.get_mut(collection).ok_or(StoreError::NotFound(id))?;
+            col.update(id, doc)?;
+            col.get(id).cloned().ok_or(StoreError::NotFound(id))?
+        };
+        self.log_op(WalOp::Put { collection: collection.to_string(), id, doc: post })
+    }
+
+    /// Merge fields into a document (WAL failures swallowed).
+    pub fn patch(&self, collection: &str, id: u64, fields: &[(&str, Doc)]) -> Result<()> {
+        Self::swallow_wal_error("patch", self.try_patch(collection, id, fields))
+    }
+
+    /// Merge fields into a document, surfacing WAL append failures.
+    /// The WAL records the merged *post-image*, so replay needs no
+    /// patch semantics.
+    pub fn try_patch(&self, collection: &str, id: u64, fields: &[(&str, Doc)]) -> Result<()> {
+        let post = {
+            let mut shard = self.write_shard(shard_of(collection, id));
+            let col = shard.get_mut(collection).ok_or(StoreError::NotFound(id))?;
+            col.patch(id, fields)?;
+            col.get(id).cloned().ok_or(StoreError::NotFound(id))?
+        };
+        self.log_op(WalOp::Put { collection: collection.to_string(), id, doc: post })
+    }
+
+    /// Delete a document (WAL failures swallowed).
+    pub fn delete(&self, collection: &str, id: u64) -> Result<()> {
+        Self::swallow_wal_error("delete", self.try_delete(collection, id))
+    }
+
+    /// Delete a document, surfacing WAL append failures.
+    pub fn try_delete(&self, collection: &str, id: u64) -> Result<()> {
+        {
+            let mut shard = self.write_shard(shard_of(collection, id));
+            let col = shard.get_mut(collection).ok_or(StoreError::NotFound(id))?;
+            col.delete(id)?;
+        }
+        self.log_op(WalOp::Delete { collection: collection.to_string(), id })
+    }
+
+    /// Create a secondary index on a collection field. Registered
+    /// globally, so shard slices created later inherit it.
+    pub fn create_index(&self, collection: &str, field: &str) {
+        {
+            let mut registry = self.lock_indexed();
+            let fields = registry.entry(collection.to_string()).or_default();
+            if !fields.iter().any(|f| f == field) {
+                fields.push(field.to_string());
+            }
+        }
+        for idx in 0..NUM_SHARDS {
+            let mut shard = self.write_shard(idx);
+            if let Some(col) = shard.get_mut(collection) {
+                col.create_index(field);
+            }
+        }
+    }
+
+    // ---- reads -------------------------------------------------------
+
+    /// Fetch one document by id (cloned out of its shard's lock).
     pub fn get(&self, collection: &str, id: u64) -> Option<Doc> {
-        self.read_lock().get(collection)?.get(id).cloned()
+        self.read_shard(shard_of(collection, id)).get(collection)?.get(id).cloned()
     }
 
-    /// Find matching documents (cloned).
+    /// Find matching documents (cloned), in `_id` order across shards.
     pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Doc> {
-        self.read_lock()
-            .get(collection)
-            .map(|c| c.find(filter).into_iter().cloned().collect())
-            .unwrap_or_default()
+        let mut hits: Vec<Doc> = Vec::new();
+        for idx in 0..NUM_SHARDS {
+            let shard = self.read_shard(idx);
+            if let Some(col) = shard.get(collection) {
+                hits.extend(col.find(filter).into_iter().cloned());
+            }
+        }
+        hits.sort_by_key(|d| d.get("_id").and_then(Doc::as_i64).unwrap_or(0));
+        hits
     }
 
-    /// First match (cloned).
+    /// First match in `_id` order (cloned).
     pub fn find_one(&self, collection: &str, filter: &Filter) -> Option<Doc> {
-        self.read_lock().get(collection)?.find_one(filter).cloned()
+        self.find(collection, filter).into_iter().next()
     }
 
     /// Count matches.
     pub fn count(&self, collection: &str, filter: &Filter) -> usize {
-        self.read_lock().get(collection).map(|c| c.count(filter)).unwrap_or(0)
+        (0..NUM_SHARDS)
+            .map(|idx| {
+                self.read_shard(idx).get(collection).map(|c| c.count(filter)).unwrap_or(0)
+            })
+            .sum()
     }
 
-    /// Replace a document.
-    pub fn update(&self, collection: &str, id: u64, doc: Doc) -> Result<()> {
-        self.write_lock()
-            .get_mut(collection)
-            .ok_or(StoreError::NotFound(id))?
-            .update(id, doc)
-    }
-
-    /// Merge fields into a document.
-    pub fn patch(&self, collection: &str, id: u64, fields: &[(&str, Doc)]) -> Result<()> {
-        self.write_lock()
-            .get_mut(collection)
-            .ok_or(StoreError::NotFound(id))?
-            .patch(id, fields)
-    }
-
-    /// Delete a document.
-    pub fn delete(&self, collection: &str, id: u64) -> Result<()> {
-        self.write_lock()
-            .get_mut(collection)
-            .ok_or(StoreError::NotFound(id))?
-            .delete(id)
-    }
-
-    /// Create a secondary index on a collection field.
-    pub fn create_index(&self, collection: &str, field: &str) {
-        self.write_lock()
-            .entry(collection.to_string())
-            .or_default()
-            .create_index(field);
-    }
-
-    /// Names of non-empty collections (sorted).
+    /// Names of known collections (sorted): anything a shard holds a
+    /// slice of, plus collections with only an index declared.
     pub fn collection_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.read_lock().keys().cloned().collect();
+        let mut names: Vec<String> = (0..NUM_SHARDS)
+            .flat_map(|idx| self.read_shard(idx).keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.extend(self.lock_indexed().keys().cloned());
         names.sort();
+        names.dedup();
         names
     }
+}
+
+/// RAII handle for a group-commit scope opened by [`Database::batch`].
+///
+/// [`BatchScope::commit`] appends the buffered writes as one WAL record
+/// and surfaces any append failure; dropping the scope commits too, but
+/// can only log a failure.
+#[must_use = "dropping a BatchScope commits it with errors only logged; call commit() to observe them"]
+pub struct BatchScope<'a> {
+    db: &'a Database,
+    committed: bool,
+}
+
+impl BatchScope<'_> {
+    /// Close the scope, appending its writes as one WAL record.
+    pub fn commit(mut self) -> Result<()> {
+        self.committed = true;
+        self.db.batch_end()
+    }
+}
+
+impl Drop for BatchScope<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            if let Err(e) = self.db.batch_end() {
+                sintel_obs::warn!(
+                    TARGET,
+                    format!("batch scope dropped without commit and the append failed: {e}"),
+                );
+            }
+        }
+    }
+}
+
+/// Load one snapshot file into `(id, doc)` pairs; any malformed line
+/// fails the whole file with a structured [`StoreError::Corrupt`].
+fn load_snapshot(path: &Path) -> Result<Vec<(u64, Doc)>> {
+    let collection = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("<unknown>")
+        .to_string();
+    let corrupt = |line: usize, cause: String| StoreError::Corrupt {
+        collection: collection.clone(),
+        line,
+        cause,
+    };
+    let file = File::open(path).map_err(io_err)?;
+    let mut docs = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| corrupt(lineno + 1, e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = from_json(&line).map_err(|e| corrupt(lineno + 1, e.to_string()))?;
+        let id = doc
+            .get("_id")
+            .and_then(Doc::as_i64)
+            .filter(|id| *id >= 0)
+            .ok_or_else(|| corrupt(lineno + 1, "persisted doc lacks _id".to_string()))?;
+        docs.push((id as u64, doc));
+    }
+    Ok(docs)
 }
 
 #[cfg(test)]
@@ -226,6 +862,42 @@ mod tests {
     }
 
     #[test]
+    fn unsaved_writes_survive_reopen_through_wal() {
+        let dir = tmpdir("wal-survives");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.insert("events", Doc::obj().with("signal", "S-1"));
+            db.insert("events", Doc::obj().with("signal", "S-2"));
+            // No save(): the WAL alone must carry these.
+        }
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.count("events", &Filter::All), 2);
+        assert_eq!(db.recovery().wal_replayed_batches, 2);
+        assert_eq!(db.recovery().wal_replayed_ops, 2);
+        // Replay continues id allocation correctly.
+        assert_eq!(db.insert("events", Doc::obj().with("signal", "S-3")), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn updates_deletes_replay_over_snapshot() {
+        let dir = tmpdir("replay-mix");
+        {
+            let db = Database::open(&dir).unwrap();
+            let a = db.insert("events", Doc::obj().with("signal", "S-1"));
+            let b = db.insert("events", Doc::obj().with("signal", "S-2"));
+            db.save().unwrap(); // snapshot holds both, log now empty
+            db.patch("events", a, &[("status", Doc::from("confirmed"))]).unwrap();
+            db.delete("events", b).unwrap();
+        }
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.count("events", &Filter::All), 1);
+        let a = db.find_one("events", &Filter::eq("signal", "S-1")).unwrap();
+        assert_eq!(a.get("status").unwrap().as_str(), Some("confirmed"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn save_is_atomic_no_tmp_left_behind() {
         let dir = tmpdir("atomic");
         let db = Database::open(&dir).unwrap();
@@ -237,6 +909,153 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
         assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_truncates_the_wal() {
+        let dir = tmpdir("compact");
+        let db = Database::open(&dir).unwrap();
+        db.insert("events", Doc::obj().with("a", 1i64));
+        assert!(db.wal_size() > 0);
+        db.save().unwrap();
+        assert_eq!(db.wal_size(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_compaction_at_threshold() {
+        let dir = tmpdir("auto-compact");
+        let opts = StoreOptions { compact_threshold: 256, ..StoreOptions::default() };
+        let db = Database::open_with(&dir, opts).unwrap();
+        for i in 0..20 {
+            db.insert("events", Doc::obj().with("i", i as i64));
+        }
+        // The log crossed 256 bytes long ago and must have compacted.
+        assert!(db.wal_size() < 256, "wal stayed at {} bytes", db.wal_size());
+        assert!(dir.join("events.jsonl").exists());
+        let reopened = Database::open(&dir).unwrap();
+        assert_eq!(reopened.count("events", &Filter::All), 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_durability_keeps_no_wal() {
+        let dir = tmpdir("snapshot-mode");
+        let opts = StoreOptions { durability: Durability::Snapshot, ..StoreOptions::default() };
+        {
+            let db = Database::open_with(&dir, opts.clone()).unwrap();
+            db.insert("events", Doc::obj().with("a", 1i64));
+            assert_eq!(db.wal_size(), 0);
+            db.save().unwrap();
+            db.insert("events", Doc::obj().with("a", 2i64)); // lost: not saved
+        }
+        let db = Database::open_with(&dir, opts).unwrap();
+        assert_eq!(db.count("events", &Filter::All), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_mode_folds_in_stale_wal_from_wal_mode_run() {
+        let dir = tmpdir("mode-switch");
+        {
+            let db = Database::open(&dir).unwrap(); // wal-sync
+            db.insert("events", Doc::obj().with("a", 1i64));
+            // No save: the write lives only in the log.
+        }
+        let opts = StoreOptions { durability: Durability::Snapshot, ..StoreOptions::default() };
+        {
+            let db = Database::open_with(&dir, opts.clone()).unwrap();
+            assert_eq!(db.count("events", &Filter::All), 1, "stale wal replayed");
+            db.insert("events", Doc::obj().with("a", 2i64));
+            db.save().unwrap();
+        }
+        // The stale log was folded and truncated: it cannot resurrect.
+        let db = Database::open_with(&dir, opts).unwrap();
+        assert_eq!(db.count("events", &Filter::All), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_not_fatal() {
+        let dir = tmpdir("quarantine");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.insert("events", Doc::obj().with("a", 1i64));
+            db.insert("signals", Doc::obj().with("name", "S-1"));
+            db.save().unwrap();
+        }
+        // Mangle one collection's snapshot.
+        let victim = dir.join("events.jsonl");
+        std::fs::write(&victim, "{\"_id\":1,\"a\":1}\nnot json at all\n").unwrap();
+        let db = Database::open(&dir).unwrap();
+        // The intact collection loads; the corrupt one is quarantined.
+        assert_eq!(db.count("signals", &Filter::All), 1);
+        assert_eq!(db.count("events", &Filter::All), 0);
+        assert_eq!(db.recovery().corrupt.len(), 1);
+        match &db.recovery().corrupt[0] {
+            StoreError::Corrupt { collection, line, .. } => {
+                assert_eq!(collection, "events");
+                assert_eq!(*line, 2);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(!victim.exists());
+        assert!(dir.join("events.jsonl.corrupt").exists());
+        // A second open must not trip over the quarantined file.
+        let again = Database::open(&dir).unwrap();
+        assert!(again.recovery().corrupt.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_tmp_files_are_removed_on_open() {
+        let dir = tmpdir("orphans");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(".events.jsonl.tmp"), "debris").unwrap();
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.recovery().orphans_removed, vec![".events.jsonl.tmp".to_string()]);
+        assert!(!dir.join(".events.jsonl.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_commits_one_wal_record() {
+        let dir = tmpdir("batch");
+        let db = Database::open(&dir).unwrap();
+        let size_empty = db.wal_size();
+        let scope = db.batch();
+        db.insert("events", Doc::obj().with("a", 1i64));
+        db.insert("events", Doc::obj().with("a", 2i64));
+        assert_eq!(db.wal_size(), size_empty, "writes buffer until commit");
+        scope.commit().unwrap();
+        assert!(db.wal_size() > size_empty);
+        // Reopen: the whole batch is one committed record.
+        drop(db);
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.recovery().wal_replayed_batches, 1);
+        assert_eq!(db.recovery().wal_replayed_ops, 2);
+        assert_eq!(db.count("events", &Filter::All), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nested_batches_commit_once_at_outermost() {
+        let dir = tmpdir("batch-nest");
+        let db = Database::open(&dir).unwrap();
+        let outer = db.batch();
+        db.insert("events", Doc::obj().with("a", 1i64));
+        {
+            let inner = db.batch();
+            db.insert("events", Doc::obj().with("a", 2i64));
+            inner.commit().unwrap();
+        }
+        assert_eq!(db.wal_size(), 0, "inner commit must not flush the outer scope");
+        outer.commit().unwrap();
+        drop(db);
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.recovery().wal_replayed_batches, 1);
+        assert_eq!(db.recovery().wal_replayed_ops, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -273,5 +1092,43 @@ mod tests {
             db.insert("events", Doc::obj().with("signal", format!("S-{}", i % 3)));
         }
         assert_eq!(db.find("events", &Filter::eq("signal", "S-1")).len(), 10);
+    }
+
+    #[test]
+    fn index_declared_after_load_covers_all_shards() {
+        let db = Database::in_memory();
+        for i in 0..64 {
+            db.insert("events", Doc::obj().with("signal", format!("S-{}", i % 4)));
+        }
+        db.create_index("events", "signal");
+        assert_eq!(db.find("events", &Filter::eq("signal", "S-2")).len(), 16);
+        // New shard slices created after the index inherit it too.
+        for i in 64..128 {
+            db.insert("events", Doc::obj().with("signal", format!("S-{}", i % 4)));
+        }
+        assert_eq!(db.find("events", &Filter::eq("signal", "S-2")).len(), 32);
+    }
+
+    #[test]
+    fn shard_of_is_stable() {
+        // The persisted layout depends on this hash never changing.
+        assert_eq!(shard_of("events", 1), shard_of("events", 1));
+        let spread: std::collections::HashSet<usize> =
+            (0..1000).map(|id| shard_of("events", id)).collect();
+        assert!(spread.len() > NUM_SHARDS / 2, "hash must actually spread ids");
+    }
+
+    #[test]
+    fn empty_indexed_collection_persists_in_snapshot() {
+        let dir = tmpdir("empty-indexed");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.create_index("events", "signal");
+            db.save().unwrap();
+        }
+        assert!(dir.join("events.jsonl").exists());
+        let db = Database::open(&dir).unwrap();
+        assert!(db.collection_names().contains(&"events".to_string()));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,9 +14,14 @@
 //!   exists/and/or) evaluated against documents;
 //! * [`collection::Collection`] — id-keyed document storage with
 //!   secondary hash indexes used to accelerate equality filters;
-//! * [`db::Database`] — a named set of collections behind a
-//!   `std::sync::RwLock`, with atomic JSONL persistence (write to a
-//!   temp file, rename) and reload-on-open;
+//! * [`wal`] — an append-only, CRC32-checksummed write-ahead log with
+//!   torn-tail recovery and (behind the `faulty` feature) crash-point
+//!   fault injection;
+//! * [`db::Database`] — collections sharded across per-shard locks
+//!   ([`db::NUM_SHARDS`]), every mutation logged to the WAL and
+//!   compacted into JSONL snapshots; [`db::Database::open`] replays the
+//!   log over the snapshots and repairs crash debris deterministically
+//!   (see [`db::RecoveryReport`]);
 //! * [`schema`] — the Sintel entity schema of Figure 6 (datasets,
 //!   signals, templates, pipelines, experiments, signalruns, events,
 //!   annotations, users) as typed helpers over the generic layers.
@@ -27,9 +32,12 @@ pub mod doc;
 pub mod json;
 pub mod query;
 pub mod schema;
+pub mod wal;
 
 pub use collection::Collection;
-pub use db::Database;
+pub use db::{
+    shard_of, BatchScope, Database, Durability, RecoveryReport, StoreOptions, NUM_SHARDS,
+};
 pub use doc::Doc;
 pub use query::Filter;
 pub use schema::SintelDb;
@@ -50,6 +58,21 @@ pub enum StoreError {
     NotFound(u64),
     /// Schema-level validation failure.
     Schema(String),
+    /// A persisted collection snapshot failed to load and was
+    /// quarantined (renamed to `<collection>.jsonl.corrupt`) so the
+    /// rest of the database could open.
+    Corrupt {
+        /// Collection whose snapshot was corrupt.
+        collection: String,
+        /// 1-based line number of the first bad line.
+        line: usize,
+        /// What was wrong with it.
+        cause: String,
+    },
+    /// A crash injected by the `faulty` fault-injection layer
+    /// ([`wal::fault`]); carries the crash-point label. Test-only.
+    #[cfg(feature = "faulty")]
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for StoreError {
@@ -61,6 +84,11 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(m) => write!(f, "io error: {m}"),
             StoreError::NotFound(id) => write!(f, "document {id} not found"),
             StoreError::Schema(m) => write!(f, "schema error: {m}"),
+            StoreError::Corrupt { collection, line, cause } => {
+                write!(f, "corrupt snapshot for '{collection}' at line {line}: {cause}")
+            }
+            #[cfg(feature = "faulty")]
+            StoreError::Injected(point) => write!(f, "injected crash at {point}"),
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use std::path::Path;
 
-use crate::db::Database;
+use crate::db::{BatchScope, Database, RecoveryReport, StoreOptions};
 use crate::doc::Doc;
 use crate::query::Filter;
 use crate::Result;
@@ -68,9 +68,18 @@ impl SintelDb {
         s
     }
 
-    /// Persistent knowledge base under `dir`.
+    /// Persistent knowledge base under `dir`, with default durability
+    /// (write-ahead logged, fsync per commit).
     pub fn open(dir: &Path) -> Result<Self> {
         let s = Self { db: Database::open(dir)? };
+        s.create_indexes();
+        Ok(s)
+    }
+
+    /// Persistent knowledge base under `dir` with explicit
+    /// [`StoreOptions`] (durability level, compaction threshold).
+    pub fn open_with(dir: &Path, opts: StoreOptions) -> Result<Self> {
+        let s = Self { db: Database::open_with(dir, opts)? };
         s.create_indexes();
         Ok(s)
     }
@@ -96,6 +105,18 @@ impl SintelDb {
     /// Persist to disk (no-op when in-memory).
     pub fn save(&self) -> Result<()> {
         self.db.save()
+    }
+
+    /// Open a group-commit scope: writes until `commit()` land as one
+    /// WAL record (see [`Database::batch`]).
+    pub fn batch(&self) -> BatchScope<'_> {
+        self.db.batch()
+    }
+
+    /// What crash recovery found and repaired when this database was
+    /// opened (see [`Database::recovery`]).
+    pub fn recovery(&self) -> &RecoveryReport {
+        self.db.recovery()
     }
 
     // ---- typed inserts -------------------------------------------------

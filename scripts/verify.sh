@@ -18,11 +18,23 @@ SINTEL_THREADS=1 cargo test -q
 echo "==> cargo test -q (SINTEL_THREADS=4, parallel paths)"
 SINTEL_THREADS=4 cargo test -q
 
+# Crash-recovery contract (DESIGN.md §4f): every injected crash point
+# and every torn-tail byte offset must recover without a panic. The
+# fault hooks only exist behind the `faulty` feature, so the suite runs
+# as its own compilation of sintel-store.
+echo "==> cargo test -q -p sintel-store --features faulty (crash recovery)"
+cargo test -q -p sintel-store --features faulty
+
+# Durability-path throughput trajectory: refreshes BENCH_store.json at
+# the repo root so append/replay/compaction rates are tracked per commit.
+echo "==> store microbench (writes BENCH_store.json)"
+SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin store_bench
+
 # The fault-isolation layer must never itself abort: deny unwrap in the
-# pipeline executor and the framework core (test code is exempt —
-# clippy only lints lib/bin targets here).
-echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel)"
-cargo clippy -p sintel-pipeline -p sintel -- -D clippy::unwrap_used
+# pipeline executor, the framework core and the durability-critical
+# store (test code is exempt — clippy only lints lib/bin targets here).
+echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel, sintel-store)"
+cargo clippy -p sintel-pipeline -p sintel -p sintel-store -- -D clippy::unwrap_used
 
 # Library crates must route diagnostics through sintel-obs, never print
 # directly. Lib targets only: binaries (CLI, bench tables) legitimately
