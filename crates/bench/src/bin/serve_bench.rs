@@ -1,0 +1,142 @@
+//! **Serve microbench** — streaming-tier throughput and recovery speed
+//! (DESIGN.md §4g).
+//!
+//! Measures, at `SINTEL_SCALE`:
+//!
+//! * ingest throughput (events/sec through `offer` + periodic `tick`)
+//!   with an in-memory knowledge base,
+//! * the same loop with group-committed `wal-sync` checkpoints (the
+//!   durability tax of crash-recoverable sessions), and
+//! * session recovery latency: reopening the engine over the persisted
+//!   checkpoints.
+//!
+//! Besides the console table, writes `BENCH_serve.json` (override with
+//! `SINTEL_BENCH_OUT`) so the numbers can be tracked across commits.
+//!
+//! Run: `cargo run -p sintel-bench --release --bin serve_bench`
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sintel_serve::engine::fallback_template;
+use sintel_serve::{Admission, IngestEvent, ServeConfig, ServeEngine, TenantSpec};
+use sintel_store::{json, Doc, Durability, SintelDb, StoreOptions};
+
+const TENANTS: usize = 4;
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sintel-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        window: 256,
+        hop: 64,
+        min_points: 64,
+        queue_capacity: 1 << 20,
+        ..ServeConfig::default()
+    }
+}
+
+fn specs() -> Vec<TenantSpec> {
+    (0..TENANTS)
+        .map(|i| TenantSpec::new(&format!("tenant-{i}"), 5, fallback_template()))
+        .collect()
+}
+
+fn value_at(tenant: usize, t: i64) -> f64 {
+    (t as f64 * (0.11 + tenant as f64 * 0.07)).sin()
+        + if t % 911 == 0 && t > 0 { 4.0 } else { 0.0 }
+}
+
+/// Stream `per_tenant` events per tenant through the engine, ticking
+/// every 64 offers per tenant; returns (events/sec, emitted).
+fn bench_ingest(db: SintelDb, per_tenant: usize) -> (f64, usize) {
+    let mut engine = ServeEngine::open(db, config(), specs()).expect("open engine");
+    let total = per_tenant * TENANTS;
+    let mut emitted = 0usize;
+    let start = Instant::now();
+    for t in 0..per_tenant {
+        for tenant in 0..TENANTS {
+            let event =
+                IngestEvent::new(&format!("tenant-{tenant}"), "cpu", t as i64, value_at(tenant, t as i64));
+            match engine.offer(&event).expect("offer") {
+                Admission::Accepted => {}
+                other => panic!("unexpected admission {other:?}"),
+            }
+        }
+        if (t + 1) % 64 == 0 {
+            emitted += engine.tick().expect("tick").len();
+        }
+    }
+    emitted += engine.tick().expect("tick").len();
+    let rate = total as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    (rate, emitted)
+}
+
+fn main() {
+    let session = sintel_bench::obs_session();
+    let scale = sintel_bench::scale_from_env(0.25);
+    let per_tenant = ((8_000.0 * scale) as usize).max(500);
+    eprintln!(
+        "serve microbench: {TENANTS} tenants x {per_tenant} events, scale {scale} …"
+    );
+
+    let (mem_rate, mem_emitted) = bench_ingest(SintelDb::in_memory(), per_tenant);
+
+    let dir = tmpdir();
+    let opts = StoreOptions { durability: Durability::WalSync, ..StoreOptions::default() };
+    let db = SintelDb::open_with(&dir, opts.clone()).expect("open store");
+    let (wal_rate, wal_emitted) = bench_ingest(db, per_tenant);
+    assert_eq!(mem_emitted, wal_emitted, "durability must not change emissions");
+
+    // Recovery: reopen the store (WAL replay) and the engine (session
+    // checkpoint decode) from cold.
+    let start = Instant::now();
+    let db = SintelDb::open_with(&dir, opts).expect("reopen store");
+    let engine = ServeEngine::open(db, config(), specs()).expect("recover engine");
+    let recover = start.elapsed();
+    assert!(engine.ticks() > 0, "recovery must resume the tick counter");
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("Serve microbench: streaming-tier throughput (scale {scale})\n");
+    println!("{:<24} {:>14}", "phase", "value");
+    println!("{:<24} {:>11.0}/s", "ingest_in_memory", mem_rate);
+    println!("{:<24} {:>11.0}/s", "ingest_checkpointed", wal_rate);
+    println!("{:<24} {:>12.1}ms", "recover_sessions", recover.as_secs_f64() * 1e3);
+    println!("\nemitted {mem_emitted} anomaly event(s) per run; checkpointing cost = the gap\nbetween the two ingest rates.");
+
+    let out = std::env::var("SINTEL_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let events = per_tenant * TENANTS;
+    let report = Doc::obj().with("bench", "serve").with("scale", scale).with(
+        "phases",
+        Doc::obj()
+            .with(
+                "ingest_in_memory",
+                Doc::obj()
+                    .with("events_per_sec", (mem_rate.round() as i64).max(1))
+                    .with("events", events),
+            )
+            .with(
+                "ingest_checkpointed",
+                Doc::obj()
+                    .with("events_per_sec", (wal_rate.round() as i64).max(1))
+                    .with("events", events),
+            )
+            .with(
+                "recover_sessions",
+                Doc::obj()
+                    .with("millis", (recover.as_secs_f64() * 1e3).max(Duration::ZERO.as_secs_f64()))
+                    .with("tenants", TENANTS),
+            ),
+    );
+    if let Err(e) = std::fs::write(&out, json::to_json(&report) + "\n") {
+        eprintln!("serve microbench: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("serve microbench: wrote {out}");
+    session.finish();
+}

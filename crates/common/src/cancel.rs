@@ -1,0 +1,131 @@
+//! Cooperative cancellation for watchdog-guarded work.
+//!
+//! Rust threads cannot be killed, so a watchdog that abandons a
+//! timed-out attempt used to leave the worker thread running until it
+//! finished on its own (or the process exited) — a thread *leak* for
+//! genuinely hung primitives. The fix is cooperative: the watchdog
+//! installs a [`CancelToken`] in the worker's thread-local slot before
+//! the task starts and trips it when the budget expires; primitive hot
+//! loops (LSTM epochs, ARIMA recursions, rolling-window construction)
+//! poll [`cancelled`] and bail out early.
+//!
+//! Polling [`cancelled`] from code that runs outside any watchdog is
+//! free and always answers `false` — there is no token installed, so
+//! nothing can be cancelled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag: cloned into the watchdog, installed on
+/// the worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token: every holder (and the thread it is installed on)
+    /// observes `is_cancelled() == true` from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<CancelToken>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install `token` as the current thread's cancellation token for the
+/// duration of `f`, restoring the previous token afterwards (watchdog
+/// workers may nest, e.g. a guarded run inside a guarded run).
+pub fn with_cancel_token<T>(token: CancelToken, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT.with(|slot| *slot.borrow_mut() = previous);
+        }
+    }
+    let previous = CURRENT.with(|slot| slot.borrow_mut().replace(token));
+    // Restore on unwind too: a panicking task must not leave its token
+    // installed on a reused thread.
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Whether the current thread's installed token (if any) has been
+/// tripped. Hot loops poll this to stop abandoned work.
+pub fn cancelled() -> bool {
+    CURRENT.with(|slot| slot.borrow().as_ref().is_some_and(CancelToken::is_cancelled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_token_means_not_cancelled() {
+        assert!(!cancelled());
+    }
+
+    #[test]
+    fn tripped_token_is_visible_inside_scope_only() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        with_cancel_token(token, || assert!(cancelled()));
+        assert!(!cancelled(), "token must be uninstalled after the scope");
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let worker = std::thread::spawn(move || {
+            with_cancel_token(remote, || {
+                while !cancelled() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                true
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        token.cancel();
+        assert!(worker.join().unwrap());
+    }
+
+    #[test]
+    fn nested_scopes_restore_outer_token() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        outer.cancel();
+        with_cancel_token(outer, || {
+            assert!(cancelled());
+            with_cancel_token(inner, || assert!(!cancelled()));
+            assert!(cancelled(), "outer token must be restored");
+        });
+    }
+
+    #[test]
+    fn panicking_scope_still_restores() {
+        let token = CancelToken::new();
+        token.cancel();
+        let result = std::panic::catch_unwind(|| {
+            with_cancel_token(CancelToken::new(), || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(!cancelled());
+        with_cancel_token(token, || assert!(cancelled()));
+    }
+}

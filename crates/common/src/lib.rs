@@ -14,12 +14,14 @@
 //! seed, and everything that needs threads goes through [`par`] so
 //! that results are bit-identical at every `SINTEL_THREADS` setting.
 
+pub mod cancel;
 pub mod check;
 pub mod microbench;
 pub mod numeric;
 pub mod par;
 pub mod rng;
 
+pub use cancel::{cancelled, with_cancel_token, CancelToken};
 pub use numeric::{argmax, argmin, ewma, mean, median, quantile, stddev, variance};
 pub use par::{configured_threads, par_map, par_try_map, set_threads, TaskPanic};
 pub use rng::SintelRng;

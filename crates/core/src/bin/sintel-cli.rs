@@ -22,12 +22,16 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use sintel::benchmark::{
     benchmark_report_with_db, persist_benchmark, render_perf_table, render_table,
     BenchmarkConfig, MetricKind,
 };
 use sintel::Sintel;
+use sintel_pipeline::hub::template_by_name;
+use sintel_pipeline::policy::RunPolicy;
+use sintel_serve::{Admission, IngestEvent, ServeConfig, ServeEngine, TenantSpec};
 use sintel_store::{Durability, SintelDb, StoreOptions};
 use sintel_datasets::{load_all, DatasetConfig, DatasetId};
 use sintel_timeseries::csvio;
@@ -71,6 +75,7 @@ fn main() -> ExitCode {
         "detect" => cmd_detect(&opts),
         "view" => cmd_view(&opts),
         "benchmark" => cmd_benchmark(&opts),
+        "serve" => cmd_serve(&opts),
         "forecast" => cmd_forecast(&opts),
         "analyze" => cmd_analyze(&targets),
         "help" | "--help" | "-h" => {
@@ -153,6 +158,20 @@ USAGE:
                        durability knob trades fsync cost for crash loss:
                        wal-sync (default) fsyncs every commit, wal leaves
                        fsync to the OS, snapshot only persists on save
+  sintel-cli serve     --corpus FILE.csv [--pipeline NAME] [--tenants a:9,b:1]
+                       [--tick-every N] [--window N] [--hop N] [--min-points N]
+                       [--queue-capacity N] [--high-water N] [--priority-floor P]
+                       [--degrade-depth N] [--timeout SECS]
+                       [--store DIR] [--store-durability snapshot|wal|wal-sync]
+                       replay a multi-tenant event corpus (tenant,signal,
+                       timestamp,value rows) through the streaming engine.
+                       Bounded queues push back (Retry => the replayer runs a
+                       tick and re-offers); past --high-water, tenants with
+                       priority below --priority-floor are shed. With --store,
+                       sessions checkpoint group-committed per tick: rerunning
+                       after a kill -9 resumes where the last tick committed,
+                       losing at most one uncommitted interval and never
+                       duplicating a committed anomaly event
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
                        [--horizon N]
   sintel-cli analyze   [--all | PIPELINE...]
@@ -429,6 +448,201 @@ fn cmd_benchmark(opts: &HashMap<String, String>) -> Result<(), String> {
 /// Open the persistent knowledge base named by `--store DIR`, at the
 /// durability level named by `--store-durability` (default `wal-sync`).
 /// Returns `None` when no store was requested.
+/// Load a serve corpus: `tenant,signal,timestamp,value` CSV rows (a
+/// header row and `#` comments are skipped).
+fn load_corpus(path: &Path) -> Result<Vec<IngestEvent>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "{}:{}: want tenant,signal,timestamp,value",
+                path.display(),
+                lineno + 1
+            ));
+        }
+        let Ok(timestamp) = fields[2].parse::<i64>() else {
+            if lineno == 0 {
+                continue; // header row
+            }
+            return Err(format!(
+                "{}:{}: bad timestamp '{}'",
+                path.display(),
+                lineno + 1,
+                fields[2]
+            ));
+        };
+        let value: f64 = fields[3].parse().map_err(|_| {
+            format!("{}:{}: bad value '{}'", path.display(), lineno + 1, fields[3])
+        })?;
+        events.push(IngestEvent::new(fields[0], fields[1], timestamp, value));
+    }
+    Ok(events)
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = opts
+        .get("corpus")
+        .ok_or("serve needs --corpus FILE.csv (tenant,signal,timestamp,value rows)")?;
+    let events = load_corpus(Path::new(corpus))?;
+    if events.is_empty() {
+        return Err(format!("{corpus}: no events"));
+    }
+
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        match opts.get(key) {
+            Some(s) => s
+                .parse()
+                .ok()
+                .filter(|n: &usize| *n >= 1)
+                .ok_or_else(|| format!("bad --{key} '{s}' (want an integer >= 1)")),
+            None => Ok(default),
+        }
+    };
+    let mut cfg = ServeConfig::default();
+    cfg.window = parse_usize("window", cfg.window)?;
+    cfg.hop = parse_usize("hop", cfg.hop as usize)? as u64;
+    cfg.min_points = parse_usize("min-points", cfg.min_points)?;
+    cfg.queue_capacity = parse_usize("queue-capacity", cfg.queue_capacity)?;
+    cfg.high_water = parse_usize("high-water", cfg.high_water)?;
+    cfg.degrade_depth = parse_usize("degrade-depth", cfg.degrade_depth)?;
+    if let Some(s) = opts.get("priority-floor") {
+        cfg.priority_floor =
+            s.parse().map_err(|_| format!("bad --priority-floor '{s}' (want 0-255)"))?;
+    }
+    if let Some(s) = opts.get("timeout") {
+        let secs: f64 = s
+            .parse()
+            .ok()
+            .filter(|v: &f64| *v > 0.0)
+            .ok_or_else(|| format!("bad --timeout '{s}' (want seconds > 0)"))?;
+        cfg.policy = RunPolicy::single_attempt(Duration::from_secs_f64(secs));
+    }
+
+    let template_name =
+        opts.get("pipeline").map(String::as_str).unwrap_or("azure_anomaly_detection");
+    let template =
+        template_by_name(template_name).map_err(|e| format!("--pipeline {template_name}: {e}"))?;
+
+    // --tenants a:9,b:1 sets load-shedding priorities; any tenant seen
+    // in the corpus but not listed defaults to priority 5.
+    let mut priorities: HashMap<String, u8> = HashMap::new();
+    if let Some(spec) = opts.get("tenants") {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (name, priority) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad --tenants entry '{part}' (want name:priority)"))?;
+            let priority: u8 =
+                priority.parse().map_err(|_| format!("bad priority in '{part}' (want 0-255)"))?;
+            priorities.insert(name.to_string(), priority);
+        }
+    }
+    let mut names: Vec<&str> = events.iter().map(|e| e.tenant.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let specs: Vec<TenantSpec> = names
+        .iter()
+        .map(|n| TenantSpec::new(n, priorities.get(*n).copied().unwrap_or(5), template.clone()))
+        .collect();
+
+    let store = open_store(opts)?;
+    let persistent = store.is_some();
+    let db = store.unwrap_or_else(SintelDb::in_memory);
+    let mut engine = ServeEngine::open(db, cfg, specs).map_err(|e| format!("serve: {e}"))?;
+    if engine.ticks() > 0 {
+        eprintln!(
+            "serve: resumed {} tenant session(s) at tick {}",
+            engine.tenant_names().len(),
+            engine.ticks()
+        );
+    }
+
+    let tick_every = parse_usize("tick-every", 64)? as u64;
+    let mut emitted = Vec::new();
+    let (mut accepted, mut shed) = (0u64, 0u64);
+    for event in &events {
+        let mut spins = 0u32;
+        loop {
+            match engine.offer(event).map_err(|e| e.to_string())? {
+                Admission::Accepted => {
+                    accepted += 1;
+                    break;
+                }
+                Admission::Retry { after_ticks } => {
+                    spins += 1;
+                    if spins > 1_000 {
+                        return Err(format!(
+                            "tenant '{}': queue never drained after {spins} retries",
+                            event.tenant
+                        ));
+                    }
+                    for _ in 0..after_ticks.max(1) {
+                        emitted.extend(engine.tick().map_err(|e| e.to_string())?);
+                    }
+                }
+                Admission::Shed => {
+                    shed += 1;
+                    break;
+                }
+            }
+        }
+        if accepted > 0 && accepted % tick_every == 0 {
+            emitted.extend(engine.tick().map_err(|e| e.to_string())?);
+        }
+    }
+    emitted.extend(engine.tick().map_err(|e| e.to_string())?);
+
+    let stats = engine.stats();
+    println!(
+        "Serve replay: {} events, {accepted} accepted, {shed} shed, {} anomaly event(s), \
+         tick {}{}",
+        events.len(),
+        emitted.len(),
+        stats.ticks,
+        if persistent { " (checkpointed)" } else { "" }
+    );
+    println!();
+    println!(
+        "{:<16} {:>9} {:>6} {:>8} {:>8} {:>7} {:>6} {:>6} {:>9} {:>12}",
+        "tenant", "accepted", "shed", "retried", "emitted", "passes", "fails", "trips",
+        "degraded", "quarantined"
+    );
+    for (name, t) in &stats.tenants {
+        println!(
+            "{name:<16} {:>9} {:>6} {:>8} {:>8} {:>7} {:>6} {:>6} {:>9} {:>12}",
+            t.accepted,
+            t.shed,
+            t.retried,
+            t.emitted,
+            t.passes_run,
+            t.pass_failures,
+            t.breaker_trips,
+            t.degraded,
+            t.quarantined
+        );
+    }
+    if !emitted.is_empty() {
+        println!();
+        println!("first anomaly events:");
+        for ev in emitted.iter().take(10) {
+            println!(
+                "  {}/{} seq={} interval [{}, {}] severity {:.3}",
+                ev.tenant, ev.signal, ev.seq, ev.start, ev.end, ev.severity
+            );
+        }
+        if emitted.len() > 10 {
+            println!("  … and {} more", emitted.len() - 10);
+        }
+    }
+    Ok(())
+}
+
 fn open_store(opts: &HashMap<String, String>) -> Result<Option<SintelDb>, String> {
     let Some(dir) = opts.get("store") else {
         if opts.contains_key("store-durability") {

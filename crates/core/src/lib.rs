@@ -30,9 +30,13 @@ pub mod api;
 pub mod benchmark;
 pub mod features;
 pub mod forecast;
-pub mod policy;
 pub mod sintel;
 pub mod tune;
+
+// The fault-isolation policy layer moved down into `sintel-pipeline`
+// (the serving tier reuses it without depending on the framework core);
+// `sintel::policy` remains the canonical path for core callers.
+pub use sintel_pipeline::policy;
 
 pub use crate::sintel::Sintel;
 pub use benchmark::{

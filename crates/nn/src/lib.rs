@@ -56,6 +56,9 @@ pub enum NnError {
     },
     /// Invalid hyperparameter.
     InvalidParameter(String),
+    /// Training was cancelled by a watchdog (`sintel_common::cancel`):
+    /// the run budget expired and the epoch loop bailed out early.
+    Cancelled,
 }
 
 impl std::fmt::Display for NnError {
@@ -68,6 +71,7 @@ impl std::fmt::Display for NnError {
                 write!(f, "insufficient data: needed {needed}, got {got}")
             }
             NnError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            NnError::Cancelled => write!(f, "training cancelled by run budget"),
         }
     }
 }

@@ -80,6 +80,9 @@ impl DenseAutoencoder {
         let mut order: Vec<usize> = (0..windows.len()).collect();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
         for _ in 0..cfg.epochs {
+            if sintel_common::cancelled() {
+                return Err(NnError::Cancelled);
+            }
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(cfg.batch_size) {

@@ -81,6 +81,9 @@ impl LstmAutoencoder {
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
         for _ in 0..cfg.epochs {
+            if sintel_common::cancelled() {
+                return Err(NnError::Cancelled);
+            }
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(cfg.batch_size) {

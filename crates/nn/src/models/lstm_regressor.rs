@@ -117,6 +117,11 @@ impl LstmRegressor {
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
         for _ in 0..cfg.epochs {
+            // Cooperative cancellation: a watchdogged run whose budget
+            // expired must stop burning CPU, not finish all epochs.
+            if sintel_common::cancelled() {
+                return Err(NnError::Cancelled);
+            }
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(cfg.batch_size) {

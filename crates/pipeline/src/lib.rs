@@ -19,14 +19,25 @@
 //! Execution is instrumented per primitive ([`profile::StepProfile`]),
 //! which powers the computational-performance benchmark (Figure 7a) and
 //! the primitive-overhead experiment (Figure 7b).
+//!
+//! The [`policy`] module is the fault-isolation layer every runner
+//! (benchmark, tuner, serving tier) routes executions through:
+//! [`RunPolicy`] budgets, the cancel-aware watchdog [`run_guarded`],
+//! and the [`FailureKind`] taxonomy. It is re-exported as
+//! `sintel::policy` for framework-core callers.
 
 pub mod hub;
 pub mod pipeline;
+pub mod policy;
 pub mod profile;
 pub mod template;
 
 pub use hub::{available_pipelines, build_pipeline, template_by_name};
 pub use pipeline::Pipeline;
+pub use policy::{
+    classify_pipeline_error, run_guarded, run_with_policy, Failure, FailureBreakdown,
+    FailureKind, GuardedResult, RunPolicy,
+};
 pub use profile::{PipelineProfile, StepProfile};
 pub use template::{ParamId, StepSpec, Template};
 

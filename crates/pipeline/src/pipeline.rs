@@ -82,12 +82,20 @@ impl Pipeline {
     /// come from the same clock and `primitive_time() <= total_time()`
     /// holds by construction.
     fn run(&mut self, signal: &Signal, do_fit: bool) -> Result<Context> {
+        self.run_mode(signal, do_fit, false)
+    }
+
+    fn run_mode(&mut self, signal: &Signal, do_fit: bool, incremental: bool) -> Result<Context> {
         let mut ctx = Context::from_signal(signal.clone());
         if do_fit {
             self.profile = PipelineProfile::default();
         }
         let run_span = sintel_obs::span_with(
-            if do_fit { "pipeline.fit" } else { "pipeline.produce" },
+            match (do_fit, incremental) {
+                (true, _) => "pipeline.fit",
+                (false, false) => "pipeline.produce",
+                (false, true) => "pipeline.update",
+            },
             &[("pipeline", FieldValue::from(self.name.as_str()))],
         );
         for step in &mut self.steps {
@@ -117,13 +125,19 @@ impl Pipeline {
                 sintel_obs::observe_duration("sintel_primitive_fit_seconds", fit_time);
             }
             let produce_span = sintel_obs::span_with(
-                "primitive.produce",
+                if incremental { "primitive.update" } else { "primitive.produce" },
                 &[
                     ("primitive", FieldValue::from(meta_name.as_str())),
                     ("engine", FieldValue::from(engine.to_string())),
                 ],
             );
-            let outputs = catch_unwind(AssertUnwindSafe(|| step.produce(&ctx)))
+            let outputs = catch_unwind(AssertUnwindSafe(|| {
+                if incremental {
+                    step.update(&ctx)
+                } else {
+                    step.produce(&ctx)
+                }
+            }))
                 .map_err(|payload| PipelineError::PrimitivePanic {
                     step: meta_name.clone(),
                     message: panic_message(payload),
@@ -193,6 +207,26 @@ impl Pipeline {
             return Err(PipelineError::NotFitted(self.name.clone()));
         }
         let ctx = self.run(signal, false)?;
+        match ctx.get("anomalies") {
+            Some(Value::Intervals(anoms)) => Ok(anoms.clone()),
+            _ => Err(PipelineError::Step {
+                step: self.name.clone(),
+                source: "pipeline produced no 'anomalies' slot".into(),
+            }),
+        }
+    }
+
+    /// Detect anomalies through the incremental (`update`) path — the
+    /// serving tier's per-chunk entry point. Every step's
+    /// [`Primitive::update`] runs instead of `produce`; the default
+    /// `update` falls back to batch `produce` over the buffered window,
+    /// so for stock primitives this is bitwise-identical to
+    /// [`Pipeline::detect`] (enforced by the streaming purity test).
+    pub fn detect_incremental(&mut self, signal: &Signal) -> Result<Vec<ScoredInterval>> {
+        if !self.fitted {
+            return Err(PipelineError::NotFitted(self.name.clone()));
+        }
+        let ctx = self.run_mode(signal, false, true)?;
         match ctx.get("anomalies") {
             Some(Value::Intervals(anoms)) => Ok(anoms.clone()),
             _ => Err(PipelineError::Step {
@@ -333,6 +367,27 @@ mod tests {
         );
         // detect_total accumulated across all four produce-only runs.
         assert!(prof.detect_total > std::time::Duration::ZERO);
+    }
+
+    /// The default `update` falls back to `produce`, so the incremental
+    /// path must match batch detection bitwise for stock primitives.
+    #[test]
+    fn detect_incremental_matches_batch_bitwise() {
+        let mut pipeline = fast_template().build_default().unwrap();
+        let s = spiky_signal(400);
+        pipeline.fit(&s).unwrap();
+        let batch = pipeline.detect(&s).unwrap();
+        let incremental = pipeline.detect_incremental(&s).unwrap();
+        assert_eq!(batch.len(), incremental.len());
+        for (a, b) in batch.iter().zip(&incremental) {
+            assert_eq!(a.interval.start, b.interval.start);
+            assert_eq!(a.interval.end, b.interval.end);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert!(matches!(
+            fast_template().build_default().unwrap().detect_incremental(&s),
+            Err(PipelineError::NotFitted(_))
+        ));
     }
 
     #[test]

@@ -1,26 +1,37 @@
 //! Fault-isolated execution policy: watchdogs, retries and failure
 //! taxonomy.
 //!
-//! A benchmark sweep or a tuning search runs hundreds of pipeline
-//! executions; one pathological primitive must not take the whole run
-//! down (hang it, poison its scores, or kill the process). This module
-//! is the single choke point every caller routes pipeline executions
-//! through:
+//! A benchmark sweep, a tuning search or a long-running serving tier
+//! runs hundreds of pipeline executions; one pathological primitive
+//! must not take the whole run down (hang it, poison its scores, or
+//! kill the process). This module is the single choke point every
+//! caller routes pipeline executions through:
 //!
 //! * [`RunPolicy`] — how long a run may take, how often it is retried
 //!   and how long to back off between attempts;
 //! * [`run_guarded`] — one attempt on a watchdog thread: panics are
-//!   contained and a run that exceeds the budget is abandoned (the hung
-//!   thread is detached) and reported as a timeout;
+//!   contained, and a run that exceeds the budget is abandoned and
+//!   reported as a timeout. The abandoned worker is *cooperatively
+//!   cancelled*: a [`sintel_common::CancelToken`] is installed on the
+//!   worker thread and tripped at timeout, and primitive hot loops
+//!   (LSTM epochs, ARIMA recursions, rolling windows) poll
+//!   [`sintel_common::cancelled`] so the thread actually winds down
+//!   instead of leaking until process exit;
 //! * [`run_with_policy`] — retry loop over [`run_guarded`];
 //! * [`FailureKind`] / [`FailureBreakdown`] — the typed failure
 //!   taxonomy replacing anonymous failure counters, so benchmark rows
 //!   can report *why* signals failed, not just how many.
+//!
+//! This module lives in `sintel-pipeline` (it classifies
+//! [`PipelineError`]s and guards pipeline executions) and is re-exported
+//! as `sintel::policy` for the framework-core callers.
 
 use std::sync::mpsc;
 use std::time::Duration;
 
-use sintel_pipeline::PipelineError;
+use sintel_common::CancelToken;
+
+use crate::PipelineError;
 
 /// Execution budget for one pipeline run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,7 +226,9 @@ pub enum GuardedResult<T> {
     Done(T),
     /// The task panicked; the payload message is preserved.
     Panicked(String),
-    /// The task exceeded the budget; its thread was detached.
+    /// The task exceeded the budget; its cancel token was tripped and
+    /// the thread abandoned (it winds down at the next cancellation
+    /// poll in a primitive hot loop).
     TimedOut,
 }
 
@@ -233,19 +246,26 @@ fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// The task runs on its own thread; this call blocks at most `timeout`.
 /// If the task finishes in time its value is returned; if it panics the
-/// unwind is contained; if it hangs, the thread is *detached* (it keeps
-/// running until it finishes or the process exits — Rust threads cannot
-/// be killed) and the attempt reports [`GuardedResult::TimedOut`].
+/// unwind is contained. If it hangs, the attempt reports
+/// [`GuardedResult::TimedOut`] and the worker's [`CancelToken`] is
+/// tripped: Rust threads cannot be killed, but primitive hot loops poll
+/// [`sintel_common::cancelled`] and abandon their work, so a timed-out
+/// worker terminates shortly after instead of leaking until it finishes
+/// naturally (or the process exits).
 pub fn run_guarded<T, F>(timeout: Duration, task: F) -> GuardedResult<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
     let (tx, rx) = mpsc::channel();
+    let token = CancelToken::new();
+    let worker_token = token.clone();
     let spawned = std::thread::Builder::new()
         .name("sintel-watchdog-run".to_string())
         .spawn(move || {
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sintel_common::with_cancel_token(worker_token, task)
+            }));
             // The receiver may be gone already (timeout) — ignore.
             let _ = tx.send(result);
         });
@@ -255,7 +275,10 @@ where
     match rx.recv_timeout(timeout) {
         Ok(Ok(value)) => GuardedResult::Done(value),
         Ok(Err(payload)) => GuardedResult::Panicked(panic_payload_message(payload)),
-        Err(_) => GuardedResult::TimedOut,
+        Err(_) => {
+            token.cancel();
+            GuardedResult::TimedOut
+        }
     }
 }
 
@@ -352,6 +375,32 @@ mod tests {
         assert!(matches!(result, GuardedResult::TimedOut));
     }
 
+    /// The leak fix: a timed-out worker that polls `cancelled()` stops
+    /// promptly instead of running to its natural end.
+    #[test]
+    fn timed_out_worker_observes_cancellation() {
+        let stopped = Arc::new(AtomicUsize::new(0));
+        let seen = stopped.clone();
+        let result = run_guarded(Duration::from_millis(30), move || {
+            let t0 = std::time::Instant::now();
+            while !sintel_common::cancelled() {
+                if t0.elapsed() > Duration::from_secs(20) {
+                    return false; // would be the old leak path
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            seen.fetch_add(1, Ordering::SeqCst);
+            true
+        });
+        assert!(matches!(result, GuardedResult::TimedOut));
+        // Give the abandoned worker a moment to poll the tripped token.
+        let t0 = std::time::Instant::now();
+        while stopped.load(Ordering::SeqCst) == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(stopped.load(Ordering::SeqCst), 1, "worker never saw the cancel");
+    }
+
     #[test]
     fn policy_retries_until_success() {
         let calls = Arc::new(AtomicUsize::new(0));
@@ -405,7 +454,7 @@ mod tests {
 
     #[test]
     fn pipeline_errors_classify_per_variant() {
-        use sintel_pipeline::PipelineError as E;
+        use crate::PipelineError as E;
         assert_eq!(
             classify_pipeline_error(&E::BadTemplate {
                 code: "SA001".into(),

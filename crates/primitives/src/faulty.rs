@@ -5,7 +5,16 @@
 //!
 //! * [`FaultyPanic`] — panics inside `fit`;
 //! * [`FaultyNan`] — emits a NaN error series from `produce`;
-//! * [`FaultyHang`] — sleeps past any reasonable run budget in `fit`.
+//! * [`FaultyHang`] — sleeps past any reasonable run budget in `fit`
+//!   (cancel-aware: the sleep is sliced and polls
+//!   `sintel_common::cancelled`, so a timed-out watchdog worker winds
+//!   down instead of leaking);
+//! * [`FaultySlow`] — sleeps `ms_per_row` per signal sample in
+//!   `produce`, for latency-based degradation/shedding tests;
+//! * [`FaultyFlaky`] — fails the first `fail_first_n` runs of its
+//!   process-wide `key`, then succeeds, for circuit-breaker half-open
+//!   recovery tests (fresh instances share the counter, so per-pass
+//!   pipeline rebuilds still observe the recovery).
 //!
 //! They are modeling-engine primitives so the executor's non-finite
 //! output guard applies to them, and they are only registered when the
@@ -157,12 +166,210 @@ impl Primitive for FaultyHang {
     }
 
     fn fit(&mut self, _ctx: &Context) -> Result<()> {
-        std::thread::sleep(std::time::Duration::from_millis(self.sleep_ms as u64));
-        Ok(())
+        sliced_sleep(self.sleep_ms as u64)
     }
 
     fn produce(&mut self, _ctx: &Context) -> Result<Vec<(String, Value)>> {
         Ok(vec![])
+    }
+}
+
+/// Sleep `total_ms` in short slices, polling the thread's cancel token
+/// between slices so a watchdogged hang actually terminates after its
+/// budget expires instead of leaking the worker thread.
+fn sliced_sleep(total_ms: u64) -> Result<()> {
+    const SLICE_MS: u64 = 5;
+    let mut remaining = total_ms;
+    while remaining > 0 {
+        if sintel_common::cancelled() {
+            return Err(PrimitiveError::Algorithm("cancelled by run budget".into()));
+        }
+        let chunk = remaining.min(SLICE_MS);
+        std::thread::sleep(std::time::Duration::from_millis(chunk));
+        remaining -= chunk;
+    }
+    Ok(())
+}
+
+/// Sleeps `ms_per_row` per signal sample in `produce` — a slow consumer
+/// whose per-pass latency scales with the window, for latency-based
+/// degradation and shedding tests. Emits a benign zero error series so
+/// downstream thresholding keeps working.
+pub struct FaultySlow {
+    meta: PrimitiveMeta,
+    ms_per_row: i64,
+}
+
+impl FaultySlow {
+    /// Construct with the default 1 ms/row delay.
+    pub fn new() -> Self {
+        Self {
+            meta: PrimitiveMeta::new(
+                "faulty_slow",
+                Engine::Modeling,
+                "fault injection: sleeps ms_per_row per sample on produce",
+                &["signal"],
+                &["errors", "error_timestamps"],
+                vec![HyperSpec::int("ms_per_row", 0, 10_000, 1)],
+            ),
+            ms_per_row: 1,
+        }
+    }
+}
+
+impl Default for FaultySlow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Primitive for FaultySlow {
+    fn meta(&self) -> &PrimitiveMeta {
+        &self.meta
+    }
+
+    fn set_hyperparam(&mut self, name: &str, value: HyperValue) -> Result<()> {
+        self.meta.validate_hyperparam(name, &value)?;
+        match (name, value) {
+            ("ms_per_row", HyperValue::Int(ms)) => {
+                self.ms_per_row = ms;
+                Ok(())
+            }
+            _ => Err(PrimitiveError::BadHyperparameter(format!(
+                "'faulty_slow' cannot apply hyperparameter '{name}'"
+            ))),
+        }
+    }
+
+    fn produce(&mut self, ctx: &Context) -> Result<Vec<(String, Value)>> {
+        let signal = ctx.signal("signal")?;
+        let rows = signal.len() as u64;
+        sliced_sleep(rows.saturating_mul(self.ms_per_row.max(0) as u64))?;
+        Ok(vec![
+            ("errors".to_string(), Value::Series(vec![0.0; signal.len()])),
+            (
+                "error_timestamps".to_string(),
+                Value::Timestamps(signal.timestamps().to_vec()),
+            ),
+        ])
+    }
+}
+
+/// Process-wide attempt counters for [`FaultyFlaky`], keyed by the
+/// primitive's `key` hyperparameter. The counter must survive pipeline
+/// rebuilds (the serving tier constructs a fresh pipeline per detection
+/// pass), otherwise "fail the first n runs, then recover" would reset
+/// on every pass and the circuit breaker could never observe recovery.
+mod flaky_counters {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    static COUNTERS: Mutex<Option<HashMap<String, u64>>> = Mutex::new(None);
+
+    /// Increment and return the attempt number (1-based) for `key`.
+    pub fn next_attempt(key: &str) -> u64 {
+        let mut guard = COUNTERS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let map = guard.get_or_insert_with(HashMap::new);
+        let n = map.entry(key.to_string()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// Reset the counter for `key` (test isolation).
+    pub fn reset(key: &str) {
+        let mut guard = COUNTERS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(map) = guard.as_mut() {
+            map.remove(key);
+        }
+    }
+}
+
+/// Reset the process-wide flaky counter for `key` so tests sharing a
+/// process do not interfere.
+pub fn reset_flaky_counter(key: &str) {
+    flaky_counters::reset(key);
+}
+
+/// Fails the first `fail_first_n` runs sharing its `key`, then behaves —
+/// the transient-failure profile circuit-breaker half-open probes must
+/// recover from. Emits a benign zero error series once healthy.
+pub struct FaultyFlaky {
+    meta: PrimitiveMeta,
+    fail_first_n: i64,
+    key: String,
+}
+
+impl FaultyFlaky {
+    /// Construct with defaults (`fail_first_n = 3`, key `"default"`).
+    pub fn new() -> Self {
+        Self {
+            meta: PrimitiveMeta::new(
+                "faulty_flaky",
+                Engine::Modeling,
+                "fault injection: fails the first n runs of its key, then succeeds",
+                &["signal"],
+                &["errors", "error_timestamps"],
+                vec![
+                    HyperSpec::int("fail_first_n", 0, 1_000_000, 3),
+                    HyperSpec::choice("key", &["default"], "default"),
+                ],
+            ),
+            fail_first_n: 3,
+            key: "default".to_string(),
+        }
+    }
+}
+
+impl Default for FaultyFlaky {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Primitive for FaultyFlaky {
+    fn meta(&self) -> &PrimitiveMeta {
+        &self.meta
+    }
+
+    fn set_hyperparam(&mut self, name: &str, value: HyperValue) -> Result<()> {
+        match (name, value) {
+            ("fail_first_n", HyperValue::Int(n)) => {
+                self.meta.validate_hyperparam(name, &HyperValue::Int(n))?;
+                self.fail_first_n = n;
+                Ok(())
+            }
+            // The key is an open namespace (any test may pick a fresh
+            // one), so it deliberately skips the enumerated-text range
+            // check that `validate_hyperparam` would apply.
+            ("key", HyperValue::Text(k)) => {
+                self.key = k;
+                Ok(())
+            }
+            (_, value) => {
+                self.meta.validate_hyperparam(name, &value)?;
+                Err(PrimitiveError::BadHyperparameter(format!(
+                    "'faulty_flaky' cannot apply hyperparameter '{name}'"
+                )))
+            }
+        }
+    }
+
+    fn produce(&mut self, ctx: &Context) -> Result<Vec<(String, Value)>> {
+        let attempt = flaky_counters::next_attempt(&self.key);
+        if attempt <= self.fail_first_n.max(0) as u64 {
+            return Err(PrimitiveError::Algorithm(format!(
+                "injected flaky failure {attempt}/{} (key '{}')",
+                self.fail_first_n, self.key
+            )));
+        }
+        let signal = ctx.signal("signal")?;
+        Ok(vec![
+            ("errors".to_string(), Value::Series(vec![0.0; signal.len()])),
+            (
+                "error_timestamps".to_string(),
+                Value::Timestamps(signal.timestamps().to_vec()),
+            ),
+        ])
     }
 }
 
@@ -187,6 +394,67 @@ mod tests {
             Value::Series(v) => assert!(v.iter().all(|x| x.is_nan())),
             other => panic!("unexpected value {other:?}"),
         }
+    }
+
+    fn signal_ctx(n: usize) -> Context {
+        Context::from_signal(sintel_timeseries::Signal::from_values(
+            "s",
+            (0..n).map(|i| i as f64).collect(),
+        ))
+    }
+
+    #[test]
+    fn faulty_slow_delays_proportionally_to_rows() {
+        let mut prim = FaultySlow::new();
+        prim.set_hyperparam("ms_per_row", HyperValue::Int(2)).unwrap();
+        let t0 = std::time::Instant::now();
+        let out = prim.produce(&signal_ctx(20)).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+        assert!(matches!(&out[0].1, Value::Series(v) if v.len() == 20));
+        assert!(prim.set_hyperparam("ms_per_row", HyperValue::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn faulty_slow_stops_when_cancelled() {
+        let mut prim = FaultySlow::new();
+        prim.set_hyperparam("ms_per_row", HyperValue::Int(10_000)).unwrap();
+        let token = sintel_common::CancelToken::new();
+        token.cancel();
+        let t0 = std::time::Instant::now();
+        let result =
+            sintel_common::with_cancel_token(token, || prim.produce(&signal_ctx(100)));
+        assert!(result.is_err());
+        assert!(t0.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn faulty_hang_stops_when_cancelled() {
+        let mut prim = FaultyHang::new();
+        prim.set_hyperparam("sleep_ms", HyperValue::Int(600_000)).unwrap();
+        let token = sintel_common::CancelToken::new();
+        token.cancel();
+        let t0 = std::time::Instant::now();
+        let result = sintel_common::with_cancel_token(token, || prim.fit(&Context::new()));
+        assert!(result.is_err());
+        assert!(t0.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn faulty_flaky_recovers_after_n_failures_across_instances() {
+        reset_flaky_counter("test-recover");
+        let run = || {
+            let mut prim = FaultyFlaky::new();
+            prim.set_hyperparam("fail_first_n", HyperValue::Int(2)).unwrap();
+            prim.set_hyperparam("key", HyperValue::Text("test-recover".into())).unwrap();
+            prim.produce(&signal_ctx(8))
+        };
+        // The counter survives instance rebuilds: two fresh instances
+        // fail, the third succeeds.
+        assert!(run().is_err());
+        assert!(run().is_err());
+        assert!(run().is_ok());
+        assert!(run().is_ok());
+        reset_flaky_counter("test-recover");
     }
 
     #[test]

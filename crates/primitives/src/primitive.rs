@@ -138,6 +138,20 @@ pub trait Primitive: Send {
     /// Compute outputs from the context. Returns `(slot, value)` pairs
     /// that the executor writes back into the context.
     fn produce(&mut self, ctx: &Context) -> Result<Vec<(String, Value)>>;
+
+    /// Incremental (streaming) production over a buffered chunk.
+    ///
+    /// The serving tier feeds a sliding-window context through this
+    /// path instead of `produce`. The default implementation falls back
+    /// to batch [`Primitive::produce`] over the buffered window, so
+    /// every existing primitive works unchanged and batch `fit`/`detect`
+    /// behaviour stays bitwise-identical (enforced by the streaming
+    /// purity test). Primitives with genuinely incremental algorithms
+    /// (rolling aggregates, online scalers, EWMA residuals) may
+    /// override it to reuse state across chunks.
+    fn update(&mut self, ctx: &Context) -> Result<Vec<(String, Value)>> {
+        self.produce(ctx)
+    }
 }
 
 #[cfg(test)]

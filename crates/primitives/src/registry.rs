@@ -51,7 +51,8 @@ pub const PRIMITIVE_NAMES: &[&str] = &[
 /// Deliberately excluded from [`PRIMITIVE_NAMES`] so production pipeline
 /// listings never advertise them.
 #[cfg(feature = "faulty")]
-pub const FAULTY_PRIMITIVE_NAMES: &[&str] = &["faulty_panic", "faulty_nan", "faulty_hang"];
+pub const FAULTY_PRIMITIVE_NAMES: &[&str] =
+    &["faulty_panic", "faulty_nan", "faulty_hang", "faulty_slow", "faulty_flaky"];
 
 /// Construct a fresh primitive by registry name.
 pub fn build_primitive(name: &str) -> Result<Box<dyn Primitive>> {
@@ -81,6 +82,10 @@ pub fn build_primitive(name: &str) -> Result<Box<dyn Primitive>> {
         "faulty_nan" => Box::new(crate::faulty::FaultyNan::new()),
         #[cfg(feature = "faulty")]
         "faulty_hang" => Box::new(crate::faulty::FaultyHang::new()),
+        #[cfg(feature = "faulty")]
+        "faulty_slow" => Box::new(crate::faulty::FaultySlow::new()),
+        #[cfg(feature = "faulty")]
+        "faulty_flaky" => Box::new(crate::faulty::FaultyFlaky::new()),
         other => {
             return Err(PrimitiveError::Algorithm(format!("unknown primitive '{other}'")))
         }

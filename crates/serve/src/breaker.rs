@@ -1,0 +1,237 @@
+//! Per-tenant circuit breaker over detection-pass failures.
+//!
+//! The classic three-state machine, clocked in *logical passes* rather
+//! than wall time so the whole serving tier stays deterministic and
+//! crash-recoverable (a cooldown measured in seconds would make resumed
+//! runs diverge from uninterrupted ones):
+//!
+//! ```text
+//!                consecutive failures >= threshold
+//!   Closed ──────────────────────────────────────────▶ Open{until_pass}
+//!     ▲                                                      │
+//!     │ probe succeeds                 pass_counter >= until │
+//!     │                                                      ▼
+//!     └───────────────────────────────────────────────── HalfOpen
+//!                      probe fails: re-open (one more trip);
+//!                      `quarantine_trips` trips ⇒ Quarantined
+//! ```
+//!
+//! Failures come from the pipeline subsystem's
+//! [`sintel_pipeline::policy`] taxonomy: a pass that exhausts its
+//! [`sintel_pipeline::RunPolicy`] (panic, timeout, NaN, flaky error…)
+//! counts one failure. Quarantine reuses the benchmark's 2-strike rule:
+//! after `quarantine_trips` trips the tenant is permanently parked and
+//! its ingest is shed.
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Passing normally; tracks the current failure streak.
+    Closed {
+        /// Consecutive failed passes since the last success.
+        consecutive_failures: u32,
+    },
+    /// Tripped: detection passes are skipped (the buffer still slides)
+    /// until the tenant's pass counter reaches `until_pass`.
+    Open {
+        /// First pass at which a half-open probe is allowed.
+        until_pass: u64,
+    },
+    /// Cooldown elapsed: exactly one probe pass is allowed through.
+    HalfOpen,
+}
+
+/// What recording a failure did to the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// The failure was absorbed without a state change.
+    Counted,
+    /// The breaker tripped (Closed/HalfOpen → Open).
+    Tripped,
+    /// The trip count reached the quarantine threshold: the tenant
+    /// should be permanently parked.
+    Quarantined,
+}
+
+/// A per-tenant circuit breaker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breaker {
+    state: BreakerState,
+    trips: u32,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Breaker {
+    /// A fresh, closed breaker.
+    pub fn new() -> Self {
+        Self { state: BreakerState::Closed { consecutive_failures: 0 }, trips: 0 }
+    }
+
+    /// Rebuild from checkpointed parts (see [`Breaker::parts`]).
+    pub fn from_parts(state: BreakerState, trips: u32) -> Self {
+        Self { state, trips }
+    }
+
+    /// The checkpointable `(state, trips)` pair.
+    pub fn parts(&self) -> (BreakerState, u32) {
+        (self.state, self.trips)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has tripped so far.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Gate a scheduled pass at logical time `pass`: `true` means run
+    /// the detection attempt, `false` means skip it (breaker open).
+    /// An open breaker whose cooldown has elapsed transitions to
+    /// half-open and lets this one probe through.
+    pub fn try_pass(&mut self, pass: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_pass } => {
+                if pass >= until_pass {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful pass: any state collapses back to closed
+    /// with a clean streak.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed { consecutive_failures: 0 };
+    }
+
+    /// Record a failed pass at logical time `pass`.
+    ///
+    /// * closed: the streak grows; at `threshold` the breaker trips
+    ///   open for `cooldown` passes;
+    /// * half-open: the probe failed — re-open immediately (one more
+    ///   trip);
+    /// * open: counted (a skipped pass cannot fail, but a caller may
+    ///   still report one defensively).
+    ///
+    /// Returns [`BreakerEvent::Quarantined`] once the accumulated trip
+    /// count reaches `quarantine_trips`.
+    pub fn on_failure(
+        &mut self,
+        pass: u64,
+        threshold: u32,
+        cooldown: u64,
+        quarantine_trips: u32,
+    ) -> BreakerEvent {
+        match self.state {
+            BreakerState::Closed { consecutive_failures } => {
+                let streak = consecutive_failures + 1;
+                if streak >= threshold.max(1) {
+                    self.trip(pass, cooldown, quarantine_trips)
+                } else {
+                    self.state = BreakerState::Closed { consecutive_failures: streak };
+                    BreakerEvent::Counted
+                }
+            }
+            BreakerState::HalfOpen => self.trip(pass, cooldown, quarantine_trips),
+            BreakerState::Open { .. } => BreakerEvent::Counted,
+        }
+    }
+
+    fn trip(&mut self, pass: u64, cooldown: u64, quarantine_trips: u32) -> BreakerEvent {
+        self.trips += 1;
+        self.state = BreakerState::Open { until_pass: pass + cooldown.max(1) };
+        if self.trips >= quarantine_trips {
+            BreakerEvent::Quarantined
+        } else {
+            BreakerEvent::Tripped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THRESHOLD: u32 = 3;
+    const COOLDOWN: u64 = 5;
+    const QUARANTINE: u32 = 2;
+
+    fn fail(b: &mut Breaker, pass: u64) -> BreakerEvent {
+        b.on_failure(pass, THRESHOLD, COOLDOWN, QUARANTINE)
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures() {
+        let mut b = Breaker::new();
+        assert_eq!(fail(&mut b, 1), BreakerEvent::Counted);
+        assert_eq!(fail(&mut b, 2), BreakerEvent::Counted);
+        assert_eq!(fail(&mut b, 3), BreakerEvent::Tripped);
+        assert_eq!(b.state(), BreakerState::Open { until_pass: 8 });
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = Breaker::new();
+        fail(&mut b, 1);
+        fail(&mut b, 2);
+        b.on_success();
+        assert_eq!(fail(&mut b, 3), BreakerEvent::Counted, "streak must restart");
+        assert_eq!(b.state(), BreakerState::Closed { consecutive_failures: 1 });
+    }
+
+    #[test]
+    fn open_blocks_until_cooldown_then_half_open_probe() {
+        let mut b = Breaker::new();
+        for p in 1..=3 {
+            fail(&mut b, p);
+        }
+        assert!(!b.try_pass(4), "open breaker must skip passes");
+        assert!(!b.try_pass(7));
+        assert!(b.try_pass(8), "cooldown elapsed: probe allowed");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed { consecutive_failures: 0 });
+        assert!(b.try_pass(9));
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_second_trip_quarantines() {
+        let mut b = Breaker::new();
+        for p in 1..=3 {
+            fail(&mut b, p);
+        }
+        assert!(b.try_pass(8));
+        // Probe fails: that is the second trip => quarantine.
+        assert_eq!(fail(&mut b, 8), BreakerEvent::Quarantined);
+        assert_eq!(b.trips(), 2);
+        assert!(matches!(b.state(), BreakerState::Open { .. }));
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut b = Breaker::new();
+        fail(&mut b, 1);
+        let (state, trips) = b.parts();
+        assert_eq!(Breaker::from_parts(state, trips), b);
+    }
+
+    #[test]
+    fn threshold_one_trips_immediately() {
+        let mut b = Breaker::new();
+        assert_eq!(b.on_failure(1, 1, 4, 99), BreakerEvent::Tripped);
+        assert_eq!(b.state(), BreakerState::Open { until_pass: 5 });
+    }
+}

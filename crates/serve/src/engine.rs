@@ -1,0 +1,663 @@
+//! The multi-tenant serving engine: admission, deterministic parallel
+//! pass execution, and group-committed checkpoints.
+//!
+//! The engine is single-writer: one owner calls [`ServeEngine::offer`]
+//! to admit events and [`ServeEngine::tick`] to process them. A tick
+//! drains every tenant's queue, runs the drained events through the
+//! tenants' sessions in parallel (tenants are independent, so
+//! [`sintel_common::par_map`] over them cannot change any output), and
+//! then commits *one* [`sintel_store::Database::batch`] record holding
+//! every updated session checkpoint, every newly detected anomaly event
+//! and the advanced tick counter. Crash anywhere before that commit:
+//! the store still holds the previous consistent cut, and replaying the
+//! stream is safe because session buffers absorb stale timestamps
+//! idempotently. Crash after the commit but before the caller sees the
+//! returned events: the events are in the store with dense per-tenant
+//! `seq` numbers, so a consumer resuming from
+//! [`ServeEngine::committed_events`] neither loses nor duplicates them.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sintel_pipeline::policy::RunPolicy;
+use sintel_pipeline::template::StepSpec;
+use sintel_pipeline::Template;
+use sintel_primitives::HyperValue;
+use sintel_store::schema::collections;
+use sintel_store::{Doc, Filter, SintelDb};
+
+use crate::event::{Admission, AnomalyEvent, IngestEvent};
+use crate::queue::TenantQueue;
+use crate::session::{PassReport, TenantSession};
+use crate::{Result, ServeError};
+
+/// The cheap fallback pipeline used under graceful degradation:
+/// spectral-residual scoring plus a fixed threshold — stateless, no
+/// training, one FFT per pass.
+pub fn fallback_template() -> Template {
+    Template {
+        name: "serve_fallback".to_string(),
+        steps: vec![
+            StepSpec::plain("azure_anomaly_service"),
+            StepSpec::with("fixed_threshold", &[("k", HyperValue::Float(3.0))]),
+        ],
+    }
+}
+
+/// Tuning knobs of the serving tier.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Sliding-window size (samples) kept per signal.
+    pub window: usize,
+    /// A detection pass fires every `hop`-th sample absorbed into a
+    /// signal (the event-count clock that keeps emissions independent
+    /// of tick batching).
+    pub hop: u64,
+    /// Minimum buffered samples before the first pass may fire.
+    pub min_points: usize,
+    /// Bound of each tenant's ingest queue (backpressure past it).
+    pub queue_capacity: usize,
+    /// Aggregate backlog (all queues) past which low-priority tenants
+    /// are load-shed.
+    pub high_water: usize,
+    /// Tenants with `priority <` this floor are shed once the backlog
+    /// passes [`ServeConfig::high_water`].
+    pub priority_floor: u8,
+    /// Draining at least this many events for one tenant in a single
+    /// tick degrades it to the fallback pipeline (it cannot keep up
+    /// with its own configured template).
+    pub degrade_depth: usize,
+    /// Consecutive pass failures that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Passes an open breaker skips before allowing a half-open probe.
+    pub breaker_cooldown: u64,
+    /// Breaker trips that permanently quarantine the tenant.
+    pub quarantine_trips: u32,
+    /// Run policy (timeout / retries / backoff) for each detection pass.
+    pub policy: RunPolicy,
+    /// Pipeline used once a tenant is degraded.
+    pub fallback: Template,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            window: 512,
+            hop: 64,
+            min_points: 128,
+            queue_capacity: 1024,
+            high_water: 8192,
+            priority_floor: 1,
+            degrade_depth: 512,
+            breaker_threshold: 3,
+            breaker_cooldown: 8,
+            quarantine_trips: 2,
+            policy: RunPolicy::default(),
+            fallback: fallback_template(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A small, non-interfering config for tests and examples: modest
+    /// windows, effectively unlimited queues/high-water (so nothing is
+    /// shed or degraded unless a test asks for it), single-attempt
+    /// passes with a generous timeout.
+    pub fn for_tests() -> Self {
+        Self {
+            window: 128,
+            hop: 32,
+            min_points: 32,
+            queue_capacity: 1 << 20,
+            high_water: usize::MAX,
+            priority_floor: 0,
+            degrade_depth: usize::MAX,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+            quarantine_trips: 2,
+            policy: RunPolicy::single_attempt(Duration::from_secs(30)),
+            fallback: fallback_template(),
+        }
+    }
+
+    /// Validate invariants the engine depends on.
+    pub fn validate(&self) -> Result<()> {
+        if self.window == 0 {
+            return Err(ServeError::Config("window must be > 0".to_string()));
+        }
+        if self.min_points == 0 || self.min_points > self.window {
+            return Err(ServeError::Config(format!(
+                "min_points must be in 1..=window ({} vs {})",
+                self.min_points, self.window
+            )));
+        }
+        if self.hop == 0 {
+            return Err(ServeError::Config("hop must be > 0".to_string()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config("queue_capacity must be > 0".to_string()));
+        }
+        if self.breaker_threshold == 0 {
+            return Err(ServeError::Config("breaker_threshold must be > 0".to_string()));
+        }
+        if self.quarantine_trips == 0 {
+            return Err(ServeError::Config("quarantine_trips must be > 0".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// A registered tenant: name, load-shedding priority and pipeline.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Unique tenant name.
+    pub name: String,
+    /// Load-shedding priority (higher survives overload longer).
+    pub priority: u8,
+    /// The tenant's configured detection pipeline.
+    pub template: Template,
+}
+
+impl TenantSpec {
+    /// Construct a spec.
+    pub fn new(name: &str, priority: u8, template: Template) -> Self {
+        Self { name: name.to_string(), priority, template }
+    }
+}
+
+/// Per-tenant counters, accumulated across the engine's lifetime
+/// (not persisted; a recovered engine starts counting afresh, but
+/// `degraded`/`quarantined` reflect the recovered session state).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Events admitted into the queue.
+    pub accepted: u64,
+    /// Events refused with [`Admission::Retry`] (queue full).
+    pub retried: u64,
+    /// Events dropped with [`Admission::Shed`].
+    pub shed: u64,
+    /// Samples absorbed into session buffers.
+    pub absorbed: u64,
+    /// Stale/duplicate samples dropped by idempotent replay.
+    pub stale_dropped: u64,
+    /// Committed anomaly events emitted.
+    pub emitted: u64,
+    /// Detection passes attempted.
+    pub passes_run: u64,
+    /// Scheduled passes skipped (breaker open / quarantined).
+    pub passes_skipped: u64,
+    /// Attempted passes that failed their run policy.
+    pub pass_failures: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Currently running the fallback pipeline.
+    pub degraded: bool,
+    /// Permanently parked.
+    pub quarantined: bool,
+}
+
+/// Engine-wide statistics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Ticks processed (including recovered history).
+    pub ticks: u64,
+    /// Per-tenant counters, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantStats>,
+}
+
+struct TenantRuntime {
+    spec: TenantSpec,
+    queue: TenantQueue,
+    session: Option<TenantSession>,
+    doc_id: Option<u64>,
+    stats: TenantStats,
+    pending_since: Option<Instant>,
+}
+
+/// The multi-tenant streaming engine (see module docs).
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    db: SintelDb,
+    tenants: BTreeMap<String, TenantRuntime>,
+    ticks: u64,
+    meta_id: u64,
+}
+
+impl ServeEngine {
+    /// Open an engine over `db` with the given tenants. Doubles as
+    /// crash recovery: tenants with a persisted session checkpoint
+    /// resume from it (pass counters, emission sequence, breaker state
+    /// and buffered windows intact); the rest start fresh.
+    pub fn open(db: SintelDb, cfg: ServeConfig, specs: Vec<TenantSpec>) -> Result<Self> {
+        cfg.validate()?;
+        let meta = db.raw().find_one(collections::SERVE_META, &Filter::eq("kind", "engine"));
+        let (meta_id, ticks) = match meta {
+            Some(doc) => (
+                doc.get("_id").and_then(Doc::as_i64).unwrap_or(0).max(0) as u64,
+                doc.get("ticks").and_then(Doc::as_i64).unwrap_or(0).max(0) as u64,
+            ),
+            None => {
+                let init = Doc::obj().with("kind", "engine").with("ticks", 0u64);
+                (db.raw().insert(collections::SERVE_META, init), 0)
+            }
+        };
+        let mut tenants = BTreeMap::new();
+        for spec in specs {
+            if tenants.contains_key(&spec.name) {
+                return Err(ServeError::Config(format!("duplicate tenant '{}'", spec.name)));
+            }
+            let (session, doc_id) = match db.serve_session(&spec.name) {
+                Some(doc) => {
+                    let id = doc.get("_id").and_then(Doc::as_i64).map(|v| v.max(0) as u64);
+                    (TenantSession::from_doc(&doc)?, id)
+                }
+                None => (TenantSession::new(&spec.name), None),
+            };
+            let stats = TenantStats {
+                degraded: session.is_degraded(),
+                quarantined: session.is_quarantined(),
+                ..TenantStats::default()
+            };
+            let queue = TenantQueue::new(cfg.queue_capacity);
+            tenants.insert(
+                spec.name.clone(),
+                TenantRuntime {
+                    spec,
+                    queue,
+                    session: Some(session),
+                    doc_id,
+                    stats,
+                    pending_since: None,
+                },
+            );
+        }
+        Ok(Self { cfg, db, tenants, ticks, meta_id })
+    }
+
+    /// Offer one event for admission. The admission protocol:
+    ///
+    /// * [`Admission::Accepted`] — queued for the next tick;
+    /// * [`Admission::Retry`] — the tenant's queue is full; run a tick
+    ///   and re-offer (the caller keeps the event);
+    /// * [`Admission::Shed`] — dropped: the tenant is quarantined, or
+    ///   the aggregate backlog is past the high-water mark and this
+    ///   tenant's priority is below the floor.
+    pub fn offer(&mut self, event: &IngestEvent) -> Result<Admission> {
+        let backlog = self.aggregate_depth();
+        let high_water = self.cfg.high_water;
+        let floor = self.cfg.priority_floor;
+        let Some(runtime) = self.tenants.get_mut(&event.tenant) else {
+            return Err(ServeError::UnknownTenant(event.tenant.clone()));
+        };
+        if runtime.stats.quarantined {
+            runtime.stats.shed += 1;
+            sintel_obs::counter_add("sintel_serve_shed_total", 1);
+            return Ok(Admission::Shed);
+        }
+        if backlog >= high_water && runtime.spec.priority < floor {
+            runtime.stats.shed += 1;
+            sintel_obs::counter_add("sintel_serve_shed_total", 1);
+            return Ok(Admission::Shed);
+        }
+        if !runtime.queue.try_push(event.clone()) {
+            runtime.stats.retried += 1;
+            sintel_obs::counter_add("sintel_serve_retry_total", 1);
+            return Ok(Admission::Retry { after_ticks: 1 });
+        }
+        runtime.stats.accepted += 1;
+        if runtime.pending_since.is_none() {
+            runtime.pending_since = Some(Instant::now());
+        }
+        sintel_obs::counter_add("sintel_serve_accepted_total", 1);
+        sintel_obs::gauge_set(
+            &sintel_obs::labeled(
+                "sintel_serve_queue_depth",
+                &[("tenant", runtime.spec.name.as_str())],
+            ),
+            runtime.queue.len() as f64,
+        );
+        Ok(Admission::Accepted)
+    }
+
+    /// Process every queued event: drain all tenant queues, run the
+    /// sessions in parallel, group-commit the checkpoint cut, then
+    /// return the newly committed anomaly events (tenant order, then
+    /// emission order).
+    pub fn tick(&mut self) -> Result<Vec<AnomalyEvent>> {
+        #[cfg(feature = "faulty")]
+        if crate::fault::take(crate::fault::CrashPoint::BeforeCheckpoint) {
+            return Err(ServeError::Injected(
+                crate::fault::CrashPoint::BeforeCheckpoint.label(),
+            ));
+        }
+        let tick_span = sintel_obs::span("serve.tick");
+
+        struct WorkItem {
+            session: TenantSession,
+            events: Vec<IngestEvent>,
+            template: Template,
+            force_degrade: bool,
+        }
+
+        let names: Vec<String> = self.tenants.keys().cloned().collect();
+        let mut slots: Vec<Mutex<Option<WorkItem>>> = Vec::with_capacity(names.len());
+        for name in &names {
+            let Some(runtime) = self.tenants.get_mut(name) else {
+                slots.push(Mutex::new(None));
+                continue;
+            };
+            let events = runtime.queue.drain_all();
+            let session = runtime.session.take().unwrap_or_else(|| TenantSession::new(name));
+            let force_degrade = events.len() >= self.cfg.degrade_depth;
+            slots.push(Mutex::new(Some(WorkItem {
+                session,
+                events,
+                template: runtime.spec.template.clone(),
+                force_degrade,
+            })));
+        }
+
+        // Tenants are independent: each worker owns one tenant's session
+        // and events, so parallelism cannot change any tenant's output.
+        let cfg = &self.cfg;
+        let outcomes: Vec<Option<(TenantSession, PassReport)>> =
+            sintel_common::par_map(slots.len(), |i| {
+                let item = {
+                    let mut guard = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                    guard.take()
+                }?;
+                let WorkItem { mut session, events, template, force_degrade } = item;
+                let mut report = PassReport::default();
+                if force_degrade {
+                    session.degrade(&mut report);
+                }
+                for event in &events {
+                    session.absorb(event, &template, cfg, &mut report);
+                }
+                Some((session, report))
+            });
+
+        // One group-committed cut: every checkpoint, every event, and
+        // the tick counter land (or are lost together) atomically.
+        self.ticks += 1;
+        let mut emitted: Vec<AnomalyEvent> = Vec::new();
+        let scope = self.db.batch();
+        for (name, outcome) in names.iter().zip(outcomes) {
+            let Some((session, report)) = outcome else { continue };
+            let Some(runtime) = self.tenants.get_mut(name) else { continue };
+            let doc_id = self.db.upsert_serve_session(runtime.doc_id, session.to_doc())?;
+            runtime.doc_id = Some(doc_id);
+            for ev in &report.events {
+                self.db.add_serve_event(
+                    &ev.tenant, &ev.signal, ev.seq, ev.start, ev.end, ev.severity, ev.pass,
+                );
+            }
+            let stats = &mut runtime.stats;
+            stats.absorbed += report.absorbed;
+            stats.stale_dropped += report.stale_dropped;
+            stats.passes_run += report.passes_run;
+            stats.passes_skipped += report.passes_skipped;
+            stats.pass_failures += report.pass_failures;
+            stats.breaker_trips += report.tripped;
+            stats.emitted += report.events.len() as u64;
+            stats.degraded = session.is_degraded();
+            stats.quarantined = session.is_quarantined();
+            if report.tripped > 0 {
+                sintel_obs::counter_add("sintel_serve_breaker_trips_total", report.tripped);
+            }
+            if report.degraded_now {
+                sintel_obs::counter_add("sintel_serve_degraded_total", 1);
+            }
+            if report.quarantined_now {
+                sintel_obs::counter_add("sintel_serve_quarantined_total", 1);
+            }
+            if !report.events.is_empty() {
+                sintel_obs::counter_add(
+                    "sintel_serve_emitted_total",
+                    report.events.len() as u64,
+                );
+                if let Some(since) = runtime.pending_since.take() {
+                    sintel_obs::observe(
+                        "sintel_serve_emit_latency_seconds",
+                        since.elapsed().as_secs_f64(),
+                    );
+                }
+            }
+            runtime.session = Some(session);
+            emitted.extend(report.events);
+        }
+        let meta = Doc::obj().with("kind", "engine").with("ticks", self.ticks);
+        self.db.raw().update(collections::SERVE_META, self.meta_id, meta)?;
+        scope.commit()?;
+
+        #[cfg(feature = "faulty")]
+        if crate::fault::take(crate::fault::CrashPoint::BetweenCheckpointAndEmit) {
+            return Err(ServeError::Injected(
+                crate::fault::CrashPoint::BetweenCheckpointAndEmit.label(),
+            ));
+        }
+        sintel_obs::gauge_set("sintel_serve_backlog", self.aggregate_depth() as f64);
+        sintel_obs::observe_duration("sintel_serve_tick_seconds", tick_span.close());
+        Ok(emitted)
+    }
+
+    /// Every committed anomaly event for `tenant`, in emission (`seq`)
+    /// order — the durable stream a consumer resumes from after a
+    /// crash.
+    pub fn committed_events(&self, tenant: &str) -> Vec<AnomalyEvent> {
+        self.db.serve_events_for_tenant(tenant).iter().filter_map(decode_event).collect()
+    }
+
+    /// Total events queued across all tenants.
+    pub fn aggregate_depth(&self) -> usize {
+        self.tenants.values().map(|r| r.queue.len()).sum()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            ticks: self.ticks,
+            tenants: self
+                .tenants
+                .iter()
+                .map(|(name, r)| (name.clone(), r.stats.clone()))
+                .collect(),
+        }
+    }
+
+    /// Ticks processed so far (monotonic across recoveries).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.tenants.keys().map(String::as_str).collect()
+    }
+
+    /// One tenant's live session (None for unknown tenants).
+    pub fn session(&self, tenant: &str) -> Option<&TenantSession> {
+        self.tenants.get(tenant).and_then(|r| r.session.as_ref())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The underlying knowledge base.
+    pub fn db(&self) -> &SintelDb {
+        &self.db
+    }
+
+    /// Tear the engine down, returning the knowledge base — the
+    /// in-memory crash simulation used by the recovery property tests
+    /// (drop everything volatile, keep only what was committed).
+    pub fn into_db(self) -> SintelDb {
+        self.db
+    }
+}
+
+fn decode_event(doc: &Doc) -> Option<AnomalyEvent> {
+    Some(AnomalyEvent {
+        tenant: doc.get("tenant")?.as_str()?.to_string(),
+        signal: doc.get("signal")?.as_str()?.to_string(),
+        seq: doc.get("seq")?.as_i64()?.max(0) as u64,
+        start: doc.get("start_time")?.as_i64()?,
+        end: doc.get("stop_time")?.as_i64()?,
+        severity: doc.get("severity")?.as_f64()?,
+        pass: doc.get("pass")?.as_i64()?.max(0) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap_template() -> Template {
+        Template {
+            name: "serve_test".into(),
+            steps: vec![
+                StepSpec::plain("azure_anomaly_service"),
+                StepSpec::with("fixed_threshold", &[("k", HyperValue::Float(2.0))]),
+            ],
+        }
+    }
+
+    fn value_at(t: i64) -> f64 {
+        (t as f64 / 8.0).sin() + if t == 70 { 6.0 } else { 0.0 }
+    }
+
+    fn one_tenant_engine(cfg: ServeConfig) -> ServeEngine {
+        ServeEngine::open(
+            SintelDb::in_memory(),
+            cfg,
+            vec![TenantSpec::new("acme", 5, cheap_template())],
+        )
+        .expect("open")
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(ServeConfig { window: 0, ..ServeConfig::for_tests() }.validate().is_err());
+        assert!(ServeConfig { hop: 0, ..ServeConfig::for_tests() }.validate().is_err());
+        assert!(ServeConfig { min_points: 0, ..ServeConfig::for_tests() }.validate().is_err());
+        assert!(ServeConfig { min_points: 200, window: 100, ..ServeConfig::for_tests() }
+            .validate()
+            .is_err());
+        assert!(ServeConfig::for_tests().validate().is_ok());
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn unknown_tenant_is_an_error() {
+        let mut engine = one_tenant_engine(ServeConfig::for_tests());
+        let err = engine.offer(&IngestEvent::new("ghost", "cpu", 0, 0.0));
+        assert!(matches!(err, Err(ServeError::UnknownTenant(t)) if t == "ghost"));
+    }
+
+    #[test]
+    fn full_queue_pushes_back_and_drains_on_tick() {
+        let cfg = ServeConfig { queue_capacity: 2, ..ServeConfig::for_tests() };
+        let mut engine = one_tenant_engine(cfg);
+        assert_eq!(engine.offer(&IngestEvent::new("acme", "cpu", 0, 0.0)).unwrap(),
+            Admission::Accepted);
+        assert_eq!(engine.offer(&IngestEvent::new("acme", "cpu", 1, 0.0)).unwrap(),
+            Admission::Accepted);
+        assert_eq!(engine.offer(&IngestEvent::new("acme", "cpu", 2, 0.0)).unwrap(),
+            Admission::Retry { after_ticks: 1 });
+        engine.tick().expect("tick");
+        assert_eq!(engine.offer(&IngestEvent::new("acme", "cpu", 2, 0.0)).unwrap(),
+            Admission::Accepted, "tick must free queue capacity");
+        let stats = engine.stats();
+        assert_eq!(stats.tenants["acme"].accepted, 3);
+        assert_eq!(stats.tenants["acme"].retried, 1);
+    }
+
+    #[test]
+    fn overload_sheds_only_low_priority_tenants() {
+        let cfg = ServeConfig {
+            high_water: 1,
+            priority_floor: 5,
+            ..ServeConfig::for_tests()
+        };
+        let db = SintelDb::in_memory();
+        let specs = vec![
+            TenantSpec::new("batch", 0, cheap_template()),
+            TenantSpec::new("prod", 9, cheap_template()),
+        ];
+        let mut engine = ServeEngine::open(db, cfg, specs).expect("open");
+        // Backlog below high water: everyone is admitted.
+        assert_eq!(engine.offer(&IngestEvent::new("batch", "cpu", 0, 0.0)).unwrap(),
+            Admission::Accepted);
+        // Backlog at high water: the low-priority tenant is shed...
+        assert_eq!(engine.offer(&IngestEvent::new("batch", "cpu", 1, 0.0)).unwrap(),
+            Admission::Shed);
+        // ...while the high-priority tenant still gets in.
+        assert_eq!(engine.offer(&IngestEvent::new("prod", "cpu", 0, 0.0)).unwrap(),
+            Admission::Accepted);
+        let stats = engine.stats();
+        assert_eq!(stats.tenants["batch"].shed, 1);
+        assert_eq!(stats.tenants["prod"].shed, 0);
+    }
+
+    #[test]
+    fn end_to_end_emits_commits_and_recovers() {
+        let mut engine = one_tenant_engine(ServeConfig::for_tests());
+        let mut emitted = Vec::new();
+        for t in 0..128 {
+            let admission =
+                engine.offer(&IngestEvent::new("acme", "cpu", t, value_at(t))).unwrap();
+            assert_eq!(admission, Admission::Accepted);
+            if (t + 1) % 16 == 0 {
+                emitted.extend(engine.tick().expect("tick"));
+            }
+        }
+        assert!(!emitted.is_empty(), "spike at t=70 must be detected");
+        assert_eq!(engine.committed_events("acme"), emitted,
+            "returned events and committed events must agree");
+        let ticks = engine.ticks();
+        assert_eq!(ticks, 8);
+
+        // Reopen over the same store: session, tick counter and doc ids
+        // all survive; replaying the whole stream changes nothing.
+        let session_before = engine.session("acme").cloned().expect("session");
+        let db = engine.into_db();
+        let mut engine =
+            ServeEngine::open(db, ServeConfig::for_tests(), vec![TenantSpec::new(
+                "acme",
+                5,
+                cheap_template(),
+            )])
+            .expect("reopen");
+        assert_eq!(engine.ticks(), ticks);
+        assert_eq!(engine.session("acme"), Some(&session_before));
+        for t in 0..128 {
+            engine.offer(&IngestEvent::new("acme", "cpu", t, value_at(t))).unwrap();
+        }
+        let replayed = engine.tick().expect("tick");
+        assert!(replayed.is_empty(), "full replay must be absorbed idempotently");
+        assert_eq!(engine.committed_events("acme"), emitted);
+    }
+
+    #[test]
+    fn tick_batching_does_not_change_emissions() {
+        // Tick after every event...
+        let mut fine = one_tenant_engine(ServeConfig::for_tests());
+        let mut fine_events = Vec::new();
+        for t in 0..160 {
+            fine.offer(&IngestEvent::new("acme", "cpu", t, value_at(t))).unwrap();
+            fine_events.extend(fine.tick().expect("tick"));
+        }
+        // ...versus one giant tick at the end.
+        let mut coarse = one_tenant_engine(ServeConfig::for_tests());
+        for t in 0..160 {
+            coarse.offer(&IngestEvent::new("acme", "cpu", t, value_at(t))).unwrap();
+        }
+        let coarse_events = coarse.tick().expect("tick");
+        assert_eq!(fine_events, coarse_events,
+            "emissions must be a pure function of the accepted event sequence");
+        assert_eq!(fine.session("acme"), coarse.session("acme"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Ingest and emission event types, and the admission protocol.
+
+/// One streamed sample: a `(tenant, signal, timestamp, value)` tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestEvent {
+    /// Tenant the sample belongs to.
+    pub tenant: String,
+    /// Signal name within the tenant.
+    pub signal: String,
+    /// Sample timestamp (must be strictly increasing per signal; stale
+    /// or duplicate timestamps are absorbed idempotently, which is what
+    /// makes at-least-once replay after a crash safe).
+    pub timestamp: i64,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl IngestEvent {
+    /// Construct an event.
+    pub fn new(tenant: &str, signal: &str, timestamp: i64, value: f64) -> Self {
+        Self { tenant: tenant.to_string(), signal: signal.to_string(), timestamp, value }
+    }
+}
+
+/// Admission decision for one offered event — the backpressure
+/// protocol callers must honour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; the event is processed on the next tick.
+    Accepted,
+    /// The tenant's bounded queue is full. The caller should run (or
+    /// wait for) `after_ticks` engine ticks and re-offer the event —
+    /// nothing was dropped.
+    Retry {
+        /// How many ticks to wait before re-offering.
+        after_ticks: u32,
+    },
+    /// Load-shed: the event was dropped. Either the aggregate backlog
+    /// is past the high-water mark and this tenant's priority is below
+    /// the floor, or the tenant has been quarantined.
+    Shed,
+}
+
+/// A committed anomaly event emitted by the serving tier.
+///
+/// `seq` is per-tenant, dense and monotonic: consumers deduplicate
+/// re-deliveries by `(tenant, seq)`, and the crash-recovery property
+/// test asserts the committed `seq` sequence of an interrupted run is
+/// identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyEvent {
+    /// Tenant the anomaly belongs to.
+    pub tenant: String,
+    /// Signal the anomaly was detected on.
+    pub signal: String,
+    /// Per-tenant emission sequence number (0-based, dense).
+    pub seq: u64,
+    /// Anomaly interval start (timestamp space).
+    pub start: i64,
+    /// Anomaly interval end (timestamp space).
+    pub end: i64,
+    /// Detection severity score.
+    pub severity: f64,
+    /// The tenant's detection-pass counter when this event was found.
+    pub pass: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_event_construction() {
+        let ev = IngestEvent::new("acme", "cpu", 42, 0.5);
+        assert_eq!(ev.tenant, "acme");
+        assert_eq!(ev.signal, "cpu");
+        assert_eq!(ev.timestamp, 42);
+        assert_eq!(ev.value, 0.5);
+    }
+
+    #[test]
+    fn admission_variants_compare() {
+        assert_eq!(Admission::Accepted, Admission::Accepted);
+        assert_eq!(Admission::Retry { after_ticks: 1 }, Admission::Retry { after_ticks: 1 });
+        assert_ne!(Admission::Accepted, Admission::Shed);
+    }
+}

@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+
+//! # sintel-serve
+//!
+//! The long-running, multi-tenant streaming serving tier (DESIGN.md
+//! §4g). Tenants stream `(tenant, signal, timestamp, value)` events in;
+//! the engine buffers them per signal in bounded sliding windows, runs
+//! anomaly detection passes through the pipeline subsystem's incremental
+//! (`update`) path, and emits seq-numbered [`event::AnomalyEvent`]s with
+//! bounded latency and memory.
+//!
+//! Robustness machinery, layer by layer:
+//!
+//! * [`queue::TenantQueue`] — bounded per-tenant ingest queues; the
+//!   admission protocol ([`event::Admission`]) reports backpressure
+//!   (`Retry`) and load shedding (`Shed`, by tenant priority once the
+//!   aggregate backlog passes the high-water mark);
+//! * [`breaker::Breaker`] — a per-tenant circuit breaker (closed → open
+//!   on consecutive pass failures → half-open probe) over the pipeline
+//!   subsystem's [`sintel_pipeline::policy`] failure taxonomy, with the
+//!   benchmark's 2-strike quarantine as the terminal state;
+//! * [`session::TenantSession`] — per-tenant sliding-window buffers and
+//!   detection passes. Emissions are a pure function of the accepted
+//!   event sequence (never of tick boundaries or thread count), which is
+//!   what makes crash recovery and the chaos suite's bitwise assertions
+//!   possible;
+//! * [`engine::ServeEngine`] — admission, deterministic parallel pass
+//!   execution over tenants, and group-committed checkpoints: every tick
+//!   persists session state and newly detected events in one
+//!   [`sintel_store::Database::batch`] record, so `kill -9` loses at
+//!   most one uncommitted tick and never duplicates a committed event.
+//!
+//! With the `faulty` feature, [`fault`] adds serve-level crash points
+//! (e.g. between checkpoint commit and emission) on top of the faulty
+//! primitive family and the store's WAL crash points.
+
+pub mod breaker;
+pub mod engine;
+pub mod event;
+#[cfg(feature = "faulty")]
+pub mod fault;
+pub mod queue;
+pub mod session;
+
+pub use breaker::{Breaker, BreakerEvent, BreakerState};
+pub use engine::{ServeConfig, ServeEngine, ServeStats, TenantSpec, TenantStats};
+pub use event::{Admission, AnomalyEvent, IngestEvent};
+pub use queue::TenantQueue;
+pub use session::TenantSession;
+
+/// Errors produced by the serving tier.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid [`engine::ServeConfig`].
+    Config(String),
+    /// An event was offered for a tenant that was never registered.
+    UnknownTenant(String),
+    /// The knowledge-base layer failed.
+    Store(sintel_store::StoreError),
+    /// A persisted session checkpoint could not be decoded.
+    Checkpoint(String),
+    /// A crash injected by [`fault`]; carries the crash-point label.
+    /// Test-only.
+    #[cfg(feature = "faulty")]
+    Injected(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(m) => write!(f, "config error: {m}"),
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant '{t}'"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+            ServeError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            #[cfg(feature = "faulty")]
+            ServeError::Injected(point) => write!(f, "injected crash at {point}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<sintel_store::StoreError> for ServeError {
+    fn from(e: sintel_store::StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,93 @@
+//! Bounded per-tenant ingest queues.
+//!
+//! Each tenant owns one queue; the bound is what turns a slow consumer
+//! into visible backpressure ([`crate::Admission::Retry`]) instead of
+//! unbounded memory growth. The engine drains whole queues per tick, so
+//! a queue never holds more than one tick's worth of backlog plus the
+//! events admitted since.
+
+use std::collections::VecDeque;
+
+use crate::event::IngestEvent;
+
+/// A bounded FIFO of pending ingest events for one tenant.
+#[derive(Debug)]
+pub struct TenantQueue {
+    events: VecDeque<IngestEvent>,
+    capacity: usize,
+}
+
+impl TenantQueue {
+    /// An empty queue holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self { events: VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    /// Enqueue an event; `false` (and no mutation) when full.
+    pub fn try_push(&mut self, event: IngestEvent) -> bool {
+        if self.events.len() >= self.capacity {
+            return false;
+        }
+        self.events.push_back(event);
+        true
+    }
+
+    /// Take every queued event, in arrival order.
+    pub fn drain_all(&mut self) -> Vec<IngestEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: i64) -> IngestEvent {
+        IngestEvent::new("t", "s", ts, 0.0)
+    }
+
+    #[test]
+    fn push_until_full_then_reject() {
+        let mut q = TenantQueue::new(2);
+        assert!(q.try_push(ev(0)));
+        assert!(q.try_push(ev(1)));
+        assert!(!q.try_push(ev(2)), "third push must be rejected");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_preserves_arrival_order_and_empties() {
+        let mut q = TenantQueue::new(8);
+        for t in 0..5 {
+            assert!(q.try_push(ev(t)));
+        }
+        let drained = q.drain_all();
+        assert_eq!(drained.iter().map(|e| e.timestamp).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        // Capacity is available again after a drain.
+        assert!(q.try_push(ev(9)));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut q = TenantQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(ev(0)));
+        assert!(!q.try_push(ev(1)));
+    }
+}

@@ -1,0 +1,561 @@
+//! Per-tenant streaming sessions: sliding-window buffers, detection
+//! passes and checkpoint (de)serialization.
+//!
+//! The determinism contract of the serving tier lives here: **emissions
+//! are a pure function of the accepted event sequence**. Two mechanisms
+//! make that true:
+//!
+//! * passes fire at *event-count boundaries* (every `hop`-th sample
+//!   absorbed into a signal's buffer), never at tick or wall-clock
+//!   boundaries, so how callers batch `offer`/`tick` cannot change what
+//!   is detected;
+//! * every pass rebuilds and refits its pipeline on the buffered window
+//!   (a pure function of the window), so a session recovered from a
+//!   checkpoint produces byte-identical emissions to one that never
+//!   crashed.
+//!
+//! Buffer appends are idempotent (stale timestamps are dropped), which
+//! upgrades at-least-once ingest replay into exactly-once absorption —
+//! the crash-recovery property test replays the *whole* stream from the
+//! beginning and still gets an identical committed event sequence.
+
+use std::collections::BTreeMap;
+
+use sintel_pipeline::policy::{classify_pipeline_error, run_with_policy, Failure, FailureKind};
+use sintel_pipeline::Template;
+use sintel_store::Doc;
+use sintel_timeseries::Signal;
+
+use crate::breaker::{Breaker, BreakerEvent, BreakerState};
+use crate::engine::ServeConfig;
+use crate::event::{AnomalyEvent, IngestEvent};
+use crate::{Result, ServeError};
+
+/// Sliding sample buffer for one signal of one tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalBuffer {
+    timestamps: Vec<i64>,
+    values: Vec<f64>,
+    /// Samples ever absorbed (drives the `hop` pass schedule; never
+    /// decreases when the buffer slides).
+    ingested: u64,
+    /// Emission watermark: anomaly intervals ending at or before this
+    /// timestamp have already been emitted. Deduplicates re-detections
+    /// of the same anomaly on successive overlapping windows.
+    emitted_until: i64,
+}
+
+impl SignalBuffer {
+    fn new() -> Self {
+        Self { timestamps: Vec::new(), values: Vec::new(), ingested: 0, emitted_until: i64::MIN }
+    }
+
+    /// Absorb one sample; returns `false` for stale/duplicate
+    /// timestamps (idempotent replay). Slides the window past `window`
+    /// samples.
+    fn push(&mut self, timestamp: i64, value: f64, window: usize) -> bool {
+        if self.timestamps.last().is_some_and(|&last| timestamp <= last) {
+            return false;
+        }
+        self.timestamps.push(timestamp);
+        self.values.push(value);
+        self.ingested += 1;
+        if self.timestamps.len() > window {
+            let excess = self.timestamps.len() - window;
+            self.timestamps.drain(..excess);
+            self.values.drain(..excess);
+        }
+        true
+    }
+
+    /// Buffered sample count.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Newest buffered timestamp.
+    pub fn last_timestamp(&self) -> Option<i64> {
+        self.timestamps.last().copied()
+    }
+}
+
+/// Everything one tick of processing produced for one tenant, for the
+/// engine to commit, count and expose as metrics.
+#[derive(Debug, Default, Clone)]
+pub struct PassReport {
+    /// Newly emitted anomaly events, emission order.
+    pub events: Vec<AnomalyEvent>,
+    /// Samples actually absorbed into buffers.
+    pub absorbed: u64,
+    /// Stale/duplicate samples dropped by idempotent replay.
+    pub stale_dropped: u64,
+    /// Detection passes attempted.
+    pub passes_run: u64,
+    /// Scheduled passes skipped (breaker open or tenant quarantined).
+    pub passes_skipped: u64,
+    /// Attempted passes that failed their run policy.
+    pub pass_failures: u64,
+    /// Breaker trips that happened this tick.
+    pub tripped: u64,
+    /// The tenant degraded to the fallback pipeline this tick.
+    pub degraded_now: bool,
+    /// The tenant was quarantined this tick.
+    pub quarantined_now: bool,
+}
+
+/// One tenant's streaming session state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSession {
+    tenant: String,
+    /// Scheduled detection passes so far (the breaker's logical clock).
+    pass_counter: u64,
+    /// Next emission sequence number.
+    next_seq: u64,
+    /// Running on the cheap fallback pipeline.
+    degraded: bool,
+    /// Permanently parked after repeated breaker trips.
+    quarantined: bool,
+    breaker: Breaker,
+    buffers: BTreeMap<String, SignalBuffer>,
+}
+
+impl TenantSession {
+    /// A fresh session for `tenant`.
+    pub fn new(tenant: &str) -> Self {
+        Self {
+            tenant: tenant.to_string(),
+            pass_counter: 0,
+            next_seq: 0,
+            degraded: false,
+            quarantined: false,
+            breaker: Breaker::new(),
+            buffers: BTreeMap::new(),
+        }
+    }
+
+    /// Tenant name.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Scheduled pass count.
+    pub fn pass_counter(&self) -> u64 {
+        self.pass_counter
+    }
+
+    /// Next emission sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Whether the session runs the fallback pipeline.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether the session is permanently parked.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The session's circuit breaker.
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
+    }
+
+    /// Buffered signal names, sorted.
+    pub fn signals(&self) -> Vec<&str> {
+        self.buffers.keys().map(String::as_str).collect()
+    }
+
+    /// One signal's buffer, if any samples arrived for it.
+    pub fn buffer(&self, signal: &str) -> Option<&SignalBuffer> {
+        self.buffers.get(signal)
+    }
+
+    /// Switch to the fallback pipeline (graceful degradation). The
+    /// engine calls this when a tenant's backlog exceeds the degrade
+    /// depth; sessions also self-degrade on a pass timeout.
+    pub fn degrade(&mut self, report: &mut PassReport) {
+        if !self.degraded {
+            self.degraded = true;
+            report.degraded_now = true;
+        }
+    }
+
+    /// Absorb one ingest event, running any detection pass that falls
+    /// due at this event-count boundary. `template` is the tenant's
+    /// configured pipeline; the fallback and all scheduling knobs come
+    /// from `cfg`.
+    pub fn absorb(
+        &mut self,
+        event: &IngestEvent,
+        template: &Template,
+        cfg: &ServeConfig,
+        report: &mut PassReport,
+    ) {
+        let buffer = self.buffers.entry(event.signal.clone()).or_insert_with(SignalBuffer::new);
+        if !buffer.push(event.timestamp, event.value, cfg.window) {
+            report.stale_dropped += 1;
+            return;
+        }
+        report.absorbed += 1;
+        let due = buffer.ingested % cfg.hop == 0 && buffer.len() >= cfg.min_points;
+        if !due {
+            return;
+        }
+        self.pass_counter += 1;
+        if self.quarantined {
+            report.passes_skipped += 1;
+            return;
+        }
+        if !self.breaker.try_pass(self.pass_counter) {
+            report.passes_skipped += 1;
+            return;
+        }
+        self.run_pass(&event.signal, template, cfg, report);
+    }
+
+    /// One detection pass over `signal`'s buffered window, under the
+    /// run policy. Success emits watermark-deduplicated events; failure
+    /// feeds the breaker (and a timeout degrades the tenant first).
+    fn run_pass(
+        &mut self,
+        signal: &str,
+        template: &Template,
+        cfg: &ServeConfig,
+        report: &mut PassReport,
+    ) {
+        let pass = self.pass_counter;
+        let Some(buffer) = self.buffers.get(signal) else {
+            return;
+        };
+        // Buffer timestamps are strictly increasing by construction, so
+        // this cannot fail; bail out defensively rather than unwrap.
+        let Ok(snapshot) =
+            Signal::univariate(signal, buffer.timestamps.clone(), buffer.values.clone())
+        else {
+            return;
+        };
+        let chosen = if self.degraded { cfg.fallback.clone() } else { template.clone() };
+        let task = move || {
+            let fail = |e: &sintel_pipeline::PipelineError| {
+                Failure::new(classify_pipeline_error(e), e.to_string())
+            };
+            let mut pipeline = chosen.build_default().map_err(|e| fail(&e))?;
+            pipeline.fit(&snapshot).map_err(|e| fail(&e))?;
+            pipeline.detect_incremental(&snapshot).map_err(|e| fail(&e))
+        };
+        report.passes_run += 1;
+        let span = sintel_obs::span_with(
+            "serve.pass",
+            &[("tenant", sintel_obs::FieldValue::from(self.tenant.as_str()))],
+        );
+        let (result, _attempts) = run_with_policy(&cfg.policy, task);
+        sintel_obs::observe_duration("sintel_serve_pass_seconds", span.close());
+        match result {
+            Ok(mut intervals) => {
+                self.breaker.on_success();
+                // find_anomalies returns sorted intervals; re-sort
+                // defensively so emission order (and therefore seq
+                // assignment) never depends on a primitive's internals.
+                intervals.sort_by_key(|iv| (iv.interval.start, iv.interval.end));
+                let Some(buffer) = self.buffers.get_mut(signal) else {
+                    return;
+                };
+                for iv in intervals {
+                    if iv.interval.end <= buffer.emitted_until {
+                        continue;
+                    }
+                    report.events.push(AnomalyEvent {
+                        tenant: self.tenant.clone(),
+                        signal: signal.to_string(),
+                        seq: self.next_seq,
+                        start: iv.interval.start,
+                        end: iv.interval.end,
+                        severity: iv.score,
+                        pass,
+                    });
+                    self.next_seq += 1;
+                    buffer.emitted_until = iv.interval.end;
+                }
+            }
+            Err(failure) => {
+                report.pass_failures += 1;
+                if failure.kind == FailureKind::Timeout && !self.degraded {
+                    // Overload path: swap to the cheap fallback before
+                    // burning breaker strikes — the tenant keeps
+                    // getting (coarser) detections.
+                    self.degrade(report);
+                    return;
+                }
+                match self.breaker.on_failure(
+                    pass,
+                    cfg.breaker_threshold,
+                    cfg.breaker_cooldown,
+                    cfg.quarantine_trips,
+                ) {
+                    BreakerEvent::Tripped => report.tripped += 1,
+                    BreakerEvent::Quarantined => {
+                        report.tripped += 1;
+                        self.quarantined = true;
+                        report.quarantined_now = true;
+                    }
+                    BreakerEvent::Counted => {}
+                }
+            }
+        }
+    }
+
+    // ---- checkpoint (de)serialization ---------------------------------
+
+    /// Encode the session as a checkpoint document.
+    pub fn to_doc(&self) -> Doc {
+        let (state, trips) = self.breaker.parts();
+        let (label, consecutive, until) = match state {
+            BreakerState::Closed { consecutive_failures } => {
+                ("closed", consecutive_failures as i64, 0i64)
+            }
+            BreakerState::Open { until_pass } => ("open", 0, until_pass as i64),
+            BreakerState::HalfOpen => ("half_open", 0, 0),
+        };
+        let signals: Vec<Doc> = self
+            .buffers
+            .iter()
+            .map(|(name, b)| {
+                Doc::obj()
+                    .with("signal", name.as_str())
+                    .with("ingested", b.ingested as i64)
+                    .with("emitted_until", b.emitted_until)
+                    .with("timestamps", Doc::from(b.timestamps.clone()))
+                    .with("values", Doc::from(b.values.clone()))
+            })
+            .collect();
+        Doc::obj()
+            .with("tenant", self.tenant.as_str())
+            .with("pass_counter", self.pass_counter as i64)
+            .with("next_seq", self.next_seq as i64)
+            .with("degraded", self.degraded)
+            .with("quarantined", self.quarantined)
+            .with("breaker_state", label)
+            .with("breaker_consecutive", consecutive)
+            .with("breaker_until_pass", until)
+            .with("breaker_trips", trips as i64)
+            .with("signals", Doc::Arr(signals))
+    }
+
+    /// Decode a checkpoint document written by [`TenantSession::to_doc`].
+    pub fn from_doc(doc: &Doc) -> Result<TenantSession> {
+        let str_field = |d: &Doc, k: &str| -> Result<String> {
+            d.get(k)
+                .and_then(Doc::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ServeError::Checkpoint(format!("missing string field '{k}'")))
+        };
+        let i64_field = |d: &Doc, k: &str| -> Result<i64> {
+            d.get(k)
+                .and_then(Doc::as_i64)
+                .ok_or_else(|| ServeError::Checkpoint(format!("missing int field '{k}'")))
+        };
+        let bool_field = |d: &Doc, k: &str| -> Result<bool> {
+            d.get(k)
+                .and_then(Doc::as_bool)
+                .ok_or_else(|| ServeError::Checkpoint(format!("missing bool field '{k}'")))
+        };
+        let state = match str_field(doc, "breaker_state")?.as_str() {
+            "closed" => BreakerState::Closed {
+                consecutive_failures: i64_field(doc, "breaker_consecutive")?.max(0) as u32,
+            },
+            "open" => BreakerState::Open {
+                until_pass: i64_field(doc, "breaker_until_pass")?.max(0) as u64,
+            },
+            "half_open" => BreakerState::HalfOpen,
+            other => {
+                return Err(ServeError::Checkpoint(format!("unknown breaker state '{other}'")))
+            }
+        };
+        let mut buffers = BTreeMap::new();
+        let signals = doc
+            .get("signals")
+            .and_then(Doc::as_arr)
+            .ok_or_else(|| ServeError::Checkpoint("missing 'signals' array".to_string()))?;
+        for entry in signals {
+            let name = str_field(entry, "signal")?;
+            let timestamps: Vec<i64> = entry
+                .get("timestamps")
+                .and_then(Doc::as_arr)
+                .ok_or_else(|| ServeError::Checkpoint("missing 'timestamps'".to_string()))?
+                .iter()
+                .filter_map(Doc::as_i64)
+                .collect();
+            let values: Vec<f64> = entry
+                .get("values")
+                .and_then(Doc::as_arr)
+                .ok_or_else(|| ServeError::Checkpoint("missing 'values'".to_string()))?
+                .iter()
+                .filter_map(Doc::as_f64)
+                .collect();
+            if timestamps.len() != values.len() {
+                return Err(ServeError::Checkpoint(format!(
+                    "signal '{name}': {} timestamps vs {} values",
+                    timestamps.len(),
+                    values.len()
+                )));
+            }
+            buffers.insert(
+                name,
+                SignalBuffer {
+                    timestamps,
+                    values,
+                    ingested: i64_field(entry, "ingested")?.max(0) as u64,
+                    emitted_until: i64_field(entry, "emitted_until")?,
+                },
+            );
+        }
+        Ok(TenantSession {
+            tenant: str_field(doc, "tenant")?,
+            pass_counter: i64_field(doc, "pass_counter")?.max(0) as u64,
+            next_seq: i64_field(doc, "next_seq")?.max(0) as u64,
+            degraded: bool_field(doc, "degraded")?,
+            quarantined: bool_field(doc, "quarantined")?,
+            breaker: Breaker::from_parts(state, i64_field(doc, "breaker_trips")?.max(0) as u32),
+            buffers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintel_pipeline::template::StepSpec;
+    use sintel_primitives::HyperValue;
+
+    /// The cheapest end-to-end detector: spectral residual scoring plus
+    /// a fixed threshold, no training state.
+    fn cheap_template() -> Template {
+        Template {
+            name: "serve_test".into(),
+            steps: vec![
+                StepSpec::plain("azure_anomaly_service"),
+                StepSpec::with("fixed_threshold", &[("k", HyperValue::Float(2.0))]),
+            ],
+        }
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            window: 128,
+            hop: 32,
+            min_points: 32,
+            ..ServeConfig::for_tests()
+        }
+    }
+
+    fn feed(session: &mut TenantSession, cfg: &ServeConfig, n: usize) -> PassReport {
+        let template = cheap_template();
+        let mut report = PassReport::default();
+        for t in 0..n {
+            let value = (t as f64 / 8.0).sin() + if t == 70 { 6.0 } else { 0.0 };
+            let ev = IngestEvent::new("acme", "cpu", t as i64, value);
+            session.absorb(&ev, &template, cfg, &mut report);
+        }
+        report
+    }
+
+    #[test]
+    fn passes_fire_at_hop_boundaries_and_emit_once() {
+        let cfg = cfg();
+        let mut session = TenantSession::new("acme");
+        let report = feed(&mut session, &cfg, 128);
+        // 128 samples / hop 32 => 4 scheduled passes.
+        assert_eq!(session.pass_counter(), 4);
+        assert_eq!(report.passes_run, 4);
+        assert_eq!(report.absorbed, 128);
+        assert!(!report.events.is_empty(), "spike at t=70 must be detected");
+        // Every event is emitted exactly once: seq is dense and the
+        // watermark advances monotonically.
+        for (i, ev) in report.events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+        }
+        let mut ends: Vec<i64> = report.events.iter().map(|e| e.end).collect();
+        let sorted = ends.clone();
+        ends.sort_unstable();
+        assert_eq!(ends, sorted, "watermark must advance monotonically");
+    }
+
+    #[test]
+    fn stale_timestamps_are_idempotent() {
+        let cfg = cfg();
+        let mut session = TenantSession::new("acme");
+        feed(&mut session, &cfg, 64);
+        let snapshot = session.clone();
+        // Replaying the same 64 events changes nothing at all.
+        let report = feed(&mut session, &cfg, 64);
+        assert_eq!(report.absorbed, 0);
+        assert_eq!(report.stale_dropped, 64);
+        assert!(report.events.is_empty());
+        assert_eq!(session, snapshot);
+    }
+
+    #[test]
+    fn window_slides_and_bounds_memory() {
+        let cfg = ServeConfig { window: 40, hop: 16, min_points: 16, ..ServeConfig::for_tests() };
+        let mut session = TenantSession::new("acme");
+        let template = cheap_template();
+        let mut report = PassReport::default();
+        for t in 0..400 {
+            let ev = IngestEvent::new("acme", "cpu", t, (t as f64 / 8.0).sin());
+            session.absorb(&ev, &template, &cfg, &mut report);
+        }
+        let buffer = session.buffer("cpu").expect("buffer exists");
+        assert_eq!(buffer.len(), 40, "buffer must slide, not grow");
+        assert_eq!(buffer.last_timestamp(), Some(399));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bitwise() {
+        let cfg = cfg();
+        let mut session = TenantSession::new("acme");
+        feed(&mut session, &cfg, 100);
+        // Also exercise non-default flags.
+        let mut report = PassReport::default();
+        session.degrade(&mut report);
+        assert!(report.degraded_now);
+        let doc = session.to_doc();
+        let restored = TenantSession::from_doc(&doc).expect("decode");
+        assert_eq!(restored, session);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        assert!(TenantSession::from_doc(&Doc::obj()).is_err());
+        let half = Doc::obj().with("tenant", "t").with("pass_counter", 1i64);
+        assert!(TenantSession::from_doc(&half).is_err());
+    }
+
+    #[test]
+    fn recovered_session_continues_identically() {
+        let cfg = cfg();
+        // Uninterrupted run over 256 events.
+        let mut full = TenantSession::new("acme");
+        let full_report = feed(&mut full, &cfg, 256);
+
+        // Interrupted at 100 events: checkpoint, restore, then replay
+        // the whole stream (at-least-once) — absorbed idempotently.
+        let mut first = TenantSession::new("acme");
+        let early = feed(&mut first, &cfg, 100);
+        let mut resumed =
+            TenantSession::from_doc(&first.to_doc()).expect("decode checkpoint");
+        let late = feed(&mut resumed, &cfg, 256);
+
+        assert_eq!(resumed, full, "recovered session state must converge");
+        let mut combined = early.events;
+        combined.extend(late.events);
+        assert_eq!(combined, full_report.events, "emission sequence must be identical");
+    }
+}

@@ -1,0 +1,124 @@
+//! Purity of the serving tier: emissions are a pure function of the
+//! accepted event sequence — invariant under worker thread count, tick
+//! batching, and the engine machinery itself (queues, parallel
+//! execution, group-committed checkpoints).
+
+use sintel_pipeline::template::{StepSpec, Template};
+use sintel_primitives::HyperValue;
+use sintel_serve::session::PassReport;
+use sintel_serve::{
+    AnomalyEvent, IngestEvent, ServeConfig, ServeEngine, TenantSession, TenantSpec,
+};
+use sintel_store::SintelDb;
+
+const TENANTS: [&str; 3] = ["t0", "t1", "t2"];
+
+fn cheap_template() -> Template {
+    Template {
+        name: "purity_test".into(),
+        steps: vec![
+            StepSpec::plain("azure_anomaly_service"),
+            StepSpec::with("fixed_threshold", &[("k", HyperValue::Float(2.0))]),
+        ],
+    }
+}
+
+/// Interleaved three-tenant stream with a distinct spike per tenant.
+fn stream() -> Vec<IngestEvent> {
+    let mut events = Vec::new();
+    for t in 0..200i64 {
+        for (i, name) in TENANTS.iter().enumerate() {
+            let phase = (i as f64 + 1.0) * 0.17;
+            let spike = if t == 60 + 20 * i as i64 { 5.0 + i as f64 } else { 0.0 };
+            events.push(IngestEvent::new(name, "cpu", t, (t as f64 * phase).sin() + spike));
+        }
+    }
+    events
+}
+
+fn specs() -> Vec<TenantSpec> {
+    TENANTS.iter().map(|name| TenantSpec::new(name, 5, cheap_template())).collect()
+}
+
+/// Offer the full stream, ticking every `chunk` events, and return the
+/// emission sequence.
+fn run(chunk: usize) -> Vec<AnomalyEvent> {
+    let mut engine =
+        ServeEngine::open(SintelDb::in_memory(), ServeConfig::for_tests(), specs())
+            .expect("open engine");
+    let mut out = Vec::new();
+    for (i, event) in stream().iter().enumerate() {
+        engine.offer(event).expect("offer");
+        if (i + 1) % chunk == 0 {
+            out.extend(engine.tick().expect("tick"));
+        }
+    }
+    out.extend(engine.tick().expect("tick"));
+    out
+}
+
+fn per_tenant(events: &[AnomalyEvent]) -> Vec<Vec<AnomalyEvent>> {
+    TENANTS
+        .iter()
+        .map(|name| events.iter().filter(|e| e.tenant == *name).cloned().collect())
+        .collect()
+}
+
+#[test]
+fn emissions_are_thread_count_invariant() {
+    // This test owns the global thread knob; no other test in this
+    // binary touches it.
+    sintel_common::set_threads(Some(1));
+    let base = run(37);
+    assert!(!base.is_empty(), "the spikes must be detected");
+    for threads in [2, 8] {
+        sintel_common::set_threads(Some(threads));
+        let got = run(37);
+        sintel_common::set_threads(None);
+        assert_eq!(got, base, "thread count {threads} changed the emission sequence");
+    }
+}
+
+#[test]
+fn tick_chunking_is_immaterial_per_tenant() {
+    let fine = run(1);
+    let coarse = run(97);
+    assert_eq!(
+        per_tenant(&fine),
+        per_tenant(&coarse),
+        "per-tenant emissions must not depend on tick batching"
+    );
+}
+
+#[test]
+fn engine_matches_direct_session_feed() {
+    let cfg = ServeConfig::for_tests();
+    let events: Vec<IngestEvent> =
+        stream().into_iter().filter(|e| e.tenant == "t0").collect();
+
+    let mut engine = ServeEngine::open(
+        SintelDb::in_memory(),
+        cfg.clone(),
+        vec![TenantSpec::new("t0", 5, cheap_template())],
+    )
+    .expect("open engine");
+    let mut engine_out = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        engine.offer(event).expect("offer");
+        if (i + 1) % 23 == 0 {
+            engine_out.extend(engine.tick().expect("tick"));
+        }
+    }
+    engine_out.extend(engine.tick().expect("tick"));
+
+    // The same events through a bare session, no engine machinery.
+    let template = cheap_template();
+    let mut session = TenantSession::new("t0");
+    let mut report = PassReport::default();
+    for event in &events {
+        session.absorb(event, &template, &cfg, &mut report);
+    }
+
+    assert_eq!(engine_out, report.events, "the engine must add nothing and lose nothing");
+    assert_eq!(engine.session("t0"), Some(&session), "session state must match too");
+}

@@ -60,6 +60,12 @@ impl Arima {
         };
         let mut resid = vec![0.0; y.len()];
         for t in long_order..y.len() {
+            // Watchdogged runs poll for cancellation so an abandoned fit
+            // stops instead of leaking its thread (amortised: the check
+            // is off the flop path for all but 1 in 1024 iterations).
+            if t % 1024 == 0 && sintel_common::cancelled() {
+                return Err(StatsError::Cancelled);
+            }
             let mut pred = *long_intercept;
             // Lags newest-first: y[t-1], y[t-2], … — same summation order
             // as explicit `y[t - 1 - k]` indexing, without the indexing.
@@ -129,6 +135,9 @@ impl Arima {
         let warm = self.p.max(self.q);
         let mut preds = Vec::with_capacity(values.len() - offset);
         for t in warm..y.len() {
+            if t % 1024 == 0 && sintel_common::cancelled() {
+                return Err(StatsError::Cancelled);
+            }
             let mut yhat = self.intercept;
             for (c, &lag) in self.phi.iter().zip(y[..t].iter().rev()) {
                 yhat += c * lag;

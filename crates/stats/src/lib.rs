@@ -52,6 +52,9 @@ pub enum StatsError {
     InvalidParameter(String),
     /// Underlying linear algebra failure (singular design, etc.).
     Numerical(String),
+    /// Work was cancelled by a watchdog (`sintel_common::cancel`): the
+    /// run budget expired and a recursion loop bailed out early.
+    Cancelled,
 }
 
 impl std::fmt::Display for StatsError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for StatsError {
             }
             StatsError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             StatsError::Numerical(m) => write!(f, "numerical failure: {m}"),
+            StatsError::Cancelled => write!(f, "cancelled by run budget"),
         }
     }
 }

@@ -58,6 +58,12 @@ pub mod collections {
     pub const METRICS_SNAPSHOTS: &str = "metrics_snapshots";
     /// Static-analysis diagnostics recorded for benchmarked pipelines.
     pub const DIAGNOSTICS: &str = "diagnostics";
+    /// Serving-tier session checkpoints, one per tenant.
+    pub const SERVE_SESSIONS: &str = "serve_sessions";
+    /// Serving-tier committed anomaly events (`seq` is per-tenant dense).
+    pub const SERVE_EVENTS: &str = "serve_events";
+    /// Serving-tier engine metadata (tick counter etc.).
+    pub const SERVE_META: &str = "serve_meta";
 }
 
 impl SintelDb {
@@ -95,6 +101,9 @@ impl SintelDb {
         self.db.create_index(collections::QUARANTINE, "pipeline");
         self.db.create_index(collections::METRICS_SNAPSHOTS, "run");
         self.db.create_index(collections::DIAGNOSTICS, "pipeline");
+        self.db.create_index(collections::SERVE_SESSIONS, "tenant");
+        self.db.create_index(collections::SERVE_EVENTS, "tenant");
+        self.db.create_index(collections::SERVE_META, "kind");
     }
 
     /// Access the raw database (escape hatch).
@@ -306,6 +315,58 @@ impl SintelDb {
         self.db.find(collections::METRICS_SNAPSHOTS, &Filter::eq("run", run))
     }
 
+    // ---- serving tier --------------------------------------------------
+
+    /// Upsert a tenant's serving-session checkpoint: update in place
+    /// when `doc_id` is known, insert otherwise. Returns the document
+    /// id (stable across updates, so the serving engine can keep
+    /// checkpointing into the same slot).
+    pub fn upsert_serve_session(&self, doc_id: Option<u64>, doc: Doc) -> Result<u64> {
+        match doc_id {
+            Some(id) => {
+                self.db.update(collections::SERVE_SESSIONS, id, doc)?;
+                Ok(id)
+            }
+            None => Ok(self.db.insert(collections::SERVE_SESSIONS, doc)),
+        }
+    }
+
+    /// A tenant's persisted serving-session checkpoint, if any.
+    pub fn serve_session(&self, tenant: &str) -> Option<Doc> {
+        self.db.find_one(collections::SERVE_SESSIONS, &Filter::eq("tenant", tenant))
+    }
+
+    /// Record a committed serving-tier anomaly event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_serve_event(
+        &self,
+        tenant: &str,
+        signal: &str,
+        seq: u64,
+        start: i64,
+        stop: i64,
+        severity: f64,
+        pass: u64,
+    ) -> u64 {
+        self.db.insert(
+            collections::SERVE_EVENTS,
+            Doc::obj()
+                .with("tenant", tenant)
+                .with("signal", signal)
+                .with("seq", seq)
+                .with("start_time", start)
+                .with("stop_time", stop)
+                .with("severity", severity)
+                .with("pass", pass),
+        )
+    }
+
+    /// Committed serving-tier events for a tenant, insertion order
+    /// (which, by the engine's protocol, is also `seq` order).
+    pub fn serve_events_for_tenant(&self, tenant: &str) -> Vec<Doc> {
+        self.db.find(collections::SERVE_EVENTS, &Filter::eq("tenant", tenant))
+    }
+
     fn pair_filter(pipeline: &str, signal: &str) -> Filter {
         Filter::And(vec![Filter::eq("pipeline", pipeline), Filter::eq("signal", signal)])
     }
@@ -437,6 +498,37 @@ mod tests {
             .and_then(|d| d.as_str())
             .is_some_and(|s| s.contains("x 1")));
         assert_eq!(db.metrics_snapshots("tune").len(), 1);
+    }
+
+    #[test]
+    fn serve_schema_round_trip() {
+        let db = SintelDb::in_memory();
+        assert!(db.serve_session("acme").is_none());
+
+        let id = db
+            .upsert_serve_session(None, Doc::obj().with("tenant", "acme").with("next_seq", 0i64))
+            .unwrap();
+        let again = db
+            .upsert_serve_session(
+                Some(id),
+                Doc::obj().with("tenant", "acme").with("next_seq", 3i64),
+            )
+            .unwrap();
+        assert_eq!(id, again, "upsert must keep the same document id");
+        let doc = db.serve_session("acme").unwrap();
+        assert_eq!(doc.get("next_seq").unwrap().as_i64(), Some(3));
+        // Only one checkpoint per tenant, not one per upsert.
+        assert_eq!(db.raw().count(collections::SERVE_SESSIONS, &Filter::All), 1);
+
+        db.add_serve_event("acme", "cpu", 0, 100, 120, 4.5, 2);
+        db.add_serve_event("acme", "cpu", 1, 300, 310, 2.0, 4);
+        db.add_serve_event("other", "mem", 0, 5, 6, 1.0, 1);
+        let events = db.serve_events_for_tenant("acme");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("seq").unwrap().as_i64(), Some(0));
+        assert_eq!(events[1].get("seq").unwrap().as_i64(), Some(1));
+        assert_eq!(events[1].get("severity").unwrap().as_f64(), Some(2.0));
+        assert_eq!(db.serve_events_for_tenant("other").len(), 1);
     }
 
     #[test]

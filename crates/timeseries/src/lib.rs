@@ -35,6 +35,9 @@ pub enum TimeSeriesError {
     InvalidParameter(String),
     /// CSV parsing / IO failure.
     Io(String),
+    /// Work was cancelled by a watchdog (`sintel_common::cancel`): the
+    /// run budget expired and a long extraction loop bailed out early.
+    Cancelled,
 }
 
 impl std::fmt::Display for TimeSeriesError {
@@ -44,6 +47,7 @@ impl std::fmt::Display for TimeSeriesError {
             TimeSeriesError::InvalidInterval(m) => write!(f, "invalid interval: {m}"),
             TimeSeriesError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             TimeSeriesError::Io(m) => write!(f, "io error: {m}"),
+            TimeSeriesError::Cancelled => write!(f, "cancelled by run budget"),
         }
     }
 }

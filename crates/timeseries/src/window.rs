@@ -72,7 +72,15 @@ pub fn rolling_windows(
     }
 
     let mut start = 0usize;
+    let mut extracted = 0usize;
     while start + needed <= n {
+        // Watchdogged runs poll for cancellation so abandoned window
+        // extraction over a huge signal stops instead of leaking its
+        // thread (amortised to 1 check per 1024 windows).
+        extracted += 1;
+        if extracted % 1024 == 0 && sintel_common::cancelled() {
+            return Err(TimeSeriesError::Cancelled);
+        }
         let mut flat = Vec::with_capacity(window_size * channels);
         for t in start..start + window_size {
             for c in 0..channels {

@@ -25,16 +25,36 @@ SINTEL_THREADS=4 cargo test -q
 echo "==> cargo test -q -p sintel-store --features faulty (crash recovery)"
 cargo test -q -p sintel-store --features faulty
 
+# Serving-tier chaos contract (DESIGN.md §4g): injected tenant faults
+# (panic/hang/slow/flaky) must leave healthy tenants bitwise-unaffected,
+# and both serve crash points must recover exactly-once.
+echo "==> cargo test -q -p sintel-serve --features faulty (chaos + crash points)"
+cargo test -q -p sintel-serve --features faulty
+
+# Bounded soak: misbehaving tenants streamed for SINTEL_SOAK_SECS
+# (default 30s inside the test) must not grow RSS past the cap or
+# perturb healthy tenants. Release build keeps the gate wall-clock
+# bounded; override SINTEL_SOAK_SECS to lengthen locally.
+echo "==> cargo test -p sintel-serve --features faulty --release -- --ignored soak (bounded soak)"
+SINTEL_SOAK_SECS="${SINTEL_SOAK_SECS:-10}" \
+    cargo test -q -p sintel-serve --features faulty --release -- --ignored soak_
+
 # Durability-path throughput trajectory: refreshes BENCH_store.json at
 # the repo root so append/replay/compaction rates are tracked per commit.
 echo "==> store microbench (writes BENCH_store.json)"
 SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin store_bench
 
+# Streaming-tier throughput trajectory: refreshes BENCH_serve.json
+# (ingest rate in-memory vs checkpointed, cold recovery latency).
+echo "==> serve microbench (writes BENCH_serve.json)"
+SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin serve_bench
+
 # The fault-isolation layer must never itself abort: deny unwrap in the
-# pipeline executor, the framework core and the durability-critical
-# store (test code is exempt — clippy only lints lib/bin targets here).
-echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel, sintel-store)"
-cargo clippy -p sintel-pipeline -p sintel -p sintel-store -- -D clippy::unwrap_used
+# pipeline executor, the framework core, the durability-critical store,
+# and the long-running serving tier (test code is exempt — clippy only
+# lints lib/bin targets here).
+echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel, sintel-store, sintel-serve)"
+cargo clippy -p sintel-pipeline -p sintel -p sintel-store -p sintel-serve -- -D clippy::unwrap_used
 
 # Library crates must route diagnostics through sintel-obs, never print
 # directly. Lib targets only: binaries (CLI, bench tables) legitimately
