@@ -1,0 +1,188 @@
+//! **Obs microbench** — the cost of the observability layer itself
+//! (DESIGN.md §4h).
+//!
+//! Measures two things:
+//!
+//! * ns/op of each instrumentation primitive — counter bump, histogram
+//!   observation, rollup accumulation + tick, span open/close with
+//!   tracing off and on — with the kill switch both armed and off
+//!   (`sintel_obs::set_instrumentation(false)` must make every helper
+//!   a branch-and-return);
+//! * end-to-end serve-tier ingest throughput with instrumentation on
+//!   vs off. The §4h budget is **< 5% ingest overhead**; the measured
+//!   `overhead_percent` is recorded in the JSON report and a console
+//!   warning fires when the budget is blown (a warning, not an assert:
+//!   microbench noise on shared CI must not fail the build).
+//!
+//! Besides the console table, writes `BENCH_obs.json` (override with
+//! `SINTEL_BENCH_OUT`) so the numbers can be tracked across commits.
+//!
+//! Run: `cargo run -p sintel-bench --release --bin obs_bench`
+
+use std::time::Instant;
+
+use sintel_serve::engine::fallback_template;
+use sintel_serve::{Admission, IngestEvent, ServeConfig, ServeEngine, TenantSpec};
+use sintel_store::{json, Doc, SintelDb};
+
+const TENANTS: usize = 4;
+
+/// Budget from DESIGN.md §4h: instrumentation may cost at most this
+/// fraction of ingest throughput.
+const OVERHEAD_BUDGET_PERCENT: f64 = 5.0;
+
+/// Time `iters` repetitions of `op`; returns ns/op.
+fn ns_per_op(iters: usize, mut op: impl FnMut(usize)) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        op(i);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        window: 256,
+        hop: 64,
+        min_points: 64,
+        queue_capacity: 1 << 20,
+        ..ServeConfig::default()
+    }
+}
+
+fn specs() -> Vec<TenantSpec> {
+    (0..TENANTS)
+        .map(|i| TenantSpec::new(&format!("tenant-{i}"), 5, fallback_template()))
+        .collect()
+}
+
+fn value_at(tenant: usize, t: i64) -> f64 {
+    (t as f64 * (0.11 + tenant as f64 * 0.07)).sin()
+        + if t % 911 == 0 && t > 0 { 4.0 } else { 0.0 }
+}
+
+/// Serve-tier ingest rate (events/sec) with the current
+/// instrumentation switch, in-memory store, ticking every 64 offers.
+fn ingest_rate(per_tenant: usize) -> f64 {
+    let mut engine =
+        ServeEngine::open(SintelDb::in_memory(), config(), specs()).expect("open engine");
+    let start = Instant::now();
+    for t in 0..per_tenant {
+        for tenant in 0..TENANTS {
+            let event = IngestEvent::new(
+                &format!("tenant-{tenant}"),
+                "cpu",
+                t as i64,
+                value_at(tenant, t as i64),
+            );
+            match engine.offer(&event).expect("offer") {
+                Admission::Accepted => {}
+                other => panic!("unexpected admission {other:?}"),
+            }
+        }
+        if (t + 1) % 64 == 0 {
+            engine.tick().expect("tick");
+        }
+    }
+    engine.tick().expect("tick");
+    (per_tenant * TENANTS) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let session = sintel_bench::obs_session();
+    let scale = sintel_bench::scale_from_env(0.25);
+    let prim_iters = ((400_000.0 * scale) as usize).max(20_000);
+    let per_tenant = ((8_000.0 * scale) as usize).max(500);
+    eprintln!("obs microbench: {prim_iters} primitive iters, {TENANTS} tenants x {per_tenant} events, scale {scale} …");
+
+    // -- primitive costs, instrumentation armed ------------------------
+    let counter_on = ns_per_op(prim_iters, |_| sintel_obs::counter_add("obs_bench_counter", 1));
+    let observe_on =
+        ns_per_op(prim_iters, |i| sintel_obs::observe("obs_bench_hist", (i % 1000) as f64 * 1e-6));
+    let rollup_on = ns_per_op(prim_iters, |i| {
+        sintel_obs::rollup_add("obs_bench_rollup", 1);
+        if (i + 1) % 64 == 0 {
+            sintel_obs::rollup_tick();
+        }
+    });
+    let span_untraced = ns_per_op(prim_iters, |_| {
+        let _g = sintel_obs::span("obs_bench.span");
+    });
+    sintel_obs::tracing_start();
+    let span_traced = ns_per_op(prim_iters, |_| {
+        let _g = sintel_obs::span("obs_bench.span");
+    });
+    let _ = sintel_obs::tracing_stop();
+
+    // -- primitive costs with the kill switch off ----------------------
+    sintel_obs::set_instrumentation(false);
+    let counter_off = ns_per_op(prim_iters, |_| sintel_obs::counter_add("obs_bench_counter", 1));
+    let span_off = ns_per_op(prim_iters, |_| {
+        let _g = sintel_obs::span("obs_bench.span");
+    });
+    sintel_obs::set_instrumentation(true);
+
+    // -- end-to-end ingest overhead ------------------------------------
+    // Alternate the two modes and keep each mode's best rate: the modes
+    // then share warmup, frequency-scaling and allocator state, so the
+    // gap measures instrumentation, not run order. `emitted` parity
+    // between modes is covered by the serve test suite, not re-checked
+    // here.
+    let _ = ingest_rate(per_tenant.min(500));
+    let (mut rate_on, mut rate_off) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        rate_on = rate_on.max(ingest_rate(per_tenant));
+        sintel_obs::set_instrumentation(false);
+        rate_off = rate_off.max(ingest_rate(per_tenant));
+        sintel_obs::set_instrumentation(true);
+    }
+    let overhead = (1.0 - rate_on / rate_off.max(1e-9)) * 100.0;
+
+    println!("Obs microbench: instrumentation cost (scale {scale})\n");
+    println!("{:<26} {:>14}", "phase", "value");
+    println!("{:<26} {:>12.1}ns", "counter_add", counter_on);
+    println!("{:<26} {:>12.1}ns", "counter_add_off", counter_off);
+    println!("{:<26} {:>12.1}ns", "observe", observe_on);
+    println!("{:<26} {:>12.1}ns", "rollup_add_tick", rollup_on);
+    println!("{:<26} {:>12.1}ns", "span_untraced", span_untraced);
+    println!("{:<26} {:>12.1}ns", "span_traced", span_traced);
+    println!("{:<26} {:>12.1}ns", "span_off", span_off);
+    println!("{:<26} {:>11.0}/s", "ingest_instrumented", rate_on);
+    println!("{:<26} {:>11.0}/s", "ingest_uninstrumented", rate_off);
+    println!("{:<26} {:>12.1}%", "ingest_overhead", overhead);
+    if overhead > OVERHEAD_BUDGET_PERCENT {
+        eprintln!(
+            "obs microbench: WARNING ingest overhead {overhead:.1}% exceeds the \
+             {OVERHEAD_BUDGET_PERCENT}% budget (DESIGN.md §4h)"
+        );
+    }
+
+    let out = std::env::var("SINTEL_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
+    let ns = |v: f64| Doc::obj().with("ns_per_op", v).with("iters", prim_iters);
+    let report = Doc::obj().with("bench", "obs").with("scale", scale).with(
+        "phases",
+        Doc::obj()
+            .with("counter_add", ns(counter_on))
+            .with("counter_add_off", ns(counter_off))
+            .with("observe", ns(observe_on))
+            .with("rollup_add_tick", ns(rollup_on))
+            .with("span_untraced", ns(span_untraced))
+            .with("span_traced", ns(span_traced))
+            .with("span_off", ns(span_off))
+            .with(
+                "ingest_overhead",
+                Doc::obj()
+                    .with("instrumented_per_sec", (rate_on.round() as i64).max(1))
+                    .with("uninstrumented_per_sec", (rate_off.round() as i64).max(1))
+                    .with("overhead_percent", overhead)
+                    .with("budget_percent", OVERHEAD_BUDGET_PERCENT)
+                    .with("events", per_tenant * TENANTS),
+            ),
+    );
+    if let Err(e) = std::fs::write(&out, json::to_json(&report) + "\n") {
+        eprintln!("obs microbench: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("obs microbench: wrote {out}");
+    session.finish();
+}

@@ -5,6 +5,8 @@
 //!
 //! * ingest throughput (events/sec through `offer` + periodic `tick`)
 //!   with an in-memory knowledge base,
+//! * the same loop with a live HTTP status server being scraped
+//!   continuously from another thread (the §4h introspection tax),
 //! * the same loop with group-committed `wal-sync` checkpoints (the
 //!   durability tax of crash-recoverable sessions), and
 //! * session recovery latency: reopening the engine over the persisted
@@ -15,11 +17,17 @@
 //!
 //! Run: `cargo run -p sintel-bench --release --bin serve_bench`
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sintel_serve::engine::fallback_template;
-use sintel_serve::{Admission, IngestEvent, ServeConfig, ServeEngine, TenantSpec};
+use sintel_serve::{
+    Admission, IngestEvent, ServeConfig, ServeEngine, StatusServer, TenantSpec,
+};
 use sintel_store::{json, Doc, Durability, SintelDb, StoreOptions};
 
 const TENANTS: usize = 4;
@@ -51,10 +59,41 @@ fn value_at(tenant: usize, t: i64) -> f64 {
         + if t % 911 == 0 && t > 0 { 4.0 } else { 0.0 }
 }
 
+/// One best-effort GET against the status server.
+fn scrape_once(addr: std::net::SocketAddr, path: &str) {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return };
+    if stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: b\r\n\r\n").as_bytes()).is_err() {
+        return;
+    }
+    let mut sink = String::new();
+    let _ = stream.read_to_string(&mut sink);
+}
+
 /// Stream `per_tenant` events per tenant through the engine, ticking
-/// every 64 offers per tenant; returns (events/sec, emitted).
-fn bench_ingest(db: SintelDb, per_tenant: usize) -> (f64, usize) {
+/// every 64 offers per tenant; returns (events/sec, emitted). With
+/// `scrape`, a live status server is hammered from another thread for
+/// the whole run — an upper bound on scrape contention, far past any
+/// real Prometheus interval.
+fn bench_ingest(db: SintelDb, per_tenant: usize, scrape: bool) -> (f64, usize) {
     let mut engine = ServeEngine::open(db, config(), specs()).expect("open engine");
+    let mut server = None;
+    let mut scraper = None;
+    let stop = Arc::new(AtomicBool::new(false));
+    if scrape {
+        let shared = engine.enable_status();
+        let bound = StatusServer::bind("127.0.0.1:0", shared).expect("bind status server");
+        let addr = bound.local_addr();
+        let flag = Arc::clone(&stop);
+        scraper = Some(std::thread::spawn(move || {
+            let routes = ["/metrics", "/tenants", "/healthz"];
+            let mut hits = 0usize;
+            while !flag.load(Ordering::Relaxed) {
+                scrape_once(addr, routes[hits % routes.len()]);
+                hits += 1;
+            }
+        }));
+        server = Some(bound);
+    }
     let total = per_tenant * TENANTS;
     let mut emitted = 0usize;
     let start = Instant::now();
@@ -73,6 +112,13 @@ fn bench_ingest(db: SintelDb, per_tenant: usize) -> (f64, usize) {
     }
     emitted += engine.tick().expect("tick").len();
     let rate = total as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = scraper {
+        handle.join().expect("scraper thread joins");
+    }
+    if let Some(server) = server {
+        server.stop();
+    }
     (rate, emitted)
 }
 
@@ -84,12 +130,16 @@ fn main() {
         "serve microbench: {TENANTS} tenants x {per_tenant} events, scale {scale} …"
     );
 
-    let (mem_rate, mem_emitted) = bench_ingest(SintelDb::in_memory(), per_tenant);
+    let (mem_rate, mem_emitted) = bench_ingest(SintelDb::in_memory(), per_tenant, false);
+
+    let (scraped_rate, scraped_emitted) =
+        bench_ingest(SintelDb::in_memory(), per_tenant, true);
+    assert_eq!(mem_emitted, scraped_emitted, "scraping must not change emissions");
 
     let dir = tmpdir();
     let opts = StoreOptions { durability: Durability::WalSync, ..StoreOptions::default() };
     let db = SintelDb::open_with(&dir, opts.clone()).expect("open store");
-    let (wal_rate, wal_emitted) = bench_ingest(db, per_tenant);
+    let (wal_rate, wal_emitted) = bench_ingest(db, per_tenant, false);
     assert_eq!(mem_emitted, wal_emitted, "durability must not change emissions");
 
     // Recovery: reopen the store (WAL replay) and the engine (session
@@ -105,6 +155,7 @@ fn main() {
     println!("Serve microbench: streaming-tier throughput (scale {scale})\n");
     println!("{:<24} {:>14}", "phase", "value");
     println!("{:<24} {:>11.0}/s", "ingest_in_memory", mem_rate);
+    println!("{:<24} {:>11.0}/s", "ingest_scraped", scraped_rate);
     println!("{:<24} {:>11.0}/s", "ingest_checkpointed", wal_rate);
     println!("{:<24} {:>12.1}ms", "recover_sessions", recover.as_secs_f64() * 1e3);
     println!("\nemitted {mem_emitted} anomaly event(s) per run; checkpointing cost = the gap\nbetween the two ingest rates.");
@@ -118,6 +169,12 @@ fn main() {
                 "ingest_in_memory",
                 Doc::obj()
                     .with("events_per_sec", (mem_rate.round() as i64).max(1))
+                    .with("events", events),
+            )
+            .with(
+                "ingest_scraped",
+                Doc::obj()
+                    .with("events_per_sec", (scraped_rate.round() as i64).max(1))
                     .with("events", events),
             )
             .with(

@@ -31,7 +31,9 @@ use sintel::benchmark::{
 use sintel::Sintel;
 use sintel_pipeline::hub::template_by_name;
 use sintel_pipeline::policy::RunPolicy;
-use sintel_serve::{Admission, IngestEvent, ServeConfig, ServeEngine, TenantSpec};
+use sintel_serve::{
+    Admission, AnomalyEvent, IngestEvent, ServeConfig, ServeEngine, StatusServer, TenantSpec,
+};
 use sintel_store::{Durability, SintelDb, StoreOptions};
 use sintel_datasets::{load_all, DatasetConfig, DatasetId};
 use sintel_timeseries::csvio;
@@ -99,38 +101,52 @@ fn main() -> ExitCode {
 }
 
 /// Trace/metrics export destinations requested on the command line.
+/// Holds the trace-flush guard so a panic mid-command still flushes
+/// the buffered span tail to `--trace-out` during unwinding.
 #[derive(Debug)]
 struct ObsFlags {
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    _trace_guard: Option<sintel_obs::TraceFlushGuard>,
 }
 
 /// Apply `--log-level` and arm `--trace-out` capture before the command
-/// runs.
+/// runs. Tracing writes through a registered sink: the returned guard
+/// flushes whatever is buffered even if the command panics.
 fn setup_observability(opts: &HashMap<String, String>) -> Result<ObsFlags, String> {
     if let Some(level) = opts.get("log-level") {
         let parsed = sintel_obs::Level::parse(level)
             .ok_or_else(|| format!("bad --log-level '{level}' (error|warn|info|debug|trace|off)"))?;
         sintel_obs::set_level(parsed);
     }
-    let flags = ObsFlags {
-        trace_out: opts.get("trace-out").cloned(),
-        metrics_out: opts.get("metrics-out").cloned(),
-    };
-    if flags.trace_out.is_some() {
+    let trace_out = opts.get("trace-out").cloned();
+    let mut trace_guard = None;
+    if let Some(path) = &trace_out {
+        // Truncate up front so sink appends rebuild the file from
+        // scratch for this run.
+        std::fs::write(path, "").map_err(|e| format!("creating --trace-out {path}: {e}"))?;
+        sintel_obs::set_trace_sink(Some(path.into()));
         sintel_obs::tracing_start();
+        trace_guard = Some(sintel_obs::TraceFlushGuard::new());
     }
-    Ok(flags)
+    Ok(ObsFlags {
+        trace_out,
+        metrics_out: opts.get("metrics-out").cloned(),
+        _trace_guard: trace_guard,
+    })
 }
 
 /// Write the captured trace (JSON lines) and the metrics snapshot
 /// (Prometheus text) to their requested destinations.
 fn finish_observability(flags: &ObsFlags) -> Result<(), String> {
     if let Some(path) = &flags.trace_out {
-        let events = sintel_obs::tracing_stop();
-        std::fs::write(path, sintel_obs::export_jsonl(&events))
-            .map_err(|e| format!("writing --trace-out {path}: {e}"))?;
-        eprintln!("trace: {} span events -> {path}", events.len());
+        sintel_obs::flush_trace().map_err(|e| format!("writing --trace-out {path}: {e}"))?;
+        sintel_obs::set_trace_sink(None);
+        let _ = sintel_obs::tracing_stop();
+        // Count the sink, not the last flush: guards (engine shutdown,
+        // panic-unwind) may already have drained the buffer into it.
+        let total = std::fs::read_to_string(path).map(|t| t.lines().count()).unwrap_or(0);
+        eprintln!("trace: {total} span events -> {path}");
     }
     if let Some(path) = &flags.metrics_out {
         let snapshot = sintel_obs::global().snapshot();
@@ -163,6 +179,7 @@ USAGE:
                        [--queue-capacity N] [--high-water N] [--priority-floor P]
                        [--degrade-depth N] [--timeout SECS]
                        [--store DIR] [--store-durability snapshot|wal|wal-sync]
+                       [--status-addr HOST:PORT] [--tick-log FILE]
                        replay a multi-tenant event corpus (tenant,signal,
                        timestamp,value rows) through the streaming engine.
                        Bounded queues push back (Retry => the replayer runs a
@@ -171,7 +188,10 @@ USAGE:
                        sessions checkpoint group-committed per tick: rerunning
                        after a kill -9 resumes where the last tick committed,
                        losing at most one uncommitted interval and never
-                       duplicating a committed anomaly event
+                       duplicating a committed anomaly event.
+                       --status-addr serves live /metrics /healthz /tenants
+                       /trace over HTTP (read-only; off by default);
+                       --tick-log appends one wide-event JSON line per tick
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
                        [--horizon N]
   sintel-cli analyze   [--all | PIPELINE...]
@@ -563,6 +583,42 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         );
     }
 
+    // --status-addr exposes live introspection over HTTP (off by
+    // default). The server only reads published snapshots, so scrape
+    // traffic cannot perturb the replay's committed emissions.
+    let mut status_server = None;
+    if let Some(addr) = opts.get("status-addr") {
+        let shared = engine.enable_status();
+        let server =
+            StatusServer::bind(addr, shared).map_err(|e| format!("--status-addr {addr}: {e}"))?;
+        eprintln!(
+            "status: /metrics /healthz /tenants /trace on http://{}",
+            server.local_addr()
+        );
+        status_server = Some(server);
+    }
+    // --tick-log appends one wide-event JSON line per committed tick.
+    let mut tick_log = match opts.get("tick-log") {
+        Some(path) => Some(
+            std::fs::File::create(path).map_err(|e| format!("creating --tick-log {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    fn run_tick(
+        engine: &mut ServeEngine,
+        tick_log: &mut Option<std::fs::File>,
+    ) -> Result<Vec<AnomalyEvent>, String> {
+        let events = engine.tick().map_err(|e| e.to_string())?;
+        if let Some(file) = tick_log {
+            if let Some(wide) = engine.last_wide_event() {
+                use std::io::Write as _;
+                writeln!(file, "{}", wide.to_json_line())
+                    .map_err(|e| format!("writing --tick-log: {e}"))?;
+            }
+        }
+        Ok(events)
+    }
+
     let tick_every = parse_usize("tick-every", 64)? as u64;
     let mut emitted = Vec::new();
     let (mut accepted, mut shed) = (0u64, 0u64);
@@ -583,7 +639,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
                         ));
                     }
                     for _ in 0..after_ticks.max(1) {
-                        emitted.extend(engine.tick().map_err(|e| e.to_string())?);
+                        emitted.extend(run_tick(&mut engine, &mut tick_log)?);
                     }
                 }
                 Admission::Shed => {
@@ -593,10 +649,13 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             }
         }
         if accepted > 0 && accepted % tick_every == 0 {
-            emitted.extend(engine.tick().map_err(|e| e.to_string())?);
+            emitted.extend(run_tick(&mut engine, &mut tick_log)?);
         }
     }
-    emitted.extend(engine.tick().map_err(|e| e.to_string())?);
+    emitted.extend(run_tick(&mut engine, &mut tick_log)?);
+    if let Some(server) = status_server.take() {
+        server.stop();
+    }
 
     let stats = engine.stats();
     println!(
@@ -625,6 +684,14 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             t.breaker_trips,
             t.degraded,
             t.quarantined
+        );
+    }
+    let self_events = engine.self_events();
+    if !self_events.is_empty() {
+        println!();
+        println!(
+            "self-monitor: {} anomaly event(s) on the engine's own per-tick streams (_self)",
+            self_events.len()
         );
     }
     if !emitted.is_empty() {

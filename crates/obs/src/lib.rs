@@ -28,10 +28,13 @@
 //!   text ([`MetricsSnapshot::to_prometheus`]) or JSON
 //!   ([`MetricsSnapshot::to_json`]).
 
+pub mod catalog;
 pub mod log;
 pub mod metrics;
+pub mod rollup;
 pub mod span;
 
+pub use crate::catalog::{metric_def, MetricDef, MetricKind, METRICS};
 pub use crate::log::{
     capture_start, capture_stop, enabled, log, set_level, Level, LogRecord,
 };
@@ -39,11 +42,36 @@ pub use crate::metrics::{
     counter_add, gauge_set, global, labeled, observe, observe_duration, Histogram, Metric,
     MetricsSnapshot, Registry,
 };
-pub use crate::span::{
-    current_span_id, export_jsonl, parse_jsonl, span, span_with, span_with_parent,
-    tracing_active, tracing_start, tracing_stop,
-    EventKind, SpanGuard, TraceEvent,
+pub use crate::rollup::{
+    rollup_add, rollup_observe, rollup_tick, rollups, RollupSeries, RollupSnapshot, Rollups,
 };
+pub use crate::span::{
+    current_span_id, export_jsonl, flush_trace, parse_jsonl, set_trace_capacity,
+    set_trace_sink, span, span_with, span_with_parent, trace_tail,
+    tracing_active, tracing_start, tracing_stop,
+    EventKind, SpanGuard, TraceEvent, TraceFlushGuard,
+};
+
+/// Process-wide instrumentation switch (default: on).
+///
+/// When off, the *global*-registry convenience helpers
+/// ([`counter_add`], [`gauge_set`], [`observe`], [`observe_duration`])
+/// and the rollup helpers ([`rollup_add`], [`rollup_observe`],
+/// [`rollup_tick`]) become no-ops, so `obs_bench` can measure the true
+/// overhead of instrumentation on a hot ingest path. Explicit
+/// [`Registry`]/[`Rollups`] instances are never gated — tests that own
+/// a private registry always see their writes.
+static INSTRUMENTATION: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Turn the global instrumentation helpers on or off.
+pub fn set_instrumentation(on: bool) {
+    INSTRUMENTATION.store(on, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the global instrumentation helpers are currently enabled.
+pub fn instrumentation_on() -> bool {
+    INSTRUMENTATION.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// A structured field value attached to log records, spans and trace
 /// events.

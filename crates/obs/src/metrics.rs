@@ -178,33 +178,43 @@ impl Registry {
     /// pre-registers the counter so it appears in dumps before the
     /// first increment.
     pub fn counter_add(&self, name: &str, by: u64) {
+        // `get_mut` first: the steady-state path (metric exists) must
+        // not allocate — these run on ingest hot paths.
         let mut inner = self.lock();
-        match inner
-            .entry(name.to_string())
-            .or_insert(Metric::Counter(0))
-        {
-            Metric::Counter(v) => *v += by,
-            other => *other = Metric::Counter(by),
+        match inner.get_mut(name) {
+            Some(Metric::Counter(v)) => *v += by,
+            Some(other) => *other = Metric::Counter(by),
+            None => {
+                inner.insert(name.to_string(), Metric::Counter(by));
+            }
         }
     }
 
     /// Set a gauge.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        self.lock().insert(name.to_string(), Metric::Gauge(value));
+        let mut inner = self.lock();
+        match inner.get_mut(name) {
+            Some(metric) => *metric = Metric::Gauge(value),
+            None => {
+                inner.insert(name.to_string(), Metric::Gauge(value));
+            }
+        }
     }
 
     /// Record an observation (seconds) into a histogram.
     pub fn observe(&self, name: &str, seconds: f64) {
         let mut inner = self.lock();
-        match inner
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Histogram::new()))
-        {
-            Metric::Histogram(h) => h.observe(seconds),
-            other => {
+        match inner.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.observe(seconds),
+            Some(other) => {
                 let mut h = Histogram::new();
                 h.observe(seconds);
                 *other = Metric::Histogram(h);
+            }
+            None => {
+                let mut h = Histogram::new();
+                h.observe(seconds);
+                inner.insert(name.to_string(), Metric::Histogram(h));
             }
         }
     }
@@ -231,24 +241,36 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::default)
 }
 
-/// [`Registry::counter_add`] on the global registry.
+/// [`Registry::counter_add`] on the global registry (no-op while
+/// [`crate::set_instrumentation`] is off).
 pub fn counter_add(name: &str, by: u64) {
-    global().counter_add(name, by);
+    if crate::instrumentation_on() {
+        global().counter_add(name, by);
+    }
 }
 
-/// [`Registry::gauge_set`] on the global registry.
+/// [`Registry::gauge_set`] on the global registry (no-op while
+/// [`crate::set_instrumentation`] is off).
 pub fn gauge_set(name: &str, value: f64) {
-    global().gauge_set(name, value);
+    if crate::instrumentation_on() {
+        global().gauge_set(name, value);
+    }
 }
 
-/// [`Registry::observe`] on the global registry.
+/// [`Registry::observe`] on the global registry (no-op while
+/// [`crate::set_instrumentation`] is off).
 pub fn observe(name: &str, seconds: f64) {
-    global().observe(name, seconds);
+    if crate::instrumentation_on() {
+        global().observe(name, seconds);
+    }
 }
 
-/// [`Registry::observe_duration`] on the global registry.
+/// [`Registry::observe_duration`] on the global registry (no-op while
+/// [`crate::set_instrumentation`] is off).
 pub fn observe_duration(name: &str, d: Duration) {
-    global().observe_duration(name, d);
+    if crate::instrumentation_on() {
+        global().observe_duration(name, d);
+    }
 }
 
 /// Canonical labeled metric name: `name{k="v",k2="v2"}`.

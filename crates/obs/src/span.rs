@@ -15,7 +15,9 @@
 //! the *same* measurement the trace records.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -31,6 +33,10 @@ fn anchor() -> Instant {
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static TRACING: AtomicBool = AtomicBool::new(false);
 
+/// Max buffered trace events before the oldest are dropped (0 =
+/// unbounded, the historical default for short batch runs).
+static TRACE_CAP: AtomicUsize = AtomicUsize::new(0);
+
 fn trace_buffer() -> &'static Mutex<Vec<TraceEvent>> {
     static BUF: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
     BUF.get_or_init(|| Mutex::new(Vec::new()))
@@ -38,6 +44,99 @@ fn trace_buffer() -> &'static Mutex<Vec<TraceEvent>> {
 
 fn buffer_lock() -> MutexGuard<'static, Vec<TraceEvent>> {
     trace_buffer().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn trace_sink() -> &'static Mutex<Option<PathBuf>> {
+    static SINK: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Append one event to the buffer, honouring the capacity cap
+/// (oldest-first eviction keeps the tail an operator asks for).
+fn push_event(event: TraceEvent) {
+    let cap = TRACE_CAP.load(Ordering::Relaxed);
+    let mut buf = buffer_lock();
+    if cap > 0 && buf.len() >= cap {
+        let drop_n = buf.len() + 1 - cap;
+        buf.drain(..drop_n);
+    }
+    buf.push(event);
+}
+
+/// Cap the in-memory trace buffer at `cap` events (0 = unbounded).
+/// Long-running servers set a cap so `/trace` keeps a bounded recent
+/// tail instead of growing without limit.
+pub fn set_trace_capacity(cap: usize) {
+    TRACE_CAP.store(cap, Ordering::SeqCst);
+}
+
+/// Route [`flush_trace`] output to `path` (append mode), or disable
+/// flushing with `None`. Setting a sink does not start tracing —
+/// callers still opt in with [`tracing_start`].
+pub fn set_trace_sink(path: Option<PathBuf>) {
+    *trace_sink().lock().unwrap_or_else(|e| e.into_inner()) = path;
+}
+
+/// Drain the trace buffer and append it (as JSONL) to the configured
+/// sink. Returns the number of events written; with no sink configured
+/// the buffer is left untouched and 0 is returned, so batch callers
+/// using [`tracing_stop`] are unaffected. Tracing stays active — a
+/// long-running engine can flush once per checkpoint.
+pub fn flush_trace() -> Result<usize, String> {
+    let sink = trace_sink().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let Some(path) = sink else {
+        return Ok(0);
+    };
+    let events = std::mem::take(&mut *buffer_lock());
+    if events.is_empty() {
+        return Ok(0);
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("open trace sink {}: {e}", path.display()))?;
+    file.write_all(export_jsonl(&events).as_bytes())
+        .map_err(|e| format!("write trace sink {}: {e}", path.display()))?;
+    Ok(events.len())
+}
+
+/// The last `n` buffered trace events (oldest first), without
+/// draining. This is what a `/trace` endpoint serves.
+pub fn trace_tail(n: usize) -> Vec<TraceEvent> {
+    let buf = buffer_lock();
+    let start = buf.len().saturating_sub(n);
+    buf[start..].to_vec()
+}
+
+/// Flushes the trace sink when dropped — including during a
+/// panic-unwind — so a crashed engine still leaves a readable trace
+/// tail on disk. Hold one for the lifetime of the instrumented work:
+///
+/// ```no_run
+/// let _flush = sintel_obs::TraceFlushGuard::new();
+/// ```
+///
+/// Errors during the drop flush are swallowed (there is no one to
+/// report them to mid-unwind); call [`flush_trace`] directly on the
+/// happy path to observe them.
+#[derive(Debug, Default)]
+#[must_use = "dropping the guard immediately flushes the trace"]
+pub struct TraceFlushGuard {
+    _private: (),
+}
+
+impl TraceFlushGuard {
+    /// New guard; pair with [`set_trace_sink`].
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Drop for TraceFlushGuard {
+    fn drop(&mut self) {
+        let _ = flush_trace();
+    }
 }
 
 thread_local! {
@@ -192,7 +291,7 @@ fn open_span(
         parent
     });
     if tracing_active() {
-        buffer_lock().push(TraceEvent {
+        push_event(TraceEvent {
             kind: EventKind::Open,
             id,
             parent,
@@ -235,7 +334,7 @@ impl SpanGuard {
             }
         });
         if tracing_active() {
-            buffer_lock().push(TraceEvent {
+            push_event(TraceEvent {
                 kind: EventKind::Close,
                 id: self.id,
                 parent: self.parent,
@@ -583,6 +682,71 @@ mod tests {
         assert!(err.contains("line"), "{err}");
         assert!(parse_jsonl("").unwrap().is_empty());
         assert!(parse_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_tail_and_capacity_keep_the_recent_end() {
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_trace_capacity(6);
+        tracing_start();
+        for i in 0..10 {
+            span(&format!("s{i}")).close();
+        }
+        let tail = trace_tail(4);
+        assert_eq!(tail.len(), 4);
+        // Each span contributes open+close; the newest close is last.
+        assert_eq!(tail[3].kind, EventKind::Close);
+        assert_eq!(tail[3].name, "s9");
+        assert!(buffer_lock().len() <= 6, "cap must bound the buffer");
+        // Tail does not drain: the buffer still holds the same events.
+        assert_eq!(trace_tail(4), tail);
+        assert!(trace_tail(100).len() <= 6);
+        set_trace_capacity(0);
+        tracing_stop();
+    }
+
+    #[test]
+    fn flush_guard_writes_jsonl_even_on_panic_unwind() {
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let path = std::env::temp_dir().join(format!(
+            "sintel-obs-flush-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        set_trace_sink(Some(path.clone()));
+        tracing_start();
+
+        let panicked = std::panic::catch_unwind(|| {
+            let _flush = TraceFlushGuard::new();
+            let _span = span("doomed.work");
+            panic!("injected crash");
+        });
+        assert!(panicked.is_err());
+
+        let text = std::fs::read_to_string(&path).expect("trace file must exist after panic");
+        let events = parse_jsonl(&text).expect("flushed trace must parse");
+        assert!(
+            events.iter().any(|e| e.name == "doomed.work" && e.kind == EventKind::Close),
+            "the panicked span's close event must be on disk: {events:?}"
+        );
+        // The flush drained the buffer; a second flush is a no-op.
+        assert_eq!(flush_trace().expect("flush"), 0);
+
+        set_trace_sink(None);
+        tracing_stop();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_without_sink_leaves_buffer_for_tracing_stop() {
+        let _guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_trace_sink(None);
+        tracing_start();
+        span("kept").close();
+        assert_eq!(flush_trace().expect("flush"), 0);
+        let events = tracing_stop();
+        assert_eq!(events.len(), 2, "no sink: tracing_stop still sees the events");
     }
 
     #[test]

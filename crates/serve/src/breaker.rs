@@ -41,6 +41,17 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable lower-case label (checkpoints, metrics, SLO summaries).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
 /// What recording a failure did to the breaker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BreakerEvent {

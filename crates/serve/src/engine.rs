@@ -29,7 +29,11 @@ use sintel_store::{Doc, Filter, SintelDb};
 
 use crate::event::{Admission, AnomalyEvent, IngestEvent};
 use crate::queue::TenantQueue;
+use crate::selfmon::{SelfMonitor, SELF_TENANT};
 use crate::session::{PassReport, TenantSession};
+use crate::slo::{
+    self, SharedStatus, StatusSnapshot, TenantSlo, TenantTickStats, TickWideEvent,
+};
 use crate::{Result, ServeError};
 
 /// The cheap fallback pipeline used under graceful degradation:
@@ -78,6 +82,10 @@ pub struct ServeConfig {
     pub policy: RunPolicy,
     /// Pipeline used once a tenant is degraded.
     pub fallback: Template,
+    /// Feed the engine's own per-tick operational streams through a
+    /// fallback-template detection pass under the reserved `_self`
+    /// tenant (see [`crate::selfmon`]).
+    pub self_monitor: bool,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +103,7 @@ impl Default for ServeConfig {
             quarantine_trips: 2,
             policy: RunPolicy::default(),
             fallback: fallback_template(),
+            self_monitor: true,
         }
     }
 }
@@ -118,6 +127,7 @@ impl ServeConfig {
             quarantine_trips: 2,
             policy: RunPolicy::single_attempt(Duration::from_secs(30)),
             fallback: fallback_template(),
+            self_monitor: true,
         }
     }
 
@@ -212,6 +222,9 @@ struct TenantRuntime {
     session: Option<TenantSession>,
     doc_id: Option<u64>,
     stats: TenantStats,
+    /// Snapshot of `stats` at the end of the previous tick; the wide
+    /// event reports admission counters as deltas against it.
+    prev_stats: TenantStats,
     pending_since: Option<Instant>,
 }
 
@@ -222,6 +235,20 @@ pub struct ServeEngine {
     tenants: BTreeMap<String, TenantRuntime>,
     ticks: u64,
     meta_id: u64,
+    self_monitor: Option<SelfMonitor>,
+    /// Publish handle for the HTTP status server, once enabled.
+    status: Option<SharedStatus>,
+    /// The last committed tick's wide event.
+    last_wide: Option<TickWideEvent>,
+    /// Commit duration of the previous tick's checkpoint batch — a
+    /// tick's own commit time is unknowable until after its wide event
+    /// is inside the batch, so each wide event carries its
+    /// predecessor's.
+    last_checkpoint_seconds: f64,
+    /// Flushes any configured trace sink when the engine is dropped —
+    /// including during panic unwinding — so the span tail survives a
+    /// crash of the serving process.
+    _trace_flush: sintel_obs::TraceFlushGuard,
 }
 
 impl ServeEngine {
@@ -244,6 +271,11 @@ impl ServeEngine {
         };
         let mut tenants = BTreeMap::new();
         for spec in specs {
+            if spec.name == SELF_TENANT {
+                return Err(ServeError::Config(format!(
+                    "tenant name '{SELF_TENANT}' is reserved for self-monitoring"
+                )));
+            }
             if tenants.contains_key(&spec.name) {
                 return Err(ServeError::Config(format!("duplicate tenant '{}'", spec.name)));
             }
@@ -267,12 +299,26 @@ impl ServeEngine {
                     queue,
                     session: Some(session),
                     doc_id,
+                    prev_stats: stats.clone(),
                     stats,
                     pending_since: None,
                 },
             );
         }
-        Ok(Self { cfg, db, tenants, ticks, meta_id })
+        let self_monitor =
+            if cfg.self_monitor { Some(SelfMonitor::open(&db, &cfg, ticks)?) } else { None };
+        Ok(Self {
+            cfg,
+            db,
+            tenants,
+            ticks,
+            meta_id,
+            self_monitor,
+            status: None,
+            last_wide: None,
+            last_checkpoint_seconds: 0.0,
+            _trace_flush: sintel_obs::TraceFlushGuard::new(),
+        })
     }
 
     /// Offer one event for admission. The admission protocol:
@@ -310,13 +356,6 @@ impl ServeEngine {
             runtime.pending_since = Some(Instant::now());
         }
         sintel_obs::counter_add("sintel_serve_accepted_total", 1);
-        sintel_obs::gauge_set(
-            &sintel_obs::labeled(
-                "sintel_serve_queue_depth",
-                &[("tenant", runtime.spec.name.as_str())],
-            ),
-            runtime.queue.len() as f64,
-        );
         Ok(Admission::Accepted)
     }
 
@@ -342,14 +381,27 @@ impl ServeEngine {
 
         let names: Vec<String> = self.tenants.keys().cloned().collect();
         let mut slots: Vec<Mutex<Option<WorkItem>>> = Vec::with_capacity(names.len());
+        let mut drained: Vec<u64> = Vec::with_capacity(names.len());
         for name in &names {
             let Some(runtime) = self.tenants.get_mut(name) else {
                 slots.push(Mutex::new(None));
+                drained.push(0);
                 continue;
             };
             let events = runtime.queue.drain_all();
+            // Queue depth at its per-tick peak (just before the drain).
+            // Gauged here, once per tick, rather than on every offer:
+            // the offer path must stay allocation-free.
+            sintel_obs::gauge_set(
+                &sintel_obs::labeled(
+                    "sintel_serve_queue_depth",
+                    &[("tenant", name.as_str())],
+                ),
+                events.len() as f64,
+            );
             let session = runtime.session.take().unwrap_or_else(|| TenantSession::new(name));
             let force_degrade = events.len() >= self.cfg.degrade_depth;
+            drained.push(events.len() as u64);
             slots.push(Mutex::new(Some(WorkItem {
                 session,
                 events,
@@ -378,12 +430,18 @@ impl ServeEngine {
                 Some((session, report))
             });
 
-        // One group-committed cut: every checkpoint, every event, and
-        // the tick counter land (or are lost together) atomically.
+        // One group-committed cut: every checkpoint, every event, the
+        // tick's wide event and the tick counter land (or are lost
+        // together) atomically.
         self.ticks += 1;
         let mut emitted: Vec<AnomalyEvent> = Vec::new();
+        let mut wide = TickWideEvent {
+            tick: self.ticks,
+            checkpoint_seconds: self.last_checkpoint_seconds,
+            ..TickWideEvent::default()
+        };
         let scope = self.db.batch();
-        for (name, outcome) in names.iter().zip(outcomes) {
+        for (i, (name, outcome)) in names.iter().zip(outcomes).enumerate() {
             let Some((session, report)) = outcome else { continue };
             let Some(runtime) = self.tenants.get_mut(name) else { continue };
             let doc_id = self.db.upsert_serve_session(runtime.doc_id, session.to_doc())?;
@@ -403,6 +461,35 @@ impl ServeEngine {
             stats.emitted += report.events.len() as u64;
             stats.degraded = session.is_degraded();
             stats.quarantined = session.is_quarantined();
+            let tenant_tick = TenantTickStats {
+                tenant: name.clone(),
+                accepted: stats.accepted - runtime.prev_stats.accepted,
+                retried: stats.retried - runtime.prev_stats.retried,
+                shed: stats.shed - runtime.prev_stats.shed,
+                drained: drained.get(i).copied().unwrap_or(0),
+                absorbed: report.absorbed,
+                stale_dropped: report.stale_dropped,
+                emitted: report.events.len() as u64,
+                passes_run: report.passes_run,
+                passes_skipped: report.passes_skipped,
+                pass_failures: report.pass_failures,
+                pass_seconds: report.pass_seconds,
+                breaker_state: session.breaker().state().label().to_string(),
+                breaker_trips: stats.breaker_trips,
+                degraded: stats.degraded,
+                quarantined: stats.quarantined,
+            };
+            runtime.prev_stats = stats.clone();
+            wide.accepted += tenant_tick.accepted;
+            wide.retried += tenant_tick.retried;
+            wide.shed += tenant_tick.shed;
+            wide.drained += tenant_tick.drained;
+            wide.absorbed += tenant_tick.absorbed;
+            wide.emitted += tenant_tick.emitted;
+            wide.passes_run += tenant_tick.passes_run;
+            wide.pass_failures += tenant_tick.pass_failures;
+            wide.pass_seconds += tenant_tick.pass_seconds;
+            wide.tenants.push(tenant_tick);
             if report.tripped > 0 {
                 sintel_obs::counter_add("sintel_serve_breaker_trips_total", report.tripped);
             }
@@ -427,9 +514,31 @@ impl ServeEngine {
             runtime.session = Some(session);
             emitted.extend(report.events);
         }
+        wide.backlog = self.aggregate_depth() as u64;
+
+        // Self-monitoring: absorb this tick's operational measurements
+        // (now final) through the `_self` session, committing its
+        // checkpoint and any anomalies it raised in the same cut. Its
+        // events are persisted, never returned.
+        if let Some(monitor) = self.self_monitor.as_mut() {
+            let report = monitor.observe_tick(self.ticks, &wide);
+            let doc_id =
+                self.db.upsert_serve_session(monitor.doc_id(), monitor.session().to_doc())?;
+            monitor.set_doc_id(doc_id);
+            for ev in &report.events {
+                self.db.add_serve_event(
+                    &ev.tenant, &ev.signal, ev.seq, ev.start, ev.end, ev.severity, ev.pass,
+                );
+            }
+            wide.self_events = report.events.len() as u64;
+        }
+        self.db.add_serve_tick(wide.to_doc());
+
         let meta = Doc::obj().with("kind", "engine").with("ticks", self.ticks);
         self.db.raw().update(collections::SERVE_META, self.meta_id, meta)?;
+        let commit_start = Instant::now();
         scope.commit()?;
+        self.last_checkpoint_seconds = commit_start.elapsed().as_secs_f64();
 
         #[cfg(feature = "faulty")]
         if crate::fault::take(crate::fault::CrashPoint::BetweenCheckpointAndEmit) {
@@ -437,8 +546,26 @@ impl ServeEngine {
                 crate::fault::CrashPoint::BetweenCheckpointAndEmit.label(),
             ));
         }
+        sintel_obs::counter_add("sintel_serve_ticks_total", 1);
+        sintel_obs::observe("sintel_serve_checkpoint_seconds", self.last_checkpoint_seconds);
+        if wide.self_events > 0 {
+            sintel_obs::counter_add("sintel_serve_self_events_total", wide.self_events);
+        }
+        sintel_obs::rollup_add("sintel_serve_events_per_tick", wide.drained);
+        sintel_obs::rollup_add("sintel_serve_sheds_per_tick", wide.shed);
+        sintel_obs::rollup_add("sintel_serve_retries_per_tick", wide.retried);
+        sintel_obs::rollup_add("sintel_serve_emits_per_tick", wide.emitted);
+        sintel_obs::rollup_add("sintel_serve_pass_failures_per_tick", wide.pass_failures);
         sintel_obs::gauge_set("sintel_serve_backlog", self.aggregate_depth() as f64);
-        sintel_obs::observe_duration("sintel_serve_tick_seconds", tick_span.close());
+        let tick_elapsed = tick_span.close();
+        sintel_obs::observe_duration("sintel_serve_tick_seconds", tick_elapsed);
+        sintel_obs::rollup_observe(
+            "sintel_serve_tick_window_seconds",
+            tick_elapsed.as_secs_f64(),
+        );
+        sintel_obs::rollup_tick();
+        self.last_wide = Some(wide);
+        self.publish_status();
         Ok(emitted)
     }
 
@@ -484,6 +611,67 @@ impl ServeEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The last committed tick's wide event, if any tick has run.
+    pub fn last_wide_event(&self) -> Option<&TickWideEvent> {
+        self.last_wide.as_ref()
+    }
+
+    /// The self-monitoring session, when enabled.
+    pub fn self_session(&self) -> Option<&TenantSession> {
+        self.self_monitor.as_ref().map(SelfMonitor::session)
+    }
+
+    /// Every committed `_self` anomaly the self-monitor raised on the
+    /// engine's own operational streams, in emission order.
+    pub fn self_events(&self) -> Vec<AnomalyEvent> {
+        self.committed_events(SELF_TENANT)
+    }
+
+    /// Turn on status publishing and return the handle a
+    /// [`crate::http::StatusServer`] reads from. The engine republishes
+    /// an immutable snapshot after every tick; calling this again
+    /// returns the same handle.
+    pub fn enable_status(&mut self) -> SharedStatus {
+        if self.status.is_none() {
+            self.status = Some(slo::shared_status());
+        }
+        self.publish_status();
+        // The line above guarantees the handle exists; clone it out.
+        self.status.clone().unwrap_or_else(slo::shared_status)
+    }
+
+    /// Build the current status snapshot (cheap: counters and clones of
+    /// small per-tenant summaries).
+    pub fn status_snapshot(&self) -> StatusSnapshot {
+        StatusSnapshot {
+            ticks: self.ticks,
+            backlog: self.aggregate_depth() as u64,
+            tenants: self
+                .tenants
+                .values()
+                .map(|runtime| TenantSlo {
+                    tenant: runtime.spec.name.clone(),
+                    priority: runtime.spec.priority,
+                    queue_depth: runtime.queue.len() as u64,
+                    stats: runtime.stats.clone(),
+                    breaker_state: runtime
+                        .session
+                        .as_ref()
+                        .map(|s| s.breaker().state().label())
+                        .unwrap_or("closed")
+                        .to_string(),
+                })
+                .collect(),
+            last_tick: self.last_wide.clone(),
+        }
+    }
+
+    fn publish_status(&self) {
+        if let Some(shared) = &self.status {
+            slo::publish(shared, self.status_snapshot());
+        }
     }
 
     /// The underlying knowledge base.

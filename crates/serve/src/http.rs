@@ -1,0 +1,248 @@
+//! Zero-dependency HTTP status server for live runtime introspection.
+//!
+//! A deliberately tiny HTTP/1.0-style server on [`std::net::TcpListener`]
+//! — no framework, no async runtime, four read-only routes:
+//!
+//! * `GET /metrics`  — Prometheus text: the global registry plus the
+//!   windowed rollup series;
+//! * `GET /healthz`  — readiness JSON; answers 503 once every tenant is
+//!   quarantined (see [`crate::slo::Readiness`]);
+//! * `GET /tenants`  — per-tenant SLO summaries as a JSON array;
+//! * `GET /trace?n=N` — the most recent `N` trace spans as JSONL
+//!   (default 256).
+//!
+//! Determinism: the server thread only ever *reads* — the published
+//! [`StatusSnapshot`] (an `Arc` swap), the global metrics registry and
+//! the trace ring. It holds no engine lock and writes nothing the
+//! engine's commit path reads, so scraping at any rate cannot perturb
+//! committed emissions or persisted bytes; the scrape-under-load
+//! property test pins that down bitwise. The only registry writes from
+//! this thread are the scrape counters themselves
+//! (`sintel_serve_scrapes_total{endpoint}` / `sintel_serve_scrape_errors_total`),
+//! which exist outside the determinism boundary by design.
+//!
+//! Shutdown: [`StatusServer::stop`] (also run on drop) flips a flag and
+//! pokes the listener with a loopback connection so the blocking
+//! `accept` wakes immediately.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::slo::{current, SharedStatus};
+
+/// Per-connection socket timeout: a stuck scraper cannot wedge the
+/// status thread for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Default span count for `/trace` when no `n` query is given.
+const DEFAULT_TRACE_TAIL: usize = 256;
+/// Hard cap on `/trace?n=` to bound response size.
+const MAX_TRACE_TAIL: usize = 4096;
+
+/// A running status server (see module docs). Stops on drop.
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving the given status handle on a background thread.
+    pub fn bind(addr: &str, status: SharedStatus) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sintel-status".to_string())
+            .spawn(move || serve_loop(&listener, &flag, &status))?;
+        Ok(StatusServer { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept; the connect itself may race the
+        // thread already exiting, so its result is irrelevant.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(listener: &TcpListener, stop: &AtomicBool, status: &SharedStatus) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                if handle_connection(stream, status).is_err() {
+                    sintel_obs::counter_add("sintel_serve_scrape_errors_total", 1);
+                }
+            }
+            Err(_) => {
+                sintel_obs::counter_add("sintel_serve_scrape_errors_total", 1);
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, status: &SharedStatus) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, 405, "Method Not Allowed", "text/plain", "GET only\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let endpoint = match path {
+        "/metrics" | "/healthz" | "/tenants" | "/trace" => path.trim_start_matches('/'),
+        _ => "unknown",
+    };
+    sintel_obs::counter_add(
+        &sintel_obs::labeled("sintel_serve_scrapes_total", &[("endpoint", endpoint)]),
+        1,
+    );
+    match path {
+        "/metrics" => {
+            let mut body = sintel_obs::global().snapshot().to_prometheus();
+            body.push_str(&sintel_obs::rollups().snapshot().to_prometheus());
+            respond(&mut stream, 200, "OK", "text/plain; version=0.0.4", &body)
+        }
+        "/healthz" => {
+            let snapshot = current(status);
+            let readiness = snapshot.readiness();
+            let (code, reason) = match readiness.http_status() {
+                200 => (200, "OK"),
+                _ => (503, "Service Unavailable"),
+            };
+            respond(&mut stream, code, reason, "application/json", &snapshot.healthz_json())
+        }
+        "/tenants" => {
+            let snapshot = current(status);
+            respond(&mut stream, 200, "OK", "application/json", &snapshot.tenants_json())
+        }
+        "/trace" => {
+            let n = query
+                .and_then(|q| {
+                    q.split('&').find_map(|pair| {
+                        pair.strip_prefix("n=").and_then(|v| v.parse::<usize>().ok())
+                    })
+                })
+                .unwrap_or(DEFAULT_TRACE_TAIL)
+                .min(MAX_TRACE_TAIL);
+            let mut body = String::new();
+            for event in sintel_obs::trace_tail(n) {
+                body.push_str(&event.to_json());
+                body.push('\n');
+            }
+            respond(&mut stream, 200, "OK", "application/x-ndjson", &body)
+        }
+        _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut impl Write,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{publish, shared_status, StatusSnapshot};
+    use std::io::Read as _;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        let code = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn routes_respond_and_stop_joins() {
+        let shared = shared_status();
+        publish(&shared, StatusSnapshot { ticks: 5, ..StatusSnapshot::default() });
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).expect("bind");
+        let addr = server.local_addr();
+
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"ticks\":5"), "healthz body: {body}");
+
+        let (code, body) = get(addr, "/tenants");
+        assert_eq!(code, 200);
+        assert_eq!(body.trim(), "[]");
+
+        let (code, _body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+
+        let (code, _body) = get(addr, "/trace?n=8");
+        assert_eq!(code, 200);
+
+        let (code, _body) = get(addr, "/nope");
+        assert_eq!(code, 404);
+
+        server.stop();
+    }
+}

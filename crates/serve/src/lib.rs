@@ -33,20 +33,42 @@
 //! With the `faulty` feature, [`fault`] adds serve-level crash points
 //! (e.g. between checkpoint commit and emission) on top of the faulty
 //! primitive family and the store's WAL crash points.
+//!
+//! Live introspection (DESIGN.md §4h) rides on top without touching
+//! the determinism boundary:
+//!
+//! * [`slo`] — per-tick [`slo::TickWideEvent`] records (persisted to
+//!   the `serve_ticks` collection inside each tick's group commit) and
+//!   the immutable [`slo::StatusSnapshot`] the engine publishes;
+//! * [`http::StatusServer`] — a zero-dependency HTTP endpoint serving
+//!   `/metrics`, `/healthz`, `/tenants` and `/trace` from published
+//!   snapshots and the global registry, read-only by construction;
+//! * [`selfmon`] — the engine feeds its own per-tick operational
+//!   streams through a fallback-template detection pass under the
+//!   reserved [`selfmon::SELF_TENANT`] tenant.
 
 pub mod breaker;
 pub mod engine;
 pub mod event;
 #[cfg(feature = "faulty")]
 pub mod fault;
+pub mod http;
 pub mod queue;
+pub mod selfmon;
 pub mod session;
+pub mod slo;
 
 pub use breaker::{Breaker, BreakerEvent, BreakerState};
 pub use engine::{ServeConfig, ServeEngine, ServeStats, TenantSpec, TenantStats};
 pub use event::{Admission, AnomalyEvent, IngestEvent};
+pub use http::StatusServer;
 pub use queue::TenantQueue;
+pub use selfmon::{SelfMonitor, SELF_TENANT};
 pub use session::TenantSession;
+pub use slo::{
+    Readiness, SharedStatus, StatusSnapshot, TenantSlo, TenantTickStats, TickWideEvent,
+    VOLATILE_TICK_FIELDS,
+};
 
 /// Errors produced by the serving tier.
 #[derive(Debug)]

@@ -100,12 +100,26 @@ pub struct PassReport {
     pub passes_skipped: u64,
     /// Attempted passes that failed their run policy.
     pub pass_failures: u64,
+    /// Wall time spent inside detection passes (volatile: the only
+    /// nondeterministic field in a report; never feeds back into
+    /// emission decisions).
+    pub pass_seconds: f64,
     /// Breaker trips that happened this tick.
     pub tripped: u64,
     /// The tenant degraded to the fallback pipeline this tick.
     pub degraded_now: bool,
     /// The tenant was quarantined this tick.
     pub quarantined_now: bool,
+}
+
+/// Count one breaker state transition in the global metrics registry,
+/// labelled by destination state. Purely observational: emission
+/// decisions never read the registry back.
+fn breaker_transition(to: &str) {
+    sintel_obs::counter_add(
+        &sintel_obs::labeled("sintel_serve_breaker_transitions_total", &[("to", to)]),
+        1,
+    );
 }
 
 /// One tenant's streaming session state.
@@ -214,9 +228,14 @@ impl TenantSession {
             report.passes_skipped += 1;
             return;
         }
+        let was_open = matches!(self.breaker.state(), BreakerState::Open { .. });
         if !self.breaker.try_pass(self.pass_counter) {
             report.passes_skipped += 1;
             return;
+        }
+        if was_open {
+            // Cooldown elapsed: Open -> HalfOpen, probe allowed through.
+            breaker_transition("half_open");
         }
         self.run_pass(&event.signal, template, cfg, report);
     }
@@ -257,10 +276,17 @@ impl TenantSession {
             &[("tenant", sintel_obs::FieldValue::from(self.tenant.as_str()))],
         );
         let (result, _attempts) = run_with_policy(&cfg.policy, task);
-        sintel_obs::observe_duration("sintel_serve_pass_seconds", span.close());
+        let elapsed = span.close();
+        sintel_obs::observe_duration("sintel_serve_pass_seconds", elapsed);
+        sintel_obs::rollup_observe("sintel_serve_pass_window_seconds", elapsed.as_secs_f64());
+        report.pass_seconds += elapsed.as_secs_f64();
         match result {
             Ok(mut intervals) => {
+                let was_half_open = matches!(self.breaker.state(), BreakerState::HalfOpen);
                 self.breaker.on_success();
+                if was_half_open {
+                    breaker_transition("closed");
+                }
                 // find_anomalies returns sorted intervals; re-sort
                 // defensively so emission order (and therefore seq
                 // assignment) never depends on a primitive's internals.
@@ -300,11 +326,16 @@ impl TenantSession {
                     cfg.breaker_cooldown,
                     cfg.quarantine_trips,
                 ) {
-                    BreakerEvent::Tripped => report.tripped += 1,
+                    BreakerEvent::Tripped => {
+                        report.tripped += 1;
+                        breaker_transition("open");
+                    }
                     BreakerEvent::Quarantined => {
                         report.tripped += 1;
                         self.quarantined = true;
                         report.quarantined_now = true;
+                        breaker_transition("open");
+                        breaker_transition("quarantined");
                     }
                     BreakerEvent::Counted => {}
                 }

@@ -1,0 +1,445 @@
+//! Per-tenant SLO model and per-tick "wide events".
+//!
+//! Two observability shapes live here:
+//!
+//! * [`TickWideEvent`] — one structured record per engine tick: total
+//!   and per-tenant admission deltas, drain/absorb/pass counts, pass
+//!   wall time, the *previous* tick's checkpoint-commit duration (the
+//!   current one is unknowable until after the record is committed)
+//!   and the post-tick backlog. The engine persists it to the
+//!   `serve_ticks` collection inside the same group commit as the
+//!   session checkpoints, so post-hoc forensics can replay exactly
+//!   what every committed tick looked like.
+//! * [`StatusSnapshot`] / [`TenantSlo`] — the read-only view the HTTP
+//!   status server exposes. The engine publishes a fresh immutable
+//!   snapshot behind a [`SharedStatus`] handle once per tick; scrapes
+//!   clone an `Arc`, never touching engine state, which is how the
+//!   endpoint stays invisible to the bitwise-determinism contract.
+//!
+//! Wall-clock fields (`pass_seconds`, `checkpoint_seconds`) are the
+//! only nondeterministic values in a persisted wide event; byte-level
+//! determinism tests mask exactly [`VOLATILE_TICK_FIELDS`].
+
+use std::sync::{Arc, Mutex};
+
+use sintel_store::Doc;
+
+use crate::engine::TenantStats;
+
+/// Wide-event fields whose values are wall-clock measurements and so
+/// legitimately differ between two otherwise identical runs. Byte
+/// comparisons of `serve_ticks` documents must mask these (and only
+/// these) fields, at both the tick and per-tenant level.
+pub const VOLATILE_TICK_FIELDS: &[&str] = &["pass_seconds", "checkpoint_seconds"];
+
+/// One tenant's slice of a [`TickWideEvent`]: per-tick deltas plus the
+/// tenant's protection state after the tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantTickStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Events admitted since the previous tick.
+    pub accepted: u64,
+    /// Offers answered `Retry` since the previous tick.
+    pub retried: u64,
+    /// Offers shed since the previous tick.
+    pub shed: u64,
+    /// Events drained out of the queue by this tick.
+    pub drained: u64,
+    /// Samples absorbed into session buffers this tick.
+    pub absorbed: u64,
+    /// Stale/duplicate samples dropped this tick.
+    pub stale_dropped: u64,
+    /// Anomaly events committed this tick.
+    pub emitted: u64,
+    /// Detection passes attempted this tick.
+    pub passes_run: u64,
+    /// Scheduled passes skipped this tick (breaker open/quarantined).
+    pub passes_skipped: u64,
+    /// Attempted passes that failed this tick.
+    pub pass_failures: u64,
+    /// Wall time spent in this tenant's detection passes this tick
+    /// (volatile; masked in determinism tests).
+    pub pass_seconds: f64,
+    /// Breaker state after the tick (`closed`/`open`/`half_open`).
+    pub breaker_state: String,
+    /// Cumulative breaker trips.
+    pub breaker_trips: u64,
+    /// Running the fallback pipeline after this tick.
+    pub degraded: bool,
+    /// Permanently parked after this tick.
+    pub quarantined: bool,
+}
+
+impl TenantTickStats {
+    /// Encode as a store document (nested under a wide event).
+    pub fn to_doc(&self) -> Doc {
+        Doc::obj()
+            .with("tenant", self.tenant.as_str())
+            .with("accepted", self.accepted)
+            .with("retried", self.retried)
+            .with("shed", self.shed)
+            .with("drained", self.drained)
+            .with("absorbed", self.absorbed)
+            .with("stale_dropped", self.stale_dropped)
+            .with("emitted", self.emitted)
+            .with("passes_run", self.passes_run)
+            .with("passes_skipped", self.passes_skipped)
+            .with("pass_failures", self.pass_failures)
+            .with("pass_seconds", self.pass_seconds)
+            .with("breaker_state", self.breaker_state.as_str())
+            .with("breaker_trips", self.breaker_trips)
+            .with("degraded", self.degraded)
+            .with("quarantined", self.quarantined)
+    }
+}
+
+/// One structured record per engine tick (see module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickWideEvent {
+    /// The tick this record describes (1-based, monotonic across
+    /// recoveries).
+    pub tick: u64,
+    /// Events admitted since the previous tick, all tenants.
+    pub accepted: u64,
+    /// `Retry` answers since the previous tick, all tenants.
+    pub retried: u64,
+    /// Shed offers since the previous tick, all tenants.
+    pub shed: u64,
+    /// Events drained into sessions by this tick.
+    pub drained: u64,
+    /// Samples absorbed into buffers this tick.
+    pub absorbed: u64,
+    /// Anomaly events committed this tick (tenant streams only; the
+    /// self-monitor's are counted in [`TickWideEvent::self_events`]).
+    pub emitted: u64,
+    /// Detection passes attempted this tick.
+    pub passes_run: u64,
+    /// Attempted passes that failed this tick.
+    pub pass_failures: u64,
+    /// Anomaly events the self-monitor emitted on the engine's own
+    /// operational streams this tick.
+    pub self_events: u64,
+    /// Events still queued after the tick (offers that arrived for
+    /// other tenants while this tick was cut — always 0 for the
+    /// single-writer engine, kept for forward compatibility).
+    pub backlog: u64,
+    /// Wall time spent in detection passes this tick, all tenants
+    /// (volatile; masked in determinism tests).
+    pub pass_seconds: f64,
+    /// Commit duration of the *previous* tick's checkpoint batch
+    /// (volatile; masked in determinism tests). The current tick's
+    /// commit hasn't happened when this record is written into it.
+    pub checkpoint_seconds: f64,
+    /// Per-tenant slices, tenant-name order.
+    pub tenants: Vec<TenantTickStats>,
+}
+
+impl TickWideEvent {
+    /// Encode as a `serve_ticks` document.
+    pub fn to_doc(&self) -> Doc {
+        let tenants: Vec<Doc> = self.tenants.iter().map(TenantTickStats::to_doc).collect();
+        Doc::obj()
+            .with("tick", self.tick)
+            .with("accepted", self.accepted)
+            .with("retried", self.retried)
+            .with("shed", self.shed)
+            .with("drained", self.drained)
+            .with("absorbed", self.absorbed)
+            .with("emitted", self.emitted)
+            .with("passes_run", self.passes_run)
+            .with("pass_failures", self.pass_failures)
+            .with("self_events", self.self_events)
+            .with("backlog", self.backlog)
+            .with("pass_seconds", self.pass_seconds)
+            .with("checkpoint_seconds", self.checkpoint_seconds)
+            .with("tenants", Doc::Arr(tenants))
+    }
+
+    /// One JSON line (for `--tick-log` tailing).
+    pub fn to_json_line(&self) -> String {
+        sintel_store::json::to_json(&self.to_doc())
+    }
+}
+
+/// The per-tenant SLO summary the `/tenants` endpoint serves:
+/// cumulative counters plus derived ratios and protection state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSlo {
+    /// Tenant name.
+    pub tenant: String,
+    /// Load-shedding priority.
+    pub priority: u8,
+    /// Queue depth at the last publish.
+    pub queue_depth: u64,
+    /// Cumulative admission / processing counters.
+    pub stats: TenantStats,
+    /// Breaker state (`closed`/`open`/`half_open`).
+    pub breaker_state: String,
+}
+
+impl TenantSlo {
+    /// Offered events (accepted + retried + shed).
+    pub fn offered(&self) -> u64 {
+        self.stats.accepted + self.stats.retried + self.stats.shed
+    }
+
+    /// Fraction of offers shed (0 when nothing was offered).
+    pub fn shed_ratio(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.stats.shed as f64 / offered as f64
+        }
+    }
+
+    /// Fraction of attempted passes that failed (0 when none ran).
+    pub fn failure_ratio(&self) -> f64 {
+        if self.stats.passes_run == 0 {
+            0.0
+        } else {
+            self.stats.pass_failures as f64 / self.stats.passes_run as f64
+        }
+    }
+
+    /// Encode as one element of the `/tenants` JSON array.
+    pub fn to_doc(&self) -> Doc {
+        Doc::obj()
+            .with("tenant", self.tenant.as_str())
+            .with("priority", self.priority as i64)
+            .with("queue_depth", self.queue_depth)
+            .with("accepted", self.stats.accepted)
+            .with("retried", self.stats.retried)
+            .with("shed", self.stats.shed)
+            .with("shed_ratio", self.shed_ratio())
+            .with("absorbed", self.stats.absorbed)
+            .with("emitted", self.stats.emitted)
+            .with("passes_run", self.stats.passes_run)
+            .with("passes_skipped", self.stats.passes_skipped)
+            .with("pass_failures", self.stats.pass_failures)
+            .with("failure_ratio", self.failure_ratio())
+            .with("breaker_state", self.breaker_state.as_str())
+            .with("breaker_trips", self.stats.breaker_trips)
+            .with("degraded", self.stats.degraded)
+            .with("quarantined", self.stats.quarantined)
+    }
+}
+
+/// The immutable snapshot a status server reads. The engine swaps in a
+/// fresh `Arc<StatusSnapshot>` once per tick; scrapes clone the `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct StatusSnapshot {
+    /// Ticks committed so far.
+    pub ticks: u64,
+    /// Events queued across all tenants at the last publish.
+    pub backlog: u64,
+    /// Per-tenant SLO summaries, tenant-name order.
+    pub tenants: Vec<TenantSlo>,
+    /// The last committed wide event, if any tick has run.
+    pub last_tick: Option<TickWideEvent>,
+}
+
+/// Health classification of a [`StatusSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// Every tenant healthy.
+    Ok,
+    /// Serving, but some tenant is degraded, tripped or quarantined.
+    Degraded,
+    /// No tenant can be served (all quarantined): scrape targets
+    /// should fail readiness.
+    Unready,
+}
+
+impl Readiness {
+    /// Stable lower-case label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Readiness::Ok => "ok",
+            Readiness::Degraded => "degraded",
+            Readiness::Unready => "unready",
+        }
+    }
+
+    /// The HTTP status code `/healthz` answers with.
+    pub fn http_status(self) -> u16 {
+        match self {
+            Readiness::Ok | Readiness::Degraded => 200,
+            Readiness::Unready => 503,
+        }
+    }
+}
+
+impl StatusSnapshot {
+    /// Breaker/quarantine-aware readiness (see [`Readiness`]).
+    pub fn readiness(&self) -> Readiness {
+        if !self.tenants.is_empty() && self.tenants.iter().all(|t| t.stats.quarantined) {
+            return Readiness::Unready;
+        }
+        let impaired = self.tenants.iter().any(|t| {
+            t.stats.quarantined || t.stats.degraded || t.breaker_state != "closed"
+        });
+        if impaired {
+            Readiness::Degraded
+        } else {
+            Readiness::Ok
+        }
+    }
+
+    /// The `/healthz` JSON body.
+    pub fn healthz_json(&self) -> String {
+        let readiness = self.readiness();
+        let quarantined = self.tenants.iter().filter(|t| t.stats.quarantined).count();
+        let degraded = self.tenants.iter().filter(|t| t.stats.degraded).count();
+        let open = self.tenants.iter().filter(|t| t.breaker_state != "closed").count();
+        let doc = Doc::obj()
+            .with("status", readiness.as_str())
+            .with("ticks", self.ticks)
+            .with("backlog", self.backlog)
+            .with("tenants", self.tenants.len())
+            .with("quarantined", quarantined)
+            .with("degraded", degraded)
+            .with("breakers_not_closed", open);
+        sintel_store::json::to_json(&doc)
+    }
+
+    /// The `/tenants` JSON body (array, tenant-name order).
+    pub fn tenants_json(&self) -> String {
+        let docs: Vec<Doc> = self.tenants.iter().map(TenantSlo::to_doc).collect();
+        sintel_store::json::to_json(&Doc::Arr(docs))
+    }
+}
+
+/// The handle the engine publishes snapshots through and the status
+/// server reads from. Double-`Arc`: the outer one is shared between
+/// engine and server threads, the inner one makes each published
+/// snapshot immutable and cheap to hand to a scrape.
+pub type SharedStatus = Arc<Mutex<Arc<StatusSnapshot>>>;
+
+/// A fresh handle holding an empty snapshot.
+pub fn shared_status() -> SharedStatus {
+    Arc::new(Mutex::new(Arc::new(StatusSnapshot::default())))
+}
+
+/// Publish a new snapshot (engine side).
+pub fn publish(shared: &SharedStatus, snapshot: StatusSnapshot) {
+    *shared.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
+}
+
+/// Read the current snapshot (server side).
+pub fn current(shared: &SharedStatus) -> Arc<StatusSnapshot> {
+    shared.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slo(name: &str, quarantined: bool, degraded: bool, breaker: &str) -> TenantSlo {
+        TenantSlo {
+            tenant: name.to_string(),
+            priority: 5,
+            queue_depth: 0,
+            stats: TenantStats { quarantined, degraded, ..TenantStats::default() },
+            breaker_state: breaker.to_string(),
+        }
+    }
+
+    #[test]
+    fn readiness_classification() {
+        let mut snap = StatusSnapshot::default();
+        assert_eq!(snap.readiness(), Readiness::Ok, "no tenants: engine itself is up");
+
+        snap.tenants = vec![slo("a", false, false, "closed"), slo("b", false, false, "closed")];
+        assert_eq!(snap.readiness(), Readiness::Ok);
+
+        snap.tenants[1].stats.degraded = true;
+        assert_eq!(snap.readiness(), Readiness::Degraded);
+        assert_eq!(snap.readiness().http_status(), 200);
+
+        snap.tenants[1] = slo("b", false, false, "open");
+        assert_eq!(snap.readiness(), Readiness::Degraded);
+
+        snap.tenants = vec![slo("a", true, false, "closed"), slo("b", true, false, "closed")];
+        assert_eq!(snap.readiness(), Readiness::Unready);
+        assert_eq!(snap.readiness().http_status(), 503);
+
+        // One healthy tenant keeps the engine ready.
+        snap.tenants.push(slo("c", false, false, "closed"));
+        assert_eq!(snap.readiness(), Readiness::Degraded);
+    }
+
+    #[test]
+    fn slo_ratios() {
+        let mut t = slo("a", false, false, "closed");
+        assert_eq!(t.shed_ratio(), 0.0);
+        assert_eq!(t.failure_ratio(), 0.0);
+        t.stats.accepted = 6;
+        t.stats.shed = 2;
+        t.stats.retried = 0;
+        assert!((t.shed_ratio() - 0.25).abs() < 1e-12);
+        t.stats.passes_run = 4;
+        t.stats.pass_failures = 1;
+        assert!((t.failure_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_event_doc_shape_and_json_line() {
+        let wide = TickWideEvent {
+            tick: 3,
+            accepted: 10,
+            drained: 10,
+            absorbed: 9,
+            emitted: 1,
+            passes_run: 2,
+            tenants: vec![TenantTickStats {
+                tenant: "acme".to_string(),
+                accepted: 10,
+                drained: 10,
+                absorbed: 9,
+                emitted: 1,
+                passes_run: 2,
+                breaker_state: "closed".to_string(),
+                ..TenantTickStats::default()
+            }],
+            ..TickWideEvent::default()
+        };
+        let doc = wide.to_doc();
+        assert_eq!(doc.get("tick").unwrap().as_i64(), Some(3));
+        assert_eq!(doc.get("tenants").unwrap().as_arr().unwrap().len(), 1);
+        let line = wide.to_json_line();
+        assert!(line.contains("\"tick\":3"));
+        assert!(line.contains("\"tenant\":\"acme\""));
+        assert!(!line.contains('\n'));
+        for field in VOLATILE_TICK_FIELDS {
+            assert!(line.contains(&format!("\"{field}\":")), "volatile field {field} present");
+        }
+    }
+
+    #[test]
+    fn healthz_and_tenants_json_render() {
+        let snap = StatusSnapshot {
+            ticks: 7,
+            backlog: 2,
+            tenants: vec![slo("acme", false, true, "closed")],
+            last_tick: None,
+        };
+        let health = snap.healthz_json();
+        assert!(health.contains("\"status\":\"degraded\""));
+        assert!(health.contains("\"ticks\":7"));
+        assert!(health.contains("\"degraded\":1"));
+        let tenants = snap.tenants_json();
+        assert!(tenants.starts_with('['));
+        assert!(tenants.contains("\"tenant\":\"acme\""));
+        assert!(tenants.contains("\"breaker_state\":\"closed\""));
+    }
+
+    #[test]
+    fn shared_status_publish_and_read() {
+        let shared = shared_status();
+        assert_eq!(current(&shared).ticks, 0);
+        publish(&shared, StatusSnapshot { ticks: 42, ..StatusSnapshot::default() });
+        assert_eq!(current(&shared).ticks, 42);
+    }
+}

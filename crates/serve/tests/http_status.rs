@@ -1,0 +1,167 @@
+//! Smoke tests for the HTTP status endpoint: every route answers with
+//! well-formed payloads while the engine ingests, and shutdown joins
+//! cleanly. The determinism side (scrapes cannot perturb committed
+//! state) lives in `scrape_under_load.rs`; this binary checks the
+//! protocol surface.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use sintel_pipeline::template::{StepSpec, Template};
+use sintel_primitives::HyperValue;
+use sintel_serve::{IngestEvent, ServeConfig, ServeEngine, StatusServer, TenantSpec};
+use sintel_store::SintelDb;
+
+fn cheap_template() -> Template {
+    Template {
+        name: "http_test".into(),
+        steps: vec![
+            StepSpec::plain("azure_anomaly_service"),
+            StepSpec::with("fixed_threshold", &[("k", HyperValue::Float(2.0))]),
+        ],
+    }
+}
+
+/// One HTTP GET against the status server: returns (status code, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to status server");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let code = raw.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (code, body)
+}
+
+/// Every non-comment line of a Prometheus text payload must be
+/// `name value` or `name{labels} value` with a parseable float value;
+/// comments must be `# HELP` or `# TYPE`.
+fn assert_prometheus_well_formed(body: &str) {
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            assert!(
+                comment.starts_with("HELP") || comment.starts_with("TYPE"),
+                "unexpected comment line: {line}"
+            );
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("metric line has no value: {line}");
+        });
+        assert!(!name.is_empty(), "empty metric name: {line}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "metric value does not parse as f64: {line}"
+        );
+    }
+}
+
+#[test]
+fn all_routes_answer_with_well_formed_payloads() {
+    sintel_obs::tracing_start();
+    let mut engine = ServeEngine::open(
+        SintelDb::in_memory(),
+        ServeConfig::for_tests(),
+        vec![
+            TenantSpec::new("acme", 5, cheap_template()),
+            TenantSpec::new("beta", 2, cheap_template()),
+        ],
+    )
+    .expect("open engine");
+
+    let shared = engine.enable_status();
+    let server = StatusServer::bind("127.0.0.1:0", shared).expect("bind status server");
+    let addr = server.local_addr();
+
+    // Ingest with the endpoint live, scraping between ticks.
+    for t in 0..96i64 {
+        for tenant in ["acme", "beta"] {
+            let spike = if t == 70 { 6.0 } else { 0.0 };
+            let value = (t as f64 / 8.0).sin() + spike;
+            engine.offer(&IngestEvent::new(tenant, "cpu", t, value)).expect("offer");
+        }
+        if (t + 1) % 16 == 0 {
+            engine.tick().expect("tick");
+            let (code, _) = get(addr, "/healthz");
+            assert_eq!(code, 200, "healthz must stay up mid-ingest");
+        }
+    }
+
+    // /metrics: Prometheus text with the serve tick counter and the
+    // windowed rollup series present.
+    let (code, metrics) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert_prometheus_well_formed(&metrics);
+    assert!(metrics.contains("sintel_serve_ticks_total"), "{metrics}");
+    assert!(metrics.contains("sintel_serve_events_per_tick"), "rollup series missing");
+
+    // /healthz: JSON readiness with the tick counter.
+    let (code, health) = get(addr, "/healthz");
+    assert_eq!(code, 200);
+    let doc = sintel_store::json::from_json(&health).expect("healthz is valid JSON");
+    assert_eq!(doc.get("status").and_then(|d| d.as_str()), Some("ok"));
+    assert_eq!(doc.get("ticks").and_then(|d| d.as_i64()), Some(6));
+
+    // /tenants: JSON array with one SLO summary per registered tenant
+    // (the `_self` monitor must NOT appear).
+    let (code, tenants) = get(addr, "/tenants");
+    assert_eq!(code, 200);
+    let doc = sintel_store::json::from_json(&tenants).expect("tenants is valid JSON");
+    let arr = doc.as_arr().expect("tenants is an array");
+    let names: Vec<&str> =
+        arr.iter().filter_map(|t| t.get("tenant").and_then(|d| d.as_str())).collect();
+    assert_eq!(names, vec!["acme", "beta"]);
+    for tenant in arr {
+        assert!(tenant.get("accepted").and_then(|d| d.as_i64()).unwrap_or(-1) > 0);
+        assert_eq!(
+            tenant.get("breaker_state").and_then(|d| d.as_str()),
+            Some("closed")
+        );
+        assert!(tenant.get("shed_ratio").and_then(|d| d.as_f64()).is_some());
+    }
+
+    // /trace: JSONL span tail, parseable by the obs parser.
+    let (code, trace) = get(addr, "/trace?n=64");
+    assert_eq!(code, 200);
+    let events = sintel_obs::parse_jsonl(&trace).expect("trace tail parses");
+    assert!(
+        events.iter().any(|e| e.name == "serve.tick"),
+        "tick spans must appear in the trace tail"
+    );
+
+    // Unknown routes 404; non-GET methods are rejected.
+    let (code, _) = get(addr, "/nope");
+    assert_eq!(code, 404);
+
+    let _ = sintel_obs::tracing_stop();
+    server.stop();
+}
+
+#[test]
+fn healthz_reports_unready_when_all_tenants_quarantined() {
+    // Drive readiness through the published snapshot directly — the
+    // engine-side quarantine path is covered by the chaos suite.
+    use sintel_serve::{StatusSnapshot, TenantSlo, TenantStats};
+    let shared = sintel_serve::slo::shared_status();
+    let snapshot = StatusSnapshot {
+        ticks: 3,
+        backlog: 0,
+        tenants: vec![TenantSlo {
+            tenant: "acme".to_string(),
+            priority: 5,
+            queue_depth: 0,
+            stats: TenantStats { quarantined: true, ..TenantStats::default() },
+            breaker_state: "open".to_string(),
+        }],
+        last_tick: None,
+    };
+    sintel_serve::slo::publish(&shared, snapshot);
+    let server = StatusServer::bind("127.0.0.1:0", shared).expect("bind");
+    let (code, body) = get(server.local_addr(), "/healthz");
+    assert_eq!(code, 503, "all tenants quarantined must fail readiness: {body}");
+    assert!(body.contains("\"status\":\"unready\""));
+    server.stop();
+}

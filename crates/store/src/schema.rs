@@ -64,6 +64,9 @@ pub mod collections {
     pub const SERVE_EVENTS: &str = "serve_events";
     /// Serving-tier engine metadata (tick counter etc.).
     pub const SERVE_META: &str = "serve_meta";
+    /// Serving-tier per-tick wide events (one structured record per
+    /// tick: admissions, latencies, checkpoint cost, backlog).
+    pub const SERVE_TICKS: &str = "serve_ticks";
 }
 
 impl SintelDb {
@@ -104,6 +107,7 @@ impl SintelDb {
         self.db.create_index(collections::SERVE_SESSIONS, "tenant");
         self.db.create_index(collections::SERVE_EVENTS, "tenant");
         self.db.create_index(collections::SERVE_META, "kind");
+        self.db.create_index(collections::SERVE_TICKS, "tick");
     }
 
     /// Access the raw database (escape hatch).
@@ -367,6 +371,23 @@ impl SintelDb {
         self.db.find(collections::SERVE_EVENTS, &Filter::eq("tenant", tenant))
     }
 
+    /// Record one per-tick wide event (the caller builds the document;
+    /// the engine's `TickWideEvent::to_doc` is the canonical shape).
+    pub fn add_serve_tick(&self, doc: Doc) -> u64 {
+        self.db.insert(collections::SERVE_TICKS, doc)
+    }
+
+    /// All persisted wide events, insertion order (= tick order, since
+    /// only the single-writer engine appends them).
+    pub fn serve_ticks(&self) -> Vec<Doc> {
+        self.db.find(collections::SERVE_TICKS, &Filter::All)
+    }
+
+    /// Wide events for one tick (normally 0 or 1).
+    pub fn serve_ticks_at(&self, tick: u64) -> Vec<Doc> {
+        self.db.find(collections::SERVE_TICKS, &Filter::eq("tick", tick))
+    }
+
     fn pair_filter(pipeline: &str, signal: &str) -> Filter {
         Filter::And(vec![Filter::eq("pipeline", pipeline), Filter::eq("signal", signal)])
     }
@@ -529,6 +550,22 @@ mod tests {
         assert_eq!(events[1].get("seq").unwrap().as_i64(), Some(1));
         assert_eq!(events[1].get("severity").unwrap().as_f64(), Some(2.0));
         assert_eq!(db.serve_events_for_tenant("other").len(), 1);
+    }
+
+    #[test]
+    fn serve_ticks_round_trip() {
+        let db = SintelDb::in_memory();
+        assert!(db.serve_ticks().is_empty());
+        db.add_serve_tick(Doc::obj().with("tick", 0u64).with("accepted", 5u64));
+        db.add_serve_tick(Doc::obj().with("tick", 1u64).with("accepted", 9u64));
+        let ticks = db.serve_ticks();
+        assert_eq!(ticks.len(), 2);
+        assert_eq!(ticks[0].get("tick").unwrap().as_i64(), Some(0));
+        assert_eq!(ticks[1].get("accepted").unwrap().as_i64(), Some(9));
+        let at = db.serve_ticks_at(1);
+        assert_eq!(at.len(), 1);
+        assert_eq!(at[0].get("accepted").unwrap().as_i64(), Some(9));
+        assert!(db.serve_ticks_at(7).is_empty());
     }
 
     #[test]

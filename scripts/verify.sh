@@ -39,22 +39,38 @@ echo "==> cargo test -p sintel-serve --features faulty --release -- --ignored so
 SINTEL_SOAK_SECS="${SINTEL_SOAK_SECS:-10}" \
     cargo test -q -p sintel-serve --features faulty --release -- --ignored soak_
 
+# Introspection smoke (DESIGN.md §4h): the HTTP status endpoint must
+# answer every route with well-formed payloads mid-ingest, and a
+# hammered endpoint must leave emissions + store bytes bitwise-identical
+# (release build: the scrape-purity race is timing-sensitive, so smoke
+# it in the optimized profile too, not just the debug runs above).
+echo "==> cargo test -q -p sintel-serve --release http smoke + scrape purity"
+cargo test -q -p sintel-serve --release --test http_status --test scrape_under_load
+
 # Durability-path throughput trajectory: refreshes BENCH_store.json at
 # the repo root so append/replay/compaction rates are tracked per commit.
 echo "==> store microbench (writes BENCH_store.json)"
 SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin store_bench
 
 # Streaming-tier throughput trajectory: refreshes BENCH_serve.json
-# (ingest rate in-memory vs checkpointed, cold recovery latency).
+# (ingest rate in-memory vs scraped vs checkpointed, cold recovery
+# latency).
 echo "==> serve microbench (writes BENCH_serve.json)"
 SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin serve_bench
 
+# Instrumentation-cost trajectory: refreshes BENCH_obs.json (ns/op per
+# obs primitive, serve ingest overhead with instrumentation on vs off
+# against the §4h < 5% budget — a console warning, not a hard gate).
+echo "==> obs microbench (writes BENCH_obs.json)"
+SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin obs_bench
+
 # The fault-isolation layer must never itself abort: deny unwrap in the
 # pipeline executor, the framework core, the durability-critical store,
-# and the long-running serving tier (test code is exempt — clippy only
-# lints lib/bin targets here).
-echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel, sintel-store, sintel-serve)"
-cargo clippy -p sintel-pipeline -p sintel -p sintel-store -p sintel-serve -- -D clippy::unwrap_used
+# the long-running serving tier, and the observability substrate every
+# one of them calls into (test code is exempt — clippy only lints
+# lib/bin targets here).
+echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel, sintel-store, sintel-serve, sintel-obs)"
+cargo clippy -p sintel-pipeline -p sintel -p sintel-store -p sintel-serve -p sintel-obs -- -D clippy::unwrap_used
 
 # Library crates must route diagnostics through sintel-obs, never print
 # directly. Lib targets only: binaries (CLI, bench tables) legitimately
