@@ -39,6 +39,18 @@ impl StepConfig {
 /// declared contracts. Pure: resolves metadata only, never builds
 /// runtime state, so it cannot perturb detection results.
 pub fn analyze_pipeline(pipeline: &str, steps: &[StepConfig]) -> Report {
+    analyze_pipeline_for_len(pipeline, steps, None)
+}
+
+/// [`analyze_pipeline`] with a known bound on the input length (a serve
+/// window, a dataset's sample count, a tuner's signal): additionally
+/// emits SA007 when some step's output is statically empty for every
+/// feasible input.
+pub fn analyze_pipeline_for_len(
+    pipeline: &str,
+    steps: &[StepConfig],
+    input_len: Option<usize>,
+) -> Report {
     let mut report = Report::new(pipeline);
 
     // Resolve every step to its metadata. Unknown names are fatal for
@@ -63,7 +75,7 @@ pub fn analyze_pipeline(pipeline: &str, steps: &[StepConfig]) -> Report {
     check_hyperparams(steps, &metas, &mut report);
     check_phase_order(steps, &metas, &mut report);
     check_dataflow(&metas, &mut report);
-    check_windows(steps, &metas, &mut report);
+    crate::shape::check_shapes(steps, &metas, input_len, &mut report);
 
     report.diagnostics.sort_by_key(|d| (d.step, d.code));
     report
@@ -198,7 +210,7 @@ fn check_dataflow(metas: &[PrimitiveMeta], report: &mut Report) {
 /// Effective value of an integer hyperparameter: the explicit assignment
 /// when present *and valid*, else the declared default. Invalid explicit
 /// values fall back to the default — SA003 already reports them.
-fn effective_int(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option<i64> {
+pub(crate) fn effective_int(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option<i64> {
     let spec = meta.hyperparam(name)?;
     if let Some((_, value)) = step.hypers.iter().find(|(n, _)| n == name) {
         if spec.range.contains(value) {
@@ -211,7 +223,7 @@ fn effective_int(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option<
 }
 
 /// Effective value of a flag hyperparameter (same fallback rule).
-fn effective_flag(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option<bool> {
+pub(crate) fn effective_flag(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option<bool> {
     let spec = meta.hyperparam(name)?;
     if let Some((_, value)) = step.hypers.iter().find(|(n, _)| n == name) {
         if let Ok(v) = value.as_flag() {
@@ -219,72 +231,6 @@ fn effective_flag(step: &StepConfig, meta: &PrimitiveMeta, name: &str) -> Option
         }
     }
     spec.default.as_flag().ok()
-}
-
-/// SA005: window/aggregation consistency around
-/// `rolling_window_sequences`. Two rules, both checked against the
-/// *effective* hyperparameters (template/λ overrides over defaults):
-///
-/// 1. `targets = false` while a downstream step declares a required read
-///    of `targets` (a forecaster would train on an empty series);
-/// 2. `step > window_size` while a downstream step reads `first_index`
-///    (overlap-averaged reconstruction cannot bridge the gaps between
-///    windows).
-///
-/// A scan stops early when an intermediate step re-produces the slot.
-fn check_windows(steps: &[StepConfig], metas: &[PrimitiveMeta], report: &mut Report) {
-    for (i, (step, meta)) in steps.iter().zip(metas).enumerate() {
-        if meta.name != "rolling_window_sequences" {
-            continue;
-        }
-        let targets_on = effective_flag(step, meta, "targets").unwrap_or(true);
-        let window_size = effective_int(step, meta, "window_size").unwrap_or(50);
-        let step_size = effective_int(step, meta, "step").unwrap_or(1);
-
-        if !targets_on {
-            for (j, later) in metas.iter().enumerate().skip(i + 1) {
-                if later.contract.requires("targets") {
-                    report.push(Diagnostic::error(
-                        Code::WindowInconsistency,
-                        i,
-                        &meta.name,
-                        format!(
-                            "rolling_window_sequences has targets=false but step {j} ({}) \
-                             requires 'targets'",
-                            later.name
-                        ),
-                        "set targets=true or switch to a reconstruction-style consumer",
-                    ));
-                    break;
-                }
-                if later.contract.writes.iter().any(|w| w.slot == "targets") {
-                    break; // re-supplied downstream
-                }
-            }
-        }
-
-        if step_size > window_size {
-            for (j, later) in metas.iter().enumerate().skip(i + 1) {
-                if later.contract.reads.iter().any(|r| r.slot == "first_index") {
-                    report.push(Diagnostic::error(
-                        Code::WindowInconsistency,
-                        i,
-                        &meta.name,
-                        format!(
-                            "step {step_size} exceeds window_size {window_size}; step {j} ({}) \
-                             reconstructs from 'first_index' over gapped windows",
-                            later.name
-                        ),
-                        "reduce step to at most window_size",
-                    ));
-                    break;
-                }
-                if later.contract.writes.iter().any(|w| w.slot == "first_index") {
-                    break; // re-supplied downstream
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -496,6 +442,65 @@ mod tests {
         assert_eq!(errors.len(), 1);
         assert_eq!(errors[0].code, Code::WindowInconsistency);
         assert!(errors[0].message.contains("step 50 exceeds window_size 10"));
+    }
+
+    #[test]
+    fn sa006_mixed_producers_mismatch() {
+        // A forecaster mix-up: ARIMA's point-aligned targets (n-5) fed to
+        // an LSTM whose predictions are per-window (n-50).
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![
+                    ("window_size".into(), HyperValue::Int(50)),
+                    ("targets".into(), HyperValue::Flag(true)),
+                ],
+            ),
+            StepConfig::plain("arima"),
+            StepConfig::plain("lstm_regressor"),
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        let report = analyze_pipeline("demo", &steps);
+        let mismatches: Vec<_> =
+            report.errors().filter(|d| d.code == Code::ShapeMismatch).collect();
+        assert!(!mismatches.is_empty(), "{}", report.render());
+        assert!(
+            mismatches.iter().any(|d| d.step == 5 && d.primitive == "lstm_regressor"),
+            "{}",
+            report.render()
+        );
+        assert!(mismatches[0].message.contains("mismatched static lengths"));
+    }
+
+    #[test]
+    fn sa007_needs_an_input_bound() {
+        let mut steps = preprocessing();
+        steps.extend([
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![
+                    ("window_size".into(), HyperValue::Int(50)),
+                    ("targets".into(), HyperValue::Flag(true)),
+                ],
+            ),
+            StepConfig::plain("lstm_regressor"),
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]);
+        // Unbounded input: clean.
+        assert!(analyze_pipeline("demo", &steps).is_clean());
+        // 40 samples cannot fill a 50-sample window + 1 target.
+        let report = analyze_pipeline_for_len("demo", &steps, Some(40));
+        let errors: Vec<_> = report.errors().collect();
+        assert_eq!(errors.len(), 1, "{}", report.render());
+        assert_eq!(errors[0].code, Code::EmptyOutput);
+        assert_eq!(errors[0].step, 3);
+        assert!(errors[0].message.contains("requires at least 51 input samples"));
+        assert!(errors[0].message.contains("at most 40 are available"));
+        // 51 samples squeeze out exactly one window: clean again.
+        assert!(analyze_pipeline_for_len("demo", &steps, Some(51)).is_clean());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Static per-step cost model: flop/byte estimates from contracts +
+//! effective hyperparameters.
+//!
+//! The estimates are *order-of-magnitude upper bounds*, not cycle counts:
+//! they exist so the tuner can reject cost-explosive candidates without
+//! executing them and so the serve tier can statically verify the
+//! degradation invariant (the fallback template must be cheaper than the
+//! primary — SA008). Two deliberate modelling choices follow from those
+//! uses:
+//!
+//! 1. **Monotonicity over tightness.** Window counts are bounded by
+//!    `n/step + 1` (independent of `window_size`) instead of the exact
+//!    `(n − w)/step + 1`: the exact count *shrinks* as windows grow, which
+//!    would make total cost non-monotone in `window_size` and let a
+//!    pathological candidate hide an explosion behind a shrinking window
+//!    count. The bound keeps every estimate monotone in `n`, `window_size`,
+//!    `hidden`, `epochs` — property-tested in `tests/cost_props.rs`.
+//! 2. **Relative, not absolute.** Consumers only ever compare two
+//!    estimates (candidate vs default, fallback vs primary), so constant
+//!    factors cancel; what matters is that the model ranks configurations
+//!    the way the runtime does.
+
+use sintel_primitives::registry::primitive_meta;
+use sintel_primitives::PrimitiveMeta;
+
+use crate::checks::{effective_int, StepConfig};
+
+/// Nominal input length used when a caller has no concrete bound.
+pub const NOMINAL_INPUT_LEN: usize = 4096;
+
+/// Estimated cost of a step or template: floating-point operations and
+/// bytes moved through the major buffers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated floating-point operations.
+    pub flops: f64,
+    /// Estimated bytes touched in the major buffers.
+    pub bytes: f64,
+}
+
+impl CostEstimate {
+    /// The zero estimate.
+    pub fn zero() -> Self {
+        Self { flops: 0.0, bytes: 0.0 }
+    }
+
+    fn add(&mut self, other: CostEstimate) {
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Roll up the whole step list at input length `n`. `None` when a
+/// primitive is unknown (SA000 reports that separately) or is a
+/// `faulty_*` fault-injection stub — their runtime cost is an injected
+/// behaviour (sleeps, panics), not a function of the data, so a static
+/// estimate would be meaningless and SA008 comparisons against them are
+/// skipped.
+pub fn estimate_steps(steps: &[StepConfig], input_len: usize) -> Option<CostEstimate> {
+    let mut metas: Vec<PrimitiveMeta> = Vec::with_capacity(steps.len());
+    for step in steps {
+        if step.primitive.starts_with("faulty_") {
+            return None;
+        }
+        metas.push(primitive_meta(&step.primitive).ok()?);
+    }
+    let n = (input_len.max(1)) as f64;
+    let mut total = CostEstimate::zero();
+    // The last window pass's (window_size, step) — deep models consume
+    // windows, so their per-window cost depends on the producer's shape.
+    let mut window: f64 = 50.0;
+    let mut stride: f64 = 1.0;
+    for (step, meta) in steps.iter().zip(&metas) {
+        if meta.name == "rolling_window_sequences" {
+            window = effective_int(step, meta, "window_size").unwrap_or(50) as f64;
+            stride = effective_int(step, meta, "step").unwrap_or(1).max(1) as f64;
+        }
+        total.add(estimate_step(step, meta, n, window, stride));
+    }
+    Some(total)
+}
+
+/// Monotone upper bound on the number of windows a pass emits.
+fn windows_bound(n: f64, stride: f64) -> f64 {
+    n / stride.max(1.0) + 1.0
+}
+
+fn estimate_step(
+    step: &StepConfig,
+    meta: &PrimitiveMeta,
+    n: f64,
+    window: f64,
+    stride: f64,
+) -> CostEstimate {
+    let int = |name: &str, default: i64| effective_int(step, meta, name).unwrap_or(default) as f64;
+    let cnt = windows_bound(n, stride);
+    // One LSTM cell forward pass over a length-`window` sequence with
+    // `hidden` units (4 gates, input dim 1).
+    let lstm_fwd = |hidden: f64| window * 8.0 * hidden * (hidden + 2.0);
+    // Training ≈ epochs × (forward + backward + update) per window; the
+    // factor 3 covers backward + update.
+    let train = |per_window: f64, epochs: f64| (3.0 * epochs + 1.0) * cnt * per_window;
+
+    let flops = match meta.name.as_str() {
+        "time_segments_aggregate" | "SimpleImputer" | "MinMaxScaler" | "StandardScaler" => 2.0 * n,
+        "detrend" | "holt_winters" => 10.0 * n,
+        "remove_level_shifts" => 32.0 * n,
+        "rolling_window_sequences" => cnt * window,
+        "lstm_regressor" => train(lstm_fwd(int("hidden", 20)), int("epochs", 8)),
+        "lstm_autoencoder" => train(2.0 * lstm_fwd(int("hidden", 20)), int("epochs", 8)),
+        "dense_autoencoder" => {
+            let hidden = int("hidden", 20);
+            let latent = int("latent", 5);
+            train(2.0 * (window * hidden + hidden * latent), int("epochs", 12))
+        }
+        "tadgan" => train(5.0 * lstm_fwd(int("hidden", 20)), int("epochs", 8)),
+        "arima" => {
+            let p = int("p", 5);
+            let d = int("d", 0);
+            let q = int("q", 1);
+            4.0 * n * (p + q + 1.0) * (p + q + 1.0) + 2.0 * n * (p.max(q) + d + 2.0)
+        }
+        "azure_anomaly_service" => {
+            5.0 * n * n.max(2.0).log2() + n * (int("filter_window", 3) + int("score_window", 21))
+        }
+        "matrix_profile" => 4.0 * n * int("window", 32),
+        "regression_errors" => n * int("smoothing_window", 10),
+        "reconstruction_errors" => cnt * window + 4.0 * n,
+        "find_anomalies" => 16.0 * n,
+        "fixed_threshold" => 4.0 * n,
+        // Future primitives: one pass over the signal. (Fault-injection
+        // stubs never reach here — `estimate_steps` refuses them.)
+        _ => n,
+    };
+    let bytes = match meta.name.as_str() {
+        "rolling_window_sequences" => 8.0 * (n + cnt * window),
+        "lstm_regressor" | "lstm_autoencoder" | "dense_autoencoder" | "tadgan" => {
+            8.0 * cnt * window
+        }
+        _ => 16.0 * n,
+    };
+    CostEstimate { flops, bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sintel_primitives::HyperValue;
+
+    fn lstm_chain(window_size: i64, epochs: i64, hidden: i64) -> Vec<StepConfig> {
+        vec![
+            StepConfig::plain("SimpleImputer"),
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![("window_size".into(), HyperValue::Int(window_size))],
+            ),
+            StepConfig::with(
+                "lstm_regressor",
+                vec![
+                    ("epochs".into(), HyperValue::Int(epochs)),
+                    ("hidden".into(), HyperValue::Int(hidden)),
+                ],
+            ),
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ]
+    }
+
+    #[test]
+    fn unknown_primitive_yields_none() {
+        assert!(estimate_steps(&[StepConfig::plain("flux_capacitor")], 1_000).is_none());
+    }
+
+    #[test]
+    fn training_hypers_scale_the_estimate() {
+        let n = NOMINAL_INPUT_LEN;
+        let base = estimate_steps(&lstm_chain(50, 8, 20), n).expect("known chain");
+        let heavy = estimate_steps(&lstm_chain(500, 200, 64), n).expect("known chain");
+        assert!(heavy.flops > 100.0 * base.flops, "{} vs {}", heavy.flops, base.flops);
+    }
+
+    #[test]
+    fn azure_fallback_is_cheaper_than_full_deep_chain() {
+        let n = 512;
+        let fallback = estimate_steps(
+            &[StepConfig::plain("azure_anomaly_service"), StepConfig::plain("fixed_threshold")],
+            n,
+        )
+        .expect("fallback");
+        let primary = estimate_steps(&lstm_chain(50, 8, 20), n).expect("primary");
+        assert!(fallback.flops < primary.flops);
+    }
+
+    #[test]
+    fn estimates_grow_with_input_length() {
+        let small = estimate_steps(&lstm_chain(50, 8, 20), 512).expect("known");
+        let large = estimate_steps(&lstm_chain(50, 8, 20), 4096).expect("known");
+        assert!(large.flops > small.flops);
+        assert!(large.bytes > small.bytes);
+    }
+}

@@ -15,6 +15,24 @@ pub enum Code {
     PhaseOrdering,
     /// SA005: window/aggregation inconsistency.
     WindowInconsistency,
+    /// SA006: static shape mismatch between index-aligned sequence inputs.
+    ShapeMismatch,
+    /// SA007: statically-empty output under the known input-length bound.
+    EmptyOutput,
+    /// SA008: fallback template not strictly cheaper than the primary.
+    FallbackCost,
+    /// SA009: runtime contract-conformance violation (sanitizer finding).
+    ContractViolation,
+    /// SA010: serve configuration field outside its valid domain.
+    ServeConfigInvalid,
+    /// SA011: reserved or duplicate tenant name in a deployment.
+    TenantCollision,
+    /// SA012: fallback template incompatible with the serve window.
+    FallbackIncompatible,
+    /// SA013: load shedding can never fire or must always fire.
+    SheddingConfig,
+    /// SA014: an open circuit breaker can never close again.
+    BreakerConfig,
 }
 
 impl Code {
@@ -27,6 +45,15 @@ impl Code {
             Code::HyperOutOfDomain => "SA003",
             Code::PhaseOrdering => "SA004",
             Code::WindowInconsistency => "SA005",
+            Code::ShapeMismatch => "SA006",
+            Code::EmptyOutput => "SA007",
+            Code::FallbackCost => "SA008",
+            Code::ContractViolation => "SA009",
+            Code::ServeConfigInvalid => "SA010",
+            Code::TenantCollision => "SA011",
+            Code::FallbackIncompatible => "SA012",
+            Code::SheddingConfig => "SA013",
+            Code::BreakerConfig => "SA014",
         }
     }
 }
@@ -221,6 +248,15 @@ mod tests {
     fn code_and_severity_labels() {
         assert_eq!(Code::UnknownPrimitive.to_string(), "SA000");
         assert_eq!(Code::WindowInconsistency.to_string(), "SA005");
+        assert_eq!(Code::ShapeMismatch.to_string(), "SA006");
+        assert_eq!(Code::EmptyOutput.to_string(), "SA007");
+        assert_eq!(Code::FallbackCost.to_string(), "SA008");
+        assert_eq!(Code::ContractViolation.to_string(), "SA009");
+        assert_eq!(Code::ServeConfigInvalid.to_string(), "SA010");
+        assert_eq!(Code::TenantCollision.to_string(), "SA011");
+        assert_eq!(Code::FallbackIncompatible.to_string(), "SA012");
+        assert_eq!(Code::SheddingConfig.to_string(), "SA013");
+        assert_eq!(Code::BreakerConfig.to_string(), "SA014");
         assert_eq!(Severity::Error.to_string(), "error");
         assert_eq!(Severity::Warn.to_string(), "warning");
         assert!(Severity::Warn < Severity::Error);

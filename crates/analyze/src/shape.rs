@@ -1,0 +1,476 @@
+//! Symbolic shape inference: per-slot sequence lengths as expressions of
+//! the input signal length.
+//!
+//! The analyzer's original window pass (SA005) pattern-matched two known
+//! bad configurations around `rolling_window_sequences`. This module
+//! replaces that with real inference: every step's output length is
+//! computed as a symbolic expression of the input length `n` via
+//! per-primitive transfer functions (the same algebra the runtime
+//! implements — window counts, forecaster warm-up offsets, matrix-profile
+//! trims), and the checks fall out of the propagated shapes:
+//!
+//! * **SA005** — the two legacy window rules, now derived from the walk:
+//!   a statically-empty `targets` slot (`targets=false`) reaching a
+//!   consumer that requires it, and gapped windows (`step > window_size`)
+//!   reaching a `first_index` reconstructor. Messages are byte-identical
+//!   to the original pass.
+//! * **SA006** — index-aligned inputs of one consumer (e.g.
+//!   `regression_errors`' `predictions`/`targets`/`index_timestamps`)
+//!   whose inferred lengths provably differ.
+//! * **SA007** — when an input-length bound is known (the serve window, a
+//!   dataset length, a tuner's signal), an output whose symbolic length is
+//!   empty for every feasible `n`: the pipeline can never emit.
+//!
+//! The symbolic frame is the **post-preprocessing** sample count: signal →
+//! signal preprocessing steps (imputation, scaling, aggregation) are
+//! modelled as length-preserving, since an aggregation interval's effect
+//! on the sample count is data-dependent (timestamp spacing) and the
+//! downstream window requirements are all relative to the aggregated
+//! series anyway.
+
+use std::collections::BTreeMap;
+
+use sintel_primitives::PrimitiveMeta;
+
+use crate::checks::{effective_flag, effective_int, StepConfig};
+use crate::diagnostics::{Code, Diagnostic, Report};
+
+/// Symbolic length of a sequence slot as a function of the input signal
+/// length `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LenExpr {
+    /// Statically unknown (data-dependent, e.g. an auto-fitted period).
+    Unknown,
+    /// Statically empty regardless of `n` (e.g. `targets` under
+    /// `targets=false`).
+    Empty,
+    /// Exactly `n + c` elements.
+    Offset(i64),
+    /// `floor((n - sub) / step) + 1` windows (empty when `n < sub`).
+    Windowed {
+        /// Samples consumed before the first window completes.
+        sub: i64,
+        /// Stride between window starts (`>= 2`; stride 1 normalizes to
+        /// [`LenExpr::Offset`]).
+        step: i64,
+    },
+}
+
+impl LenExpr {
+    /// Window-count expression, normalized: stride 1 collapses to the
+    /// affine form `n - sub + 1` so structural equality is meaningful.
+    pub fn windowed(sub: i64, step: i64) -> Self {
+        if step <= 1 {
+            LenExpr::Offset(1 - sub)
+        } else {
+            LenExpr::Windowed { sub, step }
+        }
+    }
+
+    /// Smallest input length `n` for which this expression is non-empty
+    /// (`None` when unknown or never non-empty).
+    pub fn min_input_len(&self) -> Option<i64> {
+        match self {
+            LenExpr::Unknown | LenExpr::Empty => None,
+            LenExpr::Offset(c) => Some((1 - c).max(1)),
+            LenExpr::Windowed { sub, .. } => Some((*sub).max(1)),
+        }
+    }
+
+    /// Evaluate at a concrete input length (`None` when unknown).
+    pub fn eval(&self, n: i64) -> Option<i64> {
+        match self {
+            LenExpr::Unknown => None,
+            LenExpr::Empty => Some(0),
+            LenExpr::Offset(c) => Some((n + c).max(0)),
+            LenExpr::Windowed { sub, step } => {
+                if n < *sub {
+                    Some(0)
+                } else {
+                    Some((n - sub) / step.max(&1) + 1)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for LenExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LenExpr::Unknown => f.write_str("?"),
+            LenExpr::Empty => f.write_str("0"),
+            LenExpr::Offset(0) => f.write_str("n"),
+            LenExpr::Offset(c) if *c > 0 => write!(f, "n+{c}"),
+            LenExpr::Offset(c) => write!(f, "n-{}", -c),
+            LenExpr::Windowed { sub, step } => write!(f, "(n-{sub})/{step}+1"),
+        }
+    }
+}
+
+/// Everything the walk knows about one context slot.
+#[derive(Debug, Clone)]
+struct SlotShape {
+    expr: LenExpr,
+    /// Producing step index + primitive name (for SA005/SA006 anchors).
+    step: usize,
+    primitive: String,
+    /// Set on `first_index` when the producing window pass left gaps
+    /// (`step > window_size`): `(step, window_size)`.
+    gapped: Option<(i64, i64)>,
+    /// Set on `targets` when it is empty because `targets=false` (the
+    /// legacy SA005 rule 1; suppresses SA006 on the same slot).
+    empty_targets: bool,
+}
+
+impl SlotShape {
+    fn new(expr: LenExpr, step: usize, primitive: &str) -> Self {
+        Self { expr, step, primitive: primitive.to_string(), gapped: None, empty_targets: false }
+    }
+}
+
+/// Index-aligned input groups per consumer: slots the runtime zips
+/// element-by-element, so their static lengths must agree.
+fn alignment_groups(primitive: &str) -> &'static [&'static [&'static str]] {
+    match primitive {
+        "lstm_regressor" => &[&["windows", "targets"]],
+        "regression_errors" => &[&["predictions", "targets", "index_timestamps"]],
+        "reconstruction_errors" => &[&["reconstructions", "first_index"]],
+        "fixed_threshold" | "find_anomalies" => &[&["errors", "error_timestamps"]],
+        _ => &[],
+    }
+}
+
+/// The shape walk: propagate symbolic lengths through every step,
+/// emitting SA005/SA006 (and SA007 when `input_len` bounds `n`).
+pub(crate) fn check_shapes(
+    steps: &[StepConfig],
+    metas: &[PrimitiveMeta],
+    input_len: Option<usize>,
+    report: &mut Report,
+) {
+    let mut shapes: BTreeMap<String, SlotShape> = BTreeMap::new();
+    shapes.insert("signal".into(), SlotShape::new(LenExpr::Offset(0), 0, "input"));
+    // (step, primitive, slot, min required n) — for SA007.
+    let mut requirements: Vec<(usize, String, String, i64)> = Vec::new();
+
+    for (i, (step, meta)) in steps.iter().zip(metas).enumerate() {
+        check_consumed_shapes(i, meta, &mut shapes, report);
+        let outputs = transfer(i, step, meta, &shapes);
+        for (slot, shape) in outputs {
+            if let Some(min_n) = shape.expr.min_input_len() {
+                requirements.push((i, meta.name.clone(), slot.clone(), min_n));
+            }
+            shapes.insert(slot, shape);
+        }
+    }
+
+    // SA007: some step's output is empty for every feasible input length.
+    // Report only the single worst offender — the rest are downstream
+    // consequences of the same window requirement.
+    if let Some(bound) = input_len {
+        let bound = bound as i64;
+        // Keep the *first* step reaching the maximum: later steps merely
+        // inherit the root cause's requirement.
+        if let Some((i, primitive, slot, min_n)) = requirements
+            .into_iter()
+            .reduce(|best, cur| if cur.3 > best.3 { cur } else { best })
+        {
+            if min_n > bound {
+                report.push(Diagnostic::error(
+                    Code::EmptyOutput,
+                    i,
+                    &primitive,
+                    format!(
+                        "output '{slot}' is statically empty: requires at least {min_n} input \
+                         samples but at most {bound} are available"
+                    ),
+                    format!(
+                        "raise the input window above {min_n} samples or shrink this step's \
+                         window requirements"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Checks applied at a consumer, before its own writes land: the two
+/// legacy SA005 rules (via the `Empty`/gapped markers) and SA006 length
+/// agreement over the consumer's aligned input groups.
+fn check_consumed_shapes(
+    i: usize,
+    meta: &PrimitiveMeta,
+    shapes: &mut BTreeMap<String, SlotShape>,
+    report: &mut Report,
+) {
+    // SA005 rule 1: a required read of the statically-empty `targets`.
+    if meta.contract.requires("targets") {
+        if let Some(shape) = shapes.get_mut("targets") {
+            if shape.empty_targets {
+                report.push(Diagnostic::error(
+                    Code::WindowInconsistency,
+                    shape.step,
+                    &shape.primitive.clone(),
+                    format!(
+                        "rolling_window_sequences has targets=false but step {i} ({}) \
+                         requires 'targets'",
+                        meta.name
+                    ),
+                    "set targets=true or switch to a reconstruction-style consumer",
+                ));
+                // Report once (the original pass stopped at the first
+                // consumer); downstream checks treat the slot as opaque.
+                shape.empty_targets = false;
+                shape.expr = LenExpr::Unknown;
+            }
+        }
+    }
+
+    // SA005 rule 2: reconstructing from `first_index` over gapped windows.
+    if meta.contract.reads.iter().any(|r| r.slot == "first_index") {
+        if let Some(shape) = shapes.get_mut("first_index") {
+            if let Some((step_size, window_size)) = shape.gapped.take() {
+                report.push(Diagnostic::error(
+                    Code::WindowInconsistency,
+                    shape.step,
+                    &shape.primitive.clone(),
+                    format!(
+                        "step {step_size} exceeds window_size {window_size}; step {i} ({}) \
+                         reconstructs from 'first_index' over gapped windows",
+                        meta.name
+                    ),
+                    "reduce step to at most window_size",
+                ));
+            }
+        }
+    }
+
+    // SA006: aligned inputs must have provably-equal static lengths.
+    for group in alignment_groups(&meta.name) {
+        let known: Vec<(&str, &SlotShape)> = group
+            .iter()
+            .filter_map(|slot| shapes.get(*slot).map(|s| (*slot, s)))
+            .filter(|(_, s)| matches!(s.expr, LenExpr::Offset(_) | LenExpr::Windowed { .. }))
+            .collect();
+        if let Some(((a, sa), (b, sb))) = known
+            .split_first()
+            .and_then(|(first, rest)| rest.iter().find(|(_, s)| s.expr != first.1.expr).map(|m| (*first, *m)))
+        {
+            report.push(Diagnostic::error(
+                Code::ShapeMismatch,
+                i,
+                &meta.name,
+                format!(
+                    "aligned inputs '{a}' ({}) and '{b}' ({}) have mismatched static lengths",
+                    sa.expr, sb.expr
+                ),
+                format!(
+                    "'{a}' comes from step {} ({}), '{b}' from step {} ({}); align their \
+                     producers",
+                    sa.step, sa.primitive, sb.step, sb.primitive
+                ),
+            ));
+        }
+    }
+}
+
+/// Per-primitive transfer function: the symbolic lengths a step's writes
+/// leave in the context. Mirrors the runtime algebra:
+///
+/// * `rolling_window_sequences`: `floor((n − window_size − targets) /
+///   step) + 1` windows;
+/// * `arima`: warm-up `max(p, q) + d` trimmed off the front;
+/// * `holt_winters`: warm-up `period + 1` (auto period ⇒ unknown);
+/// * `matrix_profile`: profile length `n − window + 1`;
+/// * forecaster/reconstructor models: one output per window;
+/// * `reconstruction_errors`: overlap-average back to the signal length.
+fn transfer(
+    i: usize,
+    step: &StepConfig,
+    meta: &PrimitiveMeta,
+    shapes: &BTreeMap<String, SlotShape>,
+) -> Vec<(String, SlotShape)> {
+    let expr_of = |slot: &str| shapes.get(slot).map(|s| s.expr).unwrap_or(LenExpr::Unknown);
+    let signal = expr_of("signal");
+    let name = meta.name.as_str();
+
+    // Compose an offset-style trim with the current signal frame.
+    let trimmed = |off: i64| match signal {
+        LenExpr::Offset(c) => LenExpr::Offset(c - off),
+        _ => LenExpr::Unknown,
+    };
+
+    match name {
+        "time_segments_aggregate" | "SimpleImputer" | "MinMaxScaler" | "StandardScaler"
+        | "detrend" | "remove_level_shifts" => {
+            vec![("signal".into(), SlotShape::new(signal, i, name))]
+        }
+        "rolling_window_sequences" => {
+            let w = effective_int(step, meta, "window_size").unwrap_or(50);
+            let s = effective_int(step, meta, "step").unwrap_or(1).max(1);
+            let targets_on = effective_flag(step, meta, "targets").unwrap_or(true);
+            let t = i64::from(targets_on);
+            let count = match signal {
+                LenExpr::Offset(c) => LenExpr::windowed(w + t - c, s),
+                _ => LenExpr::Unknown,
+            };
+            let mut first_index = SlotShape::new(count, i, name);
+            if s > w {
+                first_index.gapped = Some((s, w));
+            }
+            let mut targets = SlotShape::new(count, i, name);
+            if !targets_on {
+                targets.expr = LenExpr::Empty;
+                targets.empty_targets = true;
+            }
+            vec![
+                ("windows".into(), SlotShape::new(count, i, name)),
+                ("targets".into(), targets),
+                ("index_timestamps".into(), SlotShape::new(count, i, name)),
+                ("first_index".into(), first_index),
+            ]
+        }
+        "arima" => {
+            let p = effective_int(step, meta, "p").unwrap_or(5);
+            let d = effective_int(step, meta, "d").unwrap_or(0);
+            let q = effective_int(step, meta, "q").unwrap_or(1);
+            let out = trimmed(p.max(q) + d);
+            vec![
+                ("predictions".into(), SlotShape::new(out, i, name)),
+                ("targets".into(), SlotShape::new(out, i, name)),
+                ("index_timestamps".into(), SlotShape::new(out, i, name)),
+            ]
+        }
+        "holt_winters" => {
+            let period = effective_int(step, meta, "period").unwrap_or(0);
+            // period = 0 auto-estimates seasonality at fit time: the
+            // warm-up offset is data-dependent, hence unknown.
+            let out = if period > 0 { trimmed(period + 1) } else { LenExpr::Unknown };
+            vec![
+                ("predictions".into(), SlotShape::new(out, i, name)),
+                ("targets".into(), SlotShape::new(out, i, name)),
+                ("index_timestamps".into(), SlotShape::new(out, i, name)),
+            ]
+        }
+        "matrix_profile" => {
+            let w = effective_int(step, meta, "window").unwrap_or(32);
+            let out = trimmed(w - 1);
+            vec![
+                ("errors".into(), SlotShape::new(out, i, name)),
+                ("error_timestamps".into(), SlotShape::new(out, i, name)),
+            ]
+        }
+        "azure_anomaly_service" => vec![
+            ("errors".into(), SlotShape::new(signal, i, name)),
+            ("error_timestamps".into(), SlotShape::new(signal, i, name)),
+        ],
+        "lstm_regressor" => {
+            vec![("predictions".into(), SlotShape::new(expr_of("windows"), i, name))]
+        }
+        "lstm_autoencoder" | "dense_autoencoder" => {
+            vec![("reconstructions".into(), SlotShape::new(expr_of("windows"), i, name))]
+        }
+        "tadgan" => {
+            let windows = expr_of("windows");
+            vec![
+                ("reconstructions".into(), SlotShape::new(windows, i, name)),
+                ("critic_scores".into(), SlotShape::new(windows, i, name)),
+            ]
+        }
+        "regression_errors" => vec![
+            ("errors".into(), SlotShape::new(expr_of("predictions"), i, name)),
+            ("error_timestamps".into(), SlotShape::new(expr_of("index_timestamps"), i, name)),
+        ],
+        "reconstruction_errors" => vec![
+            ("errors".into(), SlotShape::new(signal, i, name)),
+            ("error_timestamps".into(), SlotShape::new(signal, i, name)),
+        ],
+        // Unknown-to-the-model primitives (thresholders, fault-injection
+        // stubs, future additions): writes exist but lengths are opaque.
+        _ => meta
+            .contract
+            .writes
+            .iter()
+            .map(|w| (w.slot.clone(), SlotShape::new(LenExpr::Unknown, i, name)))
+            .collect(),
+    }
+}
+
+/// Minimum input length (post-preprocessing samples) for which every step
+/// of the pipeline produces non-empty output — `None` when a primitive is
+/// unknown or no finite requirement can be derived.
+pub fn required_input_len(steps: &[StepConfig]) -> Option<usize> {
+    let mut metas: Vec<PrimitiveMeta> = Vec::with_capacity(steps.len());
+    for step in steps {
+        metas.push(sintel_primitives::registry::primitive_meta(&step.primitive).ok()?);
+    }
+    let mut shapes: BTreeMap<String, SlotShape> = BTreeMap::new();
+    shapes.insert("signal".into(), SlotShape::new(LenExpr::Offset(0), 0, "input"));
+    let mut required: i64 = 1;
+    for (i, (step, meta)) in steps.iter().zip(&metas).enumerate() {
+        for (slot, shape) in transfer(i, step, meta, &shapes) {
+            if let Some(min_n) = shape.expr.min_input_len() {
+                required = required.max(min_n);
+            }
+            shapes.insert(slot, shape);
+        }
+    }
+    usize::try_from(required).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_normalizes_stride_one() {
+        assert_eq!(LenExpr::windowed(51, 1), LenExpr::Offset(-50));
+        assert_eq!(LenExpr::windowed(42, 2), LenExpr::Windowed { sub: 42, step: 2 });
+    }
+
+    #[test]
+    fn min_input_len_matches_eval() {
+        for expr in [
+            LenExpr::Offset(-50),
+            LenExpr::Offset(0),
+            LenExpr::Windowed { sub: 42, step: 2 },
+        ] {
+            let min_n = expr.min_input_len().expect("known expr");
+            assert_eq!(expr.eval(min_n - 1), Some(0), "{expr} empty below min");
+            assert!(expr.eval(min_n).expect("eval") >= 1, "{expr} non-empty at min");
+        }
+        assert_eq!(LenExpr::Unknown.min_input_len(), None);
+        assert_eq!(LenExpr::Empty.eval(1_000), Some(0));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(LenExpr::Offset(0).to_string(), "n");
+        assert_eq!(LenExpr::Offset(-5).to_string(), "n-5");
+        assert_eq!(LenExpr::Windowed { sub: 41, step: 2 }.to_string(), "(n-41)/2+1");
+    }
+
+    #[test]
+    fn required_input_len_for_known_chains() {
+        let forecaster = vec![
+            StepConfig::plain("SimpleImputer"),
+            StepConfig::with(
+                "rolling_window_sequences",
+                vec![("window_size".into(), sintel_primitives::HyperValue::Int(50))],
+            ),
+            StepConfig::plain("lstm_regressor"),
+            StepConfig::plain("regression_errors"),
+            StepConfig::plain("find_anomalies"),
+        ];
+        // 50 samples of window + 1 target.
+        assert_eq!(required_input_len(&forecaster), Some(51));
+
+        let azure = vec![
+            StepConfig::plain("azure_anomaly_service"),
+            StepConfig::plain("fixed_threshold"),
+        ];
+        assert_eq!(required_input_len(&azure), Some(1));
+
+        assert_eq!(required_input_len(&[StepConfig::plain("flux_capacitor")]), None);
+    }
+}

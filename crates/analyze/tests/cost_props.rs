@@ -1,0 +1,153 @@
+//! Property suite for the static cost model: monotonicity. The model's
+//! one structural promise (see `cost.rs`) is that estimates never
+//! *shrink* when a configuration gets bigger — otherwise a tuner
+//! candidate could hide a cost explosion behind, say, a growing window
+//! shrinking the window count. Checked here over random LSTM-chain
+//! configurations rather than hand-picked pairs.
+//!
+//! All generated values stay inside the primitives' declared hyper
+//! domains (window_size 4..=500, step 1..=50, epochs 1..=200, hidden
+//! 4..=64): `effective_int` falls back to the declared default for
+//! out-of-domain values — exactly the configurations SA003 rejects
+//! before the cost model is ever consulted — so monotonicity is only
+//! promised, and only meaningful, inside the domain.
+
+use sintel_analyze::{estimate_steps, StepConfig};
+use sintel_common::check::{forall, shrinks, Config};
+use sintel_primitives::HyperValue;
+
+/// Random in-domain LSTM chain dimensions.
+#[derive(Debug, Clone)]
+struct Dims {
+    input_len: usize,
+    window_size: i64,
+    step: i64,
+    epochs: i64,
+    hidden: i64,
+}
+
+fn chain(d: &Dims) -> Vec<StepConfig> {
+    vec![
+        StepConfig::plain("time_segments_aggregate"),
+        StepConfig::plain("SimpleImputer"),
+        StepConfig::plain("MinMaxScaler"),
+        StepConfig::with(
+            "rolling_window_sequences",
+            vec![
+                ("window_size".into(), HyperValue::Int(d.window_size)),
+                ("step".into(), HyperValue::Int(d.step)),
+            ],
+        ),
+        StepConfig::with(
+            "lstm_regressor",
+            vec![
+                ("epochs".into(), HyperValue::Int(d.epochs)),
+                ("hidden".into(), HyperValue::Int(d.hidden)),
+            ],
+        ),
+        StepConfig::plain("regression_errors"),
+        StepConfig::plain("find_anomalies"),
+    ]
+}
+
+fn flops(d: &Dims) -> f64 {
+    estimate_steps(&chain(d), d.input_len).expect("known primitives").flops
+}
+
+fn gen_dims(rng: &mut sintel_common::SintelRng) -> Dims {
+    Dims {
+        input_len: rng.int_range(1, 10_000) as usize,
+        window_size: rng.int_range(4, 500),
+        step: rng.int_range(1, 50),
+        epochs: rng.int_range(1, 200),
+        hidden: rng.int_range(4, 64),
+    }
+}
+
+/// Each scalar knob, grown to a larger in-domain value, must never
+/// lower the estimate.
+#[test]
+fn cost_is_monotone_in_every_knob() {
+    forall(
+        "flops(d) <= flops(d with one knob grown)",
+        &Config::default(),
+        |rng| {
+            let d = gen_dims(rng);
+            let grown = Dims {
+                input_len: rng.int_range(d.input_len as i64, 20_000) as usize,
+                window_size: rng.int_range(d.window_size, 500),
+                epochs: rng.int_range(d.epochs, 200),
+                hidden: rng.int_range(d.hidden, 64),
+                step: d.step,
+            };
+            (d, grown)
+        },
+        shrinks::none,
+        |(d, grown)| {
+            let base = flops(d);
+            let knobs: Vec<(&str, Dims)> = vec![
+                ("input_len", Dims { input_len: grown.input_len, ..d.clone() }),
+                ("window_size", Dims { window_size: grown.window_size, ..d.clone() }),
+                ("epochs", Dims { epochs: grown.epochs, ..d.clone() }),
+                ("hidden", Dims { hidden: grown.hidden, ..d.clone() }),
+            ];
+            for (knob, bigger) in knobs {
+                let b = flops(&bigger);
+                if b < base {
+                    return Err(format!(
+                        "growing {knob} shrank the estimate: {base} -> {b} ({bigger:?})"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A coarser stride means fewer windows: cost must not *increase* when
+/// `step` grows (the dual of the knob monotonicity above).
+#[test]
+fn cost_never_increases_with_stride() {
+    forall(
+        "flops(d) >= flops(d with coarser stride)",
+        &Config::default(),
+        |rng| {
+            let d = gen_dims(rng);
+            let coarser = rng.int_range(d.step, 50);
+            (d, coarser)
+        },
+        shrinks::none,
+        |(d, coarser)| {
+            let base = flops(d);
+            let coarse = flops(&Dims { step: *coarser, ..d.clone() });
+            if coarse <= base {
+                Ok(())
+            } else {
+                Err(format!("coarser stride raised the estimate: {base} -> {coarse}"))
+            }
+        },
+    );
+}
+
+/// Bytes obey the same window-size monotonicity as flops: the deep
+/// models' buffer traffic is `8 * cnt * window`, and `cnt` is bounded
+/// independently of `window` exactly so this holds.
+#[test]
+fn bytes_are_monotone_in_window_size() {
+    forall(
+        "bytes(d) <= bytes(d with larger window)",
+        &Config::default(),
+        gen_dims,
+        shrinks::none,
+        |d| {
+            let base = estimate_steps(&chain(d), d.input_len).expect("known").bytes;
+            let wider = Dims { window_size: (d.window_size + 64).min(500), ..d.clone() };
+            let grown = estimate_steps(&chain(&wider), wider.input_len).expect("known").bytes;
+            if grown >= base {
+                Ok(())
+            } else {
+                Err(format!("wider window shrank bytes: {base} -> {grown}"))
+            }
+        },
+    );
+}

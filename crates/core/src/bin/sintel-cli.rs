@@ -44,11 +44,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `analyze` takes positional pipeline names and the valueless `--all`
-    // switch, which the strict `--key value` parser would reject; peel
-    // them off before flag parsing.
+    // `analyze` takes positional pipeline names and the valueless
+    // `--all` / `--deployment` switches, and `serve` the valueless
+    // `--dry-run`, which the strict `--key value` parser would reject;
+    // peel them off before flag parsing.
     let (targets, rest) = if command == "analyze" {
         split_analyze_args(rest)
+    } else if command == "serve" {
+        split_serve_args(rest)
     } else {
         (Vec::new(), rest.to_vec())
     };
@@ -77,7 +80,7 @@ fn main() -> ExitCode {
         "detect" => cmd_detect(&opts),
         "view" => cmd_view(&opts),
         "benchmark" => cmd_benchmark(&opts),
-        "serve" => cmd_serve(&opts),
+        "serve" => cmd_serve(&opts, targets.iter().any(|t| t == "--dry-run")),
         "forecast" => cmd_forecast(&opts),
         "analyze" => cmd_analyze(&targets),
         "help" | "--help" | "-h" => {
@@ -191,12 +194,17 @@ USAGE:
                        duplicating a committed anomaly event.
                        --status-addr serves live /metrics /healthz /tenants
                        /trace over HTTP (read-only; off by default);
-                       --tick-log appends one wide-event JSON line per tick
+                       --tick-log appends one wide-event JSON line per tick;
+                       --dry-run prints the whole-deployment static analysis
+                       (SA008-SA014) and exits without replaying anything
   sintel-cli forecast  --signal FILE.csv [--model arima|holt_winters|seasonal_naive]
                        [--horizon N]
-  sintel-cli analyze   [--all | PIPELINE...]
-                       static dataflow/contract diagnostics (SA001-SA005);
-                       exits nonzero if any pipeline has error diagnostics
+  sintel-cli analyze   [--all | PIPELINE...] [--deployment]
+                       static dataflow/contract/shape/cost diagnostics
+                       (SA000-SA009); exits nonzero on error diagnostics.
+                       --deployment additionally analyzes the named
+                       pipelines as a tenant roster under the default
+                       serve configuration (SA008-SA014)
 
 OBSERVABILITY (any command):
   --log-level LEVEL    stderr log verbosity: error|warn|info|debug|trace|off
@@ -225,13 +233,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 /// Split `analyze`'s positional arguments (pipeline names and the bare
-/// `--all` switch) from the `--key value` flags shared by every command.
+/// `--all` / `--deployment` switches) from the `--key value` flags
+/// shared by every command.
 fn split_analyze_args(args: &[String]) -> (Vec<String>, Vec<String>) {
     let mut targets = Vec::new();
     let mut flags = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        if arg == "--all" {
+        if arg == "--all" || arg == "--deployment" {
             targets.push(arg.clone());
         } else if arg.starts_with("--") {
             flags.push(arg.clone());
@@ -245,18 +254,29 @@ fn split_analyze_args(args: &[String]) -> (Vec<String>, Vec<String>) {
     (targets, flags)
 }
 
+/// Peel `serve`'s bare `--dry-run` switch off the `--key value` flags.
+fn split_serve_args(args: &[String]) -> (Vec<String>, Vec<String>) {
+    let (switches, flags): (Vec<String>, Vec<String>) =
+        args.iter().cloned().partition(|a| a == "--dry-run");
+    (switches, flags)
+}
+
 fn cmd_analyze(targets: &[String]) -> Result<(), String> {
     let all = targets.iter().any(|t| t == "--all");
+    let deployment = targets.iter().any(|t| t == "--deployment");
     let names: Vec<String> = if all {
         sintel_pipeline::hub::available_pipelines()
             .iter()
             .chain(sintel_pipeline::hub::EXTENSION_PIPELINES.iter())
             .map(|s| s.to_string())
             .collect()
-    } else if targets.is_empty() {
-        return Err("analyze needs a pipeline name or --all".to_string());
     } else {
-        targets.to_vec()
+        let named: Vec<String> =
+            targets.iter().filter(|t| !t.starts_with("--")).cloned().collect();
+        if named.is_empty() {
+            return Err("analyze needs a pipeline name or --all".to_string());
+        }
+        named
     };
     let mut errors = 0usize;
     let mut warnings = 0usize;
@@ -264,6 +284,25 @@ fn cmd_analyze(targets: &[String]) -> Result<(), String> {
         let template =
             sintel_pipeline::hub::template_by_name(name).map_err(|e| e.to_string())?;
         let report = template.analyze();
+        print!("{}", report.render());
+        errors += report.errors().count();
+        warnings += report.warnings().count();
+    }
+    // --deployment: analyze the named pipelines as a tenant roster under
+    // the default serve configuration — the whole-deployment checks
+    // (SA008 degradation invariant, SA010-SA014) on top of the
+    // per-template reports above.
+    if deployment {
+        let cfg = ServeConfig::default();
+        let specs = names
+            .iter()
+            .map(|name| {
+                template_by_name(name)
+                    .map(|t| TenantSpec::new(name, 0, t))
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let report = sintel_serve::analyze_deployment(&cfg, &specs);
         print!("{}", report.render());
         errors += report.errors().count();
         warnings += report.warnings().count();
@@ -506,7 +545,7 @@ fn load_corpus(path: &Path) -> Result<Vec<IngestEvent>, String> {
     Ok(events)
 }
 
-fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_serve(opts: &HashMap<String, String>, dry_run: bool) -> Result<(), String> {
     let corpus = opts
         .get("corpus")
         .ok_or("serve needs --corpus FILE.csv (tenant,signal,timestamp,value rows)")?;
@@ -570,6 +609,19 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         .iter()
         .map(|n| TenantSpec::new(n, priorities.get(*n).copied().unwrap_or(5), template.clone()))
         .collect();
+
+    // --dry-run: run the whole-deployment static analysis (exactly what
+    // `ServeEngine::open` gates on) and exit before touching the store
+    // or replaying a single event.
+    if dry_run {
+        let report = sintel_serve::analyze_deployment(&cfg, &specs);
+        print!("{}", report.render());
+        return if report.has_errors() {
+            Err("deployment analysis found errors; the engine would refuse to open".to_string())
+        } else {
+            Ok(())
+        };
+    }
 
     let store = open_store(opts)?;
     let persistent = store.is_some();
@@ -836,13 +888,25 @@ mod tests {
 
     #[test]
     fn split_analyze_args_separates_targets_from_flags() {
-        let args: Vec<String> = ["arima", "--all", "--log-level", "warn", "lstm"]
+        let args: Vec<String> =
+            ["arima", "--all", "--deployment", "--log-level", "warn", "lstm"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let (targets, flags) = split_analyze_args(&args);
+        assert_eq!(targets, vec!["arima", "--all", "--deployment", "lstm"]);
+        assert_eq!(flags, vec!["--log-level", "warn"]);
+    }
+
+    #[test]
+    fn split_serve_args_peels_dry_run() {
+        let args: Vec<String> = ["--dry-run", "--corpus", "events.csv"]
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (targets, flags) = split_analyze_args(&args);
-        assert_eq!(targets, vec!["arima", "--all", "lstm"]);
-        assert_eq!(flags, vec!["--log-level", "warn"]);
+        let (switches, flags) = split_serve_args(&args);
+        assert_eq!(switches, vec!["--dry-run"]);
+        assert_eq!(flags, vec!["--corpus", "events.csv"]);
     }
 
     #[test]
@@ -852,8 +916,24 @@ mod tests {
         let one = vec!["arima".to_string()];
         assert!(cmd_analyze(&one).is_ok());
         assert!(cmd_analyze(&[]).unwrap_err().contains("--all"));
+        assert!(
+            cmd_analyze(&["--deployment".to_string()]).unwrap_err().contains("--all"),
+            "--deployment alone still needs targets"
+        );
         let bogus = vec!["not_a_pipeline".to_string()];
         assert!(cmd_analyze(&bogus).is_err());
+    }
+
+    #[test]
+    fn analyze_deployment_over_hub_roster_is_error_free() {
+        // The shipped hub templates must be deployable as tenants under
+        // the default serve configuration (ISSUE 9 acceptance).
+        let mut targets: Vec<String> = sintel_pipeline::hub::available_pipelines()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        targets.push("--deployment".to_string());
+        assert!(cmd_analyze(&targets).is_ok());
     }
 
     #[test]

@@ -28,6 +28,14 @@ const TARGET: &str = "sintel::tune";
 /// at every `SINTEL_THREADS` value.
 const TRIAL_BATCH: usize = 4;
 
+/// Cost-gate threshold: a candidate whose statically estimated flops
+/// exceed this multiple of the default configuration's estimate is
+/// rejected without execution. Generous on purpose — the estimates are
+/// order-of-magnitude bounds, and legitimate search moves (more epochs,
+/// wider layers) routinely cost 10x the default; only configurations
+/// that could eat the whole trial budget by themselves are cut.
+const COST_EXPLOSION_FACTOR: f64 = 64.0;
+
 /// Which objective drives the search (Figure 5's two conditions).
 #[derive(Debug, Clone)]
 pub enum TuneSetting {
@@ -178,13 +186,37 @@ pub fn tune_template_with_policy(
 
     let mut rejected_trials = 0usize;
 
+    let input_len = data.len();
+    let default_cost = template.estimated_cost(input_len);
+
     // Pre-screen: a statically rejected configuration is never executed —
     // it scores NEG_INFINITY as a FailureKind::Rejected trial, not a crash.
+    // Two gates, both free of pipeline execution:
+    //   1. the analyzer's coded diagnostics, with the dataset length as
+    //      the input bound so statically-empty outputs (SA007) reject;
+    //   2. the static cost model — a candidate estimated at more than
+    //      COST_EXPLOSION_FACTOR x the default's flops cannot pay for
+    //      itself within the trial budget and is rejected unpriced.
     let mut screen = |lambda: &[(ParamId, HyperValue)], trial: u64| -> bool {
-        let report = template.analyze_with(lambda);
-        if !report.has_errors() {
+        let report = template.analyze_for_input_len(lambda, Some(input_len));
+        let verdict = if report.has_errors() {
+            Some(report.summary())
+        } else {
+            match (default_cost, template.estimated_cost_with(lambda, input_len)) {
+                (Some(default), Some(candidate))
+                    if candidate.flops > COST_EXPLOSION_FACTOR * default.flops.max(1.0) =>
+                {
+                    Some(format!(
+                        "cost-explosive: ~{:.0}x the default configuration's estimated flops",
+                        candidate.flops / default.flops.max(1.0)
+                    ))
+                }
+                _ => None,
+            }
+        };
+        let Some(diagnostics) = verdict else {
             return false;
-        }
+        };
         rejected_trials += 1;
         sintel_obs::counter_add(
             &sintel_obs::labeled(
@@ -194,13 +226,12 @@ pub fn tune_template_with_policy(
             1,
         );
         sintel_obs::counter_add("sintel_tune_rejected_trials_total", 1);
-        let summary = report.summary();
         sintel_obs::debug!(
             TARGET,
             "trial rejected by static analysis; recording penalty score",
             template = template.name.as_str(),
             trial = trial,
-            diagnostics = summary.as_str(),
+            diagnostics = diagnostics.as_str(),
         );
         true
     };
@@ -441,6 +472,80 @@ mod tests {
             tune_template(&template, &signal, &TuneSetting::Unsupervised, 3).unwrap();
         assert_eq!(report.rejected_trials, 4, "default + 3 proposals");
         assert_eq!(report.history.len(), 4);
+        assert!(report.history.iter().all(|s| *s == f64::NEG_INFINITY), "{report:?}");
+    }
+
+    #[test]
+    fn cost_explosive_candidate_is_rejected_without_executing() {
+        // epochs=200, hidden=64, window_size=500 prices out at far more
+        // than 64x the default LSTM chain — the cost gate must cut it
+        // before `evaluate_lambda_guarded` ever runs.
+        let template = Template {
+            name: "lstm_chain".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                StepSpec::plain("MinMaxScaler"),
+                StepSpec::plain("rolling_window_sequences"),
+                StepSpec::plain("lstm_regressor"),
+                StepSpec::plain("regression_errors"),
+                StepSpec::plain("find_anomalies"),
+            ],
+        };
+        let (signal, _) = spiky_signal();
+        let n = signal.len();
+        let pid = |step: usize, name: &str| ParamId { step, name: name.to_string() };
+        let explosive: Vec<(ParamId, HyperValue)> = vec![
+            (pid(3, "window_size"), HyperValue::Int(400)),
+            (pid(4, "epochs"), HyperValue::Int(200)),
+            (pid(4, "hidden"), HyperValue::Int(64)),
+        ];
+        let default = template.estimated_cost(n).expect("default priced");
+        let candidate = template.estimated_cost_with(&explosive, n).expect("candidate priced");
+        assert!(
+            candidate.flops > COST_EXPLOSION_FACTOR * default.flops,
+            "fixture must be explosive: {} vs {}",
+            candidate.flops,
+            default.flops
+        );
+        // Drive the gate itself (not the full search, which may or may
+        // not propose this corner): the default survives, the explosive
+        // candidate is a Rejected trial.
+        let input_len = n;
+        let default_cost = template.estimated_cost(input_len);
+        let screen = |lambda: &[(ParamId, HyperValue)]| -> bool {
+            let report = template.analyze_for_input_len(lambda, Some(input_len));
+            report.has_errors()
+                || matches!(
+                    (default_cost, template.estimated_cost_with(lambda, input_len)),
+                    (Some(d), Some(c)) if c.flops > COST_EXPLOSION_FACTOR * d.flops.max(1.0)
+                )
+        };
+        assert!(!screen(&[]), "default configuration must pass the gate");
+        assert!(screen(&explosive), "explosive candidate must be rejected");
+    }
+
+    #[test]
+    fn shape_doomed_candidate_is_rejected_for_the_dataset_length() {
+        // window_size larger than the dataset itself: the shape pass
+        // proves the output statically empty (SA007) for this input and
+        // the tuner rejects the trial without executing it.
+        let template = Template {
+            name: "shape_doomed".into(),
+            steps: vec![
+                StepSpec::plain("time_segments_aggregate"),
+                StepSpec::plain("SimpleImputer"),
+                StepSpec::plain("MinMaxScaler"),
+                StepSpec::with("rolling_window_sequences", &[("window_size", HyperValue::Int(5_000))]),
+                StepSpec::plain("lstm_regressor"),
+                StepSpec::plain("regression_errors"),
+                StepSpec::plain("find_anomalies"),
+            ],
+        };
+        let (signal, _) = spiky_signal();
+        let report =
+            tune_template(&template, &signal, &TuneSetting::Unsupervised, 3).unwrap();
+        assert_eq!(report.rejected_trials, 4, "default + 3 proposals: {report:?}");
         assert!(report.history.iter().all(|s| *s == f64::NEG_INFINITY), "{report:?}");
     }
 

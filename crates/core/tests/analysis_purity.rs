@@ -2,6 +2,9 @@
 //! `Template::analyze` must not perturb detection results by a single
 //! bit. The hub path (analyze-then-build) and the raw
 //! `Template::build_default` path must produce identical anomalies.
+//! Covers the cheap non-NN templates (arima, azure, matrix_profile,
+//! holt_winters) so the whole non-training analyzer surface — shape
+//! and cost passes included — is exercised against real detection runs.
 
 use sintel_datasets::demo::load_signal;
 use sintel_pipeline::hub;
@@ -11,7 +14,7 @@ fn analyzer_gated_build_is_bitwise_identical_to_raw_build() {
     let labeled = load_signal("S-1").expect("demo signal");
     let signal = &labeled.signal;
 
-    for name in ["arima", "azure_anomaly_detection"] {
+    for name in ["arima", "azure_anomaly_detection", "matrix_profile", "holt_winters"] {
         // Hub path: analyze (Error-gated) then build.
         let mut gated = hub::build_pipeline(name).unwrap();
         let gated_anomalies = gated.fit_detect(signal, signal).unwrap();

@@ -78,6 +78,21 @@ pub enum PipelineError {
         /// Name of the primitive whose output failed the finiteness guard.
         step: String,
     },
+    /// The contract sanitizer (cargo feature `sanitizer`) caught a
+    /// primitive accessing a context slot its declared
+    /// [`Contract`](sintel_primitives::Contract) omits — the runtime
+    /// counterpart of the static SA0xx diagnostics.
+    #[cfg(feature = "sanitizer")]
+    ContractViolation {
+        /// Name of the offending primitive.
+        step: String,
+        /// Lifecycle phase (`"fit"` / `"produce"` / `"update"`).
+        phase: String,
+        /// Access direction (`"read"` / `"write"`).
+        access: String,
+        /// The undeclared context slot.
+        slot: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -96,6 +111,14 @@ impl std::fmt::Display for PipelineError {
             }
             PipelineError::NonFinite { step } => {
                 write!(f, "primitive '{step}' produced non-finite output")
+            }
+            #[cfg(feature = "sanitizer")]
+            PipelineError::ContractViolation { step, phase, access, slot } => {
+                write!(
+                    f,
+                    "[SA009] contract violation: primitive '{step}' {access}s \
+                     undeclared slot '{slot}' during {phase}"
+                )
             }
         }
     }

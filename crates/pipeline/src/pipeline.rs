@@ -21,6 +21,55 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Contract sanitizer (cargo feature `sanitizer`): every slot the
+/// primitive actually read during `phase` must be declared — with the
+/// matching phase flag — in its static contract.
+#[cfg(feature = "sanitizer")]
+fn sanitize_reads(
+    contract: &sintel_primitives::Contract,
+    step: &str,
+    phase: &str,
+    reads: Vec<String>,
+) -> Result<()> {
+    for slot in reads {
+        let declared = contract
+            .reads
+            .iter()
+            .any(|r| r.slot == slot && if phase == "fit" { r.fit } else { r.produce });
+        if !declared {
+            return Err(PipelineError::ContractViolation {
+                step: step.to_string(),
+                phase: phase.to_string(),
+                access: "read".to_string(),
+                slot,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Contract sanitizer: every slot the primitive emitted must be a
+/// declared write.
+#[cfg(feature = "sanitizer")]
+fn sanitize_writes(
+    contract: &sintel_primitives::Contract,
+    step: &str,
+    phase: &str,
+    outputs: &[(String, Value)],
+) -> Result<()> {
+    for (slot, _) in outputs {
+        if !contract.writes.iter().any(|w| &w.slot == slot) {
+            return Err(PipelineError::ContractViolation {
+                step: step.to_string(),
+                phase: phase.to_string(),
+                access: "write".to_string(),
+                slot: slot.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// True when every float a primitive emitted is finite. Timestamps and
 /// indices are integral and cannot be poisoned; full signals are only
 /// re-emitted by preprocessing, which is exempt from the guard.
@@ -101,6 +150,8 @@ impl Pipeline {
         for step in &mut self.steps {
             let meta_name = step.meta().name.clone();
             let engine = step.meta().engine;
+            #[cfg(feature = "sanitizer")]
+            let contract = step.meta().contract.clone();
             let mut fit_time = std::time::Duration::ZERO;
             if do_fit {
                 // A failing step returns early; its span guard drops,
@@ -112,6 +163,10 @@ impl Pipeline {
                         ("engine", FieldValue::from(engine.to_string())),
                     ],
                 );
+                // Drain stale log entries so accesses attribute to this
+                // step's fit alone.
+                #[cfg(feature = "sanitizer")]
+                drop(ctx.sanitizer_take_reads());
                 catch_unwind(AssertUnwindSafe(|| step.fit(&ctx)))
                     .map_err(|payload| PipelineError::PrimitivePanic {
                         step: meta_name.clone(),
@@ -121,6 +176,8 @@ impl Pipeline {
                         step: meta_name.clone(),
                         source: e.to_string(),
                     })?;
+                #[cfg(feature = "sanitizer")]
+                sanitize_reads(&contract, &meta_name, "fit", ctx.sanitizer_take_reads())?;
                 fit_time = fit_span.close();
                 sintel_obs::observe_duration("sintel_primitive_fit_seconds", fit_time);
             }
@@ -131,6 +188,8 @@ impl Pipeline {
                     ("engine", FieldValue::from(engine.to_string())),
                 ],
             );
+            #[cfg(feature = "sanitizer")]
+            drop(ctx.sanitizer_take_reads());
             let outputs = catch_unwind(AssertUnwindSafe(|| {
                 if incremental {
                     step.update(&ctx)
@@ -146,6 +205,12 @@ impl Pipeline {
                     step: meta_name.clone(),
                     source: e.to_string(),
                 })?;
+            #[cfg(feature = "sanitizer")]
+            {
+                let phase = if incremental { "update" } else { "produce" };
+                sanitize_reads(&contract, &meta_name, phase, ctx.sanitizer_take_reads())?;
+                sanitize_writes(&contract, &meta_name, phase, &outputs)?;
+            }
             let produce_time = produce_span.close();
             sintel_obs::observe_duration("sintel_primitive_produce_seconds", produce_time);
             // Inter-step output guard: NaN/Inf leaving a modeling or

@@ -142,6 +142,11 @@ pub fn classify_pipeline_error(e: &PipelineError) -> FailureKind {
         PipelineError::PrimitivePanic { .. } => FailureKind::Panic,
         PipelineError::NonFinite { .. } => FailureKind::NonFinite,
         PipelineError::Step { .. } | PipelineError::NotFitted(_) => FailureKind::Other,
+        // A sanitizer finding is a defect in the primitive's declaration,
+        // not in the data — keep it out of the data-driven classes so
+        // breaker/degradation statistics stay meaningful under test runs.
+        #[cfg(feature = "sanitizer")]
+        PipelineError::ContractViolation { .. } => FailureKind::Other,
     }
 }
 

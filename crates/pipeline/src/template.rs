@@ -153,8 +153,51 @@ impl Template {
     /// merged over the fixed overrides (λ wins on conflicts) — exactly
     /// the assignment order [`Template::build`] applies at runtime.
     pub fn analyze_with(&self, lambda: &[(ParamId, HyperValue)]) -> sintel_analyze::Report {
-        let steps: Vec<sintel_analyze::StepConfig> = self
-            .steps
+        self.analyze_for_input_len(lambda, None)
+    }
+
+    /// [`Template::analyze_with`] plus a known bound on the input length
+    /// (a serve window, a dataset's sample count): the shape pass then
+    /// also rejects configurations whose output is statically empty
+    /// (SA007) — a window requirement no feasible input can satisfy.
+    pub fn analyze_for_input_len(
+        &self,
+        lambda: &[(ParamId, HyperValue)],
+        input_len: Option<usize>,
+    ) -> sintel_analyze::Report {
+        sintel_analyze::analyze_pipeline_for_len(&self.name, &self.step_configs(lambda), input_len)
+    }
+
+    /// Minimum number of (post-preprocessing) input samples for which
+    /// every step produces non-empty output, from the analyzer's symbolic
+    /// shape algebra. `None` when a primitive is unknown or no finite
+    /// requirement is derivable.
+    pub fn required_input_len(&self) -> Option<usize> {
+        sintel_analyze::required_input_len(&self.step_configs(&[]))
+    }
+
+    /// Static flop/byte estimate for running the template (fixed
+    /// overrides only) on `input_len` samples — the analyzer's cost
+    /// model. `None` when a primitive is unknown.
+    pub fn estimated_cost(&self, input_len: usize) -> Option<sintel_analyze::CostEstimate> {
+        self.estimated_cost_with(&[], input_len)
+    }
+
+    /// [`Template::estimated_cost`] with a candidate λ merged over the
+    /// fixed overrides — what the tuner's cost gate prices before
+    /// deciding whether a proposal is worth executing.
+    pub fn estimated_cost_with(
+        &self,
+        lambda: &[(ParamId, HyperValue)],
+        input_len: usize,
+    ) -> Option<sintel_analyze::CostEstimate> {
+        sintel_analyze::estimate_steps(&self.step_configs(lambda), input_len)
+    }
+
+    /// The analyzer's view of the steps: fixed overrides merged with λ
+    /// (λ wins), mirroring [`Template::build`]'s assignment order.
+    fn step_configs(&self, lambda: &[(ParamId, HyperValue)]) -> Vec<sintel_analyze::StepConfig> {
+        self.steps
             .iter()
             .enumerate()
             .map(|(idx, spec)| {
@@ -173,8 +216,7 @@ impl Template {
                 }
                 sintel_analyze::StepConfig::with(&spec.primitive, hypers)
             })
-            .collect();
-        sintel_analyze::analyze_pipeline(&self.name, &steps)
+            .collect()
     }
 }
 

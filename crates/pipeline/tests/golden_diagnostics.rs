@@ -155,6 +155,68 @@ fn golden_sa005_window_inconsistency() {
 }
 
 #[test]
+fn golden_sa006_shape_mismatch() {
+    // ARIMA's point-aligned targets (length n-5) fed to an LSTM whose
+    // predictions are per-window (length (n-51)/1+1): the consumer's
+    // aligned inputs have provably different static lengths.
+    let mut steps = preprocessing();
+    steps.extend([
+        StepSpec::with(
+            "rolling_window_sequences",
+            &[("window_size", HyperValue::Int(50)), ("targets", HyperValue::Flag(true))],
+        ),
+        StepSpec::plain("arima"),
+        StepSpec::plain("lstm_regressor"),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ]);
+    let report = template("fixture_sa006", steps).analyze();
+    assert!(report.has_errors());
+    let d = report
+        .errors()
+        .find(|d| d.code.as_str() == "SA006")
+        .expect("shape mismatch at the consumer");
+    assert_eq!(d.severity.label(), "error");
+    assert_eq!(d.step, 5);
+    assert_eq!(d.primitive, "lstm_regressor");
+    assert!(d.message.contains("mismatched static lengths"), "{}", d.message);
+    assert!(d.hint.contains("align their producers"), "{}", d.hint);
+}
+
+#[test]
+fn golden_sa007_statically_empty_output() {
+    // A 50-sample window + 1 target cannot be cut from 40 samples; with
+    // the input bound known, the shape pass proves the pipeline dead.
+    let mut steps = preprocessing();
+    steps.extend([
+        StepSpec::with(
+            "rolling_window_sequences",
+            &[("window_size", HyperValue::Int(50)), ("targets", HyperValue::Flag(true))],
+        ),
+        StepSpec::plain("lstm_regressor"),
+        StepSpec::plain("regression_errors"),
+        StepSpec::plain("find_anomalies"),
+    ]);
+    let t = template("fixture_sa007", steps);
+    // Unbounded input: nothing to prove, clean.
+    assert!(t.analyze().is_clean(), "{}", t.analyze().render());
+    let report = t.analyze_for_input_len(&[], Some(40));
+    let errors: Vec<_> = report.errors().collect();
+    assert_eq!(errors.len(), 1, "{}", report.render());
+    let d = errors[0];
+    assert_eq!(d.code.as_str(), "SA007");
+    assert_eq!(d.step, 3);
+    assert_eq!(d.primitive, "rolling_window_sequences");
+    assert_eq!(
+        d.message,
+        "output 'windows' is statically empty: requires at least 51 input samples but at \
+         most 40 are available"
+    );
+    // One extra sample squeezes out exactly one window: clean again.
+    assert!(t.analyze_for_input_len(&[], Some(51)).is_clean());
+}
+
+#[test]
 fn hub_build_refuses_broken_extension_template() {
     // A template with an error diagnostic must not build through the hub
     // path; Template::build_default stays available for callers that

@@ -43,12 +43,18 @@ impl Value {
 #[derive(Debug, Clone, Default)]
 pub struct Context {
     slots: HashMap<String, Value>,
+    /// Contract-sanitizer read log: every slot name a primitive looked
+    /// up (any accessor, hit or miss) since the last drain. Interior
+    /// mutability because primitives only hold `&Context`.
+    #[cfg(feature = "sanitizer")]
+    reads: std::cell::RefCell<Vec<String>>,
 }
 
 macro_rules! typed_getter {
     ($fn_name:ident, $variant:ident, $ty:ty, $expected:literal) => {
         /// Typed accessor; errors if the slot is absent or has another type.
         pub fn $fn_name(&self, slot: &str) -> Result<&$ty> {
+            self.record_read(slot);
             match self.slots.get(slot) {
                 Some(Value::$variant(v)) => Ok(v),
                 other => Err(PrimitiveError::MissingInput {
@@ -84,12 +90,33 @@ impl Context {
 
     /// Raw access.
     pub fn get(&self, slot: &str) -> Option<&Value> {
+        self.record_read(slot);
         self.slots.get(slot)
     }
 
     /// Whether a slot exists.
     pub fn contains(&self, slot: &str) -> bool {
+        self.record_read(slot);
         self.slots.contains_key(slot)
+    }
+
+    /// Append `slot` to the sanitizer read log (no-op without the
+    /// `sanitizer` feature).
+    #[inline]
+    fn record_read(&self, slot: &str) {
+        #[cfg(feature = "sanitizer")]
+        self.reads.borrow_mut().push(slot.to_string());
+        #[cfg(not(feature = "sanitizer"))]
+        let _ = slot;
+    }
+
+    /// Drain the sanitizer read log: every slot name accessed through
+    /// any getter since the last drain, in access order (duplicates
+    /// preserved). The pipeline executor drains before and after each
+    /// primitive phase to attribute accesses to the running step.
+    #[cfg(feature = "sanitizer")]
+    pub fn sanitizer_take_reads(&self) -> Vec<String> {
+        std::mem::take(&mut *self.reads.borrow_mut())
     }
 
     /// Slot names currently populated (sorted, for stable debugging).

@@ -145,6 +145,25 @@ impl Contract {
         self
     }
 
+    /// Refinement: mark (or add) `slot` as an *optional* read during
+    /// `fit` (e.g. the deep models opportunistically inferring channel
+    /// count from the raw signal while training).
+    pub fn optional_fit_read(mut self, slot: &str) -> Self {
+        if let Some(read) = self.reads.iter_mut().find(|r| r.slot == slot) {
+            read.required = false;
+            read.fit = true;
+        } else {
+            self.reads.push(SlotRead {
+                slot: slot.to_string(),
+                kind: ValueKind::infer(slot),
+                required: false,
+                fit: true,
+                produce: false,
+            });
+        }
+        self
+    }
+
     /// Refinement: `slot` is consumed during `fit` only (e.g. training
     /// targets of a forecaster).
     pub fn fit_only_read(mut self, slot: &str) -> Self {

@@ -14,7 +14,9 @@
 //! * [`FaultyFlaky`] — fails the first `fail_first_n` runs of its
 //!   process-wide `key`, then succeeds, for circuit-breaker half-open
 //!   recovery tests (fresh instances share the counter, so per-pass
-//!   pipeline rebuilds still observe the recovery).
+//!   pipeline rebuilds still observe the recovery);
+//! * [`FaultyContractDrift`] — reads or writes context slots its
+//!   declared contract omits, for contract-sanitizer (SA009) tests.
 //!
 //! They are modeling-engine primitives so the executor's non-finite
 //! output guard applies to them, and they are only registered when the
@@ -252,6 +254,80 @@ impl Primitive for FaultySlow {
                 Value::Timestamps(signal.timestamps().to_vec()),
             ),
         ])
+    }
+}
+
+/// A primitive whose *declared* contract has drifted from what its code
+/// actually does — the defect class the contract-conformance sanitizer
+/// (pipeline `sanitizer` feature, SA009) exists to catch. Depending on
+/// `mode` it either writes an undeclared `drift_scores` slot or reads
+/// the undeclared `windows` slot during `produce`. Without the sanitizer
+/// both drifts execute silently; static analysis cannot see them because
+/// the declared contract is perfectly consistent.
+pub struct FaultyContractDrift {
+    meta: PrimitiveMeta,
+    mode: String,
+}
+
+impl FaultyContractDrift {
+    /// Construct with the default `write` drift mode.
+    pub fn new() -> Self {
+        Self {
+            meta: PrimitiveMeta::new(
+                "faulty_contract_drift",
+                Engine::Modeling,
+                "fault injection: accesses context slots its contract does not declare",
+                &["signal"],
+                &["errors", "error_timestamps"],
+                vec![HyperSpec::choice("mode", &["write", "read"], "write")],
+            ),
+            mode: "write".to_string(),
+        }
+    }
+}
+
+impl Default for FaultyContractDrift {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Primitive for FaultyContractDrift {
+    fn meta(&self) -> &PrimitiveMeta {
+        &self.meta
+    }
+
+    fn set_hyperparam(&mut self, name: &str, value: HyperValue) -> Result<()> {
+        self.meta.validate_hyperparam(name, &value)?;
+        match (name, value) {
+            ("mode", HyperValue::Text(m)) => {
+                self.mode = m;
+                Ok(())
+            }
+            _ => Err(PrimitiveError::BadHyperparameter(format!(
+                "'faulty_contract_drift' cannot apply hyperparameter '{name}'"
+            ))),
+        }
+    }
+
+    fn produce(&mut self, ctx: &Context) -> Result<Vec<(String, Value)>> {
+        if self.mode == "read" {
+            // Undeclared read: probes a slot absent from the contract.
+            let _ = ctx.contains("windows");
+        }
+        let signal = ctx.signal("signal")?;
+        let mut outputs = vec![
+            ("errors".to_string(), Value::Series(vec![0.0; signal.len()])),
+            (
+                "error_timestamps".to_string(),
+                Value::Timestamps(signal.timestamps().to_vec()),
+            ),
+        ];
+        if self.mode == "write" {
+            // Undeclared write: a slot the contract never mentions.
+            outputs.push(("drift_scores".to_string(), Value::Series(vec![0.0; signal.len()])));
+        }
+        Ok(outputs)
     }
 }
 

@@ -101,7 +101,9 @@ impl LstmRegressorPrimitive {
             )
             // targets are only consumed while training; produce runs on
             // windows alone.
-            .fit_only_read("targets"),
+            .fit_only_read("targets")
+            // window_shape probes the signal for its channel count.
+            .optional_fit_read("signal"),
             hypers: TrainHypers::new(8),
             model: None,
         }
@@ -264,7 +266,9 @@ macro_rules! autoencoder_primitive {
                         &["windows"],
                         &["reconstructions"],
                         specs,
-                    ),
+                    )
+                    // window_shape probes the signal for its channel count.
+                    .optional_fit_read("signal"),
                     hypers: TrainHypers::new($epochs as usize),
                     latent: 5,
                     model: None,
@@ -397,7 +401,9 @@ impl TadGanPrimitive {
                 &["windows"],
                 &["reconstructions", "critic_scores"],
                 specs,
-            ),
+            )
+            // window_shape probes the signal for its channel count.
+            .optional_fit_read("signal"),
             hypers: TrainHypers::new(10),
             latent: 6,
             model: None,

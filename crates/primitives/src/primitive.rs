@@ -81,6 +81,13 @@ impl PrimitiveMeta {
         self
     }
 
+    /// Contract refinement: `slot` is read opportunistically during
+    /// `fit`.
+    pub fn optional_fit_read(mut self, slot: &str) -> Self {
+        self.contract = self.contract.optional_fit_read(slot);
+        self
+    }
+
     /// Contract refinement: `slot` is consumed during `fit` only.
     pub fn fit_only_read(mut self, slot: &str) -> Self {
         self.contract = self.contract.fit_only_read(slot);

@@ -51,8 +51,14 @@ pub const PRIMITIVE_NAMES: &[&str] = &[
 /// Deliberately excluded from [`PRIMITIVE_NAMES`] so production pipeline
 /// listings never advertise them.
 #[cfg(feature = "faulty")]
-pub const FAULTY_PRIMITIVE_NAMES: &[&str] =
-    &["faulty_panic", "faulty_nan", "faulty_hang", "faulty_slow", "faulty_flaky"];
+pub const FAULTY_PRIMITIVE_NAMES: &[&str] = &[
+    "faulty_panic",
+    "faulty_nan",
+    "faulty_hang",
+    "faulty_slow",
+    "faulty_flaky",
+    "faulty_contract_drift",
+];
 
 /// Construct a fresh primitive by registry name.
 pub fn build_primitive(name: &str) -> Result<Box<dyn Primitive>> {
@@ -86,6 +92,8 @@ pub fn build_primitive(name: &str) -> Result<Box<dyn Primitive>> {
         "faulty_slow" => Box::new(crate::faulty::FaultySlow::new()),
         #[cfg(feature = "faulty")]
         "faulty_flaky" => Box::new(crate::faulty::FaultyFlaky::new()),
+        #[cfg(feature = "faulty")]
+        "faulty_contract_drift" => Box::new(crate::faulty::FaultyContractDrift::new()),
         other => {
             return Err(PrimitiveError::Algorithm(format!("unknown primitive '{other}'")))
         }

@@ -131,28 +131,14 @@ impl ServeConfig {
         }
     }
 
-    /// Validate invariants the engine depends on.
+    /// Validate invariants the engine depends on. Delegates to
+    /// [`crate::analysis::analyze_deployment`] over an empty tenant
+    /// roster, so every finding carries a coded (`SA0xx`) rustc-style
+    /// rendering instead of an ad-hoc message.
     pub fn validate(&self) -> Result<()> {
-        if self.window == 0 {
-            return Err(ServeError::Config("window must be > 0".to_string()));
-        }
-        if self.min_points == 0 || self.min_points > self.window {
-            return Err(ServeError::Config(format!(
-                "min_points must be in 1..=window ({} vs {})",
-                self.min_points, self.window
-            )));
-        }
-        if self.hop == 0 {
-            return Err(ServeError::Config("hop must be > 0".to_string()));
-        }
-        if self.queue_capacity == 0 {
-            return Err(ServeError::Config("queue_capacity must be > 0".to_string()));
-        }
-        if self.breaker_threshold == 0 {
-            return Err(ServeError::Config("breaker_threshold must be > 0".to_string()));
-        }
-        if self.quarantine_trips == 0 {
-            return Err(ServeError::Config("quarantine_trips must be > 0".to_string()));
+        let report = crate::analysis::analyze_deployment(self, &[]);
+        if report.has_errors() {
+            return Err(ServeError::Config(report.render()));
         }
         Ok(())
     }
@@ -257,7 +243,22 @@ impl ServeEngine {
     /// resume from it (pass counters, emission sequence, breaker state
     /// and buffered windows intact); the rest start fresh.
     pub fn open(db: SintelDb, cfg: ServeConfig, specs: Vec<TenantSpec>) -> Result<Self> {
-        cfg.validate()?;
+        // Whole-deployment static analysis gates the engine: a report
+        // with errors (bad config domain, tenant collision, statically
+        // dead fallback, cost-inverted degradation…) refuses to open;
+        // warnings are logged and tolerated.
+        let report = crate::analysis::analyze_deployment(&cfg, &specs);
+        for warning in report.warnings() {
+            sintel_obs::warn!(
+                "sintel_serve::analysis",
+                warning.message.clone(),
+                code = warning.code.as_str(),
+                hint = warning.hint.as_str(),
+            );
+        }
+        if report.has_errors() {
+            return Err(ServeError::Config(report.render()));
+        }
         let meta = db.raw().find_one(collections::SERVE_META, &Filter::eq("kind", "engine"));
         let (meta_id, ticks) = match meta {
             Some(doc) => (
@@ -271,14 +272,6 @@ impl ServeEngine {
         };
         let mut tenants = BTreeMap::new();
         for spec in specs {
-            if spec.name == SELF_TENANT {
-                return Err(ServeError::Config(format!(
-                    "tenant name '{SELF_TENANT}' is reserved for self-monitoring"
-                )));
-            }
-            if tenants.contains_key(&spec.name) {
-                return Err(ServeError::Config(format!("duplicate tenant '{}'", spec.name)));
-            }
             let (session, doc_id) = match db.serve_session(&spec.name) {
                 Some(doc) => {
                     let id = doc.get("_id").and_then(Doc::as_i64).map(|v| v.max(0) as u64);

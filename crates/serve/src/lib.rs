@@ -30,6 +30,14 @@
 //!   [`sintel_store::Database::batch`] record, so `kill -9` loses at
 //!   most one uncommitted tick and never duplicates a committed event.
 //!
+//! Before any of that machinery runs, [`analysis::analyze_deployment`]
+//! statically checks the whole deployment — config domains, tenant
+//! roster, fallback compatibility with the serve window, shedding and
+//! breaker reachability, and the fallback-cheaper-than-primary cost
+//! invariant — through `sintel-analyze`'s coded diagnostics
+//! (SA008/SA010–SA014); [`ServeEngine::open`] refuses deployments whose
+//! report has errors.
+//!
 //! With the `faulty` feature, [`fault`] adds serve-level crash points
 //! (e.g. between checkpoint commit and emission) on top of the faulty
 //! primitive family and the store's WAL crash points.
@@ -47,6 +55,7 @@
 //!   streams through a fallback-template detection pass under the
 //!   reserved [`selfmon::SELF_TENANT`] tenant.
 
+pub mod analysis;
 pub mod breaker;
 pub mod engine;
 pub mod event;
@@ -58,6 +67,7 @@ pub mod selfmon;
 pub mod session;
 pub mod slo;
 
+pub use analysis::analyze_deployment;
 pub use breaker::{Breaker, BreakerEvent, BreakerState};
 pub use engine::{ServeConfig, ServeEngine, ServeStats, TenantSpec, TenantStats};
 pub use event::{Admission, AnomalyEvent, IngestEvent};

@@ -31,6 +31,13 @@ cargo test -q -p sintel-store --features faulty
 echo "==> cargo test -q -p sintel-serve --features faulty (chaos + crash points)"
 cargo test -q -p sintel-serve --features faulty
 
+# Contract-conformance sanitizer (DESIGN.md §4i): with slot-access
+# instrumentation on, the full shipped primitive set must sweep clean
+# against its declared contracts, and the seeded drift mutation must be
+# caught replayably. Dev-only feature, so it compiles its own tree.
+echo "==> cargo test -q -p sintel-pipeline --features sanitizer (contract sanitizer)"
+cargo test -q -p sintel-pipeline --features sanitizer
+
 # Bounded soak: misbehaving tenants streamed for SINTEL_SOAK_SECS
 # (default 30s inside the test) must not grow RSS past the cap or
 # perturb healthy tenants. Release build keeps the gate wall-clock
@@ -69,8 +76,8 @@ SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bi
 # the long-running serving tier, and the observability substrate every
 # one of them calls into (test code is exempt — clippy only lints
 # lib/bin targets here).
-echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel, sintel-store, sintel-serve, sintel-obs)"
-cargo clippy -p sintel-pipeline -p sintel -p sintel-store -p sintel-serve -p sintel-obs -- -D clippy::unwrap_used
+echo "==> cargo clippy (deny unwrap_used in sintel-pipeline, sintel, sintel-store, sintel-serve, sintel-obs, sintel-analyze)"
+cargo clippy -p sintel-pipeline -p sintel -p sintel-store -p sintel-serve -p sintel-obs -p sintel-analyze -- -D clippy::unwrap_used
 
 # Library crates must route diagnostics through sintel-obs, never print
 # directly. Lib targets only: binaries (CLI, bench tables) legitimately
@@ -95,8 +102,18 @@ cargo clippy -q -p sintel-linalg --lib
 cargo clippy -q -p sintel-metrics --lib
 
 # Static analysis gate: every hub and extension pipeline must produce
-# zero error diagnostics (SA000-SA005) under `sintel-cli analyze`.
+# zero error diagnostics (SA000-SA009) under `sintel-cli analyze`.
 echo "==> sintel-cli analyze --all"
 cargo run --release -q -p sintel --bin sintel-cli -- analyze --all
+
+# Deployment analysis gate (DESIGN.md §4i): the shipped hub templates
+# must be deployable as a tenant roster under the default serve
+# configuration — zero SA008/SA010-SA014 error diagnostics. Extensions
+# are excluded on purpose: they are benchmark comparators, and e.g.
+# holt_winters is legitimately cheaper than the default fallback.
+echo "==> sintel-cli analyze --deployment (hub roster)"
+cargo run --release -q -p sintel --bin sintel-cli -- analyze --deployment \
+    lstm_dynamic_threshold dense_autoencoder lstm_autoencoder tadgan arima \
+    azure_anomaly_detection
 
 echo "verify: OK"
