@@ -1,0 +1,332 @@
+//! **Compute microbench** — kernel-level throughput of the vectorized
+//! compute substrate (DESIGN.md §4j), tracked across commits.
+//!
+//! Measures, at `SINTEL_SCALE`:
+//!
+//! * matmul ns/op at shapes below / at / above the `2^20`-flop blocked
+//!   threshold ([`Matrix::MATMUL_PAR_FLOPS`]), at 1 and 4 worker
+//!   threads — the serial lane kernel vs the blocked fan-out;
+//! * fused LSTM step latency (ns per time step on the flat inference
+//!   path);
+//! * `LstmRegressor::predict_batch` throughput (windows/sec) at 1 and
+//!   4 threads; and
+//! * a full deep-pipeline fit + detect sweep (wall and summed CPU time
+//!   from [`BenchmarkReport`]) at 1 and 4 threads.
+//!
+//! Besides the console table, writes `BENCH_compute.json` (override
+//! with `SINTEL_BENCH_OUT`). `compute_bench --check [path]` validates
+//! an existing report against the expected schema and exits non-zero
+//! on mismatch — `scripts/verify.sh` runs this after the measurement
+//! pass, so a malformed report fails the build, not a later reader.
+//!
+//! Every measurement runs the *same decomposition* the library would
+//! use in production: thread counts are set through
+//! [`sintel_common::set_threads`], never by changing block sizes, so
+//! the numbers track the determinism contract's actual cost.
+//!
+//! Run: `cargo run -p sintel-bench --release --bin compute_bench`
+
+use std::time::{Duration, Instant};
+
+use sintel::benchmark::{benchmark_report, BenchmarkConfig, BenchmarkReport, MetricKind};
+use sintel::policy::RunPolicy;
+use sintel_common::SintelRng;
+use sintel_datasets::{DatasetConfig, DatasetId};
+use sintel_linalg::Matrix;
+use sintel_nn::{Lstm, LstmRegressor};
+use sintel_pipeline::{StepSpec, Template};
+use sintel_primitives::HyperValue;
+use sintel_store::{json, Doc};
+
+/// Thread budgets the kernel phases are measured at: the serial path
+/// and a modest fan-out every CI machine can actually provide.
+const THREADS: [usize; 2] = [1, 4];
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SintelRng) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Median-of-reps wall time for `f`, in nanoseconds. Reps are cheap
+/// insurance against scheduler noise on shared CI machines.
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Matmul shapes spanning the blocked threshold: `(m, k, n)` with
+/// `m*k*n` landing below / exactly at / above `MATMUL_PAR_FLOPS`.
+/// (128*64*64 = 2^19, 128*128*64 = 2^20, 256*128*128 = 2^22.)
+const MATMUL_SHAPES: [(&str, usize, usize, usize); 3] = [
+    ("below_threshold", 128, 64, 64),
+    ("at_threshold", 128, 128, 64),
+    ("above_threshold", 256, 128, 128),
+];
+
+fn bench_matmul(scale: f64) -> Doc {
+    let mut rng = SintelRng::seed_from_u64(0xC0_FFEE);
+    let reps = ((12.0 * scale) as usize).max(3);
+    let mut out = Doc::obj();
+    for (name, m, k, n) in MATMUL_SHAPES {
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let flops = m * k * n;
+        let mut shape = Doc::obj().with("m", m as i64).with("k", k as i64).with("n", n as i64);
+        for threads in THREADS {
+            sintel_common::set_threads(Some(threads));
+            let blocked = Matrix::matmul_uses_blocked(flops, threads);
+            a.matmul(&b).expect("matmul shapes agree"); // warm-up
+            let ns = time_ns(reps, || {
+                std::hint::black_box(a.matmul(std::hint::black_box(&b)).expect("matmul"));
+            });
+            shape = shape.with(
+                format!("t{threads}").as_str(),
+                Doc::obj()
+                    .with("ns_per_op", ns.round() as i64)
+                    .with("gflops", (2.0 * flops as f64) / ns.max(1.0))
+                    .with("blocked", if blocked { 1_i64 } else { 0 }),
+            );
+        }
+        out = out.with(name, shape);
+    }
+    sintel_common::set_threads(None);
+    out
+}
+
+fn bench_lstm_step(scale: f64) -> Doc {
+    let input_dim = 1;
+    let hidden = 32;
+    let steps = 100;
+    let mut rng = SintelRng::seed_from_u64(0x157_317);
+    let lstm = Lstm::new(input_dim, hidden, &mut rng);
+    let xs: Vec<f64> = (0..steps).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+    let mut state = lstm.state();
+    let mut hs = Vec::new();
+    lstm.forward_flat(&xs, &mut state, Some(&mut hs)); // warm-up
+    let reps = ((40.0 * scale) as usize).max(5);
+    let ns = time_ns(reps, || {
+        lstm.forward_flat(std::hint::black_box(&xs), &mut state, Some(&mut hs));
+        std::hint::black_box(&state);
+    });
+    Doc::obj()
+        .with("hidden", hidden as i64)
+        .with("sequence_steps", steps as i64)
+        .with("ns_per_step", (ns / steps as f64).round() as i64)
+}
+
+fn bench_predict_batch(scale: f64) -> Doc {
+    let window = 32;
+    let hidden = 16;
+    let n = ((2048.0 * scale) as usize).max(256);
+    let model = LstmRegressor::new(window, 1, hidden, 11);
+    let mut rng = SintelRng::seed_from_u64(0xBA7C4);
+    let windows = random_matrix(n, window, &mut rng);
+    let mut out = Doc::obj().with("windows", n as i64).with("window_size", window as i64);
+    for threads in THREADS {
+        sintel_common::set_threads(Some(threads));
+        model.predict_batch(&windows).expect("predict_batch"); // warm-up
+        let ns = time_ns(5, || {
+            std::hint::black_box(model.predict_batch(std::hint::black_box(&windows)))
+                .expect("predict_batch");
+        });
+        let per_sec = n as f64 / (ns / 1e9);
+        out = out.with(
+            format!("t{threads}").as_str(),
+            Doc::obj().with("windows_per_sec", per_sec.round() as i64),
+        );
+    }
+    sintel_common::set_threads(None);
+    out
+}
+
+/// A small deep pipeline with the vectorized kernels on every hot
+/// stage: flat-arena windowing, fused-LSTM training, blocked batched
+/// inference, overlap unfolding.
+fn deep_template() -> Template {
+    Template {
+        name: "compute_bench_lstm".into(),
+        steps: vec![
+            StepSpec::plain("time_segments_aggregate"),
+            StepSpec::plain("SimpleImputer"),
+            StepSpec::plain("MinMaxScaler"),
+            StepSpec::with(
+                "rolling_window_sequences",
+                &[("window_size", HyperValue::Int(25)), ("targets", HyperValue::Flag(true))],
+            ),
+            StepSpec::with(
+                "lstm_regressor",
+                &[("epochs", HyperValue::Int(3)), ("hidden", HyperValue::Int(12))],
+            ),
+            StepSpec::plain("regression_errors"),
+            StepSpec::plain("find_anomalies"),
+        ],
+    }
+}
+
+fn bench_pipeline(scale: f64) -> Doc {
+    let cfg = BenchmarkConfig {
+        pipelines: Vec::new(),
+        extra_templates: vec![deep_template()],
+        datasets: vec![DatasetId::Nab],
+        data: DatasetConfig {
+            seed: 42,
+            signal_scale: (0.05 * scale.max(0.2)).clamp(0.01, 1.0),
+            length_scale: 0.1,
+        },
+        metric: MetricKind::Overlap,
+        rank: "f1",
+        policy: RunPolicy {
+            timeout: Duration::from_secs(300),
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        },
+    };
+    let mut out = Doc::obj();
+    for threads in THREADS {
+        sintel_common::set_threads(Some(threads));
+        let report: BenchmarkReport = benchmark_report(&cfg).expect("deep sweep runs");
+        assert!(!report.rows.is_empty(), "deep sweep produced no rows");
+        out = out.with(
+            format!("t{threads}").as_str(),
+            Doc::obj()
+                .with("wall_ms", report.wall_time.as_millis() as i64)
+                .with("cpu_ms", report.cpu_time.as_millis() as i64)
+                .with("threads", report.threads as i64),
+        );
+    }
+    sintel_common::set_threads(None);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Schema validation (`--check`)
+// ---------------------------------------------------------------------
+
+fn require<'d>(doc: &'d Doc, path: &str) -> Result<&'d Doc, String> {
+    let mut cur = doc;
+    for key in path.split('.') {
+        cur = cur.get(key).ok_or_else(|| format!("missing field `{path}`"))?;
+    }
+    Ok(cur)
+}
+
+fn require_positive(doc: &Doc, path: &str) -> Result<(), String> {
+    let v = require(doc, path)?;
+    let n = v.as_f64().or_else(|| v.as_i64().map(|i| i as f64));
+    match n {
+        Some(x) if x > 0.0 => Ok(()),
+        Some(x) => Err(format!("field `{path}` must be positive, got {x}")),
+        None => Err(format!("field `{path}` is not numeric")),
+    }
+}
+
+/// Validate a `BENCH_compute.json` produced by this binary. Every
+/// phase, shape and thread count must be present with positive
+/// numbers — a truncated or hand-edited report fails loudly.
+fn check_report(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::from_json(raw.trim()).map_err(|e| format!("parsing {path}: {e}"))?;
+    if require(&doc, "bench")?.as_str() != Some("compute") {
+        return Err("field `bench` must be \"compute\"".into());
+    }
+    require_positive(&doc, "scale")?;
+    for (name, _, _, _) in MATMUL_SHAPES {
+        for t in THREADS {
+            require_positive(&doc, &format!("matmul.{name}.t{t}.ns_per_op"))?;
+            require_positive(&doc, &format!("matmul.{name}.t{t}.gflops"))?;
+            require(&doc, &format!("matmul.{name}.t{t}.blocked"))?;
+        }
+        require_positive(&doc, &format!("matmul.{name}.m"))?;
+    }
+    require_positive(&doc, "lstm.ns_per_step")?;
+    require_positive(&doc, "lstm.hidden")?;
+    for t in THREADS {
+        require_positive(&doc, &format!("predict_batch.t{t}.windows_per_sec"))?;
+        require_positive(&doc, &format!("pipeline.t{t}.wall_ms"))?;
+        require_positive(&doc, &format!("pipeline.t{t}.cpu_ms"))?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--check") {
+        let default_out =
+            std::env::var("SINTEL_BENCH_OUT").unwrap_or_else(|_| "BENCH_compute.json".into());
+        let path = args.get(2).cloned().unwrap_or(default_out);
+        match check_report(&path) {
+            Ok(()) => {
+                eprintln!("compute microbench: {path} conforms to the schema");
+                return;
+            }
+            Err(e) => {
+                eprintln!("compute microbench: {path} failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let session = sintel_bench::obs_session();
+    let scale = sintel_bench::scale_from_env(0.25);
+    eprintln!("compute microbench: scale {scale} …");
+
+    let matmul = bench_matmul(scale);
+    let lstm = bench_lstm_step(scale);
+    let predict = bench_predict_batch(scale);
+    let pipeline = bench_pipeline(scale);
+
+    println!("Compute microbench (scale {scale})\n");
+    println!("{:<22} {:>6} {:>14} {:>10}", "matmul shape", "thr", "ns/op", "gflops");
+    for (name, _, _, _) in MATMUL_SHAPES {
+        for t in THREADS {
+            let entry = matmul.get(name).and_then(|s| s.get(&format!("t{t}")));
+            let ns = entry.and_then(|e| e.get("ns_per_op")).and_then(Doc::as_i64).unwrap_or(0);
+            let gf = entry.and_then(|e| e.get("gflops")).and_then(Doc::as_f64).unwrap_or(0.0);
+            println!("{name:<22} {t:>6} {ns:>14} {gf:>10.2}");
+        }
+    }
+    let step_ns = lstm.get("ns_per_step").and_then(Doc::as_i64).unwrap_or(0);
+    println!("\nlstm step: {step_ns} ns/step (hidden 32)");
+    for t in THREADS {
+        let wps = predict
+            .get(&format!("t{t}"))
+            .and_then(|e| e.get("windows_per_sec"))
+            .and_then(Doc::as_i64)
+            .unwrap_or(0);
+        println!("predict_batch t{t}: {wps} windows/sec");
+    }
+    for t in THREADS {
+        let entry = pipeline.get(&format!("t{t}"));
+        let wall = entry.and_then(|e| e.get("wall_ms")).and_then(Doc::as_i64).unwrap_or(0);
+        let cpu = entry.and_then(|e| e.get("cpu_ms")).and_then(Doc::as_i64).unwrap_or(0);
+        println!("pipeline t{t}: wall {wall} ms, cpu {cpu} ms");
+    }
+
+    let report = Doc::obj()
+        .with("bench", "compute")
+        .with("scale", scale)
+        .with("matmul", matmul)
+        .with("lstm", lstm)
+        .with("predict_batch", predict)
+        .with("pipeline", pipeline);
+    let out = std::env::var("SINTEL_BENCH_OUT").unwrap_or_else(|_| "BENCH_compute.json".into());
+    if let Err(e) = std::fs::write(&out, json::to_json(&report) + "\n") {
+        eprintln!("compute microbench: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    // Self-check: the file this run just wrote must satisfy the schema
+    // the `--check` mode enforces, so the two can never drift.
+    if let Err(e) = check_report(&out) {
+        eprintln!("compute microbench: self-validation of {out} failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("compute microbench: wrote {out}");
+    session.finish();
+}

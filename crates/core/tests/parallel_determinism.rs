@@ -19,6 +19,7 @@ use sintel::policy::RunPolicy;
 use sintel::tune::{tune_template, TuneSetting};
 use sintel_datasets::{DatasetConfig, DatasetId};
 use sintel_pipeline::{StepSpec, Template};
+use sintel_primitives::HyperValue;
 use sintel_store::SintelDb;
 use sintel_timeseries::{Interval, Signal};
 
@@ -171,6 +172,80 @@ fn benchmark_scores_are_bitwise_identical_at_every_thread_count() {
             score_bits(threads),
             baseline,
             "scores drifted between 1 and {threads} threads"
+        );
+    }
+    sintel_common::set_threads(None);
+}
+
+/// A deep pipeline exercising the vectorized compute kernels
+/// (DESIGN.md §4j) on the hot path: windowing fills the flat arena,
+/// training runs the fused LSTM step + blocked matmul, and batched
+/// inference fans out across threads above the 64-window threshold.
+fn deep_fixture() -> (Template, Signal) {
+    let n = 280;
+    let mut vals: Vec<f64> =
+        (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 30.0).sin()).collect();
+    for v in &mut vals[140..146] {
+        *v += 4.0;
+    }
+    let template = Template {
+        name: "deep_lstm".into(),
+        steps: vec![
+            StepSpec::plain("time_segments_aggregate"),
+            StepSpec::plain("SimpleImputer"),
+            StepSpec::plain("MinMaxScaler"),
+            StepSpec::with(
+                "rolling_window_sequences",
+                &[("window_size", HyperValue::Int(10)), ("targets", HyperValue::Flag(true))],
+            ),
+            StepSpec::with(
+                "lstm_regressor",
+                &[("epochs", HyperValue::Int(2)), ("hidden", HyperValue::Int(8))],
+            ),
+            StepSpec::plain("regression_errors"),
+            StepSpec::plain("find_anomalies"),
+        ],
+    };
+    (template, Signal::from_values("deep", vals))
+}
+
+/// The full deep pipeline — fit, per-sample error series and detected
+/// intervals — is bitwise-identical at every thread count with the
+/// vectorized kernels on the hot path. The ~270 extracted windows put
+/// `predict_batch` over its parallel threshold, so the blocked fan-out
+/// itself is under test, not just the serial fallback.
+#[test]
+fn deep_pipeline_is_bitwise_identical_at_every_thread_count() {
+    let _lock = GUARD.lock().expect("guard");
+    let (template, signal) = deep_fixture();
+
+    let run = |threads: usize| {
+        sintel_common::set_threads(Some(threads));
+        let mut pipeline = template.build_default().expect("pipeline builds");
+        pipeline.fit(&signal).expect("fit runs");
+        let (errors, ts) = pipeline.errors(&signal).expect("errors run");
+        let anomalies = pipeline.detect(&signal).expect("detect runs");
+        let error_bits: Vec<u64> = errors.iter().map(|e| e.to_bits()).collect();
+        let intervals: Vec<(i64, i64, u64)> = anomalies
+            .iter()
+            .map(|a| (a.interval.start, a.interval.end, a.score.to_bits()))
+            .collect();
+        (error_bits, ts, intervals)
+    };
+
+    let baseline = run(THREAD_COUNTS[0]);
+    assert!(!baseline.0.is_empty(), "deep pipeline produced no errors");
+    assert!(!baseline.2.is_empty(), "deep pipeline found no anomalies");
+    for &threads in &THREAD_COUNTS[1..] {
+        let other = run(threads);
+        assert_eq!(
+            other.0, baseline.0,
+            "error series drifted between 1 and {threads} threads"
+        );
+        assert_eq!(other.1, baseline.1, "timestamps drifted at {threads} threads");
+        assert_eq!(
+            other.2, baseline.2,
+            "detected intervals drifted between 1 and {threads} threads"
         );
     }
     sintel_common::set_threads(None);

@@ -77,6 +77,12 @@ impl Matrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Iterate over the rows as slices (no allocation). A matrix with
+    /// zero columns yields no rows.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
     /// Flat row-major view of the data.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
@@ -101,23 +107,49 @@ impl Matrix {
     /// Row-block size of the parallel matmul path. Fixed (never derived
     /// from the thread count) so the work decomposition — and therefore
     /// every partial-sum grouping — is identical at any `SINTEL_THREADS`.
-    const MATMUL_BLOCK_ROWS: usize = 16;
+    pub const MATMUL_BLOCK_ROWS: usize = 16;
 
     /// Flop-count threshold (`rows * cols * other.cols`) above which
     /// matmul fans out across threads; below it, spawn overhead wins.
-    const MATMUL_PAR_FLOPS: usize = 1 << 20;
-
-    /// Compute output rows `range` of `self * other` into `out_rows`
-    /// (a mutable slice holding exactly those rows, row-major).
     ///
-    /// This is the single kernel both the serial and parallel paths
-    /// run: each output row is a pure function of one row of `self`
-    /// and all of `other`, accumulated in the same i-k-j order, so the
-    /// result is bitwise-identical however rows are partitioned.
+    /// The heuristic: one fused multiply-add is ~1 ns on a scalar core,
+    /// so `2^20` flops is ~1 ms of serial work — roughly 10× the cost
+    /// of spawning and joining the scoped worker pool. Below the
+    /// threshold the pool overhead dominates; above it the fan-out pays
+    /// for itself. The exact boundary behaviour (`>=`, not `>`) is
+    /// pinned by a unit test so a future edit cannot silently move it.
+    pub const MATMUL_PAR_FLOPS: usize = 1 << 20;
+
+    /// Number of manual accumulator lanes held in registers by the
+    /// vectorized kernel. Each lane owns one output column of the
+    /// current row, so the lane count never changes any per-element
+    /// reduction order — it only decides how many columns are carried
+    /// through the `k` loop at once.
+    pub const MATMUL_LANES: usize = 8;
+
+    /// Whether a product of `flops = rows * cols * other.cols` takes
+    /// the row-blocked parallel path under a budget of `threads`.
+    /// Pure in its inputs so the threshold is unit-testable at its
+    /// exact boundary without touching the global thread budget.
+    pub fn matmul_uses_blocked(flops: usize, threads: usize) -> bool {
+        flops >= Self::MATMUL_PAR_FLOPS && threads > 1
+    }
+
+    /// Scalar reference kernel: compute output rows `range` of
+    /// `self * other` into `out_rows` in the plain i-k-j order.
+    ///
+    /// This loop nest is the *specification* of the reduction order
+    /// (DESIGN.md §4j): element `(i, j)` is `Σ_k A[i,k] * B[k,j]`,
+    /// accumulated with `k` ascending and terms with `A[i,k] == 0.0`
+    /// skipped (which also suppresses `0 * ±inf -> NaN` and keeps
+    /// `-0.0` contributions out of the sum). The vectorized kernel
+    /// must stay bitwise-identical to this one; the property suite
+    /// enforces it.
     // Row arithmetic is in range: `out_rows.len() == range.len() * cols`
     // by the caller's contract and `k < self.cols == other.rows`.
+    #[doc(hidden)]
     #[allow(clippy::indexing_slicing)]
-    fn matmul_rows_into(
+    pub fn matmul_rows_scalar_into(
         &self,
         other: &Matrix,
         range: std::ops::Range<usize>,
@@ -139,6 +171,75 @@ impl Matrix {
         }
     }
 
+    /// Vectorized kernel: compute output rows `range` of `self * other`
+    /// into `out_rows` with [`Self::MATMUL_LANES`] manual accumulators.
+    ///
+    /// Register blocking over output columns: each group of
+    /// `MATMUL_LANES` columns is carried through the whole `k` loop in
+    /// a stack array, so the inner loop is a fixed-width unrolled
+    /// multiply-add with no load/store of the output row per `k` step.
+    /// Every accumulator owns exactly one output element, accumulated
+    /// with `k` ascending and the same `A[i,k] == 0.0` skip — so the
+    /// reduction order per element is *identical* to
+    /// [`Self::matmul_rows_scalar_into`] and the results are bitwise
+    /// equal by construction, not by tolerance.
+    ///
+    /// This is the single kernel both the serial and parallel paths
+    /// run: each output row is a pure function of one row of `self`
+    /// and all of `other`, so the result is bitwise-identical however
+    /// rows are partitioned.
+    // Slicing is in range: `out_rows.len() == range.len() * out_cols`
+    // by the caller's contract, `j` advances in lock-step with the
+    // exact chunks of `out_row`, and `k < self.cols == other.rows`.
+    #[doc(hidden)]
+    #[allow(clippy::indexing_slicing)]
+    pub fn matmul_rows_into(
+        &self,
+        other: &Matrix,
+        range: std::ops::Range<usize>,
+        out_rows: &mut [f64],
+    ) {
+        const LANES: usize = Matrix::MATMUL_LANES;
+        let out_cols = other.cols;
+        for (local, i) in range.enumerate() {
+            let a_row = self.row(i);
+            let out_row = &mut out_rows[local * out_cols..(local + 1) * out_cols];
+            let mut chunks = out_row.chunks_exact_mut(LANES);
+            let mut j = 0usize;
+            for out_chunk in &mut chunks {
+                let mut acc = [0.0f64; LANES];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b = &other.row(k)[j..j + LANES];
+                    for (acc_l, &b_l) in acc.iter_mut().zip(b) {
+                        *acc_l += a * b_l;
+                    }
+                }
+                out_chunk.copy_from_slice(&acc);
+                j += LANES;
+            }
+            // Remainder lanes (out_cols % LANES): same k-ascending
+            // reduction over a short accumulator prefix.
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let width = rem.len();
+                let mut acc = [0.0f64; LANES];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b = &other.row(k)[j..j + width];
+                    for (acc_l, &b_l) in acc[..width].iter_mut().zip(b) {
+                        *acc_l += a * b_l;
+                    }
+                }
+                rem.copy_from_slice(&acc[..width]);
+            }
+        }
+    }
+
     /// Matrix product `self * other`.
     ///
     /// Above [`Self::MATMUL_PAR_FLOPS`] the product is computed in
@@ -153,11 +254,10 @@ impl Matrix {
             });
         }
         let flops = self.rows * self.cols * other.cols;
-        if flops >= Self::MATMUL_PAR_FLOPS && sintel_common::configured_threads() > 1 {
+        if Self::matmul_uses_blocked(flops, sintel_common::configured_threads()) {
             return Ok(self.matmul_blocked(other, Self::MATMUL_BLOCK_ROWS));
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps inner access contiguous for both operands.
         self.matmul_rows_into(other, 0..self.rows, out.as_mut_slice());
         Ok(out)
     }
@@ -321,6 +421,58 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn row_iter_matches_row() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let rows: Vec<&[f64]> = m.row_iter().collect();
+        assert_eq!(rows, vec![m.row(0), m.row(1)]);
+        assert_eq!(Matrix::zeros(3, 0).row_iter().count(), 0);
+        assert_eq!(Matrix::zeros(0, 3).row_iter().count(), 0);
+    }
+
+    /// The blocked-path decision at its exact flop boundary, for serial
+    /// and parallel thread budgets (pure helper — no global state).
+    #[test]
+    fn blocked_threshold_boundary() {
+        let t = Matrix::MATMUL_PAR_FLOPS;
+        // Serial budget never takes the blocked path.
+        for flops in [t - 1, t, t + 1] {
+            assert!(!Matrix::matmul_uses_blocked(flops, 1));
+        }
+        // Parallel budget: the threshold is inclusive (`>=`).
+        assert!(!Matrix::matmul_uses_blocked(t - 1, 2));
+        assert!(Matrix::matmul_uses_blocked(t, 2));
+        assert!(Matrix::matmul_uses_blocked(t + 1, 8));
+    }
+
+    /// Both kernels agree bitwise at real shapes that straddle the
+    /// threshold: 1×1023·1023×1025 = 2^20−1, 1×1024·1024×1024 = 2^20,
+    /// and 1×17·17×61681 = 2^20+1 flops.
+    #[test]
+    fn blocked_threshold_shapes_bitwise_identical() {
+        let mut rng = SintelRng::seed_from_u64(0x2020);
+        let t = Matrix::MATMUL_PAR_FLOPS;
+        for (k, m, flops) in [(1023, 1025, t - 1), (1024, 1024, t), (17, 61681, t + 1)] {
+            assert_eq!(k * m, flops, "shape arithmetic");
+            let a = random_matrix(&mut rng, 1, k, 1.0);
+            let b = random_matrix(&mut rng, k, m, 1.0);
+            let mut scalar = Matrix::zeros(1, m);
+            a.matmul_rows_scalar_into(&b, 0..1, scalar.as_mut_slice());
+            let blocked = a.matmul_blocked(&b, Matrix::MATMUL_BLOCK_ROWS);
+            let serial = {
+                let mut out = Matrix::zeros(1, m);
+                a.matmul_rows_into(&b, 0..1, out.as_mut_slice());
+                out
+            };
+            for ((s, bl), se) in
+                scalar.as_slice().iter().zip(blocked.as_slice()).zip(serial.as_slice())
+            {
+                assert_eq!(s.to_bits(), bl.to_bits());
+                assert_eq!(s.to_bits(), se.to_bits());
+            }
+        }
     }
 
     /// Random `r x c` matrix with entries uniform in `[-scale, scale)`.

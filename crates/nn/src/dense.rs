@@ -59,14 +59,24 @@ impl Dense {
 
     /// Forward pass for one sample.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(x.len(), self.in_dim, "dense forward: input size");
-        let mut y = Vec::with_capacity(self.out_dim);
-        for o in 0..self.out_dim {
-            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let z = sintel_linalg::dot(row, x) + self.b[o];
-            y.push(self.act.apply(z));
-        }
+        let mut y = vec![0.0; self.out_dim];
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// Allocation-free forward pass into a caller-owned buffer of
+    /// length `out_dim` — the hot inference path reuses one buffer per
+    /// batch. Runs the exact arithmetic of [`Self::forward`] (it *is*
+    /// the kernel `forward` calls), so the two are bitwise-identical.
+    pub fn forward_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.in_dim, "dense forward: input size");
+        debug_assert_eq!(y.len(), self.out_dim, "dense forward: output size");
+        for ((row, &b), y_o) in
+            self.w.chunks_exact(self.in_dim).zip(&self.b).zip(y.iter_mut())
+        {
+            let z = sintel_linalg::dot(row, x) + b;
+            *y_o = self.act.apply(z);
+        }
     }
 
     /// Backward pass for one sample: given the input `x` used in the

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Hot kernels iterate, they don't index-by-range: a `for i in 0..n`
+// over a single slice defeats bounds-check elision and hides the
+// access pattern from the vectorizer. Verified by `scripts/verify.sh`.
+#![deny(clippy::needless_range_loop)]
 
 //! # sintel-nn
 //!
@@ -34,7 +38,7 @@ pub mod models;
 pub use activation::Activation;
 pub use adam::Adam;
 pub use dense::Dense;
-pub use lstm::Lstm;
+pub use lstm::{Lstm, LstmState};
 pub use models::{DenseAutoencoder, LstmAutoencoder, LstmRegressor, TadGan, TrainConfig};
 
 /// Errors produced by model training / inference.

@@ -42,6 +42,39 @@ pub struct LstmCache {
     hs: Vec<Vec<f64>>,
 }
 
+/// Reusable per-step buffers for inference-path forward passes.
+///
+/// Holds the running hidden/cell state plus the fused `4H`
+/// pre-activation vector, so a batch of windows can stream through one
+/// layer without a single allocation per window (DESIGN.md §4j).
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    /// Gate vector, `[i, f, g, o]` quarters, each of length H.
+    gates: Vec<f64>,
+    /// Cell state (length H).
+    c: Vec<f64>,
+    /// Hidden state (length H).
+    h: Vec<f64>,
+}
+
+impl LstmState {
+    fn new(hidden: usize) -> Self {
+        Self { gates: vec![0.0; 4 * hidden], c: vec![0.0; hidden], h: vec![0.0; hidden] }
+    }
+
+    /// Zero the recurrent state (start of a new sequence). The gate
+    /// buffer needs no reset — every step overwrites it fully.
+    pub fn reset(&mut self) {
+        self.c.iter_mut().for_each(|v| *v = 0.0);
+        self.h.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Current hidden state (the last step's output after a forward).
+    pub fn hidden(&self) -> &[f64] {
+        &self.h
+    }
+}
+
 impl LstmCache {
     /// Hidden state sequence (one vector per time step).
     pub fn hidden_states(&self) -> &[Vec<f64>] {
@@ -96,53 +129,118 @@ impl Lstm {
         self.w.len()
     }
 
-    /// Run the layer over a sequence, returning the cache for BPTT.
-    pub fn forward(&self, xs: &[Vec<f64>]) -> LstmCache {
+    /// A fresh zeroed scratch state sized for this layer.
+    pub fn state(&self) -> LstmState {
+        LstmState::new(self.hidden)
+    }
+
+    /// Raw weight buffer, row-major `(4H x (I + H + 1))` — exposed for
+    /// the property suite and benchmarks only.
+    #[doc(hidden)]
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// One fused LSTM step: `state.{h, c}` hold the previous step's
+    /// state on entry and the new state on return.
+    ///
+    /// This is the *only* step kernel — the cache path
+    /// ([`Self::forward`]) and the flat inference path
+    /// ([`Self::forward_flat`]) both run it, so they are
+    /// bitwise-identical by construction. Reduction order is part of
+    /// the determinism contract (DESIGN.md §4j): each pre-activation is
+    /// `bias`, then input terms with `i` ascending, then recurrent
+    /// terms with `j` ascending; the four gates are then activated and
+    /// the cell/hidden update applied in one fused pass over the
+    /// contiguous gate quarters (no cross-element accumulation, so the
+    /// per-element order is the whole story).
+    fn step_fused(&self, x: &[f64], state: &mut LstmState) {
         let h_dim = self.hidden;
         let cols = self.input_dim + h_dim + 1;
+        debug_assert_eq!(x.len(), self.input_dim, "lstm forward: input size");
+        let LstmState { gates, c, h } = state;
+        // Pre-activations: one pass over the full 4H gate vector, each
+        // weight row split into contiguous (input, recurrent, bias)
+        // views so the inner loops are unit-stride zips.
+        for (row, z) in self.w.chunks_exact(cols).zip(gates.iter_mut()) {
+            let (xw, rest) = row.split_at(self.input_dim);
+            let (hw, bias) = rest.split_at(h_dim);
+            let mut acc = bias[0];
+            for (&w, &xi) in xw.iter().zip(x) {
+                acc += w * xi;
+            }
+            for (&w, &hj) in hw.iter().zip(h.iter()) {
+                acc += w * hj;
+            }
+            *z = acc;
+        }
+        // Activations + state update, fused over the gate quarters.
+        // In-place is safe: the gate pass above consumed h, and each
+        // lane k reads only its own c[k]/h[k].
+        let (ig, rest) = gates.split_at_mut(h_dim);
+        let (fg, rest) = rest.split_at_mut(h_dim);
+        let (gg, og) = rest.split_at_mut(h_dim);
+        let lanes = ig
+            .iter_mut()
+            .zip(fg.iter_mut())
+            .zip(gg.iter_mut())
+            .zip(og.iter_mut())
+            .zip(c.iter_mut().zip(h.iter_mut()));
+        for ((((i_z, f_z), g_z), o_z), (ck, hk)) in lanes {
+            let i_g = sigmoid(*i_z);
+            let f_g = sigmoid(*f_z);
+            let g_g = g_z.tanh();
+            let o_g = sigmoid(*o_z);
+            *i_z = i_g;
+            *f_z = f_g;
+            *g_z = g_g;
+            *o_z = o_g;
+            let c_new = f_g * *ck + i_g * g_g;
+            *ck = c_new;
+            *hk = o_g * c_new.tanh();
+        }
+    }
+
+    /// Run the layer over a sequence, returning the cache for BPTT.
+    pub fn forward(&self, xs: &[Vec<f64>]) -> LstmCache {
+        let mut state = self.state();
         let mut cache = LstmCache {
             xs: xs.to_vec(),
             gates: Vec::with_capacity(xs.len()),
             cs: Vec::with_capacity(xs.len()),
             hs: Vec::with_capacity(xs.len()),
         };
-        let mut h_prev = vec![0.0; h_dim];
-        let mut c_prev = vec![0.0; h_dim];
         for x in xs {
-            debug_assert_eq!(x.len(), self.input_dim, "lstm forward: input size");
-            let mut gates = vec![0.0; 4 * h_dim];
-            for (r, gate) in gates.iter_mut().enumerate() {
-                let row = &self.w[r * cols..(r + 1) * cols];
-                let mut z = row[cols - 1]; // bias
-                for (i, &xi) in x.iter().enumerate() {
-                    z += row[i] * xi;
-                }
-                for (j, &hj) in h_prev.iter().enumerate() {
-                    z += row[self.input_dim + j] * hj;
-                }
-                *gate = z;
-            }
-            let mut c = vec![0.0; h_dim];
-            let mut h = vec![0.0; h_dim];
-            for k in 0..h_dim {
-                let i_g = sigmoid(gates[k]);
-                let f_g = sigmoid(gates[h_dim + k]);
-                let g_g = gates[2 * h_dim + k].tanh();
-                let o_g = sigmoid(gates[3 * h_dim + k]);
-                gates[k] = i_g;
-                gates[h_dim + k] = f_g;
-                gates[2 * h_dim + k] = g_g;
-                gates[3 * h_dim + k] = o_g;
-                c[k] = f_g * c_prev[k] + i_g * g_g;
-                h[k] = o_g * c[k].tanh();
-            }
-            cache.gates.push(gates);
-            cache.cs.push(c.clone());
-            cache.hs.push(h.clone());
-            h_prev = h;
-            c_prev = c;
+            self.step_fused(x, &mut state);
+            cache.gates.push(state.gates.clone());
+            cache.cs.push(state.c.clone());
+            cache.hs.push(state.h.clone());
         }
         cache
+    }
+
+    /// Inference-only forward over a flat, time-major sequence
+    /// (`xs.len()` must be a multiple of the input size).
+    ///
+    /// Reuses `state`'s buffers across calls — no allocation beyond
+    /// the first growth of `hs_out` — and leaves the final
+    /// hidden/cell state in `state`. When `hs_out` is given it is
+    /// cleared and filled with every step's hidden state
+    /// (`t_len * hidden` values), the flat equivalent of
+    /// [`LstmCache::hidden_states`]. Bitwise-identical to
+    /// [`Self::forward`]: both paths run [`Self::step_fused`].
+    pub fn forward_flat(&self, xs: &[f64], state: &mut LstmState, mut hs_out: Option<&mut Vec<f64>>) {
+        debug_assert_eq!(xs.len() % self.input_dim, 0, "lstm forward_flat: sequence length");
+        state.reset();
+        if let Some(out) = hs_out.as_deref_mut() {
+            out.clear();
+        }
+        for x in xs.chunks_exact(self.input_dim) {
+            self.step_fused(x, state);
+            if let Some(out) = hs_out.as_deref_mut() {
+                out.extend_from_slice(&state.h);
+            }
+        }
     }
 
     /// BPTT: given `dh[t] = ∂L/∂h_t` for every step, accumulate weight
@@ -184,31 +282,43 @@ impl Lstm {
             }
 
             // Accumulate weight gradients and propagate to x and h_prev.
+            // Row-wise zips over (dgates, w, gw) keep the same per-row
+            // ascending accumulation order as the indexed loop they
+            // replace, with unit-stride inner passes.
             let mut dh_prev = vec![0.0; h_dim];
-            #[allow(clippy::needless_range_loop)] // r indexes both dgates and weight rows
-            for r in 0..4 * h_dim {
-                let dz = dgates[r];
+            let dx_t = &mut dxs[t];
+            let rows = dgates
+                .iter()
+                .zip(self.w.chunks_exact(cols))
+                .zip(self.gw.chunks_exact_mut(cols));
+            for ((&dz, wrow), grow) in rows {
                 if dz == 0.0 {
                     continue;
                 }
-                let wrow = &self.w[r * cols..(r + 1) * cols];
-                let grow = &mut self.gw[r * cols..(r + 1) * cols];
-                for (i, &xi) in x.iter().enumerate() {
-                    grow[i] += dz * xi;
-                    dxs[t][i] += dz * wrow[i];
+                let (xw, wrest) = wrow.split_at(self.input_dim);
+                let (hw, _) = wrest.split_at(h_dim);
+                let (gx, grest) = grow.split_at_mut(self.input_dim);
+                let (gh, gbias) = grest.split_at_mut(h_dim);
+                for ((g, dx), (&w, &xi)) in
+                    gx.iter_mut().zip(dx_t.iter_mut()).zip(xw.iter().zip(x))
+                {
+                    *g += dz * xi;
+                    *dx += dz * w;
                 }
                 if t > 0 {
-                    for j in 0..h_dim {
-                        grow[self.input_dim + j] += dz * h_prev[j];
-                        dh_prev[j] += dz * wrow[self.input_dim + j];
+                    for ((g, dh), (&w, &hj)) in
+                        gh.iter_mut().zip(dh_prev.iter_mut()).zip(hw.iter().zip(h_prev))
+                    {
+                        *g += dz * hj;
+                        *dh += dz * w;
                     }
                 } else {
                     // h_prev is zero; only dh flows nowhere further.
-                    for j in 0..h_dim {
-                        dh_prev[j] += dz * wrow[self.input_dim + j];
+                    for (dh, &w) in dh_prev.iter_mut().zip(hw) {
+                        *dh += dz * w;
                     }
                 }
-                grow[cols - 1] += dz;
+                gbias[0] += dz;
             }
             dh_next = dh_prev;
             dc_next = dc_prev;

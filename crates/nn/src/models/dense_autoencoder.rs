@@ -2,6 +2,7 @@
 //! windows (the paper's lightest reconstruction pipeline).
 
 use sintel_common::SintelRng;
+use sintel_linalg::Matrix;
 
 use crate::activation::Activation;
 use crate::dense::Dense;
@@ -69,15 +70,13 @@ impl DenseAutoencoder {
     }
 
     /// Train on windows (target = input); returns mean loss per epoch.
-    pub fn fit(&mut self, windows: &[Vec<f64>], cfg: &TrainConfig) -> Result<Vec<f64>> {
-        if windows.is_empty() {
+    pub fn fit(&mut self, windows: &Matrix, cfg: &TrainConfig) -> Result<Vec<f64>> {
+        if windows.rows() == 0 {
             return Err(NnError::InsufficientData { needed: 1, got: 0 });
         }
-        for w in windows {
-            self.check(w)?;
-        }
+        self.check(windows.row(0))?;
         let mut rng = SintelRng::seed_from_u64(cfg.seed);
-        let mut order: Vec<usize> = (0..windows.len()).collect();
+        let mut order: Vec<usize> = (0..windows.rows()).collect();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
         for _ in 0..cfg.epochs {
             if sintel_common::cancelled() {
@@ -87,7 +86,7 @@ impl DenseAutoencoder {
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(cfg.batch_size) {
                 for &idx in chunk {
-                    let x = &windows[idx];
+                    let x = windows.row(idx);
                     let acts = self.forward_all(x);
                     let y = acts.last().expect("non-empty");
                     let mut dy: Vec<f64> = y
@@ -108,7 +107,7 @@ impl DenseAutoencoder {
                     layer.step(cfg.learning_rate, chunk.len());
                 }
             }
-            epoch_losses.push(epoch_loss / (windows.len() * self.input_dim) as f64);
+            epoch_losses.push(epoch_loss / (windows.rows() * self.input_dim) as f64);
         }
         Ok(epoch_losses)
     }
@@ -118,10 +117,12 @@ impl DenseAutoencoder {
 mod tests {
     use super::*;
 
-    fn sine_windows(n: usize, window: usize, period: f64) -> Vec<Vec<f64>> {
+    fn sine_windows(n: usize, window: usize, period: f64) -> Matrix {
         let series: Vec<f64> =
             (0..n).map(|t| (std::f64::consts::TAU * t as f64 / period).sin()).collect();
-        (0..n - window).map(|s| series[s..s + window].to_vec()).collect()
+        let rows: Vec<Vec<f64>> =
+            (0..n - window).map(|s| series[s..s + window].to_vec()).collect();
+        Matrix::from_rows(&rows)
     }
 
     #[test]
@@ -132,10 +133,10 @@ mod tests {
             .fit(&windows, &TrainConfig { epochs: 60, ..TrainConfig::fast_test() })
             .unwrap();
         assert!(losses.last().unwrap() < &(losses[0] * 0.2), "{losses:?}");
-        let rec = model.reconstruct(&windows[5]).unwrap();
+        let rec = model.reconstruct(windows.row(5)).unwrap();
         let err: f64 = rec
             .iter()
-            .zip(&windows[5])
+            .zip(windows.row(5))
             .map(|(a, b)| (a - b).abs())
             .sum::<f64>()
             / 16.0;
@@ -156,7 +157,7 @@ mod tests {
         model
             .fit(&windows, &TrainConfig { epochs: 80, ..TrainConfig::fast_test() })
             .unwrap();
-        let normal = &windows[11];
+        let normal = &windows.row(11).to_vec();
         let mut weird = normal.clone();
         weird[8] += 4.0;
         let err = |w: &Vec<f64>| -> f64 {
@@ -171,7 +172,7 @@ mod tests {
         let mut model = DenseAutoencoder::new(8, 4, 2, 0);
         assert!(model.reconstruct(&[0.0; 3]).is_err());
         assert!(model.encode(&[0.0; 9]).is_err());
-        assert!(model.fit(&[], &TrainConfig::fast_test()).is_err());
+        assert!(model.fit(&Matrix::zeros(0, 8), &TrainConfig::fast_test()).is_err());
     }
 
     #[test]

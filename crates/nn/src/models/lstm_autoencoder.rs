@@ -5,6 +5,7 @@
 //! threshold downstream.
 
 use sintel_common::SintelRng;
+use sintel_linalg::Matrix;
 
 use crate::activation::Activation;
 use crate::dense::Dense;
@@ -68,16 +69,14 @@ impl LstmAutoencoder {
 
     /// Train on windows (reconstruction target = input); returns mean
     /// loss per epoch.
-    pub fn fit(&mut self, windows: &[Vec<f64>], cfg: &TrainConfig) -> Result<Vec<f64>> {
-        if windows.is_empty() {
+    pub fn fit(&mut self, windows: &Matrix, cfg: &TrainConfig) -> Result<Vec<f64>> {
+        if windows.rows() == 0 {
             return Err(NnError::InsufficientData { needed: 1, got: 0 });
         }
-        for w in windows {
-            self.check_window(w)?;
-        }
+        self.check_window(windows.row(0))?;
         let hidden = self.enc.hidden_size();
         let mut rng = SintelRng::seed_from_u64(cfg.seed);
-        let mut order: Vec<usize> = (0..windows.len()).collect();
+        let mut order: Vec<usize> = (0..windows.rows()).collect();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
         for _ in 0..cfg.epochs {
@@ -88,7 +87,7 @@ impl LstmAutoencoder {
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(cfg.batch_size) {
                 for &idx in chunk {
-                    let xs = unflatten(&windows[idx], self.channels);
+                    let xs = unflatten(windows.row(idx), self.channels);
                     let t_len = xs.len();
                     let enc_cache = self.enc.forward(&xs);
                     let code = enc_cache.last_hidden().to_vec();
@@ -126,7 +125,7 @@ impl LstmAutoencoder {
                 self.dec.step(cfg.learning_rate, chunk.len());
                 self.head.step(cfg.learning_rate, chunk.len());
             }
-            epoch_losses.push(epoch_loss / (windows.len() * self.window) as f64);
+            epoch_losses.push(epoch_loss / (windows.rows() * self.window) as f64);
         }
         Ok(epoch_losses)
     }
@@ -143,8 +142,9 @@ mod tests {
         let series: Vec<f64> =
             (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 20.0).sin()).collect();
         let window = 10;
-        let windows: Vec<Vec<f64>> =
+        let rows: Vec<Vec<f64>> =
             (0..n - window).map(|s| series[s..s + window].to_vec()).collect();
+        let windows = Matrix::from_rows(&rows);
         let mut model = LstmAutoencoder::new(window, 1, 8, 5);
         let losses = model.fit(&windows, &TrainConfig::fast_test()).unwrap();
         assert!(
@@ -153,11 +153,11 @@ mod tests {
             losses[0],
             losses.last().unwrap()
         );
-        let rec = model.reconstruct(&windows[3]).unwrap();
+        let rec = model.reconstruct(windows.row(3)).unwrap();
         assert_eq!(rec.len(), window);
         let err: f64 = rec
             .iter()
-            .zip(&windows[3])
+            .zip(windows.row(3))
             .map(|(a, b)| (a - b).abs())
             .sum::<f64>()
             / window as f64;
@@ -170,13 +170,14 @@ mod tests {
         let series: Vec<f64> =
             (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 24.0).sin()).collect();
         let window = 12;
-        let windows: Vec<Vec<f64>> =
+        let rows: Vec<Vec<f64>> =
             (0..n - window).map(|s| series[s..s + window].to_vec()).collect();
+        let windows = Matrix::from_rows(&rows);
         let mut model = LstmAutoencoder::new(window, 1, 10, 6);
         model
             .fit(&windows, &TrainConfig { epochs: 25, ..TrainConfig::fast_test() })
             .unwrap();
-        let normal = &windows[7];
+        let normal = &windows.row(7).to_vec();
         let mut weird = normal.clone();
         for v in weird.iter_mut().take(6) {
             *v += 3.0; // inject a level shift the AE never saw
@@ -192,6 +193,6 @@ mod tests {
     fn shape_validation() {
         let mut model = LstmAutoencoder::new(8, 1, 4, 0);
         assert!(model.reconstruct(&[0.0; 5]).is_err());
-        assert!(model.fit(&[], &TrainConfig::fast_test()).is_err());
+        assert!(model.fit(&Matrix::zeros(0, 8), &TrainConfig::fast_test()).is_err());
     }
 }

@@ -4,10 +4,11 @@
 //! them to the dynamic threshold.
 
 use sintel_common::SintelRng;
+use sintel_linalg::Matrix;
 
 use crate::activation::Activation;
 use crate::dense::Dense;
-use crate::lstm::Lstm;
+use crate::lstm::{Lstm, LstmState};
 use crate::models::{unflatten, TrainConfig};
 use crate::{NnError, Result};
 
@@ -19,6 +20,18 @@ pub struct LstmRegressor {
     head: Dense,
     window: usize,
     channels: usize,
+}
+
+/// Reusable buffers for one inference stream through the stacked
+/// network (DESIGN.md §4j): every window of a batch runs through the
+/// same scratch, so a batch costs O(1) allocations, not O(windows).
+struct PredictScratch {
+    s1: LstmState,
+    s2: LstmState,
+    /// Flat hidden sequence out of the first layer (`window * hidden`).
+    hs1: Vec<f64>,
+    /// Head output (a single predicted value).
+    y: Vec<f64>,
 }
 
 impl LstmRegressor {
@@ -49,13 +62,33 @@ impl LstmRegressor {
         Ok(())
     }
 
+    /// Fresh per-batch scratch: both layer states, the flat hidden
+    /// sequence between them, and the head output.
+    fn scratch(&self) -> PredictScratch {
+        PredictScratch {
+            s1: self.l1.state(),
+            s2: self.l2.state(),
+            hs1: Vec::with_capacity(self.window * self.l1.hidden_size()),
+            y: vec![0.0; 1],
+        }
+    }
+
+    /// One forward pass on the flat inference path, reusing `scratch`.
+    /// Bitwise-identical to the cache-path forward used in training:
+    /// both run the same fused LSTM step and Dense kernel.
+    fn predict_with(&self, window: &[f64], scratch: &mut PredictScratch) -> f64 {
+        self.l1.forward_flat(window, &mut scratch.s1, Some(&mut scratch.hs1));
+        self.l2.forward_flat(&scratch.hs1, &mut scratch.s2, None);
+        self.head.forward_into(scratch.s2.hidden(), &mut scratch.y);
+        // In range: the head is built with out_dim 1.
+        #[allow(clippy::indexing_slicing)]
+        scratch.y[0]
+    }
+
     /// Predict the value following the window (first channel).
     pub fn predict(&self, window: &[f64]) -> Result<f64> {
         self.check_window(window)?;
-        let xs = unflatten(window, self.channels);
-        let c1 = self.l1.forward(&xs);
-        let c2 = self.l2.forward(c1.hidden_states());
-        Ok(self.head.forward(c2.last_hidden())[0])
+        Ok(self.predict_with(window, &mut self.scratch()))
     }
 
     /// Windows-per-batch threshold above which [`Self::predict_batch`]
@@ -63,31 +96,57 @@ impl LstmRegressor {
     /// cheap, so small batches stay serial.
     const PREDICT_PAR_WINDOWS: usize = 64;
 
+    /// Window count per parallel work item. Fixed (never derived from
+    /// the thread count) so the decomposition — and the scratch-buffer
+    /// grouping — is a function of the input alone, per the
+    /// determinism contract.
+    const PREDICT_BLOCK_WINDOWS: usize = 32;
+
     /// Predict the next value for every window of a batch.
     ///
-    /// Shapes are validated up front so a bad window fails the whole
-    /// batch before any work runs; each prediction is then a pure
-    /// `&self` forward pass, parallelised above
-    /// [`Self::PREDICT_PAR_WINDOWS`] windows with results collected in
-    /// input order — bitwise-identical to the serial loop.
-    pub fn predict_batch(&self, windows: &[Vec<f64>]) -> Result<Vec<f64>> {
-        for w in windows {
-            self.check_window(w)?;
+    /// The shared shape is validated once up front so a bad batch fails
+    /// before any work runs. Each prediction is a pure `&self` forward
+    /// pass on the flat inference path; the batch performs O(1)
+    /// allocations — one scratch per fixed-size block — instead of
+    /// O(windows). Above [`Self::PREDICT_PAR_WINDOWS`] windows the
+    /// blocks fan out across threads with results collected in input
+    /// order, bitwise-identical to the serial loop.
+    pub fn predict_batch(&self, windows: &Matrix) -> Result<Vec<f64>> {
+        let n = windows.rows();
+        if n == 0 {
+            return Ok(Vec::new());
         }
-        let forward = |i: usize| -> f64 {
-            // In range: `i` comes from `0..windows.len()`.
-            #[allow(clippy::indexing_slicing)]
-            let xs = unflatten(&windows[i], self.channels);
-            let c1 = self.l1.forward(&xs);
-            let c2 = self.l2.forward(c1.hidden_states());
-            self.head.forward(c2.last_hidden())[0]
-        };
-        if windows.len() >= Self::PREDICT_PAR_WINDOWS
-            && sintel_common::configured_threads() > 1
-        {
-            Ok(sintel_common::par_map(windows.len(), forward))
+        if windows.cols() != self.window * self.channels {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} values per window", self.window * self.channels),
+                got: format!("{}", windows.cols()),
+            });
+        }
+        if n >= Self::PREDICT_PAR_WINDOWS && sintel_common::configured_threads() > 1 {
+            let ranges = sintel_common::par::block_ranges(n, Self::PREDICT_BLOCK_WINDOWS);
+            let blocks = sintel_common::par_map(ranges.len(), |b| {
+                // In range: `b` comes from `0..ranges.len()`.
+                #[allow(clippy::indexing_slicing)]
+                let range = ranges[b].clone();
+                let mut scratch = self.scratch();
+                let mut out = Vec::with_capacity(range.len());
+                for i in range {
+                    out.push(self.predict_with(windows.row(i), &mut scratch));
+                }
+                out
+            });
+            let mut out = Vec::with_capacity(n);
+            for block in blocks {
+                out.extend_from_slice(&block);
+            }
+            Ok(out)
         } else {
-            Ok((0..windows.len()).map(forward).collect())
+            let mut scratch = self.scratch();
+            let mut out = Vec::with_capacity(n);
+            for w in windows.row_iter() {
+                out.push(self.predict_with(w, &mut scratch));
+            }
+            Ok(out)
         }
     }
 
@@ -95,25 +154,23 @@ impl LstmRegressor {
     /// loss per epoch.
     pub fn fit(
         &mut self,
-        windows: &[Vec<f64>],
+        windows: &Matrix,
         targets: &[f64],
         cfg: &TrainConfig,
     ) -> Result<Vec<f64>> {
-        if windows.len() != targets.len() {
+        if windows.rows() != targets.len() {
             return Err(NnError::ShapeMismatch {
-                expected: format!("{} targets", windows.len()),
+                expected: format!("{} targets", windows.rows()),
                 got: format!("{}", targets.len()),
             });
         }
-        if windows.is_empty() {
+        if windows.rows() == 0 {
             return Err(NnError::InsufficientData { needed: 1, got: 0 });
         }
-        for w in windows {
-            self.check_window(w)?;
-        }
+        self.check_window(windows.row(0))?;
         let hidden = self.l1.hidden_size();
         let mut rng = SintelRng::seed_from_u64(cfg.seed);
-        let mut order: Vec<usize> = (0..windows.len()).collect();
+        let mut order: Vec<usize> = (0..windows.rows()).collect();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
         for _ in 0..cfg.epochs {
@@ -126,7 +183,7 @@ impl LstmRegressor {
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(cfg.batch_size) {
                 for &idx in chunk {
-                    let xs = unflatten(&windows[idx], self.channels);
+                    let xs = unflatten(windows.row(idx), self.channels);
                     let c1 = self.l1.forward(&xs);
                     let c2 = self.l2.forward(c1.hidden_states());
                     let y = self.head.forward(c2.last_hidden());
@@ -144,7 +201,7 @@ impl LstmRegressor {
                 self.l2.step(cfg.learning_rate, chunk.len());
                 self.head.step(cfg.learning_rate, chunk.len());
             }
-            epoch_losses.push(epoch_loss / windows.len() as f64);
+            epoch_losses.push(epoch_loss / windows.rows() as f64);
         }
         Ok(epoch_losses)
     }
@@ -162,12 +219,13 @@ mod tests {
         let series: Vec<f64> =
             (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 25.0).sin()).collect();
         let window = 12;
-        let mut windows = Vec::new();
+        let mut rows = Vec::new();
         let mut targets = Vec::new();
         for start in 0..(n - window - 1) {
-            windows.push(series[start..start + window].to_vec());
+            rows.push(series[start..start + window].to_vec());
             targets.push(series[start + window]);
         }
+        let windows = Matrix::from_rows(&rows);
         let mut model = LstmRegressor::new(window, 1, 10, 3);
         let losses = model.fit(&windows, &targets, &TrainConfig::fast_test()).unwrap();
         assert!(
@@ -176,11 +234,11 @@ mod tests {
         );
         // Point predictions are close.
         let mut err = 0.0;
-        for (w, t) in windows.iter().zip(&targets) {
+        for (w, t) in windows.row_iter().zip(&targets) {
             let p = model.predict(w).unwrap();
             err += (p - t).abs();
         }
-        err /= windows.len() as f64;
+        err /= windows.rows() as f64;
         assert!(err < 0.15, "mean abs error {err}");
     }
 
@@ -188,8 +246,13 @@ mod tests {
     fn shape_errors() {
         let mut model = LstmRegressor::new(8, 1, 4, 0);
         assert!(model.predict(&[0.0; 7]).is_err());
-        assert!(model.fit(&[vec![0.0; 8]], &[1.0, 2.0], &TrainConfig::fast_test()).is_err());
-        assert!(model.fit(&[], &[], &TrainConfig::fast_test()).is_err());
+        let one = Matrix::from_rows(&[vec![0.0; 8]]);
+        assert!(model.fit(&one, &[1.0, 2.0], &TrainConfig::fast_test()).is_err());
+        assert!(model.fit(&Matrix::zeros(0, 8), &[], &TrainConfig::fast_test()).is_err());
+        // Wrong window width fails fit and predict_batch up front.
+        let bad = Matrix::from_rows(&[vec![0.0; 5]]);
+        assert!(model.fit(&bad, &[1.0], &TrainConfig::fast_test()).is_err());
+        assert!(model.predict_batch(&bad).is_err());
     }
 
     #[test]
@@ -211,18 +274,17 @@ mod tests {
     fn predict_batch_matches_serial_predict_bitwise() {
         let model = LstmRegressor::new(6, 1, 4, 9);
         let mut rng = SintelRng::seed_from_u64(77);
-        // Cross the parallel threshold so both code paths are exercised.
-        let windows: Vec<Vec<f64>> = (0..LstmRegressor::PREDICT_PAR_WINDOWS + 8)
+        // Cross the parallel threshold (and a partial trailing block)
+        // so both code paths and the remainder range are exercised.
+        let rows: Vec<Vec<f64>> = (0..LstmRegressor::PREDICT_PAR_WINDOWS + 9)
             .map(|_| (0..6).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
             .collect();
+        let windows = Matrix::from_rows(&rows);
         let batch = model.predict_batch(&windows).unwrap();
-        assert_eq!(batch.len(), windows.len());
-        for (w, &b) in windows.iter().zip(&batch) {
+        assert_eq!(batch.len(), windows.rows());
+        for (w, &b) in windows.row_iter().zip(&batch) {
             assert_eq!(model.predict(w).unwrap().to_bits(), b.to_bits());
         }
-        // A single bad window fails the whole batch up front.
-        let mut bad = windows.clone();
-        bad[3] = vec![0.0; 5];
-        assert!(model.predict_batch(&bad).is_err());
+        assert!(model.predict_batch(&Matrix::zeros(0, 6)).unwrap().is_empty());
     }
 }

@@ -23,6 +23,8 @@
 
 use sintel_common::SintelRng;
 
+use sintel_linalg::Matrix;
+
 use crate::activation::Activation;
 use crate::dense::Dense;
 use crate::lstm::Lstm;
@@ -225,16 +227,14 @@ impl TadGan {
     }
 
     /// Adversarial training; returns the mean reconstruction loss per epoch.
-    pub fn fit(&mut self, windows: &[Vec<f64>], cfg: &TrainConfig) -> Result<Vec<f64>> {
-        if windows.len() < 2 {
-            return Err(NnError::InsufficientData { needed: 2, got: windows.len() });
+    pub fn fit(&mut self, windows: &Matrix, cfg: &TrainConfig) -> Result<Vec<f64>> {
+        if windows.rows() < 2 {
+            return Err(NnError::InsufficientData { needed: 2, got: windows.rows() });
         }
-        for w in windows {
-            self.check(w)?;
-        }
+        self.check(windows.row(0))?;
         let hidden = self.enc_lstm.hidden_size();
         let mut rng = SintelRng::seed_from_u64(cfg.seed ^ self.seed);
-        let mut order: Vec<usize> = (0..windows.len()).collect();
+        let mut order: Vec<usize> = (0..windows.rows()).collect();
         let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
         for _ in 0..cfg.epochs {
@@ -247,7 +247,7 @@ impl TadGan {
                 // ---- critic updates (E and G frozen: forwards only) ----
                 for _ in 0..N_CRITIC {
                     for &idx in chunk {
-                        let x = &windows[idx];
+                        let x = windows.row(idx);
                         let z_prior: Vec<f64> =
                             (0..self.latent).map(|_| rng.normal(0.0, 1.0)).collect();
                         // Cx: maximise Cx(x) - Cx(G(z)).
@@ -271,7 +271,7 @@ impl TadGan {
 
                 // ---- encoder / generator update ----
                 for &idx in chunk {
-                    let x = &windows[idx];
+                    let x = windows.row(idx);
                     epoch_recon += self.backward_reconstruction(x);
 
                     // Generator fools Cx: minimise -Cx(G(z_prior)).
@@ -313,7 +313,7 @@ impl TadGan {
                 self.gen_lstm.step(cfg.learning_rate, chunk.len());
                 self.gen_head.step(cfg.learning_rate, chunk.len());
             }
-            epoch_losses.push(epoch_recon / windows.len() as f64);
+            epoch_losses.push(epoch_recon / windows.rows() as f64);
         }
         Ok(epoch_losses)
     }
@@ -323,10 +323,12 @@ impl TadGan {
 mod tests {
     use super::*;
 
-    fn sine_windows(n: usize, window: usize, period: f64) -> Vec<Vec<f64>> {
+    fn sine_windows(n: usize, window: usize, period: f64) -> Matrix {
         let series: Vec<f64> =
             (0..n).map(|t| (std::f64::consts::TAU * t as f64 / period).sin()).collect();
-        (0..n - window).map(|s| series[s..s + window].to_vec()).collect()
+        let rows: Vec<Vec<f64>> =
+            (0..n - window).map(|s| series[s..s + window].to_vec()).collect();
+        Matrix::from_rows(&rows)
     }
 
     #[test]
@@ -357,7 +359,7 @@ mod tests {
                 &TrainConfig { epochs: 20, learning_rate: 0.01, ..TrainConfig::fast_test() },
             )
             .unwrap();
-        let normal = &windows[9];
+        let normal = &windows.row(9).to_vec();
         let mut weird = normal.clone();
         for v in weird.iter_mut().take(6) {
             *v += 3.5;
@@ -372,7 +374,7 @@ mod tests {
         let windows = sine_windows(80, 8, 16.0);
         let mut model = TadGan::new(8, 1, 6, 3, 5);
         model.fit(&windows, &TrainConfig { epochs: 3, ..TrainConfig::fast_test() }).unwrap();
-        for w in &windows {
+        for w in windows.row_iter() {
             let c = model.critic_score(w).unwrap();
             assert!(c.is_finite() && c.abs() < 100.0, "critic {c}");
         }
@@ -383,16 +385,17 @@ mod tests {
         let mut model = TadGan::new(8, 1, 6, 3, 0);
         assert!(model.reconstruct(&[0.0; 4]).is_err());
         assert!(model.critic_score(&[0.0; 9]).is_err());
-        assert!(model.fit(&[vec![0.0; 8]], &TrainConfig::fast_test()).is_err());
+        assert!(model.fit(&Matrix::from_rows(&[vec![0.0; 8]]), &TrainConfig::fast_test()).is_err());
     }
 
     #[test]
     fn multichannel_windows() {
         let mut model = TadGan::new(6, 2, 6, 3, 2);
-        let windows: Vec<Vec<f64>> =
+        let rows: Vec<Vec<f64>> =
             (0..30).map(|k| (0..12).map(|i| ((k + i) as f64 * 0.3).sin()).collect()).collect();
+        let windows = Matrix::from_rows(&rows);
         model.fit(&windows, &TrainConfig { epochs: 2, ..TrainConfig::fast_test() }).unwrap();
-        let rec = model.reconstruct(&windows[0]).unwrap();
+        let rec = model.reconstruct(windows.row(0)).unwrap();
         assert_eq!(rec.len(), 12);
     }
 }

@@ -1,0 +1,230 @@
+//! Property-based suite for the fused LSTM kernel, built on
+//! `sintel_common::check`.
+//!
+//! The fused forward (`Lstm::forward` / `Lstm::forward_flat`) must be
+//! bitwise-identical to the pre-fusion scalar reference: four strided
+//! gate loops with per-row summation order bias → input terms →
+//! recurrent terms (DESIGN.md §4j). The reference is replicated here
+//! from the public weight layout, so any change to the fused kernel's
+//! reduction order is caught as a bit mismatch — and a seeded mutation
+//! test proves the harness actually has that sensitivity.
+
+use sintel_common::check::{forall, shrinks, Config};
+use sintel_common::SintelRng;
+use sintel_nn::activation::sigmoid;
+use sintel_nn::Lstm;
+
+/// A random LSTM plus a random input sequence (possibly empty).
+fn random_case(rng: &mut SintelRng) -> (Lstm, Vec<Vec<f64>>) {
+    let input_dim = 1 + rng.index(3);
+    let hidden = 1 + rng.index(9);
+    let t_len = rng.index(7);
+    let lstm = Lstm::new(input_dim, hidden, rng);
+    let xs = (0..t_len)
+        .map(|_| (0..input_dim).map(|_| rng.uniform_range(-2.0, 2.0)).collect())
+        .collect();
+    (lstm, xs)
+}
+
+/// The pre-fusion scalar forward pass: indexed gate rows, strided
+/// activation loops, per-step buffer allocation. This is the
+/// *specification* of the LSTM step's reduction order.
+fn reference_hidden_states(lstm: &Lstm, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let h_dim = lstm.hidden_size();
+    let input_dim = lstm.input_size();
+    let cols = input_dim + h_dim + 1;
+    let w = lstm.weights();
+    let mut h_prev = vec![0.0; h_dim];
+    let mut c_prev = vec![0.0; h_dim];
+    let mut hs = Vec::with_capacity(xs.len());
+    for x in xs {
+        let mut gates = vec![0.0; 4 * h_dim];
+        for (r, gate) in gates.iter_mut().enumerate() {
+            let row = &w[r * cols..(r + 1) * cols];
+            let mut z = row[cols - 1]; // bias
+            for (i, &xi) in x.iter().enumerate() {
+                z += row[i] * xi;
+            }
+            for (j, &hj) in h_prev.iter().enumerate() {
+                z += row[input_dim + j] * hj;
+            }
+            *gate = z;
+        }
+        let mut c = vec![0.0; h_dim];
+        let mut h = vec![0.0; h_dim];
+        for k in 0..h_dim {
+            let i_g = sigmoid(gates[k]);
+            let f_g = sigmoid(gates[h_dim + k]);
+            let g_g = gates[2 * h_dim + k].tanh();
+            let o_g = sigmoid(gates[3 * h_dim + k]);
+            c[k] = f_g * c_prev[k] + i_g * g_g;
+            h[k] = o_g * c[k].tanh();
+        }
+        hs.push(h.clone());
+        h_prev = h;
+        c_prev = c;
+    }
+    hs
+}
+
+/// MUTANT reference: recurrent terms accumulated *before* the input
+/// terms — the same sum over the reals, a different floating-point
+/// reduction order.
+fn mutant_reordered_hidden_states(lstm: &Lstm, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let h_dim = lstm.hidden_size();
+    let input_dim = lstm.input_size();
+    let cols = input_dim + h_dim + 1;
+    let w = lstm.weights();
+    let mut h_prev = vec![0.0; h_dim];
+    let mut c_prev = vec![0.0; h_dim];
+    let mut hs = Vec::with_capacity(xs.len());
+    for x in xs {
+        let mut gates = vec![0.0; 4 * h_dim];
+        for (r, gate) in gates.iter_mut().enumerate() {
+            let row = &w[r * cols..(r + 1) * cols];
+            let mut z = row[cols - 1];
+            // BUG: h terms summed before x terms.
+            for (j, &hj) in h_prev.iter().enumerate() {
+                z += row[input_dim + j] * hj;
+            }
+            for (i, &xi) in x.iter().enumerate() {
+                z += row[i] * xi;
+            }
+            *gate = z;
+        }
+        let mut c = vec![0.0; h_dim];
+        let mut h = vec![0.0; h_dim];
+        for k in 0..h_dim {
+            let i_g = sigmoid(gates[k]);
+            let f_g = sigmoid(gates[h_dim + k]);
+            let g_g = gates[2 * h_dim + k].tanh();
+            let o_g = sigmoid(gates[3 * h_dim + k]);
+            c[k] = f_g * c_prev[k] + i_g * g_g;
+            h[k] = o_g * c[k].tanh();
+        }
+        hs.push(h.clone());
+        h_prev = h;
+        c_prev = c;
+    }
+    hs
+}
+
+fn bitwise_eq(
+    name: &str,
+    want: &[Vec<f64>],
+    got: &[Vec<f64>],
+) -> Result<(), String> {
+    if want.len() != got.len() {
+        return Err(format!("{name}: {} steps vs {}", want.len(), got.len()));
+    }
+    for (t, (w, g)) in want.iter().zip(got).enumerate() {
+        for (k, (a, b)) in w.iter().zip(g).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!("{name}: h[{t}][{k}] differs: {a:?} vs {b:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The fused cache-path forward is bitwise-identical to the strided
+/// scalar reference at every random shape and sequence length.
+#[test]
+fn fused_forward_matches_scalar_reference_bitwise() {
+    forall(
+        "Lstm::forward == pre-fusion scalar reference, bitwise",
+        &Config::default(),
+        random_case,
+        shrinks::none,
+        |(lstm, xs)| {
+            let reference = reference_hidden_states(lstm, xs);
+            let cache = lstm.forward(xs);
+            bitwise_eq("fused forward", &reference, cache.hidden_states())
+        },
+    );
+}
+
+/// The flat inference path (reused scratch buffers, no per-step
+/// allocation) is bitwise-identical to the cache path.
+#[test]
+fn forward_flat_matches_cache_forward_bitwise() {
+    forall(
+        "Lstm::forward_flat == Lstm::forward, bitwise",
+        &Config::default(),
+        random_case,
+        shrinks::none,
+        |(lstm, xs)| {
+            let cache = lstm.forward(xs);
+            let flat_xs: Vec<f64> = xs.iter().flatten().copied().collect();
+            let mut state = lstm.state();
+            let mut hs = Vec::new();
+            // Run twice through the same scratch: the second pass must
+            // be unaffected by leftover state (reset contract).
+            for _ in 0..2 {
+                lstm.forward_flat(&flat_xs, &mut state, Some(&mut hs));
+            }
+            let h_dim = lstm.hidden_size();
+            let got: Vec<Vec<f64>> = hs.chunks(h_dim).map(<[f64]>::to_vec).collect();
+            bitwise_eq("forward_flat", cache.hidden_states(), &got)?;
+            if let Some(last) = cache.hidden_states().last() {
+                bitwise_eq("final state", &[last.clone()], &[state.hidden().to_vec()])?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Extract `prefix <u64>` from a forall report.
+fn parse_seed(report: &str, prefix: &str) -> u64 {
+    let at = report.find(prefix).unwrap_or_else(|| panic!("report lacks `{prefix}`: {report}"));
+    report[at + prefix.len()..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable seed after `{prefix}`: {report}"))
+}
+
+/// Sensitivity proof: a reordered-reduction mutation of the LSTM step
+/// is caught by the bitwise property, and the reported case seed
+/// replays the exact failing input.
+#[test]
+fn seeded_lstm_mutation_is_caught_and_replayable() {
+    // Guarantee a non-trivial recurrent step so the reordered sum has
+    // room to differ (t_len >= 2, input_dim >= 2).
+    let gen = |rng: &mut SintelRng| {
+        let input_dim = 2 + rng.index(2);
+        let hidden = 2 + rng.index(8);
+        let lstm = Lstm::new(input_dim, hidden, rng);
+        let xs: Vec<Vec<f64>> = (0..2 + rng.index(5))
+            .map(|_| (0..input_dim).map(|_| rng.uniform_range(-2.0, 2.0)).collect())
+            .collect();
+        (lstm, xs)
+    };
+    let prop = |(lstm, xs): &(Lstm, Vec<Vec<f64>>)| {
+        let cache = lstm.forward(xs);
+        bitwise_eq(
+            "MUTANT reordered gate reduction",
+            cache.hidden_states(),
+            &mutant_reordered_hidden_states(lstm, xs),
+        )
+    };
+    let result = std::panic::catch_unwind(|| {
+        forall("MUTANT reordered gate reduction", &Config::default(), gen, shrinks::none, prop)
+    });
+    let payload = result.expect_err("the mutated step must be caught by the property");
+    let report = if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        panic!("forall panicked with an opaque payload");
+    };
+    assert!(
+        report.contains(sintel_common::check::CHECK_SEED_ENV),
+        "report must tell the user how to replay the run: {report}"
+    );
+    assert_eq!(parse_seed(&report, "root seed "), Config::default().seed);
+    let case = parse_seed(&report, "case seed ");
+    let (_, replayed) = sintel_common::check::replay(case, gen, prop);
+    assert!(replayed.is_err(), "replaying case seed {case} must fail again");
+}

@@ -76,7 +76,7 @@ fn sanitize_writes(
 fn value_is_finite(value: &Value) -> bool {
     match value {
         Value::Series(v) => v.iter().all(|x| x.is_finite()),
-        Value::Windows(w) => w.iter().all(|row| row.iter().all(|x| x.is_finite())),
+        Value::Windows(w) => w.is_finite(),
         Value::Intervals(ivs) => ivs.iter().all(|iv| iv.score.is_finite()),
         Value::Scalar(x) => x.is_finite(),
         Value::Timestamps(_) | Value::Indices(_) | Value::Signal(_) => true,

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use sintel_linalg::Matrix;
 use sintel_timeseries::{ScoredInterval, Signal};
 
 use crate::{PrimitiveError, Result};
@@ -15,8 +16,11 @@ pub enum Value {
     Timestamps(Vec<i64>),
     /// Sample indices (window origins, alignment offsets…).
     Indices(Vec<usize>),
-    /// Flattened model windows.
-    Windows(Vec<Vec<f64>>),
+    /// Flattened model windows: one matrix row per window
+    /// (`window_size * channels` columns). A single arena, not a vec of
+    /// vecs, so window batches flow through the pipeline with O(1)
+    /// allocations (DESIGN.md §4j).
+    Windows(Matrix),
     /// Detected (scored) anomalous intervals.
     Intervals(Vec<ScoredInterval>),
     /// A full signal.
@@ -129,7 +133,7 @@ impl Context {
     typed_getter!(series, Series, Vec<f64>, "Series");
     typed_getter!(timestamps, Timestamps, Vec<i64>, "Timestamps");
     typed_getter!(indices, Indices, Vec<usize>, "Indices");
-    typed_getter!(windows, Windows, Vec<Vec<f64>>, "Windows");
+    typed_getter!(windows, Windows, Matrix, "Windows");
     typed_getter!(intervals, Intervals, Vec<ScoredInterval>, "Intervals");
     typed_getter!(signal, Signal, Signal, "Signal");
 

@@ -1,6 +1,7 @@
 //! Modeling primitives: wrappers exposing the `sintel-nn` and
 //! `sintel-stats` models through the primitive interface.
 
+use sintel_linalg::Matrix;
 use sintel_nn::{DenseAutoencoder, LstmAutoencoder, LstmRegressor, TadGan, TrainConfig};
 use sintel_stats::{spectral, Arima};
 
@@ -13,13 +14,13 @@ fn algo(e: impl std::fmt::Display) -> PrimitiveError {
     PrimitiveError::Algorithm(e.to_string())
 }
 
-/// Infer `(window_size, channels)` from flattened windows + the signal.
-fn window_shape(ctx: &Context, windows: &[Vec<f64>]) -> Result<(usize, usize)> {
-    if windows.is_empty() {
+/// Infer `(window_size, channels)` from the window matrix + the signal.
+fn window_shape(ctx: &Context, windows: &Matrix) -> Result<(usize, usize)> {
+    if windows.rows() == 0 {
         return Err(PrimitiveError::Algorithm("no training windows".into()));
     }
     let channels = ctx.signal("signal").map(|s| s.num_channels()).unwrap_or(1);
-    let flat = windows[0].len();
+    let flat = windows.cols();
     if !flat.is_multiple_of(channels) {
         return Err(PrimitiveError::Algorithm(format!(
             "window length {flat} not divisible by {channels} channels"
@@ -320,10 +321,15 @@ impl Primitive for LstmAutoencoderPrimitive {
             .as_ref()
             .ok_or_else(|| PrimitiveError::NotFitted("lstm_autoencoder".into()))?;
         let windows = ctx.windows("windows")?;
-        let mut recons = Vec::with_capacity(windows.len());
-        for w in windows {
-            recons.push(model.reconstruct(w).map_err(algo)?);
+        // One flat arena for the whole batch: reconstructions have the
+        // same shape as their inputs, so the output matrix is sized up
+        // front and filled row by row (O(1) allocations modulo the
+        // model's own scratch).
+        let mut flat = Vec::with_capacity(windows.rows() * windows.cols());
+        for w in windows.row_iter() {
+            flat.extend_from_slice(&model.reconstruct(w).map_err(algo)?);
         }
+        let recons = Matrix::from_vec(windows.rows(), windows.cols(), flat);
         Ok(vec![("reconstructions".into(), Value::Windows(recons))])
     }
 }
@@ -353,7 +359,7 @@ impl Primitive for DenseAutoencoderPrimitive {
     fn fit(&mut self, ctx: &Context) -> Result<()> {
         let windows = ctx.windows("windows")?;
         let (_, _) = window_shape(ctx, windows)?;
-        let input_dim = windows[0].len();
+        let input_dim = windows.cols();
         let mut model =
             DenseAutoencoder::new(input_dim, self.hypers.hidden, self.latent, self.hypers.seed);
         model.fit(windows, &self.hypers.config()).map_err(algo)?;
@@ -367,10 +373,15 @@ impl Primitive for DenseAutoencoderPrimitive {
             .as_ref()
             .ok_or_else(|| PrimitiveError::NotFitted("dense_autoencoder".into()))?;
         let windows = ctx.windows("windows")?;
-        let mut recons = Vec::with_capacity(windows.len());
-        for w in windows {
-            recons.push(model.reconstruct(w).map_err(algo)?);
+        // One flat arena for the whole batch: reconstructions have the
+        // same shape as their inputs, so the output matrix is sized up
+        // front and filled row by row (O(1) allocations modulo the
+        // model's own scratch).
+        let mut flat = Vec::with_capacity(windows.rows() * windows.cols());
+        for w in windows.row_iter() {
+            flat.extend_from_slice(&model.reconstruct(w).map_err(algo)?);
         }
+        let recons = Matrix::from_vec(windows.rows(), windows.cols(), flat);
         Ok(vec![("reconstructions".into(), Value::Windows(recons))])
     }
 }
@@ -444,12 +455,13 @@ impl Primitive for TadGanPrimitive {
         let model =
             self.model.as_ref().ok_or_else(|| PrimitiveError::NotFitted("tadgan".into()))?;
         let windows = ctx.windows("windows")?;
-        let mut recons = Vec::with_capacity(windows.len());
-        let mut critics = Vec::with_capacity(windows.len());
-        for w in windows {
-            recons.push(model.reconstruct(w).map_err(algo)?);
+        let mut flat = Vec::with_capacity(windows.rows() * windows.cols());
+        let mut critics = Vec::with_capacity(windows.rows());
+        for w in windows.row_iter() {
+            flat.extend_from_slice(&model.reconstruct(w).map_err(algo)?);
             critics.push(model.critic_score(w).map_err(algo)?);
         }
+        let recons = Matrix::from_vec(windows.rows(), windows.cols(), flat);
         Ok(vec![
             ("reconstructions".into(), Value::Windows(recons)),
             ("critic_scores".into(), Value::Series(critics)),
@@ -558,7 +570,7 @@ mod tests {
         prim.fit(&ctx).unwrap();
         let out = prim.produce(&ctx).unwrap();
         let Value::Series(preds) = &out[0].1 else { panic!() };
-        assert_eq!(preds.len(), ctx.windows("windows").unwrap().len());
+        assert_eq!(preds.len(), ctx.windows("windows").unwrap().rows());
         assert!(preds.iter().all(|p| p.is_finite()));
     }
 
@@ -604,8 +616,8 @@ mod tests {
         prim.fit(&ctx).unwrap();
         let out = prim.produce(&ctx).unwrap();
         let Value::Windows(recons) = &out[0].1 else { panic!() };
-        assert_eq!(recons.len(), ctx.windows("windows").unwrap().len());
-        assert_eq!(recons[0].len(), 12);
+        assert_eq!(recons.rows(), ctx.windows("windows").unwrap().rows());
+        assert_eq!(recons.cols(), 12);
     }
 
     #[test]
@@ -617,7 +629,7 @@ mod tests {
         prim.fit(&ctx).unwrap();
         let out = prim.produce(&ctx).unwrap();
         let Value::Windows(recons) = &out[0].1 else { panic!() };
-        assert_eq!(recons[0].len(), 8);
+        assert_eq!(recons.cols(), 8);
     }
 
     #[test]
@@ -631,7 +643,7 @@ mod tests {
         assert!(out.iter().any(|(k, _)| k == "reconstructions"));
         let critics = out.iter().find(|(k, _)| k == "critic_scores").unwrap();
         let Value::Series(c) = &critics.1 else { panic!() };
-        assert_eq!(c.len(), ctx.windows("windows").unwrap().len());
+        assert_eq!(c.len(), ctx.windows("windows").unwrap().rows());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Postprocessing primitives: error calculation and anomaly extraction.
 
+use sintel_linalg::Matrix;
 use sintel_common::{mean, stddev};
 use sintel_stats::threshold::{dynamic_threshold, fixed_threshold, ThresholdParams};
 use sintel_timeseries::window::overlap_average;
@@ -179,27 +180,29 @@ impl Primitive for ReconstructionErrors {
         let recons = ctx.windows("reconstructions")?;
         let first_index = ctx.indices("first_index")?;
         let signal = ctx.signal("signal")?;
-        if recons.len() != first_index.len() {
+        if recons.rows() != first_index.len() {
             return Err(PrimitiveError::Algorithm(format!(
                 "misaligned reconstructions ({}) / first_index ({})",
-                recons.len(),
+                recons.rows(),
                 first_index.len()
             )));
         }
-        if recons.is_empty() {
+        if recons.rows() == 0 {
             return Ok(vec![
                 ("errors".into(), Value::Series(Vec::new())),
                 ("error_timestamps".into(), Value::Timestamps(Vec::new())),
             ]);
         }
         let channels = signal.num_channels();
-        let window_size = recons[0].len() / channels;
-        // Unfold the first channel of the reconstructions.
-        let first_channel: Vec<Vec<f64>> = recons
-            .iter()
-            .map(|r| r.iter().step_by(channels).copied().collect())
-            .collect();
-        let merged = overlap_average(&first_channel, first_index, window_size, signal.len());
+        let window_size = recons.cols() / channels;
+        // Unfold the first channel of the reconstructions into one flat
+        // arena (rows x window_size) sized up front.
+        let mut fc_flat = Vec::with_capacity(recons.rows() * window_size);
+        for r in recons.row_iter() {
+            fc_flat.extend(r.iter().step_by(channels).copied());
+        }
+        let first_channel = Matrix::from_vec(recons.rows(), window_size, fc_flat);
+        let merged = overlap_average(&first_channel, first_index, signal.len());
         let mut errors: Vec<f64> = merged
             .iter()
             .zip(signal.values())
@@ -211,11 +214,15 @@ impl Primitive for ReconstructionErrors {
         // score over its samples, z-normalise both parts, combine.
         if self.alpha < 1.0 {
             if let Ok(critics) = ctx.series("critic_scores") {
-                if critics.len() == recons.len() {
-                    let per_window: Vec<Vec<f64>> =
-                        critics.iter().map(|&c| vec![c; window_size]).collect();
+                if critics.len() == recons.rows() {
+                    // Each window's critic score, spread over its samples.
+                    let mut pw_flat = Vec::with_capacity(critics.len() * window_size);
+                    for &c in critics {
+                        pw_flat.extend(std::iter::repeat_n(c, window_size));
+                    }
+                    let per_window = Matrix::from_vec(critics.len(), window_size, pw_flat);
                     let critic_per_sample =
-                        overlap_average(&per_window, first_index, window_size, signal.len());
+                        overlap_average(&per_window, first_index, signal.len());
                     let critic_filled: Vec<f64> = critic_per_sample
                         .iter()
                         .map(|c| if c.is_nan() { 0.0 } else { *c })
@@ -468,7 +475,7 @@ mod tests {
     fn reconstruction_errors_with_critic_blend() {
         let signal = Signal::from_values("s", (0..8).map(|i| i as f64).collect());
         let ws = sintel_timeseries::rolling_windows(&signal, 3, 1, false).unwrap();
-        let n_windows = ws.windows.len();
+        let n_windows = ws.windows.rows();
         let mut ctx = Context::from_signal(signal);
         ctx.set("reconstructions", Value::Windows(ws.windows.clone()));
         ctx.set("first_index", Value::Indices(ws.first_index));
@@ -527,7 +534,7 @@ mod tests {
     fn empty_reconstructions_yield_empty_errors() {
         let signal = Signal::from_values("s", vec![1.0, 2.0]);
         let mut ctx = Context::from_signal(signal);
-        ctx.set("reconstructions", Value::Windows(vec![]));
+        ctx.set("reconstructions", Value::Windows(Matrix::zeros(0, 3)));
         ctx.set("first_index", Value::Indices(vec![]));
         let out = ReconstructionErrors::new().produce(&ctx).unwrap();
         let Value::Series(errors) = &out[0].1 else { panic!() };

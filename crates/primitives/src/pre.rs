@@ -514,7 +514,7 @@ mod tests {
             }
             c
         };
-        assert_eq!(ctx2.windows("windows").unwrap().len(), 6);
+        assert_eq!(ctx2.windows("windows").unwrap().rows(), 6);
         assert_eq!(ctx2.series("targets").unwrap(), &vec![4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
     }
 
@@ -530,7 +530,7 @@ mod tests {
         let out = rw.produce(&ctx).unwrap();
         let windows = out.iter().find(|(k, _)| k == "windows").unwrap();
         let Value::Windows(w) = &windows.1 else { panic!() };
-        assert_eq!(w.len(), 7);
+        assert_eq!(w.rows(), 7);
     }
 
     #[test]

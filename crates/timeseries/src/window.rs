@@ -2,17 +2,28 @@
 //!
 //! Prediction models (LSTM DT, ARIMA) consume `(window, next value)`
 //! pairs; reconstruction models (autoencoders, TadGAN) consume plain
-//! windows. [`WindowSet`] stores the windows flattened (channel-major per
-//! time step) together with the index/timestamp bookkeeping needed to map
-//! model errors back onto the original time axis.
+//! windows. [`WindowSet`] stores the windows as one flat row-major
+//! [`Matrix`] arena (channel-major per time step within a row) together
+//! with the index/timestamp bookkeeping needed to map model errors back
+//! onto the original time axis.
+//!
+//! The arena layout is a determinism *and* allocation contract
+//! (DESIGN.md §4j): extraction performs O(1) allocations per call —
+//! every buffer is sized up front from the window-count formula — and
+//! downstream consumers borrow rows as slices instead of cloning
+//! per-window vectors. The allocation-regression suite in
+//! `sintel-primitives` pins this.
+
+use sintel_linalg::Matrix;
 
 use crate::{Result, Signal, TimeSeriesError};
 
 /// A set of fixed-length windows extracted from one signal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowSet {
-    /// Flattened windows: `windows[w][t * channels + c]`.
-    pub windows: Vec<Vec<f64>>,
+    /// Flattened windows, one matrix row per window:
+    /// `windows.row(w)[t * channels + c]`.
+    pub windows: Matrix,
     /// Regression target for each window (value right after the window,
     /// first channel), when `with_targets` was requested.
     pub targets: Vec<f64>,
@@ -31,12 +42,12 @@ pub struct WindowSet {
 impl WindowSet {
     /// Number of windows.
     pub fn len(&self) -> usize {
-        self.windows.len()
+        self.windows.rows()
     }
 
     /// True when no window was extracted.
     pub fn is_empty(&self) -> bool {
-        self.windows.is_empty()
+        self.windows.rows() == 0
     }
 }
 
@@ -58,65 +69,58 @@ pub fn rolling_windows(
     let n = signal.len();
     let channels = signal.num_channels();
     let needed = if with_targets { window_size + 1 } else { window_size };
+    let count = if n >= needed { (n - needed) / step + 1 } else { 0 };
 
-    let mut ws = WindowSet {
-        windows: Vec::new(),
-        targets: Vec::new(),
-        first_index: Vec::new(),
-        index_timestamps: Vec::new(),
-        window_size,
-        channels,
-    };
-    if n < needed {
-        return Ok(ws);
-    }
+    // O(1) allocations per call: the window-count formula sizes every
+    // buffer exactly, so the fill loops below never reallocate.
+    let mut flat = Vec::with_capacity(count * window_size * channels);
+    let mut targets = Vec::with_capacity(if with_targets { count } else { 0 });
+    let mut first_index = Vec::with_capacity(count);
+    let mut index_timestamps = Vec::with_capacity(count);
 
-    let mut start = 0usize;
-    let mut extracted = 0usize;
-    while start + needed <= n {
+    for w in 0..count {
         // Watchdogged runs poll for cancellation so abandoned window
         // extraction over a huge signal stops instead of leaking its
         // thread (amortised to 1 check per 1024 windows).
-        extracted += 1;
-        if extracted % 1024 == 0 && sintel_common::cancelled() {
+        if w % 1024 == 1023 && sintel_common::cancelled() {
             return Err(TimeSeriesError::Cancelled);
         }
-        let mut flat = Vec::with_capacity(window_size * channels);
+        let start = w * step;
         for t in start..start + window_size {
             for c in 0..channels {
                 flat.push(signal.channel(c)[t]);
             }
         }
-        ws.windows.push(flat);
-        ws.first_index.push(start);
+        first_index.push(start);
         if with_targets {
-            ws.targets.push(signal.values()[start + window_size]);
-            ws.index_timestamps.push(signal.timestamps()[start + window_size]);
+            targets.push(signal.values()[start + window_size]);
+            index_timestamps.push(signal.timestamps()[start + window_size]);
         } else {
-            ws.index_timestamps.push(signal.timestamps()[start]);
+            index_timestamps.push(signal.timestamps()[start]);
         }
-        start += step;
     }
-    Ok(ws)
+    Ok(WindowSet {
+        windows: Matrix::from_vec(count, window_size * channels, flat),
+        targets,
+        first_index,
+        index_timestamps,
+        window_size,
+        channels,
+    })
 }
 
 /// Reassemble per-window reconstructions into a single series by averaging
 /// the values every window contributes at each time step (the unfolding
 /// used by reconstruction pipelines before computing errors).
 ///
-/// `recons[w]` must hold `window_size` values (first channel); returns a
-/// vector aligned with the source signal of length `signal_len`.
-pub fn overlap_average(
-    recons: &[Vec<f64>],
-    first_index: &[usize],
-    window_size: usize,
-    signal_len: usize,
-) -> Vec<f64> {
+/// `recons` holds one window per row (first channel, so its column count
+/// is the window length); returns a vector aligned with the source signal
+/// of length `signal_len`.
+pub fn overlap_average(recons: &Matrix, first_index: &[usize], signal_len: usize) -> Vec<f64> {
     let mut sum = vec![0.0; signal_len];
     let mut count = vec![0u32; signal_len];
-    for (w, rec) in recons.iter().enumerate() {
-        let base = first_index[w];
-        for (t, &v) in rec.iter().enumerate().take(window_size) {
+    for (rec, &base) in recons.row_iter().zip(first_index) {
+        for (t, &v) in rec.iter().enumerate() {
             let idx = base + t;
             if idx < signal_len {
                 sum[idx] += v;
@@ -143,7 +147,7 @@ mod tests {
     fn windows_with_targets() {
         let ws = rolling_windows(&sig(6), 3, 1, true).unwrap();
         assert_eq!(ws.len(), 3);
-        assert_eq!(ws.windows[0], vec![0.0, 1.0, 2.0]);
+        assert_eq!(ws.windows.row(0), &[0.0, 1.0, 2.0]);
         assert_eq!(ws.targets, vec![3.0, 4.0, 5.0]);
         assert_eq!(ws.first_index, vec![0, 1, 2]);
         assert_eq!(ws.index_timestamps, vec![3, 4, 5]);
@@ -186,7 +190,7 @@ mod tests {
         )
         .unwrap();
         let ws = rolling_windows(&s, 2, 1, false).unwrap();
-        assert_eq!(ws.windows[0], vec![1.0, 10.0, 2.0, 20.0]);
+        assert_eq!(ws.windows.row(0), &[1.0, 10.0, 2.0, 20.0]);
         assert_eq!(ws.channels, 2);
     }
 
@@ -195,14 +199,14 @@ mod tests {
         let s = sig(5);
         let ws = rolling_windows(&s, 2, 1, false).unwrap();
         // Perfect reconstruction: each window returns its own input.
-        let recons: Vec<Vec<f64>> = ws.windows.clone();
-        let merged = overlap_average(&recons, &ws.first_index, 2, 5);
+        let merged = overlap_average(&ws.windows, &ws.first_index, 5);
         assert_eq!(merged, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
     fn overlap_average_marks_uncovered_as_nan() {
-        let merged = overlap_average(&[vec![1.0, 1.0]], &[0], 2, 4);
+        let recons = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let merged = overlap_average(&recons, &[0], 4);
         assert_eq!(&merged[..2], &[1.0, 1.0]);
         assert!(merged[2].is_nan() && merged[3].is_nan());
     }

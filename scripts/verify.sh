@@ -71,6 +71,15 @@ SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bi
 echo "==> obs microbench (writes BENCH_obs.json)"
 SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin obs_bench
 
+# Compute-kernel trajectory (DESIGN.md §4j): refreshes BENCH_compute.json
+# (matmul ns/op across the blocked threshold at 1/4 threads, fused LSTM
+# step latency, predict_batch throughput, deep-pipeline wall+cpu), then
+# re-validates the written file against the schema — a truncated or
+# malformed report fails the gate, not a later reader.
+echo "==> compute microbench (writes BENCH_compute.json)"
+SINTEL_SCALE="${SINTEL_SCALE:-0.25}" cargo run --release -q -p sintel-bench --bin compute_bench
+cargo run --release -q -p sintel-bench --bin compute_bench -- --check BENCH_compute.json
+
 # The fault-isolation layer must never itself abort: deny unwrap in the
 # pipeline executor, the framework core, the durability-critical store,
 # the long-running serving tier, and the observability substrate every
@@ -95,10 +104,15 @@ cargo clippy --workspace -- -D clippy::arc_with_non_send_sync
 # lib.rs, with documented inline allows at the justified sites):
 #  - sintel-linalg denies clippy::indexing_slicing — dense kernels must
 #    justify every direct index against a construction invariant;
+#  - sintel-linalg and sintel-nn deny clippy::needless_range_loop — hot
+#    kernels iterate slices, they never index by range (DESIGN.md §4j):
+#    range loops defeat bounds-check elision and hide access patterns
+#    from the vectorizer;
 #  - sintel-metrics denies clippy::float_cmp — computed scores must never
 #    be compared with `==`.
-echo "==> cargo clippy (crate-scoped denies: linalg indexing, metrics float_cmp)"
+echo "==> cargo clippy (crate-scoped denies: linalg indexing + range loops, nn range loops, metrics float_cmp)"
 cargo clippy -q -p sintel-linalg --lib
+cargo clippy -q -p sintel-nn --lib
 cargo clippy -q -p sintel-metrics --lib
 
 # Static analysis gate: every hub and extension pipeline must produce
